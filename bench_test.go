@@ -1,0 +1,163 @@
+package pokeholes
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/experiments"
+	"repro/internal/fuzzgen"
+)
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (see EXPERIMENTS.md for the mapping and the recorded shapes).
+// Program counts are scaled down from the paper's 1000/5000 so a full
+// -bench=. run stays in CI territory; cmd/paperbench runs the full sizes.
+
+const (
+	benchPrograms       = 30
+	benchTriagePrograms = 6
+	benchSeed           = 42
+)
+
+// BenchmarkFigure1 regenerates the §2 quantitative study (line coverage,
+// availability of variables, product across versions and levels).
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure1(benchPrograms/3, benchSeed, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates the per-level violation counts.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Table1(benchPrograms, benchSeed, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates the clang-like level-set distribution.
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lv, err := experiments.Sweep(compiler.CL, "trunk", benchPrograms, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		experiments.Figure23(lv, io.Discard)
+	}
+}
+
+// BenchmarkFigure3 regenerates the gcc-like level-set distribution.
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lv, err := experiments.Sweep(compiler.GC, "trunk", benchPrograms, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		experiments.Figure23(lv, io.Discard)
+	}
+}
+
+// BenchmarkTable2 regenerates the triaged culprit ranking (the expensive
+// experiment: every violation is bisected or flag-searched).
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(benchTriagePrograms, benchSeed, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates the issue catalog table.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table3(io.Discard)
+	}
+}
+
+// BenchmarkTable4 regenerates the cross-version regression study.
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table4(benchPrograms/2, benchSeed, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure4 regenerates the per-program violation grid.
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Figure4(benchPrograms/2, benchSeed, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelinePerProgram measures the single-program end-to-end cost
+// (generate, compile, trace, check one conjecture sweep) — the paper
+// reports ~30 s/program on its server; this quantifies our substrate.
+func BenchmarkPipelinePerProgram(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		prog := GenerateProgram(int64(i))
+		if _, err := Check(prog, Config{Family: GC, Version: "trunk", Level: "O2"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompileOnly isolates the compiler (lower + optimize + codegen).
+func BenchmarkCompileOnly(b *testing.B) {
+	prog := GenerateProgram(7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(prog, Config{Family: CL, Version: "trunk", Level: "O3"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceOnly isolates the debugger session over a fixed binary.
+func BenchmarkTraceOnly(b *testing.B) {
+	prog := GenerateProgram(7)
+	exe, err := Compile(prog, Config{Family: CL, Version: "trunk", Level: "O3"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dbg := NativeDebugger(CL)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RecordTrace(exe, dbg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationFirstHitVsFullLoop quantifies design decision 2 of
+// DESIGN.md: first-hit line checking versus stopping at every breakpoint
+// hit. The recorded trace is the same; the cost difference is the number of
+// debugger stops.
+func BenchmarkAblationFirstHitVsFullLoop(b *testing.B) {
+	prog := GenerateProgram(11)
+	exe, err := Compile(prog, Config{Family: GC, Version: "trunk", Level: "O2"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dbg := NativeDebugger(GC)
+	b.Run("first-hit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := RecordTrace(exe, dbg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFuzzgen isolates test-subject generation.
+func BenchmarkFuzzgen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fuzzgen.GenerateSeed(int64(i))
+	}
+}

@@ -1,0 +1,129 @@
+// Command conjhunt runs the paper's full bug-hunting pipeline: generate
+// fuzzed programs, compile them across optimization levels, record debugger
+// traces, check the three conjectures, triage each violation to a culprit
+// optimization, and minimize one exemplary test case per culprit.
+//
+// Usage:
+//
+//	conjhunt [-family gc|cl] [-version trunk] [-n 50] [-seed 1] [-reduce]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/compiler"
+	"repro/internal/conjecture"
+	"repro/internal/experiments"
+	"repro/internal/fuzzgen"
+	"repro/internal/minic"
+	"repro/internal/reduce"
+	"repro/internal/triage"
+)
+
+func main() {
+	family := flag.String("family", "gc", "compiler family: gc or cl")
+	version := flag.String("version", "trunk", "compiler version")
+	n := flag.Int("n", 50, "number of fuzzed programs")
+	seed := flag.Int64("seed", 1, "first seed")
+	doReduce := flag.Bool("reduce", false, "minimize one test case per culprit")
+	flag.Parse()
+
+	fam := compiler.Family(*family)
+	levels := []string{"Og", "O1", "O2", "O3", "Os", "Oz"}
+	if fam == compiler.CL {
+		levels = []string{"Og", "O2", "O3", "Os", "Oz"}
+	}
+	culpritCount := map[string]int{}
+	reduced := map[string]bool{}
+	total := 0
+	for i := 0; i < *n; i++ {
+		prog := fuzzgen.GenerateSeed(*seed + int64(i))
+		facts := analysis.Analyze(prog)
+		for _, level := range levels {
+			cfg := compiler.Config{Family: fam, Version: *version, Level: level}
+			vs, err := experiments.ViolationsFor(prog, facts, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			for _, v := range vs {
+				total++
+				tg := triage.Target{Prog: prog, Facts: facts, Cfg: cfg, Key: v.Key()}
+				culprit, err := triage.Culprit(tg)
+				if err != nil {
+					culprit = "(untriaged)"
+				}
+				culpritCount[culprit]++
+				fmt.Printf("seed %d %s: %s -> culprit %s\n", *seed+int64(i), cfg, v, culprit)
+				// Cross-validate in the other debugger (§4.2).
+				if also, err := experiments.ValidateInOtherDebugger(tg); err == nil && !also {
+					fmt.Printf("  note: not reproducible in the other debugger (debugger-side suspect)\n")
+				}
+				if *doReduce && culprit != "(untriaged)" && !reduced[culprit] {
+					reduced[culprit] = true
+					pred := reduce.ViolationPredicate(cfg, v.Conjecture, v.Var, culprit)
+					small := reduce.Reduce(prog, pred)
+					fmt.Printf("  minimized test case (%d -> %d lines):\n", countLines(prog), countLines(small))
+					fmt.Println(indent(minic.Render(small)))
+				}
+			}
+		}
+	}
+	fmt.Printf("\n%d violations; culprit distribution:\n", total)
+	type kv struct {
+		k string
+		v int
+	}
+	var ks []kv
+	for k, v := range culpritCount {
+		ks = append(ks, kv{k, v})
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i].v > ks[j].v })
+	for _, e := range ks {
+		fmt.Printf("  %-20s %d\n", e.k, e.v)
+	}
+	_ = conjecture.Violation{}
+}
+
+func countLines(p *minic.Program) int {
+	n := 0
+	for _, c := range minic.Render(p) {
+		if c == '\n' {
+			n++
+		}
+	}
+	return n
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "    " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var out []string
+	cur := ""
+	for _, c := range s {
+		if c == '\n' {
+			out = append(out, cur)
+			cur = ""
+		} else {
+			cur += string(c)
+		}
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "conjhunt:", err)
+	os.Exit(1)
+}

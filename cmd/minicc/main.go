@@ -1,0 +1,90 @@
+// Command minicc compiles a MiniC source file with the simulated toolchain
+// and dumps the generated virtual assembly and (optionally) the debug
+// information tree, like a cross of cc -S and readelf --debug-dump.
+//
+// Usage:
+//
+//	minicc [-family gc|cl] [-version trunk] [-O2] [-dwarf] [-run] file.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/compiler"
+	"repro/internal/dwarf"
+	"repro/internal/minic"
+	"repro/internal/vm"
+)
+
+func main() {
+	family := flag.String("family", "gc", "compiler family: gc or cl")
+	version := flag.String("version", "trunk", "compiler version")
+	level := flag.String("O", "O2", "optimization level (O0, Og, O1, O2, O3, Os, Oz)")
+	dumpDwarf := flag.Bool("dwarf", false, "dump the debug information tree")
+	run := flag.Bool("run", false, "execute the program and print its exit value")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: minicc [flags] file.c")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := minic.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	minic.AssignLines(prog)
+	if err := minic.Check(prog); err != nil {
+		fatal(err)
+	}
+	lvl := *level
+	if !strings.HasPrefix(lvl, "O") {
+		lvl = "O" + lvl
+	}
+	cfg := compiler.Config{Family: compiler.Family(*family), Version: *version, Level: lvl}
+	res, err := compiler.Compile(prog, cfg, compiler.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("; %s\n", cfg)
+	fmt.Print(res.Exe.Prog)
+	if *dumpDwarf {
+		info, err := res.Exe.DebugInfo()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("; line table:")
+		for _, e := range info.Lines {
+			fmt.Printf(";   pc %4d -> line %d\n", e.PC, e.Line)
+		}
+		fmt.Println("; debug information entries:")
+		dumpDIE(info.CU, 0)
+	}
+	if *run {
+		obs, err := vm.Observe(res.Exe.Prog)
+		if err != nil {
+			fatal(err)
+		}
+		for _, e := range obs.Events {
+			fmt.Printf("event: %s\n", e)
+		}
+		fmt.Printf("exit: %d\n", obs.Ret)
+	}
+}
+
+func dumpDIE(d *dwarf.DIE, depth int) {
+	fmt.Printf(";   %s%s\n", strings.Repeat("  ", depth), d)
+	for _, c := range d.Children {
+		dumpDIE(c, depth+1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "minicc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+// Command minidbg compiles a MiniC source file and replays a scripted
+// debugging session over it: one-shot breakpoints on every steppable line,
+// printing the frame variables at each first hit — the paper's §4.2 trace.
+//
+// Usage:
+//
+//	minidbg [-family gc|cl] [-version trunk] [-O Og] [-debugger gdb|lldb] file.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/compiler"
+	"repro/internal/debugger"
+	"repro/internal/minic"
+)
+
+func main() {
+	family := flag.String("family", "gc", "compiler family: gc or cl")
+	version := flag.String("version", "trunk", "compiler version")
+	level := flag.String("O", "Og", "optimization level")
+	dbgName := flag.String("debugger", "", "debugger engine (gdb or lldb; default: the family's native one)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: minidbg [flags] file.c")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := minic.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	minic.AssignLines(prog)
+	if err := minic.Check(prog); err != nil {
+		fatal(err)
+	}
+	lvl := *level
+	if !strings.HasPrefix(lvl, "O") {
+		lvl = "O" + lvl
+	}
+	cfg := compiler.Config{Family: compiler.Family(*family), Version: *version, Level: lvl}
+	res, err := compiler.Compile(prog, cfg, compiler.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	name := *dbgName
+	if name == "" {
+		name = compiler.NativeDebugger(cfg.Family)
+	}
+	var dbg debugger.Debugger
+	if name == "gdb" {
+		dbg = debugger.NewGDB(compiler.DebuggerDefects("gdb"))
+	} else {
+		dbg = debugger.NewLLDB(compiler.DebuggerDefects("lldb"))
+	}
+	trace, err := debugger.Record(res.Exe, dbg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s under %s: %d steppable lines, %d stepped\n",
+		cfg, dbg.Name(), len(trace.Steppable), len(trace.Stops))
+	lines := strings.Split(minic.Render(prog), "\n")
+	for _, l := range trace.HitLines() {
+		srcLine := ""
+		if l-1 < len(lines) {
+			srcLine = strings.TrimSpace(lines[l-1])
+		}
+		fmt.Printf("%3d  %-40.40s | %s\n", l, srcLine, varsOf(trace.Stops[l]))
+	}
+}
+
+func varsOf(s *debugger.Stop) string {
+	var parts []string
+	for _, v := range s.Vars {
+		if v.State == debugger.Available {
+			parts = append(parts, fmt.Sprintf("%s=%d", v.Name, v.Value))
+		} else {
+			parts = append(parts, fmt.Sprintf("%s=<%s>", v.Name, v.State))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "minidbg:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,88 @@
+// Command paperbench regenerates the paper's tables and figures at
+// configurable scale and prints them as text.
+//
+// Usage:
+//
+//	paperbench [-exp all|fig1|tab1|fig23|tab2|tab3|tab4|fig4|regress] [-n 200] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/compiler"
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id: fig1, tab1, fig23, tab2, tab3, tab4, fig4, regress, all")
+	n := flag.Int("n", 200, "number of fuzzed programs (paper: 1000 for tables, 5000 for fig1)")
+	nTriage := flag.Int("ntriage", 10, "programs for the triage table (expensive)")
+	seed := flag.Int64("seed", 1, "first seed")
+	flag.Parse()
+	w := os.Stdout
+
+	run := func(id string) bool { return *exp == "all" || *exp == id }
+
+	if run("fig1") {
+		if _, err := experiments.Figure1(*n/4, *seed, w); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(w)
+	}
+	var gc, cl *experiments.LevelViolations
+	if run("tab1") || run("fig23") {
+		var err error
+		gc, cl, err = experiments.Table1(*n, *seed, w)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(w)
+	}
+	if run("fig23") {
+		fmt.Fprintln(w, "Figure 2 (cl):")
+		experiments.Figure23(cl, w)
+		fmt.Fprintln(w, "Figure 3 (gc):")
+		experiments.Figure23(gc, w)
+		fmt.Fprintln(w)
+	}
+	if run("tab2") {
+		if _, err := experiments.Table2(*nTriage, *seed, w); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(w)
+	}
+	if run("tab3") {
+		experiments.Table3(w)
+		fmt.Fprintln(w)
+	}
+	if run("tab4") {
+		if _, err := experiments.Table4(*n/2, *seed, w); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(w)
+	}
+	if run("fig4") {
+		if err := experiments.Figure4(*n/2, *seed, w); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(w)
+	}
+	if run("regress") {
+		t1, p1, og, err := experiments.RegressionAvailability(*n/4, *seed, w)
+		if err != nil {
+			fatal(err)
+		}
+		if og > t1 {
+			closed := (p1 - t1) / (og - t1)
+			fmt.Fprintf(w, "the patch closes %.0f%% of the O1 -> Og availability gap (paper: ~50%%)\n", closed*100)
+		}
+	}
+	_ = compiler.GC
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paperbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,63 @@
+// Bughunt: the paper's §4 pipeline on fuzzed programs — find a conjecture
+// violation, triage the culprit optimization, cross-validate in the other
+// debugger, classify the DWARF manifestation, and minimize the test case.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	cfg := pokeholes.Config{Family: pokeholes.CL, Version: "trunk", Level: "Og"}
+	for seed := int64(1000); seed < 1100; seed++ {
+		prog := pokeholes.GenerateProgram(seed)
+		report, err := pokeholes.Check(prog, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(report.Violations) == 0 {
+			continue
+		}
+		v := report.Violations[0]
+		fmt.Printf("seed %d: %s\n", seed, v)
+
+		culprit, err := pokeholes.Triage(prog, cfg, v)
+		if err != nil {
+			fmt.Println("  triage failed:", err)
+			continue
+		}
+		fmt.Println("  culprit optimization:", culprit)
+
+		exe, err := pokeholes.Compile(prog, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		class, err := pokeholes.ClassifyDWARF(exe, v)
+		if err == nil {
+			fmt.Println("  DWARF manifestation:", class)
+		}
+
+		small := pokeholes.Minimize(prog, cfg, v, culprit)
+		fmt.Printf("  minimized test case (culprit preserved):\n")
+		fmt.Println(indent(pokeholes.Render(small)))
+		return
+	}
+	fmt.Println("no violations found in the seed range")
+}
+
+func indent(s string) string {
+	out := ""
+	line := ""
+	for _, c := range s {
+		if c == '\n' {
+			out += "    " + line + "\n"
+			line = ""
+		} else {
+			line += string(c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+// Debugsession: steps through the paper's §1 motivating example (gcc bug
+// 105161) at several optimization levels and shows how variable j's
+// availability differs — including the hollow-DIE case where the constant
+// was recoverable but the compiler lost it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// The §1 example: j is constant zero, (j)*k constant-folds, and the
+// defective toolchain loses j's value even though DW_AT_const_value could
+// have carried it.
+const src = `
+int b[10][2];
+int a;
+int main(void) {
+  int i = 0;
+  int j;
+  int k;
+  for (; i < 10; i = i + 1) {
+    j = 0;
+    k = 0;
+    for (; k < 1; k = k + 1) {
+      a = b[i][j * k];
+    }
+  }
+  return 0;
+}
+`
+
+func main() {
+	prog, err := pokeholes.ParseProgram(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(pokeholes.Render(prog))
+	for _, level := range []string{"O0", "Og", "O1", "O2"} {
+		cfg := pokeholes.Config{Family: pokeholes.GC, Version: "trunk", Level: level}
+		report, err := pokeholes.Check(prog, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n-%s: j at the array-store line:\n", level)
+		for _, line := range report.Trace.HitLines() {
+			stop := report.Trace.Stops[line]
+			j := stop.Var("j")
+			if j.State == 0 { // not visible at this line's frame
+				continue
+			}
+			fmt.Printf("  line %2d: j=%v\n", line, j.State)
+		}
+		for _, v := range report.Violations {
+			if v.Var == "j" || v.Var == "k" || v.Var == "i" {
+				fmt.Println("  ", v)
+			}
+		}
+	}
+}

@@ -1,0 +1,44 @@
+// Quickstart: compile a small program at -O2, debug it, and check the three
+// conjectures — the library's minimal end-to-end flow.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+const src = `
+int g;
+extern void opaque(int x);
+int main(void) {
+  int answer = 6 * 7;
+  g = answer;
+  opaque(answer);
+  return 0;
+}
+`
+
+func main() {
+	prog, err := pokeholes.ParseProgram(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := pokeholes.Config{Family: pokeholes.GC, Version: "trunk", Level: "O2"}
+	report, err := pokeholes.Check(prog, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: stepped %d lines\n", cfg, len(report.Trace.Stops))
+	for _, line := range report.Trace.HitLines() {
+		fmt.Println(" ", report.Trace.Stops[line])
+	}
+	if len(report.Violations) == 0 {
+		fmt.Println("no conjecture violations")
+		return
+	}
+	for _, v := range report.Violations {
+		fmt.Println("violation:", v)
+	}
+}

@@ -1,0 +1,50 @@
+// Regression: the paper's §5.4 study in miniature — how debug-information
+// quality evolves across compiler releases, and what a single fix buys.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/compiler"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func main() {
+	const programs = 25
+	// Availability of variables across gc releases at -O1.
+	fmt.Println("availability of variables at -O1 across gc releases:")
+	for _, ver := range []string{"v4", "v6", "v8", "v10", "trunk", "patched"} {
+		var ms []metrics.Metrics
+		for seed := int64(0); seed < programs; seed++ {
+			prog := pokeholes.GenerateProgram(seed)
+			m, err := pokeholes.Measure(prog, pokeholes.Config{
+				Family: pokeholes.GC, Version: ver, Level: "O1"})
+			if err != nil {
+				log.Fatal(err)
+			}
+			ms = append(ms, m)
+		}
+		mean := metrics.Mean(ms)
+		fmt.Printf("  %-8s line=%.3f avail=%.3f product=%.3f\n",
+			ver, mean.LineCoverage, mean.Availability, mean.Product)
+	}
+	// Unique violations across versions (Table 4's shape).
+	fmt.Println("\nunique violations across versions:")
+	for _, f := range []compiler.Family{compiler.GC, compiler.CL} {
+		versions := []string{"v4", "v8", "trunk", "patched"}
+		if f == compiler.CL {
+			versions = []string{"v5", "v9", "trunk", "trunkstar"}
+		}
+		for _, ver := range versions {
+			lv, err := experiments.Sweep(f, ver, programs, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-3s %-10s C1=%-4d C2=%-4d C3=%-4d\n",
+				f, ver, lv.Unique(1), lv.Unique(2), lv.Unique(3))
+		}
+	}
+}

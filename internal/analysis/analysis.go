@@ -1,0 +1,520 @@
+// Package analysis derives the source-level facts the conjecture checkers
+// need from a MiniC program: which lines call opaque functions with which
+// variable arguments (Conjecture 1), which lines assign to global storage
+// through non-simplifiable expressions and which constituents qualify as
+// expected-available (Conjecture 2), and the assignment-delimited lifetime
+// instances of local variables (Conjecture 3).
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/minic"
+)
+
+// OpaqueCall is a call to an opaque function with variable arguments.
+type OpaqueCall struct {
+	Line    int
+	Func    string // enclosing function
+	Callee  string
+	ArgVars []string // source variables passed (directly) as arguments
+}
+
+// Constituent is a variable taking part in a global-store assignment.
+type Constituent struct {
+	Name string
+	// Constant: every reaching definition is a literal or address-of.
+	Constant bool
+	// Induction: the variable is a loop induction variable used to index
+	// global memory in the assignment.
+	Induction bool
+	// UsedLater: the program may use the variable after the assignment.
+	UsedLater bool
+}
+
+// Qualifies reports whether Conjecture 2 expects the constituent available.
+func (c Constituent) Qualifies() bool {
+	return c.Constant || (c.Induction && c.UsedLater)
+}
+
+// GlobalAssign is an assignment to global storage.
+type GlobalAssign struct {
+	Line         int
+	Func         string
+	Global       string
+	Constituents []Constituent
+	// Simplifiable marks expressions the conjecture rules out (a constant
+	// operand annihilates the rest, e.g. v2 & 0).
+	Simplifiable bool
+}
+
+// Instance is one assignment-delimited lifetime segment of a variable
+// (Conjecture 3 treats reassignment as a fresh instance).
+type Instance struct {
+	Func      string
+	Var       string
+	StartLine int // the assignment line
+	EndLine   int // exclusive: next assignment line or function end + 1
+}
+
+// Facts is the full fact base for one program.
+type Facts struct {
+	FuncOfLine    map[int]string
+	OpaqueCalls   []OpaqueCall
+	GlobalAssigns []GlobalAssign
+	Instances     []Instance
+	// DeclLine maps "func.var" to its declaration line.
+	DeclLine map[string]int
+	// MaxLine is the last line of the program.
+	MaxLine int
+}
+
+// Analyze builds the fact base. The program must be checked and laid out.
+func Analyze(prog *minic.Program) *Facts {
+	f := &Facts{FuncOfLine: map[int]string{}, DeclLine: map[string]int{}}
+	globals := map[string]bool{}
+	for _, g := range prog.Globals {
+		globals[g.Name] = true
+	}
+	opaque := map[string]bool{}
+	for _, fn := range prog.Funcs {
+		if fn.Opaque {
+			opaque[fn.Name] = true
+		}
+	}
+	for _, fn := range prog.Funcs {
+		if fn.Body == nil {
+			continue
+		}
+		fa := newFuncAnalysis(prog, fn, globals, opaque)
+		fa.run(f)
+	}
+	return f
+}
+
+type funcAnalysis struct {
+	prog    *minic.Program
+	fn      *minic.FuncDecl
+	globals map[string]bool
+	opaque  map[string]bool
+
+	locals      map[string]bool
+	assignLines map[string][]int // var -> lines of assignments
+	useLines    map[string][]int // var -> lines of uses (reads)
+	constOnly   map[string]bool  // var -> all assignments are literal/addr
+	inductions  map[string]bool  // var -> is a loop induction variable
+	scopeEnd    map[string]int   // var -> last line of its lexical scope
+	lastLine    int
+}
+
+func newFuncAnalysis(prog *minic.Program, fn *minic.FuncDecl,
+	globals, opaque map[string]bool) *funcAnalysis {
+	return &funcAnalysis{
+		prog: prog, fn: fn, globals: globals, opaque: opaque,
+		locals:      map[string]bool{},
+		assignLines: map[string][]int{},
+		useLines:    map[string][]int{},
+		constOnly:   map[string]bool{},
+		inductions:  map[string]bool{},
+		scopeEnd:    map[string]int{},
+	}
+}
+
+func (a *funcAnalysis) run(out *Facts) {
+	for _, p := range a.fn.Params {
+		a.locals[p.Name] = true
+		out.DeclLine[a.fn.Name+"."+p.Name] = a.fn.Line
+	}
+	// Pass 1: declarations, assignments, uses, induction variables, lines.
+	minic.WalkStmt(a.fn.Body, func(s minic.Stmt) bool {
+		if s.Pos() > a.lastLine {
+			a.lastLine = s.Pos()
+		}
+		out.FuncOfLine[s.Pos()] = a.fn.Name
+		switch x := s.(type) {
+		case *minic.DeclStmt:
+			for _, v := range x.Vars {
+				a.locals[v.Name] = true
+				a.constOnly[v.Name] = true
+				out.DeclLine[a.fn.Name+"."+v.Name] = v.Line
+				if v.Init != nil {
+					a.recordAssign(v.Name, v.Line, v.Init)
+					a.scanUses(v.Init)
+				}
+			}
+		case *minic.AssignStmt:
+			a.recordLHS(x.LHS, x.Line, x.RHS)
+			a.scanUses(x.RHS)
+			a.scanIndexUses(x.LHS)
+		case *minic.ForStmt:
+			a.markInduction(x)
+		default:
+			for _, e := range minic.Exprs(s) {
+				a.scanUses(e)
+			}
+		}
+		// Assignment expressions and calls nest anywhere.
+		for _, e := range minic.Exprs(s) {
+			a.scanNested(e, s.Pos())
+		}
+		return true
+	})
+	if a.lastLine > out.MaxLine {
+		out.MaxLine = a.lastLine
+	}
+	// Pass 2: conjecture-specific facts.
+	minic.WalkStmt(a.fn.Body, func(s minic.Stmt) bool {
+		switch x := s.(type) {
+		case *minic.ExprStmt:
+			a.collectOpaqueCalls(x.X, x.Line, out)
+		case *minic.AssignStmt:
+			a.collectOpaqueCalls(x.RHS, x.Line, out)
+			a.collectGlobalAssign(x, out)
+		case *minic.DeclStmt:
+			for _, v := range x.Vars {
+				if v.Init != nil {
+					a.collectOpaqueCalls(v.Init, v.Line, out)
+				}
+			}
+		case *minic.IfStmt:
+			a.collectOpaqueCalls(x.Cond, x.Line, out)
+		case *minic.WhileStmt:
+			a.collectOpaqueCalls(x.Cond, x.Line, out)
+		case *minic.ReturnStmt:
+			if x.X != nil {
+				a.collectOpaqueCalls(x.X, x.Line, out)
+			}
+		}
+		return true
+	})
+	// Pass 3: variable instances for Conjecture 3, clipped to the
+	// variable's lexical scope (a loop induction variable's instance ends
+	// with the loop, not the function).
+	a.recordScopes(a.fn.Body, a.lastLine)
+	for v, lines := range a.assignLines {
+		if !a.locals[v] {
+			continue
+		}
+		sort.Ints(lines)
+		scopeLimit := a.lastLine + 1
+		if se, ok := a.scopeEnd[v]; ok {
+			scopeLimit = se + 1
+		}
+		for i, start := range lines {
+			end := scopeLimit
+			if i+1 < len(lines) && lines[i+1] < end {
+				end = lines[i+1]
+			}
+			if end > start {
+				out.Instances = append(out.Instances, Instance{
+					Func: a.fn.Name, Var: v, StartLine: start, EndLine: end,
+				})
+			}
+		}
+	}
+}
+
+// maxLine returns the last source line within a statement subtree.
+func maxLine(s minic.Stmt) int {
+	m := 0
+	minic.WalkStmt(s, func(x minic.Stmt) bool {
+		if x.Pos() > m {
+			m = x.Pos()
+		}
+		return true
+	})
+	return m
+}
+
+// recordScopes walks blocks computing the lexical scope end of each
+// declaration: the last line of the enclosing block (or the loop body for
+// variables declared in a for-loop initialiser).
+func (a *funcAnalysis) recordScopes(b *minic.Block, end int) {
+	for _, s := range b.Stmts {
+		switch x := s.(type) {
+		case *minic.DeclStmt:
+			for _, v := range x.Vars {
+				a.scopeEnd[v.Name] = end
+			}
+		case *minic.Block:
+			a.recordScopes(x, maxLine(x))
+		case *minic.IfStmt:
+			a.recordScopes(x.Then, maxLine(x.Then))
+			if x.Else != nil {
+				a.recordScopes(x.Else, maxLine(x.Else))
+			}
+		case *minic.ForStmt:
+			loopEnd := maxLine(x)
+			if ds, ok := x.Init.(*minic.DeclStmt); ok {
+				for _, v := range ds.Vars {
+					a.scopeEnd[v.Name] = loopEnd
+				}
+			}
+			a.recordScopes(x.Body, loopEnd)
+		case *minic.WhileStmt:
+			a.recordScopes(x.Body, maxLine(x))
+		case *minic.LabeledStmt:
+			if blk, ok := x.Stmt.(*minic.Block); ok {
+				a.recordScopes(blk, maxLine(blk))
+			}
+			if is, ok := x.Stmt.(*minic.IfStmt); ok {
+				a.recordScopes(is.Then, maxLine(is.Then))
+				if is.Else != nil {
+					a.recordScopes(is.Else, maxLine(is.Else))
+				}
+			}
+		}
+	}
+}
+
+func (a *funcAnalysis) recordLHS(lhs minic.Expr, line int, rhs minic.Expr) {
+	if vr, ok := lhs.(*minic.VarRef); ok {
+		a.recordAssign(vr.Name, line, rhs)
+	}
+}
+
+func (a *funcAnalysis) recordAssign(name string, line int, rhs minic.Expr) {
+	a.assignLines[name] = append(a.assignLines[name], line)
+	if _, ok := a.constOnly[name]; !ok {
+		a.constOnly[name] = true
+	}
+	if !isConstExpr(rhs) {
+		a.constOnly[name] = false
+	}
+}
+
+// isConstExpr implements the paper's "constant" variable class: numeric
+// literals, or taking the address of another variable.
+func isConstExpr(e minic.Expr) bool {
+	switch x := e.(type) {
+	case *minic.IntLit:
+		return true
+	case *minic.UnaryExpr:
+		if x.Op == minic.Addr {
+			return true
+		}
+		if x.Op == minic.Neg || x.Op == minic.BitNot {
+			return isConstExpr(x.X)
+		}
+	case *minic.BinaryExpr:
+		return isConstExpr(x.X) && isConstExpr(x.Y)
+	}
+	return false
+}
+
+func (a *funcAnalysis) scanUses(e minic.Expr) {
+	minic.WalkExpr(e, func(x minic.Expr) bool {
+		switch n := x.(type) {
+		case *minic.VarRef:
+			a.useLines[n.Name] = append(a.useLines[n.Name], n.Line)
+		case *minic.AssignExpr:
+			// The LHS is a definition, not a use; still scan its indices.
+			if vr, ok := n.LHS.(*minic.VarRef); ok {
+				a.recordAssign(vr.Name, n.Line, n.RHS)
+			} else {
+				a.scanIndexUses(n.LHS)
+			}
+			a.scanUses(n.RHS)
+			return false
+		}
+		return true
+	})
+}
+
+// scanIndexUses records reads occurring in index positions of an lvalue.
+func (a *funcAnalysis) scanIndexUses(lhs minic.Expr) {
+	if ie, ok := lhs.(*minic.IndexExpr); ok {
+		a.scanUses(ie.Index)
+		a.scanIndexUses(ie.Base)
+	}
+	if ue, ok := lhs.(*minic.UnaryExpr); ok && ue.Op == minic.Deref {
+		a.scanUses(ue.X)
+	}
+}
+
+// scanNested records assignments hidden in assignment expressions.
+func (a *funcAnalysis) scanNested(e minic.Expr, line int) {
+	minic.WalkExpr(e, func(x minic.Expr) bool {
+		if ae, ok := x.(*minic.AssignExpr); ok {
+			if vr, ok := ae.LHS.(*minic.VarRef); ok && a.locals[vr.Name] {
+				// Already recorded by scanUses; keep for statement-level
+				// callers that bypass it.
+				_ = vr
+				_ = line
+			}
+		}
+		return true
+	})
+}
+
+// markInduction records the induction variable of a canonical for loop.
+func (a *funcAnalysis) markInduction(f *minic.ForStmt) {
+	name := ""
+	switch init := f.Init.(type) {
+	case *minic.AssignStmt:
+		if vr, ok := init.LHS.(*minic.VarRef); ok {
+			name = vr.Name
+		}
+	case *minic.DeclStmt:
+		if len(init.Vars) > 0 {
+			name = init.Vars[0].Name
+		}
+	}
+	if name == "" {
+		// for (; i < n; i = i + 1) style: take the post-statement target.
+		if post, ok := f.Post.(*minic.AssignStmt); ok {
+			if vr, ok := post.LHS.(*minic.VarRef); ok {
+				name = vr.Name
+			}
+		}
+	}
+	if name != "" {
+		a.inductions[name] = true
+	}
+}
+
+func (a *funcAnalysis) collectOpaqueCalls(e minic.Expr, line int, out *Facts) {
+	minic.WalkExpr(e, func(x minic.Expr) bool {
+		call, ok := x.(*minic.CallExpr)
+		if !ok || !a.opaque[call.Name] {
+			return true
+		}
+		oc := OpaqueCall{Line: line, Func: a.fn.Name, Callee: call.Name}
+		for _, arg := range call.Args {
+			if vr, ok := arg.(*minic.VarRef); ok && a.locals[vr.Name] {
+				oc.ArgVars = append(oc.ArgVars, vr.Name)
+			}
+		}
+		if len(oc.ArgVars) > 0 {
+			out.OpaqueCalls = append(out.OpaqueCalls, oc)
+		}
+		return true
+	})
+}
+
+func (a *funcAnalysis) collectGlobalAssign(x *minic.AssignStmt, out *Facts) {
+	gname, indexVars := a.globalTarget(x.LHS)
+	if gname == "" {
+		return
+	}
+	// Induction variables indexing global memory on the right-hand side
+	// qualify too (the paper's c = a[i][j][k] example reads the arrays).
+	minic.WalkExpr(x.RHS, func(e minic.Expr) bool {
+		if ie, ok := e.(*minic.IndexExpr); ok {
+			if base, rvs := a.globalTarget(ie); base != "" {
+				indexVars = append(indexVars, rvs...)
+			}
+		}
+		return true
+	})
+	ga := GlobalAssign{Line: x.Line, Func: a.fn.Name, Global: gname,
+		Simplifiable: simplifiable(x.RHS)}
+	seen := map[string]bool{}
+	addConstituent := func(name string) {
+		if seen[name] || !a.locals[name] {
+			return
+		}
+		seen[name] = true
+		ga.Constituents = append(ga.Constituents, Constituent{
+			Name:      name,
+			Constant:  a.constOnly[name],
+			Induction: a.inductions[name] && contains(indexVars, name),
+			UsedLater: a.usedAfter(name, x.Line),
+		})
+	}
+	minic.WalkExpr(x.RHS, func(e minic.Expr) bool {
+		if vr, ok := e.(*minic.VarRef); ok {
+			addConstituent(vr.Name)
+		}
+		return true
+	})
+	for _, iv := range indexVars {
+		addConstituent(iv)
+	}
+	if len(ga.Constituents) > 0 {
+		out.GlobalAssigns = append(out.GlobalAssigns, ga)
+	}
+}
+
+// globalTarget resolves an lvalue that denotes global storage and returns
+// the variables used in its index expressions.
+func (a *funcAnalysis) globalTarget(lhs minic.Expr) (string, []string) {
+	switch x := lhs.(type) {
+	case *minic.VarRef:
+		if a.globals[x.Name] && !a.locals[x.Name] {
+			return x.Name, nil
+		}
+	case *minic.IndexExpr:
+		base := x
+		var idxVars []string
+		var cur minic.Expr = x
+		for {
+			ie, ok := cur.(*minic.IndexExpr)
+			if !ok {
+				break
+			}
+			minic.WalkExpr(ie.Index, func(e minic.Expr) bool {
+				if vr, ok := e.(*minic.VarRef); ok {
+					idxVars = append(idxVars, vr.Name)
+				}
+				return true
+			})
+			cur = ie.Base
+		}
+		if vr, ok := cur.(*minic.VarRef); ok && a.globals[vr.Name] && !a.locals[vr.Name] {
+			_ = base
+			return vr.Name, idxVars
+		}
+	}
+	return "", nil
+}
+
+// usedAfter reports whether name has a read at a line strictly greater than
+// line, or is read anywhere within an enclosing loop (conservative textual
+// liveness).
+func (a *funcAnalysis) usedAfter(name string, line int) bool {
+	for _, l := range a.useLines[name] {
+		if l > line {
+			return true
+		}
+	}
+	// Induction variables are read by their own loop header/update.
+	return a.inductions[name]
+}
+
+// simplifiable implements the conjecture's exclusion of trivially
+// simplifiable expressions: some constituent is annihilated by a constant
+// operand (x*0, x&0, x%1, x<<64...), so not all constituents are needed.
+func simplifiable(e minic.Expr) bool {
+	found := false
+	minic.WalkExpr(e, func(x minic.Expr) bool {
+		be, ok := x.(*minic.BinaryExpr)
+		if !ok {
+			return true
+		}
+		for _, pair := range [][2]minic.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+			lit, ok := pair[1].(*minic.IntLit)
+			if !ok {
+				continue
+			}
+			switch {
+			case be.Op == minic.Mul && lit.Value == 0,
+				be.Op == minic.And && lit.Value == 0,
+				be.Op == minic.Rem && lit.Value == 1,
+				be.Op == minic.Div && pair[1] == be.X && lit.Value == 0:
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

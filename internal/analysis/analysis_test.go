@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/minic"
+)
+
+const src = `
+int b[10][2];
+volatile int c;
+int a;
+extern void opq(int x, int y);
+int helper(int v) { return v; }
+int main(void) {
+  int i;
+  int j;
+  int k = 3;
+  int addr;
+  for (i = 0; i < 10; i = i + 1) {
+    j = 0;
+    a = b[i][j * 1];
+    c = i + k;
+  }
+  opq(j, k);
+  opq(i, 4);
+  helper(k);
+  k = 3;
+  {
+    int s = 1;
+    a = s + k;
+  }
+  return 0;
+}
+`
+
+func facts(t *testing.T) *Facts {
+	t.Helper()
+	return Analyze(minic.MustParse(src))
+}
+
+func TestOpaqueCalls(t *testing.T) {
+	f := facts(t)
+	if len(f.OpaqueCalls) != 2 {
+		t.Fatalf("opaque calls = %d, want 2 (helper is not opaque)", len(f.OpaqueCalls))
+	}
+	first := f.OpaqueCalls[0]
+	if first.Callee != "opq" || len(first.ArgVars) != 2 ||
+		first.ArgVars[0] != "j" || first.ArgVars[1] != "k" {
+		t.Errorf("first call = %+v", first)
+	}
+	second := f.OpaqueCalls[1]
+	if len(second.ArgVars) != 1 || second.ArgVars[0] != "i" {
+		t.Errorf("second call should track only the variable argument: %+v", second)
+	}
+}
+
+func TestGlobalAssignConstituents(t *testing.T) {
+	f := facts(t)
+	var store *GlobalAssign
+	for i := range f.GlobalAssigns {
+		if f.GlobalAssigns[i].Global == "a" && len(f.GlobalAssigns[i].Constituents) >= 2 {
+			store = &f.GlobalAssigns[i]
+			break
+		}
+	}
+	if store == nil {
+		t.Fatalf("array store not found: %+v", f.GlobalAssigns)
+	}
+	byName := map[string]Constituent{}
+	for _, c := range store.Constituents {
+		byName[c.Name] = c
+	}
+	// i is the loop IV indexing global memory and used later.
+	if c := byName["i"]; !c.Induction || !c.UsedLater || !c.Qualifies() {
+		t.Errorf("i = %+v, want qualifying induction", c)
+	}
+	// j is constant (assigned only the literal 0).
+	if c := byName["j"]; !c.Constant || !c.Qualifies() {
+		t.Errorf("j = %+v, want constant", c)
+	}
+}
+
+func TestVolatileStoreIsGlobalAssign(t *testing.T) {
+	f := facts(t)
+	found := false
+	for _, ga := range f.GlobalAssigns {
+		if ga.Global == "c" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("volatile store not collected")
+	}
+}
+
+func TestSimplifiableExclusion(t *testing.T) {
+	p := minic.MustParse(`
+int g;
+int main(void) {
+  int v = 3;
+  g = v & 0;
+  g = v * 0;
+  g = v + 0;
+  return 0;
+}`)
+	f := Analyze(p)
+	simp, nonsimp := 0, 0
+	for _, ga := range f.GlobalAssigns {
+		if ga.Simplifiable {
+			simp++
+		} else {
+			nonsimp++
+		}
+	}
+	if simp != 2 {
+		t.Errorf("simplifiable = %d, want 2 (v&0 and v*0)", simp)
+	}
+	if nonsimp != 1 {
+		t.Errorf("non-simplifiable = %d, want 1 (v+0 needs v)", nonsimp)
+	}
+}
+
+func TestInstancesDelimitedByAssignments(t *testing.T) {
+	f := facts(t)
+	var kInsts []Instance
+	for _, in := range f.Instances {
+		if in.Var == "k" && in.Func == "main" {
+			kInsts = append(kInsts, in)
+		}
+	}
+	if len(kInsts) != 2 {
+		t.Fatalf("k instances = %d, want 2 (declaration init and reassignment)", len(kInsts))
+	}
+	if kInsts[0].EndLine != kInsts[1].StartLine {
+		t.Errorf("instances must abut: %+v", kInsts)
+	}
+}
+
+func TestScopeClipping(t *testing.T) {
+	// A for-init-declared IV's instance must end with its loop.
+	p := minic.MustParse(`
+int g;
+int main(void) {
+  for (int i = 0; i < 3; i = i + 1) {
+    g = g + i;
+  }
+  g = 0;
+  g = 1;
+  return 0;
+}`)
+	f := Analyze(p)
+	for _, in := range f.Instances {
+		if in.Var != "i" {
+			continue
+		}
+		// Loop body's last line is 5; the instance must not extend to the
+		// trailing statements.
+		if in.EndLine > 7 {
+			t.Errorf("IV instance leaks out of its loop: %+v", in)
+		}
+	}
+	// A nested-scope variable is clipped to its block.
+	var sEnd int
+	for _, in := range Analyze(minic.MustParse(src)).Instances {
+		if in.Var == "s" {
+			sEnd = in.EndLine
+		}
+	}
+	if sEnd == 0 {
+		t.Fatal("s instance missing")
+	}
+}
+
+func TestFuncOfLine(t *testing.T) {
+	f := facts(t)
+	// All statement lines of main map to main.
+	cnt := 0
+	for _, fn := range f.FuncOfLine {
+		if fn == "main" {
+			cnt++
+		}
+	}
+	if cnt < 10 {
+		t.Errorf("too few main lines: %d", cnt)
+	}
+}

@@ -1,0 +1,201 @@
+// Package asm defines the virtual instruction set the code generator
+// targets and the VM executes. The machine has per-frame virtual registers
+// (the compiler's temporaries), a frame slot area, and global memory.
+// Registers are callee-saved by convention: a call preserves the caller's
+// register file, so debug-location ranges survive across calls (the
+// variables the paper's conjectures reason about live in callee-saved
+// registers on real targets too). A register-held debug location therefore
+// ends only when its register is redefined.
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/minic"
+)
+
+// RegOf maps a temporary to its debug-visible register number. The virtual
+// machine has as many registers as the compiler needs, so the mapping is
+// the identity; it exists to keep the codegen ↔ debugger contract explicit.
+func RegOf(temp int) int { return temp }
+
+// Op enumerates machine operations.
+type Op int
+
+// Machine operations.
+const (
+	OpMov       Op = iota // rd = src
+	OpUn                  // rd = unop src
+	OpBin                 // rd = src binop src2
+	OpLoadG               // rd = global[idx]
+	OpStoreG              // global[idx] = src
+	OpLoadSlot            // rd = slot[idx]
+	OpStoreSlot           // slot[idx] = src
+	OpAddrG               // rd = &global + idx
+	OpAddrSlot            // rd = &slot + idx
+	OpLoadPtr             // rd = *src
+	OpStorePtr            // *src = src2
+	OpCall                // rd = call name(args...)
+	OpJmp                 // pc = target
+	OpJz                  // if src == 0: pc = target
+	OpRet                 // return src?
+	OpNop                 // padding (keeps addresses stable in tests)
+)
+
+var opNames = [...]string{
+	"mov", "un", "bin", "loadg", "storeg", "loadslot", "storeslot",
+	"addrg", "addrslot", "loadptr", "storeptr", "call", "jmp", "jz", "ret", "nop",
+}
+
+func (o Op) String() string { return opNames[o] }
+
+// Operand is either a constant or a temporary.
+type Operand struct {
+	IsConst bool
+	C       int64
+	Temp    int
+}
+
+// Const returns a constant operand.
+func Const(c int64) Operand { return Operand{IsConst: true, C: c} }
+
+// Reg returns a temporary operand.
+func Reg(t int) Operand { return Operand{Temp: t} }
+
+func (o Operand) String() string {
+	if o.IsConst {
+		return fmt.Sprintf("%d", o.C)
+	}
+	return fmt.Sprintf("t%d", o.Temp)
+}
+
+// Instr is one machine instruction.
+type Instr struct {
+	Op     Op
+	Rd     int // destination temporary (-1 none)
+	Src    Operand
+	Src2   Operand
+	Args   []Operand // call arguments
+	UnOp   minic.UnaryOp
+	BinOp  minic.BinOp
+	Width  *minic.IntType
+	Global string // global symbol for OpLoadG/OpStoreG/OpAddrG
+	Slot   int
+	Callee string
+	Target int // jump target pc
+	Line   int
+	// InlineID identifies the inline site the instruction belongs to
+	// (0 = the enclosing physical function).
+	InlineID int
+}
+
+func (in *Instr) String() string {
+	var sb strings.Builder
+	if in.Rd >= 0 {
+		fmt.Fprintf(&sb, "t%d = ", in.Rd)
+	}
+	switch in.Op {
+	case OpMov:
+		fmt.Fprintf(&sb, "mov %s", in.Src)
+	case OpUn:
+		fmt.Fprintf(&sb, "%s %s", in.UnOp, in.Src)
+	case OpBin:
+		fmt.Fprintf(&sb, "%s %s %s", in.Src, in.BinOp, in.Src2)
+	case OpLoadG:
+		fmt.Fprintf(&sb, "%s[%s]", in.Global, in.Src)
+	case OpStoreG:
+		fmt.Fprintf(&sb, "%s[%s] = %s", in.Global, in.Src, in.Src2)
+	case OpLoadSlot:
+		fmt.Fprintf(&sb, "slot%d[%s]", in.Slot, in.Src)
+	case OpStoreSlot:
+		fmt.Fprintf(&sb, "slot%d[%s] = %s", in.Slot, in.Src, in.Src2)
+	case OpAddrG:
+		fmt.Fprintf(&sb, "&%s + %s", in.Global, in.Src)
+	case OpAddrSlot:
+		fmt.Fprintf(&sb, "&slot%d + %s", in.Slot, in.Src)
+	case OpLoadPtr:
+		fmt.Fprintf(&sb, "*%s", in.Src)
+	case OpStorePtr:
+		fmt.Fprintf(&sb, "*%s = %s", in.Src, in.Src2)
+	case OpCall:
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = a.String()
+		}
+		fmt.Fprintf(&sb, "call %s(%s)", in.Callee, strings.Join(args, ", "))
+	case OpJmp:
+		fmt.Fprintf(&sb, "jmp %d", in.Target)
+	case OpJz:
+		fmt.Fprintf(&sb, "jz %s, %d", in.Src, in.Target)
+	case OpRet:
+		if in.Src.IsConst || in.Src.Temp >= 0 {
+			fmt.Fprintf(&sb, "ret %s", in.Src)
+		} else {
+			sb.WriteString("ret")
+		}
+	case OpNop:
+		sb.WriteString("nop")
+	}
+	if in.Line > 0 {
+		fmt.Fprintf(&sb, "  ; line %d", in.Line)
+	}
+	return sb.String()
+}
+
+// Func is one compiled function.
+type Func struct {
+	Name   string
+	Entry  int // pc of the first instruction
+	End    int // pc one past the last instruction
+	NTemp  int
+	Slots  []int // slot sizes in words
+	HasRet bool
+}
+
+// Global is one data symbol.
+type Global struct {
+	Name     string
+	Size     int
+	Init     []int64
+	Volatile bool
+}
+
+// Program is a fully linked executable image.
+type Program struct {
+	Instrs  []*Instr
+	Funcs   []*Func
+	Globals []*Global
+}
+
+// Func returns the function named name, or nil.
+func (p *Program) Func(name string) *Func {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// FuncAt returns the function whose code contains pc.
+func (p *Program) FuncAt(pc int) *Func {
+	for _, f := range p.Funcs {
+		if pc >= f.Entry && pc < f.End {
+			return f
+		}
+	}
+	return nil
+}
+
+// String disassembles the program.
+func (p *Program) String() string {
+	var sb strings.Builder
+	for _, f := range p.Funcs {
+		fmt.Fprintf(&sb, "%s:\n", f.Name)
+		for pc := f.Entry; pc < f.End; pc++ {
+			fmt.Fprintf(&sb, "%4d  %s\n", pc, p.Instrs[pc])
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,62 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/minic"
+)
+
+func TestInstrStrings(t *testing.T) {
+	p := &Program{}
+	f := &Func{Name: "main", Entry: 0, End: 0}
+	instrs := []*Instr{
+		{Op: OpMov, Rd: 1, Src: Const(5), Line: 2},
+		{Op: OpBin, Rd: 2, Src: Reg(1), Src2: Const(3), BinOp: minic.Add},
+		{Op: OpUn, Rd: 3, Src: Reg(2), UnOp: minic.Neg},
+		{Op: OpLoadG, Rd: 4, Global: "g", Src: Const(0)},
+		{Op: OpStoreG, Rd: -1, Global: "g", Src: Const(0), Src2: Reg(4)},
+		{Op: OpLoadSlot, Rd: 5, Slot: 1, Src: Const(0)},
+		{Op: OpStoreSlot, Rd: -1, Slot: 1, Src: Const(0), Src2: Reg(5)},
+		{Op: OpAddrG, Rd: 6, Global: "g", Src: Const(0)},
+		{Op: OpAddrSlot, Rd: 7, Slot: 0, Src: Const(0)},
+		{Op: OpLoadPtr, Rd: 8, Src: Reg(6)},
+		{Op: OpStorePtr, Rd: -1, Src: Reg(6), Src2: Const(1)},
+		{Op: OpCall, Rd: 9, Callee: "f", Args: []Operand{Const(1), Reg(2)}},
+		{Op: OpJmp, Rd: -1, Target: 3},
+		{Op: OpJz, Rd: -1, Src: Reg(1), Target: 5},
+		{Op: OpRet, Rd: -1, Src: Const(0)},
+		{Op: OpNop, Rd: -1, Src: Operand{Temp: -1}},
+	}
+	p.Instrs = instrs
+	f.End = len(instrs)
+	p.Funcs = append(p.Funcs, f)
+	text := p.String()
+	for _, frag := range []string{"mov 5", "t1 + 3", "g[0]", "slot1[0]",
+		"&g + 0", "&slot0 + 0", "*t6", "call f(1, t2)", "jmp 3", "jz t1, 5",
+		"ret 0", "nop", "; line 2"} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("disassembly missing %q:\n%s", frag, text)
+		}
+	}
+}
+
+func TestFuncAtAndLookup(t *testing.T) {
+	p := &Program{
+		Funcs: []*Func{{Name: "a", Entry: 0, End: 3}, {Name: "b", Entry: 3, End: 7}},
+	}
+	if p.Func("a") == nil || p.Func("zz") != nil {
+		t.Error("Func lookup wrong")
+	}
+	if p.FuncAt(2).Name != "a" || p.FuncAt(3).Name != "b" || p.FuncAt(99) != nil {
+		t.Error("FuncAt wrong")
+	}
+}
+
+func TestRegOfIdentity(t *testing.T) {
+	for _, v := range []int{0, 1, 17, 400} {
+		if RegOf(v) != v {
+			t.Errorf("RegOf(%d) = %d", v, RegOf(v))
+		}
+	}
+}

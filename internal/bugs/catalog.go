@@ -1,0 +1,272 @@
+// Package bugs is the registry of simulated implementation defects and the
+// catalog of the 38 issues the paper reported (Table 3 and Appendix A).
+//
+// Each *defect mechanism* is a way in which a pass, the code generator, or a
+// debugger mishandles debug information; optimizer and debugger code query
+// the active-mechanism set at run time. Each *catalog issue* is one paper
+// bug report: it names the mechanism that reproduces it, the conjecture that
+// exposed it, and the DWARF-level manifestation observed.
+package bugs
+
+// Mechanism identifiers for the clang-like (cl) family.
+const (
+	// CLSimplifyCFGDrop drops debug intrinsics when CFG simplification
+	// removes blocks whose only remaining content is debug metadata
+	// (paper issues 49769, 55115).
+	CLSimplifyCFGDrop = "cl-simplifycfg-drop"
+	// CLInstCombineDrop loses the constant when peephole simplification
+	// folds an instruction feeding a debug intrinsic (49975, 55123).
+	CLInstCombineDrop = "cl-instcombine-drop"
+	// CLLSRNoSalvage makes loop strength reduction drop induction-variable
+	// debug values inside rewritten loops (53855a).
+	CLLSRNoSalvage = "cl-lsr-nosalvage"
+	// CLLSRNoSalvageSize is the residual LSR salvage gap that the partial
+	// upstream fix did not cover; it triggers only at size-optimizing
+	// levels (53855b).
+	CLLSRNoSalvageSize = "cl-lsr-nosalvage-size"
+	// CLLoopRotateDrop loses debug values that loop rotation should have
+	// pushed to the loop exit block (49580).
+	CLLoopRotateDrop = "cl-looprotate-drop"
+	// CLLoopDeleteDrop loses the final induction-variable value when a
+	// loop is deleted after analysis shows a known trip count (49546).
+	CLLoopDeleteDrop = "cl-loopdelete-drop"
+	// CLIVSimplifyDrop fails to propagate the constant value of a
+	// simplified induction variable into debug metadata (49973).
+	CLIVSimplifyDrop = "cl-ivsimplify-drop"
+	// CLInlineAbstractOnly attaches inlined variables' locations only to
+	// the abstract origin of the inlined subroutine (50076 interplay; also
+	// the Inliner entries of Table 2).
+	CLInlineAbstractOnly = "cl-inline-abstractonly"
+	// CLSROAPartialRestore: scalar replacement removes the location and
+	// later CFG simplification restores it only partially (54796).
+	CLSROAPartialRestore = "cl-sroa-partial"
+	// CLSchedIncomplete: instruction scheduling does not extend location
+	// ranges over moved instructions (50286, 54611).
+	CLSchedIncomplete = "cl-sched-incomplete"
+	// CLISelGlobalLoadDrop: instruction selection drops the location of a
+	// variable assigned from a global load (51780).
+	CLISelGlobalLoadDrop = "cl-isel-globalload"
+)
+
+// Mechanism identifiers for the gcc-like (gc) family.
+const (
+	// GCCleanupCFGDrop: the shared CFG-cleanup helper drops debug values
+	// while removing forwarder blocks; because many transformations invoke
+	// the helper, the defect surfaces across heterogeneous passes
+	// (105158, 105194 — fixed by the "patched" version).
+	GCCleanupCFGDrop = "gc-cleanupcfg-drop"
+	// GCCCPNoConstValue: conditional constant propagation folds a value
+	// but omits the constant from debug metadata (105108, 105161).
+	GCCCPNoConstValue = "gc-ccp-noconst"
+	// GCCCPRangeShrink: CCP shrinks a variable's location range so its
+	// availability flickers during its lifetime (104938).
+	GCCCPRangeShrink = "gc-ccp-rangeshrink"
+	// GCVRPDrop: value-range propagation removes a definition without
+	// inserting a replacement debug statement (105007).
+	GCVRPDrop = "gc-vrp-drop"
+	// GCDCEDrop: dead code elimination drops debug info even when the
+	// emitted code does not change (105176).
+	GCDCEDrop = "gc-dce-drop"
+	// GCDSEDrop: dead store elimination drops the debug update attached to
+	// the eliminated store (105248).
+	GCDSEDrop = "gc-dse-drop"
+	// GCCopyPropRange: register copy propagation produces a location range
+	// that fails to cover the address of a call (105179, 105239).
+	GCCopyPropRange = "gc-cprop-range"
+	// GCSRAConstArgs: scalar replacement of aggregates loses constant
+	// argument values, possibly interacting with scheduling (105261).
+	GCSRAConstArgs = "gc-sra-constargs"
+	// GCInlineWrongLoc: inlining updates the enclosing location definition
+	// incorrectly even though the value was tracked (104549).
+	GCInlineWrongLoc = "gc-inline-wrongloc"
+	// GCAddrTakenReg: no provision to keep debug info for address-taken
+	// locals that later end up in registers (105145).
+	GCAddrTakenReg = "gc-addrtaken-reg"
+	// GCTopLevelReorder: localizing or merging top-level globals loses
+	// debug values derived from them (toplevel-reorder rows of Table 2).
+	GCTopLevelReorder = "gc-toplevel-reorder"
+	// GCSchedWrongFrame: post-scheduling line attribution associates
+	// instructions with the frame of a neighbouring inlined function
+	// (105036, 105249).
+	GCSchedWrongFrame = "gc-sched-wrongframe"
+	// GCPureConstDrop: deleting calls to functions detected as pure drops
+	// the debug values of variables holding their results (ipa-pure-const
+	// rows of Table 2; the 105108 discussion).
+	GCPureConstDrop = "gc-pureconst-drop"
+	// GCIPARefAddressable: the static-variable addressability analysis
+	// loses a location while leaving the code unchanged (105159).
+	GCIPARefAddressable = "gc-iparef-drop"
+	// GCUnnamedScopeRange: location definitions for variables declared in
+	// unnamed scopes do not cover the full scope (104891).
+	GCUnnamedScopeRange = "gc-unnamedscope-range"
+)
+
+// LegacyWeakTracking is not a reported bug but the modelled baseline of old
+// releases: register promotion records debug updates only for constant
+// stores, so most register-resident values go untracked. Its disappearance
+// in later releases produces the cross-version availability improvements of
+// the paper's Figure 1.
+const LegacyWeakTracking = "legacy-weak-tracking"
+
+// Mechanism identifiers for the debugger tools.
+const (
+	// GDBEmptyRange: gdb mishandles location ranges whose low and high
+	// addresses coincide and shows an outdated value (28987).
+	GDBEmptyRange = "gdb-emptyrange"
+	// GDBConcreteMismatch: a structural mismatch between the concrete and
+	// abstract representation of an inlined function makes gdb unable to
+	// display variables that lldb displays fine (29060).
+	GDBConcreteMismatch = "gdb-concretemismatch"
+	// LLDBAbstractOnly: lldb cannot show variables whose location appears
+	// only in the abstract origin of an inlined subroutine (50076).
+	LLDBAbstractOnly = "lldb-abstractonly"
+)
+
+// System identifies which component a catalog issue belongs to.
+type System string
+
+// Systems under test.
+const (
+	SysClang System = "clang"
+	SysGCC   System = "gcc"
+	SysGDB   System = "gdb"
+	SysLLDB  System = "lldb"
+)
+
+// Status mirrors the "Bug status" column of Table 3.
+type Status string
+
+// Issue statuses.
+const (
+	Confirmed    Status = "Confirmed"
+	Unconfirmed  Status = "Unconfirmed"
+	Fixed        Status = "Fixed"
+	FixedByTrunk Status = "Fixed by trunk*"
+)
+
+// DIEClass mirrors the paper's four DWARF-level manifestation categories.
+type DIEClass string
+
+// DIE defect classes (Section 5.3).
+const (
+	MissingDIE    DIEClass = "Missing DIE"
+	HollowDIE     DIEClass = "Hollow DIE"
+	IncompleteDIE DIEClass = "Incomplete DIE"
+	IncorrectDIE  DIEClass = "Incorrect DIE"
+	NoDIEClass    DIEClass = "-" // debugger bugs have no compiler DIE defect
+)
+
+// Issue is one reported bug from Table 3 / Appendix A.
+type Issue struct {
+	Tracker    string // bug tracker identifier
+	System     System
+	Status     Status
+	Conjecture int // 1, 2 or 3
+	Class      DIEClass
+	Mechanism  string // the defect mechanism that reproduces it
+	Levels     []string
+	Summary    string
+}
+
+// Catalog lists all 38 issues in the order of Table 3.
+var Catalog = []Issue{
+	{"49546", SysClang, Confirmed, 1, MissingDIE, CLLoopDeleteDrop, []string{"Og"},
+		"induction variable unavailable at opaque call after loop deletion"},
+	{"49580", SysClang, Confirmed, 1, MissingDIE, CLLoopRotateDrop, []string{"Og"},
+		"loop rotation does not push debug metadata to the exit block"},
+	{"49769", SysClang, Confirmed, 1, HollowDIE, CLSimplifyCFGDrop, []string{"Og"},
+		"CFG simplification removes blocks containing only debug statements"},
+	{"49973", SysClang, Confirmed, 1, HollowDIE, CLIVSimplifyDrop, []string{"O3"},
+		"induction-variable simplification loses a constant value"},
+	{"49975", SysClang, Confirmed, 1, HollowDIE, CLInstCombineDrop, []string{"O3"},
+		"peephole AND simplification loses the copy feeding an opaque call"},
+	{"51780", SysClang, Confirmed, 1, MissingDIE, CLISelGlobalLoadDrop, []string{"O2"},
+		"instruction selection drops a variable assigned from a global"},
+	{"55101", SysClang, Unconfirmed, 1, HollowDIE, CLLSRNoSalvage, []string{"O2"},
+		"LSR then instruction selection progressively lose locations"},
+	{"55115", SysClang, Confirmed, 1, MissingDIE, CLSimplifyCFGDrop, []string{"O1", "O2", "O3", "Og"},
+		"CFG simplification removes IR debug statements it cannot re-home"},
+	{"55123", SysClang, Unconfirmed, 1, HollowDIE, CLInstCombineDrop, []string{"O1", "O2", "O3", "Og"},
+		"instruction combining associates debug metadata with undef"},
+	{"53855a", SysClang, FixedByTrunk, 2, HollowDIE, CLLSRNoSalvage, []string{"O1", "Og", "Oz"},
+		"LSR fails to salvage induction-variable debug statements"},
+	{"53855b", SysClang, Confirmed, 2, HollowDIE, CLLSRNoSalvageSize, []string{"Os"},
+		"LSR salvage gap remaining after the partial fix"},
+	{"54611", SysClang, Unconfirmed, 2, IncompleteDIE, CLSchedIncomplete, []string{"O1"},
+		"scheduling leaves a range missing the assignment instruction"},
+	{"54757", SysClang, Unconfirmed, 2, HollowDIE, CLLoopDeleteDrop, []string{"O1", "O2", "O3", "Og"},
+		"loop removal drops part of the debug info of the expression"},
+	{"54763", SysClang, Unconfirmed, 2, IncompleteDIE, CLSROAPartialRestore, []string{"O2", "O3"},
+		"values unavailable before control-flow joins"},
+	{"50286", SysClang, Confirmed, 3, IncompleteDIE, CLSchedIncomplete, []string{"Og"},
+		"scheduling makes a live variable's availability intermittent"},
+	{"54796", SysClang, Confirmed, 3, IncompleteDIE, CLSROAPartialRestore, []string{"Os"},
+		"SROA removes a location; later simplification restores it partially"},
+	{"104549", SysGCC, Unconfirmed, 1, IncorrectDIE, GCInlineWrongLoc, []string{"O2", "O3"},
+		"inlining wrongly updates the location of a tracked constant"},
+	{"105007", SysGCC, Confirmed, 1, HollowDIE, GCVRPDrop, []string{"O2", "O3"},
+		"EVRP removes a propagated definition without a debug statement"},
+	{"105158", SysGCC, Fixed, 1, HollowDIE, GCCleanupCFGDrop, []string{"O1", "O2", "O3", "Og"},
+		"shared CFG cleanup loses debug info after boolean simplification"},
+	{"105176", SysGCC, Unconfirmed, 1, IncompleteDIE, GCDCEDrop, []string{"Os", "Oz"},
+		"dead code elimination drops debug info, code unchanged"},
+	{"105179", SysGCC, Unconfirmed, 1, IncompleteDIE, GCCopyPropRange, []string{"Og"},
+		"copy propagation emits a range missing the call address"},
+	{"105239", SysGCC, Unconfirmed, 1, IncompleteDIE, GCCopyPropRange, []string{"Og"},
+		"location range excludes an opaque call preceded by another call"},
+	{"105248", SysGCC, Confirmed, 1, HollowDIE, GCDSEDrop, []string{"O1", "O2", "O3"},
+		"dead store elimination drops debug info, code unchanged"},
+	{"105261", SysGCC, Confirmed, 1, HollowDIE, GCSRAConstArgs, []string{"O2", "O3", "Os", "Oz"},
+		"SRA loses several constant-valued call arguments"},
+	{"104891", SysGCC, Unconfirmed, 2, IncompleteDIE, GCUnnamedScopeRange, []string{"O2", "O3"},
+		"variables in unnamed scopes get incomplete location definitions"},
+	{"105036", SysGCC, Unconfirmed, 2, IncorrectDIE, GCSchedWrongFrame, []string{"O3"},
+		"wrong frame displayed: scheduling + inlining + unrolling"},
+	{"105108", SysGCC, Confirmed, 2, HollowDIE, GCCCPNoConstValue, []string{"Og", "O1"},
+		"constant folded via CCP+VRP lacks DW_AT_const_value"},
+	{"105145", SysGCC, Confirmed, 2, HollowDIE, GCAddrTakenReg, []string{"O1", "O2", "O3"},
+		"address-taken local promoted to register loses its debug info"},
+	{"105161", SysGCC, Confirmed, 2, HollowDIE, GCCCPNoConstValue, []string{"O1", "O2", "O3", "Og"},
+		"constant folding of (j)*k drops j despite const-value support"},
+	{"105249", SysGCC, Unconfirmed, 2, IncorrectDIE, GCSchedWrongFrame, []string{"Os"},
+		"scheduling attributes unrolled loop body to an inlined frame"},
+	{"104938", SysGCC, Confirmed, 3, IncompleteDIE, GCCCPRangeShrink, []string{"Og"},
+		"CCP shrinks the location range; availability flickers"},
+	{"105124", SysGCC, Confirmed, 3, IncompleteDIE, GCCCPRangeShrink, []string{"Og"},
+		"availability of a constant-valued variable is intermittent"},
+	{"105159", SysGCC, Unconfirmed, 3, HollowDIE, GCIPARefAddressable, []string{"Og"},
+		"ipa-reference-addressable loses a location, code unchanged"},
+	{"105194", SysGCC, Fixed, 3, IncompleteDIE, GCCleanupCFGDrop, []string{"O1", "O2", "O3", "Og"},
+		"CFG cleanup after DCE wrongly updates a location definition"},
+	{"105389", SysGCC, Unconfirmed, 3, IncompleteDIE, GCCCPRangeShrink, []string{"Og"},
+		"one value range missing from a multi-range location"},
+	{"28987", SysGDB, Confirmed, 1, NoDIEClass, GDBEmptyRange, nil,
+		"gdb shows an outdated value for empty (lo==hi) ranges"},
+	{"29060", SysGDB, Confirmed, 1, NoDIEClass, GDBConcreteMismatch, nil,
+		"gdb cannot display variables under concrete/abstract mismatch"},
+	{"50076", SysLLDB, Confirmed, 1, NoDIEClass, LLDBAbstractOnly, nil,
+		"lldb cannot show variables located only in abstract origins"},
+}
+
+// ByTracker returns the catalog issue with the given tracker id, or nil.
+func ByTracker(id string) *Issue {
+	for i := range Catalog {
+		if Catalog[i].Tracker == id {
+			return &Catalog[i]
+		}
+	}
+	return nil
+}
+
+// MechanismsFor returns the distinct defect mechanisms of a system.
+func MechanismsFor(sys System) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, is := range Catalog {
+		if is.System == sys && !seen[is.Mechanism] {
+			seen[is.Mechanism] = true
+			out = append(out, is.Mechanism)
+		}
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package bugs
+
+import "testing"
+
+func TestCatalogMatchesPaperTotals(t *testing.T) {
+	if len(Catalog) != 38 {
+		t.Fatalf("catalog has %d issues, paper reported 38", len(Catalog))
+	}
+	bySystem := map[System]int{}
+	confirmedBySystem := map[System]int{}
+	byConjecture := map[int]int{}
+	for _, is := range Catalog {
+		bySystem[is.System]++
+		byConjecture[is.Conjecture]++
+		if is.Status == Confirmed || is.Status == Fixed || is.Status == FixedByTrunk {
+			confirmedBySystem[is.System]++
+		}
+	}
+	// Paper: 16 clang reports, 19 gcc, 2 gdb, 1 lldb.
+	if bySystem[SysClang] != 16 || bySystem[SysGCC] != 19 ||
+		bySystem[SysGDB] != 2 || bySystem[SysLLDB] != 1 {
+		t.Errorf("per-system counts = %v", bySystem)
+	}
+	// Paper: 24 confirmed total — 11 clang, 10 gcc, 2 gdb, 1 lldb.
+	if confirmedBySystem[SysClang] != 11 || confirmedBySystem[SysGCC] != 10 ||
+		confirmedBySystem[SysGDB] != 2 || confirmedBySystem[SysLLDB] != 1 {
+		t.Errorf("confirmed counts = %v", confirmedBySystem)
+	}
+	// Paper: conjectures revealed 20, 11, 7 issues.
+	if byConjecture[1] != 20 || byConjecture[2] != 11 || byConjecture[3] != 7 {
+		t.Errorf("per-conjecture counts = %v", byConjecture)
+	}
+}
+
+func TestDIEClassDistribution(t *testing.T) {
+	// Paper §5.3: 4 missing, 16 hollow, 12 incomplete, 3 incorrect for the
+	// 35 compiler-side issues.
+	byClass := map[DIEClass]int{}
+	for _, is := range Catalog {
+		if is.System == SysClang || is.System == SysGCC {
+			byClass[is.Class]++
+		}
+	}
+	want := map[DIEClass]int{MissingDIE: 4, HollowDIE: 16, IncompleteDIE: 12, IncorrectDIE: 3}
+	for class, n := range want {
+		if byClass[class] != n {
+			t.Errorf("%s = %d, want %d", class, byClass[class], n)
+		}
+	}
+}
+
+func TestByTracker(t *testing.T) {
+	is := ByTracker("105158")
+	if is == nil || is.System != SysGCC || is.Status != Fixed || is.Mechanism != GCCleanupCFGDrop {
+		t.Errorf("105158 lookup = %+v", is)
+	}
+	if ByTracker("nope") != nil {
+		t.Error("unknown tracker should yield nil")
+	}
+}
+
+func TestMechanismsForCoverAllIssues(t *testing.T) {
+	for _, sys := range []System{SysClang, SysGCC, SysGDB, SysLLDB} {
+		mechs := MechanismsFor(sys)
+		if len(mechs) == 0 {
+			t.Errorf("no mechanisms for %s", sys)
+		}
+		seen := map[string]bool{}
+		for _, m := range mechs {
+			if seen[m] {
+				t.Errorf("duplicate mechanism %s", m)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+func TestEveryIssueHasMechanismAndLevels(t *testing.T) {
+	for _, is := range Catalog {
+		if is.Mechanism == "" {
+			t.Errorf("%s: no mechanism", is.Tracker)
+		}
+		if is.Conjecture < 1 || is.Conjecture > 3 {
+			t.Errorf("%s: bad conjecture %d", is.Tracker, is.Conjecture)
+		}
+		isCompiler := is.System == SysClang || is.System == SysGCC
+		if isCompiler && len(is.Levels) == 0 {
+			t.Errorf("%s: compiler issue without affected levels", is.Tracker)
+		}
+		if isCompiler && is.Class == NoDIEClass {
+			t.Errorf("%s: compiler issue without DWARF class", is.Tracker)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package bugs
+
+// Repro holds a MiniC program that reproduces a catalogued issue in the
+// simulated toolchain, with the configuration that exposes it and the
+// variable/line behaviour to look for. These mirror the paper's appendix:
+// each report came with a minimized test case.
+type Repro struct {
+	Tracker string
+	// Family and Level select the exposing configuration ("gc"/"cl").
+	Family string
+	Level  string
+	// Var is the variable whose availability the issue affects.
+	Var string
+	// Source is the MiniC test case.
+	Source string
+}
+
+// Repros lists reproduction programs for representative issues of each
+// DWARF manifestation class and each system. The verification test compiles
+// each under its configuration and checks that the variable's availability
+// suffers in the recorded way.
+var Repros = []Repro{
+	{
+		// §1 / 105161: constant folding of (j)*k loses j despite const-value
+		// support. Hollow DIE, gc.
+		Tracker: "105161", Family: "gc", Level: "O1", Var: "j",
+		Source: `
+int b[10][2];
+int a;
+int main(void) {
+  int i = 0;
+  int j;
+  int k;
+  for (; i < 10; i = i + 1) {
+    j = 0;
+    k = 0;
+    for (; k < 1; k = k + 1) {
+      a = b[i][j * k];
+    }
+  }
+  return 0;
+}`,
+	},
+	{
+		// §3.2 / 49975: the peephole AND simplification loses the embedded
+		// assignment's copy at an opaque call. Hollow DIE, cl.
+		Tracker: "49975", Family: "cl", Level: "O3", Var: "v2",
+		Source: `
+short a = 4;
+extern void foo(int x, int y, int z);
+void b(int c) {
+  short v1 = 0;
+  int v2;
+  int v7 = (v2 = a) == 0 & c;
+  foo(v1, v2, v7);
+}
+int main(void) {
+  b(a);
+  a = 0;
+  return 0;
+}`,
+	},
+	{
+		// §3.3 / 53855a: LSR fails to salvage the induction variable inside
+		// the rewritten loop. Hollow DIE, cl, C2.
+		Tracker: "53855a", Family: "cl", Level: "Og", Var: "i",
+		Source: `
+volatile int c;
+int b[16];
+int main(void) {
+  int i;
+  for (i = 0; i < 4; i = i + 1) {
+    c = b[i * 3];
+  }
+  return 0;
+}`,
+	},
+	{
+		// 105145: an address-taken local promoted to a register loses its
+		// debug information. Hollow DIE, gc, C2.
+		Tracker: "105145", Family: "gc", Level: "O2", Var: "x",
+		Source: `
+int g;
+int main(void) {
+  int x = 1;
+  int* p = &x;
+  *p = 5;
+  g = *p + 1;
+  return 0;
+}`,
+	},
+	{
+		// 105108-adjacent (ipa-pure-const): folding a pure call's constant
+		// result drops the receiving variable's value. Hollow DIE, gc.
+		Tracker: "105108", Family: "gc", Level: "O2", Var: "x",
+		Source: `
+int zero(void) { return 0; }
+int g;
+extern void opaque(int v);
+int main(void) {
+  int i;
+  for (i = 0; i < 2; i = i + 1) {
+    int x = zero();
+    g = x + i + 1;
+  }
+  return 0;
+}`,
+	},
+}
+
+// ReproFor returns the repro for a tracker id, or nil.
+func ReproFor(tracker string) *Repro {
+	for i := range Repros {
+		if Repros[i].Tracker == tracker {
+			return &Repros[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,231 @@
+// Package codegen lowers optimized IR to the virtual machine instruction
+// set and emits the executable's debug information: line table, variable
+// DIEs with location lists, and concrete/abstract inlined-subroutine trees.
+//
+// The location-list construction is where several of the paper's defect
+// mechanisms materialise: flagged debug intrinsics produce truncated ranges
+// (copy-propagation and scheduling bugs), wrong-frame DIE placement
+// (scheduling near inlined code), abstract-origin-only constants (the lldb
+// bug surface), and instruction-selection drops for global-load sources.
+package codegen
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/dwarf"
+	"repro/internal/ir"
+)
+
+// Options configures code generation.
+type Options struct {
+	// Defects is the active defect-mechanism set.
+	Defects map[string]bool
+	// Stats receives counters when non-nil.
+	Stats map[string]int
+}
+
+func (o Options) defect(id string) bool { return o.Defects[id] }
+
+func (o Options) count(key string) {
+	if o.Stats != nil {
+		o.Stats[key]++
+	}
+}
+
+// Generate compiles the module to an executable program plus its debug
+// information.
+func Generate(m *ir.Module, o Options) (*asm.Program, *dwarf.Info, error) {
+	prog := &asm.Program{}
+	info := dwarf.NewInfo()
+	info.NLines = m.NLines
+	for _, g := range m.Globals {
+		prog.Globals = append(prog.Globals, &asm.Global{
+			Name: g.Name, Size: g.Size, Init: g.Init, Volatile: g.Volatile,
+		})
+	}
+	for _, f := range m.Funcs {
+		if f.Opaque {
+			continue
+		}
+		if err := genFunc(prog, info, f, o); err != nil {
+			return nil, nil, fmt.Errorf("codegen %s: %w", f.Name, err)
+		}
+	}
+	buildLineTable(prog, info)
+	return prog, info, nil
+}
+
+// dbgEvent is a debug intrinsic pinned to the address of the instruction
+// that follows it.
+type dbgEvent struct {
+	pc    int
+	instr *ir.Instr
+}
+
+func genFunc(prog *asm.Program, info *dwarf.Info, f *ir.Func, o Options) error {
+	af := &asm.Func{Name: f.Name, Entry: len(prog.Instrs), NTemp: f.NTemp,
+		Slots: append([]int(nil), f.Slots...), HasRet: f.HasRet}
+
+	// Linearize: entry first, then remaining blocks in list order.
+	order := make([]*ir.Block, 0, len(f.Blocks))
+	seen := map[*ir.Block]bool{}
+	add := func(b *ir.Block) {
+		if !seen[b] {
+			seen[b] = true
+			order = append(order, b)
+		}
+	}
+	reach := f.Reachable()
+	add(f.Entry())
+	for _, b := range f.Blocks {
+		if reach[b] {
+			add(b)
+		}
+	}
+
+	blockPC := map[*ir.Block]int{}
+	var fixups []struct {
+		pc  int
+		tgt *ir.Block
+		alt bool // second target of a conditional branch
+	}
+	var events []dbgEvent
+	siteOf := map[int]*ir.InlineSite{} // inline site id -> site
+	// Per-pc inline id for range construction.
+	emit := func(in *asm.Instr) int {
+		pc := len(prog.Instrs)
+		prog.Instrs = append(prog.Instrs, in)
+		return pc
+	}
+	opnd := func(v ir.Value) asm.Operand {
+		if v.IsConst() {
+			return asm.Const(v.C)
+		}
+		return asm.Reg(v.Temp)
+	}
+	inlineID := func(s *ir.InlineSite) int {
+		if s == nil {
+			return 0
+		}
+		siteOf[s.ID] = s
+		return s.ID
+	}
+
+	for _, b := range order {
+		blockPC[b] = len(prog.Instrs)
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpDbgVal:
+				events = append(events, dbgEvent{pc: len(prog.Instrs), instr: in})
+				if in.At != nil {
+					siteOf[in.At.ID] = in.At
+				}
+			case ir.OpCopy:
+				emit(&asm.Instr{Op: asm.OpMov, Rd: in.Dst, Src: opnd(in.Args[0]),
+					Width: in.Width, Line: in.Line, InlineID: inlineID(in.At)})
+			case ir.OpUn:
+				emit(&asm.Instr{Op: asm.OpUn, Rd: in.Dst, Src: opnd(in.Args[0]),
+					UnOp: in.UnOp, Width: in.Width, Line: in.Line, InlineID: inlineID(in.At)})
+			case ir.OpBin:
+				emit(&asm.Instr{Op: asm.OpBin, Rd: in.Dst, Src: opnd(in.Args[0]),
+					Src2: opnd(in.Args[1]), BinOp: in.BinOp, Width: in.Width,
+					Line: in.Line, InlineID: inlineID(in.At)})
+			case ir.OpLoadG:
+				emit(&asm.Instr{Op: asm.OpLoadG, Rd: in.Dst, Global: in.G.Name,
+					Src: opnd(in.Args[0]), Width: in.Width, Line: in.Line, InlineID: inlineID(in.At)})
+			case ir.OpStoreG:
+				emit(&asm.Instr{Op: asm.OpStoreG, Rd: -1, Global: in.G.Name,
+					Src: opnd(in.Args[0]), Src2: opnd(in.Args[1]), Width: in.Width,
+					Line: in.Line, InlineID: inlineID(in.At)})
+			case ir.OpLoadSlot:
+				emit(&asm.Instr{Op: asm.OpLoadSlot, Rd: in.Dst, Slot: in.Slot,
+					Src: opnd(in.Args[0]), Width: in.Width, Line: in.Line, InlineID: inlineID(in.At)})
+			case ir.OpStoreSlot:
+				emit(&asm.Instr{Op: asm.OpStoreSlot, Rd: -1, Slot: in.Slot,
+					Src: opnd(in.Args[0]), Src2: opnd(in.Args[1]), Width: in.Width,
+					Line: in.Line, InlineID: inlineID(in.At)})
+			case ir.OpAddrG:
+				emit(&asm.Instr{Op: asm.OpAddrG, Rd: in.Dst, Global: in.G.Name,
+					Src: opnd(in.Args[0]), Line: in.Line, InlineID: inlineID(in.At)})
+			case ir.OpAddrSlot:
+				emit(&asm.Instr{Op: asm.OpAddrSlot, Rd: in.Dst, Slot: in.Slot,
+					Src: opnd(in.Args[0]), Line: in.Line, InlineID: inlineID(in.At)})
+			case ir.OpLoadPtr:
+				emit(&asm.Instr{Op: asm.OpLoadPtr, Rd: in.Dst, Src: opnd(in.Args[0]),
+					Width: in.Width, Line: in.Line, InlineID: inlineID(in.At)})
+			case ir.OpStorePtr:
+				emit(&asm.Instr{Op: asm.OpStorePtr, Rd: -1, Src: opnd(in.Args[0]),
+					Src2: opnd(in.Args[1]), Width: in.Width, Line: in.Line, InlineID: inlineID(in.At)})
+			case ir.OpCall:
+				args := make([]asm.Operand, len(in.Args))
+				for i, a := range in.Args {
+					args[i] = opnd(a)
+				}
+				emit(&asm.Instr{Op: asm.OpCall, Rd: in.Dst, Callee: in.Call, Args: args,
+					Line: in.Line, InlineID: inlineID(in.At)})
+			case ir.OpBr:
+				pc := emit(&asm.Instr{Op: asm.OpJmp, Rd: -1, Line: in.Line, InlineID: inlineID(in.At)})
+				fixups = append(fixups, struct {
+					pc  int
+					tgt *ir.Block
+					alt bool
+				}{pc, in.Tgts[0], false})
+			case ir.OpCondBr:
+				// jz cond -> false target; fallthrough-jmp -> true target.
+				pc := emit(&asm.Instr{Op: asm.OpJz, Rd: -1, Src: opnd(in.Args[0]),
+					Line: in.Line, InlineID: inlineID(in.At)})
+				fixups = append(fixups, struct {
+					pc  int
+					tgt *ir.Block
+					alt bool
+				}{pc, in.Tgts[1], false})
+				pc2 := emit(&asm.Instr{Op: asm.OpJmp, Rd: -1, Line: in.Line, InlineID: inlineID(in.At)})
+				fixups = append(fixups, struct {
+					pc  int
+					tgt *ir.Block
+					alt bool
+				}{pc2, in.Tgts[0], false})
+			case ir.OpRet:
+				ret := &asm.Instr{Op: asm.OpRet, Rd: -1, Src: asm.Operand{Temp: -1},
+					Line: in.Line, InlineID: inlineID(in.At)}
+				if len(in.Args) > 0 {
+					ret.Src = opnd(in.Args[0])
+				}
+				emit(ret)
+			default:
+				return fmt.Errorf("unknown op %v", in.Op)
+			}
+		}
+	}
+	// Guarantee at least one instruction (empty function bodies).
+	if len(prog.Instrs) == af.Entry {
+		emit(&asm.Instr{Op: asm.OpRet, Rd: -1, Src: asm.Operand{Temp: -1}, Line: f.Line})
+	}
+	af.End = len(prog.Instrs)
+	prog.Funcs = append(prog.Funcs, af)
+	for _, fx := range fixups {
+		prog.Instrs[fx.pc].Target = blockPC[fx.tgt]
+	}
+	buildDebugInfo(prog, info, f, af, events, siteOf, o)
+	return nil
+}
+
+// buildLineTable derives line entries from instruction lines: one entry per
+// address where the line changes.
+func buildLineTable(prog *asm.Program, info *dwarf.Info) {
+	last := -1
+	lastFn := ""
+	for pc, in := range prog.Instrs {
+		f := prog.FuncAt(pc)
+		name := ""
+		if f != nil {
+			name = f.Name
+		}
+		if in.Line > 0 && (in.Line != last || name != lastFn) {
+			info.Lines = append(info.Lines, dwarf.LineEntry{PC: uint32(pc), Line: in.Line})
+			last = in.Line
+		}
+		lastFn = name
+	}
+}

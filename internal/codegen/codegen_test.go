@@ -1,0 +1,219 @@
+package codegen
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/bugs"
+	"repro/internal/dwarf"
+	"repro/internal/ir"
+	"repro/internal/minic"
+	"repro/internal/opt"
+)
+
+func gen(t *testing.T, src string, passes []opt.Pass, defects map[string]bool) (*asm.Program, *dwarf.Info) {
+	t.Helper()
+	prog := minic.MustParse(src)
+	m, err := ir.Lower(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if passes != nil {
+		opt.RunPipeline(m, passes, opt.Options{BisectLimit: -1, Defects: defects})
+	}
+	p, info, err := Generate(m, Options{Defects: defects})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, info
+}
+
+const src = `
+int g;
+extern void opaque(int x);
+int main(void) {
+  int x = 3;
+  int y = x + 1;
+  g = y;
+  opaque(y);
+  return 0;
+}
+`
+
+func TestLineTableMonotonePCs(t *testing.T) {
+	_, info := gen(t, src, []opt.Pass{opt.Mem2Reg{}}, nil)
+	last := uint32(0)
+	for i, e := range info.Lines {
+		if i > 0 && e.PC <= last {
+			t.Errorf("line table not strictly increasing at %d: %v", i, info.Lines)
+		}
+		last = e.PC
+	}
+}
+
+func TestO0SlotLocationsCoverWholeFunction(t *testing.T) {
+	p, info := gen(t, src, nil, nil)
+	sub := info.SubprogramByName("main")
+	if sub == nil {
+		t.Fatal("no subprogram DIE")
+	}
+	mainFn := p.Func("main")
+	for _, name := range []string{"x", "y"} {
+		d := sub.Find(func(d *dwarf.DIE) bool { return d.Name == name })
+		if d == nil {
+			t.Fatalf("no DIE for %s", name)
+		}
+		if len(d.Loc) != 1 || d.Loc[0].Kind != dwarf.LocSlot {
+			t.Fatalf("%s: want single slot range, got %v", name, d.Loc)
+		}
+		if int(d.Loc[0].Hi) != mainFn.End {
+			t.Errorf("%s: range does not reach function end: %v", name, d.Loc)
+		}
+	}
+}
+
+func TestConstLocationAfterFolding(t *testing.T) {
+	_, info := gen(t, src, []opt.Pass{opt.Mem2Reg{}, opt.InstCombine{}, opt.CCP{}}, nil)
+	sub := info.SubprogramByName("main")
+	x := sub.Find(func(d *dwarf.DIE) bool { return d.Name == "x" })
+	if x == nil {
+		t.Fatal("no DIE for x")
+	}
+	foundConst := false
+	for _, r := range x.Loc {
+		if r.Kind == dwarf.LocConst && r.Value == 3 {
+			foundConst = true
+		}
+	}
+	if !foundConst {
+		t.Errorf("x should have a constant location, got %v", x.Loc)
+	}
+}
+
+func TestTruncRangeFlagEndsBeforeCall(t *testing.T) {
+	prog := minic.MustParse(src)
+	m, err := ir.Lower(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.RunPipeline(m, []opt.Pass{opt.Mem2Reg{}}, opt.Options{BisectLimit: -1})
+	// Flag y's debug values by hand to isolate the codegen behaviour.
+	f := m.Func("main")
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpDbgVal && in.V.Name == "y" {
+				in.Flags |= ir.DbgTruncRange
+			}
+		}
+	}
+	p, info, err := Generate(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the call pc.
+	callPC := -1
+	for pc, in := range p.Instrs {
+		if in.Op == asm.OpCall && in.Callee == "opaque" {
+			callPC = pc
+		}
+	}
+	if callPC < 0 {
+		t.Fatal("no call emitted")
+	}
+	y := info.SubprogramByName("main").Find(func(d *dwarf.DIE) bool { return d.Name == "y" })
+	if y == nil {
+		t.Fatal("no DIE for y")
+	}
+	if _, covered := y.LocAt(uint32(callPC)); covered {
+		t.Errorf("truncated range must not cover the call at %d: %v", callPC, y.Loc)
+	}
+}
+
+func TestInlinedSubroutineDIEs(t *testing.T) {
+	isrc := `
+int g;
+int add1(int v) { return v + 1; }
+int main(void) {
+  g = add1(41);
+  return 0;
+}`
+	_, info := gen(t, isrc, []opt.Pass{opt.Mem2Reg{}, opt.Inline{}}, nil)
+	sub := info.SubprogramByName("main")
+	inl := sub.Find(func(d *dwarf.DIE) bool { return d.Tag == dwarf.TagInlinedSubroutine })
+	if inl == nil {
+		t.Fatal("no inlined subroutine DIE")
+	}
+	if inl.Name != "add1" || len(inl.Ranges) == 0 {
+		t.Errorf("inlined DIE malformed: %+v", inl)
+	}
+	abs := info.AbstractSubprogram("add1")
+	if abs == nil {
+		t.Fatal("no abstract instance")
+	}
+	if inl.AbstractOrigin != abs.ID {
+		t.Error("abstract origin link broken")
+	}
+	v := inl.Find(func(d *dwarf.DIE) bool {
+		return (d.Tag == dwarf.TagFormalParameter || d.Tag == dwarf.TagVariable) && d.Name == "v"
+	})
+	if v == nil {
+		t.Fatal("inlined parameter has no concrete DIE")
+	}
+	if v.AbstractOrigin == 0 {
+		t.Error("inlined parameter lacks an abstract origin")
+	}
+}
+
+func TestSuppressedDIEMissing(t *testing.T) {
+	prog := minic.MustParse(src)
+	m, err := ir.Lower(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.RunPipeline(m, []opt.Pass{opt.Mem2Reg{}}, opt.Options{BisectLimit: -1})
+	m.Func("main").VarByName("x").SuppressDIE = true
+	_, info, err := Generate(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := info.SubprogramByName("main")
+	if sub.Find(func(d *dwarf.DIE) bool { return d.Name == "x" }) != nil {
+		t.Error("suppressed variable still has a DIE (should be Missing)")
+	}
+}
+
+func TestISelDefectDropsGlobalLoadSources(t *testing.T) {
+	gsrc := `
+int a = 4;
+int g;
+extern void opaque(int x);
+int main(void) {
+  int v = a;
+  opaque(v);
+  return 0;
+}`
+	defects := map[string]bool{bugs.CLISelGlobalLoadDrop: true}
+	p, info := gen(t, gsrc, []opt.Pass{opt.Mem2Reg{}}, defects)
+	v := info.SubprogramByName("main").Find(func(d *dwarf.DIE) bool { return d.Name == "v" })
+	if v == nil {
+		return // fully suppressed: also a valid manifestation (51780 is Missing DIE)
+	}
+	callPC := -1
+	for pc, in := range p.Instrs {
+		if in.Op == asm.OpCall {
+			callPC = pc
+		}
+	}
+	if _, covered := v.LocAt(uint32(callPC)); covered {
+		t.Errorf("isel defect must leave v unavailable at the call, got %v", v.Loc)
+	}
+	// Without the defect the location survives.
+	_, clean := gen(t, gsrc, []opt.Pass{opt.Mem2Reg{}}, nil)
+	vc := clean.SubprogramByName("main").Find(func(d *dwarf.DIE) bool { return d.Name == "v" })
+	if vc == nil {
+		t.Fatal("clean build lost v entirely")
+	}
+	if _, covered := vc.LocAt(uint32(callPC)); !covered {
+		t.Errorf("clean build must cover the call, got %v", vc.Loc)
+	}
+}

@@ -1,0 +1,356 @@
+package codegen
+
+import (
+	"sort"
+
+	"repro/internal/asm"
+	"repro/internal/bugs"
+	"repro/internal/dwarf"
+	"repro/internal/ir"
+)
+
+// buildDebugInfo constructs the subprogram DIE, the inlined-subroutine
+// trees, and per-variable location lists for one compiled function.
+func buildDebugInfo(prog *asm.Program, info *dwarf.Info, f *ir.Func, af *asm.Func,
+	events []dbgEvent, siteOf map[int]*ir.InlineSite, o Options) {
+
+	sub := info.CU.AddChild(&dwarf.DIE{ID: info.NewID(), Tag: dwarf.TagSubprogram,
+		Name: f.Name, DeclLine: f.Line,
+		Ranges: []dwarf.PCRange{{Lo: uint32(af.Entry), Hi: uint32(af.End)}}})
+
+	// --- Location lists -------------------------------------------------
+	type openLoc struct {
+		kind  dwarf.LocKind
+		value int64
+		start int
+	}
+	ranges := map[*ir.Var][]dwarf.LocRange{}
+	open := map[*ir.Var]*openLoc{}
+	wrongFrame := map[*ir.Var]bool{}
+	abstractOnly := map[*ir.Var]int64{}
+	hasNonAbstract := map[*ir.Var]bool{}
+	dropped := map[*ir.Var]bool{} // isel-defect drops
+	hadEvent := map[*ir.Var]bool{}
+
+	closeLoc := func(v *ir.Var, pc int) {
+		ol := open[v]
+		if ol == nil {
+			return
+		}
+		ranges[v] = append(ranges[v], dwarf.LocRange{
+			Lo: uint32(ol.start), Hi: uint32(pc), Kind: ol.kind, Value: ol.value})
+		delete(open, v)
+	}
+	// nextCall finds the next call at or after pc within the function.
+	nextCall := func(pc int) int {
+		for p := pc; p < af.End; p++ {
+			if prog.Instrs[p].Op == asm.OpCall {
+				return p
+			}
+		}
+		return af.End
+	}
+	// defIsGlobalLoad reports whether the nearest preceding definition of
+	// temp t before pc is a global load, looking through register moves
+	// (the isel-defect trigger: the selected DAG roots at the load).
+	defIsGlobalLoad := func(t, pc int) bool {
+		for depth := 0; depth < 8; depth++ {
+			var def *asm.Instr
+			for p := pc - 1; p >= af.Entry; p-- {
+				in := prog.Instrs[p]
+				if in.Rd == t {
+					def = in
+					pc = p
+					break
+				}
+			}
+			if def == nil {
+				return false
+			}
+			switch {
+			case def.Op == asm.OpLoadG:
+				return true
+			case def.Op == asm.OpMov && !def.Src.IsConst:
+				t = def.Src.Temp
+			default:
+				return false
+			}
+		}
+		return false
+	}
+
+	ei := 0
+	for pc := af.Entry; pc <= af.End; pc++ {
+		// Apply the debug events pinned to this address.
+		for ei < len(events) && events[ei].pc == pc {
+			ev := events[ei].instr
+			ei++
+			v := ev.V
+			hadEvent[v] = true
+			if ev.Flags&ir.DbgWrongFrame != 0 {
+				wrongFrame[v] = true
+			}
+			closeLoc(v, pc)
+			val := ev.Args[0]
+			if ev.Flags&ir.DbgAbstractOnly != 0 && val.IsConst() && v.Inlined != nil {
+				// The constant will live on the abstract origin only.
+				abstractOnly[v] = val.C
+				continue
+			}
+			if val.Kind != ir.Undef {
+				hasNonAbstract[v] = true
+			}
+			switch val.Kind {
+			case ir.Undef:
+				// Stays closed: optimized out from here.
+			case ir.Const:
+				open[v] = &openLoc{kind: dwarf.LocConst, value: val.C, start: pc}
+			case ir.Temp:
+				if o.defect(bugs.CLISelGlobalLoadDrop) && defIsGlobalLoad(val.Temp, pc) {
+					dropped[v] = true
+					o.count("codegen.isel-dropped")
+					continue
+				}
+				open[v] = &openLoc{kind: dwarf.LocReg, value: int64(asm.RegOf(val.Temp)), start: pc}
+			case ir.SlotRef:
+				open[v] = &openLoc{kind: dwarf.LocSlot, value: int64(val.Temp), start: pc}
+			}
+			if ev.Flags&ir.DbgTruncRange != 0 && open[v] != nil {
+				// The emitted range fails to cover the next call.
+				end := nextCall(pc)
+				if end > pc {
+					ranges[v] = append(ranges[v], dwarf.LocRange{
+						Lo: uint32(pc), Hi: uint32(end),
+						Kind: open[v].kind, Value: open[v].value})
+					delete(open, v)
+					o.count("codegen.trunc-range")
+				}
+			}
+		}
+		if pc == af.End {
+			break
+		}
+		// Register redefinition ends the ranges it invalidates.
+		in := prog.Instrs[pc]
+		if in.Rd >= 0 {
+			reg := int64(asm.RegOf(in.Rd))
+			for v, ol := range open {
+				if ol.kind == dwarf.LocReg && ol.value == reg {
+					closeLoc(v, pc)
+				}
+			}
+		}
+	}
+	for v := range open {
+		closeLoc(v, af.End)
+	}
+
+	// Defect bugs.GCUnnamedScopeRange: variables declared in unnamed brace
+	// scopes lose every other location range.
+	if o.defect(bugs.GCUnnamedScopeRange) {
+		for v, rs := range ranges {
+			if !v.InNestedScope || len(rs) < 2 {
+				continue
+			}
+			var kept []dwarf.LocRange
+			for i, r := range rs {
+				if i%2 == 0 {
+					kept = append(kept, r)
+				}
+			}
+			ranges[v] = kept
+			o.count("codegen.unnamedscope-trimmed")
+		}
+	}
+
+	// --- Inlined-subroutine tree -----------------------------------------
+	// Compute, for every inline site, the set of covered addresses (a pc
+	// executed under a nested site also belongs to all ancestor sites).
+	pcsOf := map[int][]int{} // site id -> pcs
+	for pc := af.Entry; pc < af.End; pc++ {
+		id := prog.Instrs[pc].InlineID
+		if id == 0 {
+			continue
+		}
+		for s := siteOf[id]; s != nil; s = s.Parent {
+			pcsOf[s.ID] = append(pcsOf[s.ID], pc)
+		}
+	}
+	siteDIE := map[int]*dwarf.DIE{}
+	absByCallee := map[string]*dwarf.DIE{}
+	// Abstract instances first.
+	calleeVars := map[string][]*ir.Var{}
+	for _, v := range f.Vars {
+		if v.Inlined != nil {
+			calleeVars[v.Inlined.Callee] = append(calleeVars[v.Inlined.Callee], v)
+		}
+	}
+	abstractFor := func(callee string) *dwarf.DIE {
+		if d := absByCallee[callee]; d != nil {
+			return d
+		}
+		if d := info.AbstractSubprogram(callee); d != nil {
+			absByCallee[callee] = d
+			return d
+		}
+		d := info.CU.AddChild(&dwarf.DIE{ID: info.NewID(), Tag: dwarf.TagSubprogram,
+			Name: callee, Abstract: true})
+		seen := map[string]bool{}
+		for _, v := range calleeVars[callee] {
+			if seen[v.Name] {
+				continue
+			}
+			seen[v.Name] = true
+			tag := dwarf.TagVariable
+			if v.IsParam {
+				tag = dwarf.TagFormalParameter
+			}
+			d.AddChild(&dwarf.DIE{ID: info.NewID(), Tag: tag, Name: v.Name,
+				DeclLine: v.DeclLine, Abstract: true})
+		}
+		absByCallee[callee] = d
+		return d
+	}
+	// Concrete site DIEs, parents before children.
+	var ids []int
+	for id := range pcsOf {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var ensureSite func(id int) *dwarf.DIE
+	ensureSite = func(id int) *dwarf.DIE {
+		if d := siteDIE[id]; d != nil {
+			return d
+		}
+		s := siteOf[id]
+		parent := sub
+		if s.Parent != nil {
+			parent = ensureSite(s.Parent.ID)
+		}
+		abs := abstractFor(s.Callee)
+		d := parent.AddChild(&dwarf.DIE{ID: info.NewID(), Tag: dwarf.TagInlinedSubroutine,
+			Name: s.Callee, CallLine: s.CallLine, AbstractOrigin: abs.ID,
+			Ranges: pcRanges(pcsOf[id])})
+		siteDIE[id] = d
+		return d
+	}
+	for _, id := range ids {
+		ensureSite(id)
+	}
+
+	// --- Variable DIEs ----------------------------------------------------
+	abstractVarDIE := func(callee, name string) *dwarf.DIE {
+		abs := abstractFor(callee)
+		for _, c := range abs.Children {
+			if c.Name == name {
+				return c
+			}
+		}
+		return nil
+	}
+	for _, v := range f.Vars {
+		if v.SuppressDIE || dropped[v] && !hasNonAbstract[v] {
+			o.count("codegen.suppressed-die")
+			continue
+		}
+		// Variables that never had any debug event are unknown to the
+		// optimizer's metadata; their DIE disappeared with the metadata.
+		if !hadEvent[v] && v.Inlined == nil {
+			continue
+		}
+		tag := dwarf.TagVariable
+		if v.IsParam {
+			tag = dwarf.TagFormalParameter
+		}
+		d := &dwarf.DIE{ID: info.NewID(), Tag: tag, Name: v.Name,
+			DeclLine: v.DeclLine, Loc: ranges[v]}
+		// Scope placement.
+		var parent *dwarf.DIE
+		switch {
+		case v.Inlined != nil:
+			site := siteDIE[v.Inlined.ID]
+			if abs := abstractVarDIE(v.Inlined.Callee, v.Name); abs != nil {
+				d.AbstractOrigin = abs.ID
+				if c, ok := abstractOnly[v]; ok && !hasNonAbstract[v] {
+					// Legitimate DWARF: the value lives on the abstract
+					// origin only.
+					abs.ConstValue = &c
+					d.Loc = nil
+					o.count("codegen.abstract-only")
+				}
+			}
+			if wrongFrame[v] {
+				parent = sub // should be the inlined subroutine
+				o.count("codegen.wrongframe-die")
+			} else if site != nil {
+				parent = concreteVarScope(info, site, len(calleeVars[v.Inlined.Callee]))
+			} else {
+				parent = sub
+			}
+		default:
+			if wrongFrame[v] {
+				parent = misplacedScope(info, sub)
+				o.count("codegen.wrongframe-die")
+			} else {
+				parent = sub
+			}
+		}
+		parent.AddChild(d)
+	}
+}
+
+// concreteVarScope returns the DIE under which an inlined instance's
+// variables are placed. Inlined callees with three or more variables get a
+// lexical-block wrapper in the concrete tree — legitimate DWARF whose
+// structural asymmetry with the (flat) abstract instance is exactly what
+// the gdb 29060 bug trips over.
+func concreteVarScope(info *dwarf.Info, site *dwarf.DIE, nVars int) *dwarf.DIE {
+	if nVars < 3 {
+		return site
+	}
+	for _, c := range site.Children {
+		if c.Tag == dwarf.TagLexicalBlock {
+			return c
+		}
+	}
+	return site.AddChild(&dwarf.DIE{ID: info.NewID(), Tag: dwarf.TagLexicalBlock,
+		Ranges: site.Ranges})
+}
+
+// misplacedScope returns the wrong scope for a mis-attributed variable: the
+// function's first inlined subroutine if it has one, else a lexical block
+// covering no addresses.
+func misplacedScope(info *dwarf.Info, sub *dwarf.DIE) *dwarf.DIE {
+	for _, c := range sub.Children {
+		if c.Tag == dwarf.TagInlinedSubroutine {
+			return c
+		}
+	}
+	for _, c := range sub.Children {
+		if c.Tag == dwarf.TagLexicalBlock && len(c.Ranges) == 1 && c.Ranges[0].Lo == c.Ranges[0].Hi {
+			return c
+		}
+	}
+	return sub.AddChild(&dwarf.DIE{ID: info.NewID(), Tag: dwarf.TagLexicalBlock,
+		Ranges: []dwarf.PCRange{{Lo: 0, Hi: 0}}})
+}
+
+// pcRanges converts a sorted pc list into contiguous half-open ranges.
+func pcRanges(pcs []int) []dwarf.PCRange {
+	if len(pcs) == 0 {
+		return nil
+	}
+	sort.Ints(pcs)
+	var out []dwarf.PCRange
+	lo, hi := pcs[0], pcs[0]+1
+	for _, pc := range pcs[1:] {
+		if pc == hi {
+			hi++
+			continue
+		}
+		out = append(out, dwarf.PCRange{Lo: uint32(lo), Hi: uint32(hi)})
+		lo, hi = pc, pc+1
+	}
+	out = append(out, dwarf.PCRange{Lo: uint32(lo), Hi: uint32(hi)})
+	return out
+}

@@ -1,0 +1,163 @@
+// Package compiler is the top-level driver of the simulated toolchain. It
+// models two compiler families — "gc" (gcc-like) and "cl" (clang-like) —
+// with a series of releases each, per-level pass pipelines, and the defect
+// registry that decides which catalogued debug-information bugs are active
+// for a given (family, version) pair. The paper's experiments sweep exactly
+// these dimensions.
+package compiler
+
+import (
+	"fmt"
+
+	"repro/internal/codegen"
+	"repro/internal/ir"
+	"repro/internal/minic"
+	"repro/internal/object"
+	"repro/internal/opt"
+)
+
+// Family names a compiler family.
+type Family string
+
+// The two simulated families.
+const (
+	// GC is the gcc-like family (triaged via per-pass disable flags).
+	GC Family = "gc"
+	// CL is the clang-like family (triaged via pipeline bisection).
+	CL Family = "cl"
+)
+
+// Versions per family, oldest first. The last entries are the special
+// builds of the regression study: "patched" is gc trunk plus the fix for
+// the shared-CFG-cleanup defect (the paper's 105158 patch), and "trunkstar"
+// is cl trunk plus the partial LSR salvage fix (53855a).
+var (
+	GCVersions = []string{"v4", "v6", "v8", "v10", "trunk", "patched"}
+	CLVersions = []string{"v5", "v7", "v9", "v11", "trunk", "trunkstar"}
+)
+
+// Levels per family. For cl, O1 is an alias of Og, as in the paper.
+var (
+	GCLevels = []string{"O0", "Og", "O1", "O2", "O3", "Os", "Oz"}
+	CLLevels = []string{"O0", "Og", "O2", "O3", "Os", "Oz"}
+)
+
+// Config selects one compiler configuration.
+type Config struct {
+	Family  Family
+	Version string
+	Level   string
+}
+
+func (c Config) String() string {
+	return fmt.Sprintf("%s-%s -%s", c.Family, c.Version, c.Level)
+}
+
+// VersionIndex returns the release ordinal of the configured version.
+func (c Config) VersionIndex() int {
+	vs := GCVersions
+	if c.Family == CL {
+		vs = CLVersions
+	}
+	for i, v := range vs {
+		if v == c.Version {
+			return i
+		}
+	}
+	return -1
+}
+
+// Options tunes one compilation beyond the configuration.
+type Options struct {
+	// Disabled skips the named passes (gc-style -fno-<pass> triage).
+	Disabled map[string]bool
+	// BisectLimit stops the pipeline after N pass executions when >= 0
+	// (cl-style -opt-bisect-limit triage). Use -1 for no limit.
+	BisectLimit int
+	// ExtraDefects adds defect mechanisms on top of the registry (tests).
+	ExtraDefects map[string]bool
+	// SuppressDefects removes mechanisms from the active set (tests).
+	SuppressDefects map[string]bool
+	// Stats receives pass and codegen counters when non-nil.
+	Stats map[string]int
+}
+
+// Result is a completed compilation.
+type Result struct {
+	Exe *object.Executable
+	// Mod is the optimized IR (available for inspection and tests).
+	Mod *ir.Module
+	// PipelineExecutions is the number of pass executions performed,
+	// which bounds the bisection search space.
+	PipelineExecutions int
+	// Applied lists the executed pass instances in order, e.g.
+	// "lsr(main)"; index i corresponds to bisect limit i+1.
+	Applied []string
+}
+
+// Compile lowers, optimizes and code-generates prog under cfg.
+func Compile(prog *minic.Program, cfg Config, o Options) (*Result, error) {
+	if cfg.VersionIndex() < 0 {
+		return nil, fmt.Errorf("compiler: unknown version %q for family %s", cfg.Version, cfg.Family)
+	}
+	if o.BisectLimit == 0 {
+		o.BisectLimit = -1
+	}
+	m, err := ir.Lower(prog)
+	if err != nil {
+		return nil, err
+	}
+	defects := ActiveDefects(cfg)
+	for d := range o.ExtraDefects {
+		defects[d] = true
+	}
+	for d := range o.SuppressDefects {
+		delete(defects, d)
+	}
+	res := &Result{Mod: m}
+	if cfg.Level != "O0" {
+		passes := Pipeline(cfg)
+		pr := opt.RunPipeline(m, passes, opt.Options{
+			Disabled:    o.Disabled,
+			BisectLimit: o.BisectLimit,
+			Defects:     defects,
+			Level:       cfg.Level,
+			Stats:       o.Stats,
+		})
+		res.PipelineExecutions = pr.Executions
+		res.Applied = pr.Applied
+	}
+	prog2, info, err := codegen.Generate(m, codegen.Options{Defects: defects, Stats: o.Stats})
+	if err != nil {
+		return nil, err
+	}
+	res.Exe = object.New(prog2, info)
+	return res, nil
+}
+
+// PipelineLength returns the number of pass executions a full compilation
+// of prog at cfg would perform (the bisection upper bound).
+func PipelineLength(prog *minic.Program, cfg Config, disabled map[string]bool) (int, error) {
+	m, err := ir.Lower(prog)
+	if err != nil {
+		return 0, err
+	}
+	if cfg.Level == "O0" {
+		return 0, nil
+	}
+	return opt.CountExecutions(m, Pipeline(cfg), disabled), nil
+}
+
+// PassNames lists the distinct pass names of cfg's pipeline, in order of
+// first appearance: the flag-disable triage search space.
+func PassNames(cfg Config) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, p := range Pipeline(cfg) {
+		if !seen[p.Name()] {
+			seen[p.Name()] = true
+			out = append(out, p.Name())
+		}
+	}
+	return out
+}

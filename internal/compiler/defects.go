@@ -1,0 +1,96 @@
+package compiler
+
+import "repro/internal/bugs"
+
+// The defect registry: which catalogued mechanisms are active per (family,
+// version). Mechanisms are introduced when the corresponding transformation
+// gains aggressiveness and disappear when a release fixes them, giving the
+// cross-version trends of the paper's Figure 1, Table 4 and Figure 4.
+
+// span is a half-open version-ordinal interval [From, To); To < 0 means
+// "still present".
+type span struct {
+	Mechanism string
+	From, To  int
+}
+
+var gcDefects = []span{
+	// Fixed by the "patched" build (the 105158 patch): version 5.
+	{bugs.GCCleanupCFGDrop, 0, 5},
+	{bugs.GCCCPNoConstValue, 0, -1},
+	{bugs.GCCCPRangeShrink, 0, -1},
+	// EVRP arrived in the v8 release.
+	{bugs.GCVRPDrop, 2, -1},
+	// Trunk regressions: new DCE/DSE cleanups dropped metadata.
+	{bugs.GCDCEDrop, 4, -1},
+	{bugs.GCDSEDrop, 4, -1},
+	{bugs.GCCopyPropRange, 0, -1},
+	{bugs.GCSRAConstArgs, 0, -1},
+	{bugs.GCInlineWrongLoc, 0, -1},
+	{bugs.GCAddrTakenReg, 0, -1},
+	{bugs.GCTopLevelReorder, 0, -1},
+	{bugs.GCSchedWrongFrame, 0, -1},
+	{bugs.GCPureConstDrop, 0, -1},
+	{bugs.GCIPARefAddressable, 0, -1},
+	{bugs.GCUnnamedScopeRange, 0, -1},
+	// Early releases tracked far less: pre-v8 register promotion only
+	// recorded constant-valued debug updates.
+	{bugs.LegacyWeakTracking, 0, 2},
+}
+
+var clDefects = []span{
+	{bugs.CLSimplifyCFGDrop, 0, -1},
+	{bugs.CLInstCombineDrop, 0, -1},
+	// The partial LSR salvage fix lands in "trunkstar" (version 5).
+	{bugs.CLLSRNoSalvage, 0, 5},
+	{bugs.CLLSRNoSalvageSize, 0, -1},
+	{bugs.CLLoopRotateDrop, 0, -1},
+	// Loop deletion at -Og only exists from trunk on; the drop follows it.
+	{bugs.CLLoopDeleteDrop, 3, -1},
+	{bugs.CLIVSimplifyDrop, 0, -1},
+	{bugs.CLInlineAbstractOnly, 0, -1},
+	{bugs.CLSROAPartialRestore, 0, -1},
+	{bugs.CLSchedIncomplete, 0, -1},
+	{bugs.CLISelGlobalLoadDrop, 0, -1},
+	// Aggressive transformations added around the v7 release regressed
+	// -Og/-Os availability before later releases recovered.
+	{bugs.LegacyWeakTracking, 0, 2},
+}
+
+// ActiveDefects returns the mechanism set for a configuration.
+func ActiveDefects(cfg Config) map[string]bool {
+	vi := cfg.VersionIndex()
+	table := gcDefects
+	if cfg.Family == CL {
+		table = clDefects
+	}
+	out := map[string]bool{}
+	for _, s := range table {
+		if vi >= s.From && (s.To < 0 || vi < s.To) {
+			out[s.Mechanism] = true
+		}
+	}
+	return out
+}
+
+// DebuggerDefects returns the active defect set for the named debugger
+// ("gdb" or "lldb") — the latest stable releases the paper used, whose
+// catalogued bugs are all present.
+func DebuggerDefects(name string) map[string]bool {
+	switch name {
+	case "gdb":
+		return map[string]bool{bugs.GDBEmptyRange: true, bugs.GDBConcreteMismatch: true}
+	case "lldb":
+		return map[string]bool{bugs.LLDBAbstractOnly: true}
+	}
+	return nil
+}
+
+// NativeDebugger names the reference debugger of a family, as used by the
+// paper's pipeline (gdb for gcc, lldb for clang).
+func NativeDebugger(f Family) string {
+	if f == GC {
+		return "gdb"
+	}
+	return "lldb"
+}

@@ -1,0 +1,54 @@
+package compiler
+
+import (
+	"testing"
+
+	"repro/internal/fuzzgen"
+	"repro/internal/ir"
+	"repro/internal/minic"
+	"repro/internal/vm"
+)
+
+// TestFuzzedBehaviourEquivalence is the toolchain's miscompilation gate:
+// for a population of fuzzed programs and a representative sample of
+// configurations, generated code must behave exactly like unoptimized IR.
+func TestFuzzedBehaviourEquivalence(t *testing.T) {
+	seeds := int64(40)
+	if testing.Short() {
+		seeds = 10
+	}
+	cfgs := []Config{
+		{GC, "v4", "O2"}, {GC, "v8", "Os"}, {GC, "trunk", "Og"},
+		{GC, "trunk", "O1"}, {GC, "trunk", "O2"}, {GC, "trunk", "O3"},
+		{GC, "trunk", "Oz"}, {GC, "patched", "O3"},
+		{CL, "v5", "O2"}, {CL, "v9", "Oz"}, {CL, "trunk", "Og"},
+		{CL, "trunk", "O2"}, {CL, "trunk", "O3"}, {CL, "trunk", "Os"},
+		{CL, "trunkstar", "O2"},
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		prog := fuzzgen.GenerateSeed(seed)
+		m0, err := ir.Lower(prog)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ref, err := ir.Interp(m0, 0)
+		if err != nil {
+			t.Fatalf("seed %d: interp: %v", seed, err)
+		}
+		for _, cfg := range cfgs {
+			res, err := Compile(prog, cfg, Options{})
+			if err != nil {
+				t.Fatalf("seed %d %s: %v\n%s", seed, cfg, err, minic.Render(prog))
+			}
+			got, err := vm.Observe(res.Exe.Prog)
+			if err != nil {
+				t.Fatalf("seed %d %s: vm: %v\n%s", seed, cfg, err, minic.Render(prog))
+			}
+			if !ref.Equal(got) {
+				t.Fatalf("seed %d %s: MISCOMPILATION\nref ret=%d ev=%d events\ngot ret=%d ev=%d events\nsource:\n%s\nIR:\n%s",
+					seed, cfg, ref.Ret, len(ref.Events), got.Ret, len(got.Events),
+					minic.Render(prog), res.Mod)
+			}
+		}
+	}
+}

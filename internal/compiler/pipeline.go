@@ -1,0 +1,180 @@
+package compiler
+
+import "repro/internal/opt"
+
+// Pipeline returns the pass sequence for a configuration. The structure
+// mirrors the paper's observations:
+//
+//   - gc's -Og is genuinely conservative (no inlining, no loop passes, no
+//     scheduler), which is why the paper measures very few gc Conjecture-1
+//     violations at -Og and a large availability gap to -O1..-O3.
+//   - cl's -Og (= -O1) runs inlining, loop rotation and LSR, and recent cl
+//     releases even delete dead loops at -Og — the line-coverage drop the
+//     paper notes for the latest clang.
+//   - -Os avoids unrolling (indirectly preserving more lines), -Oz adds
+//     loop deletion on top.
+func Pipeline(cfg Config) []opt.Pass {
+	vi := cfg.VersionIndex()
+	if cfg.Family == GC {
+		return gcPipeline(cfg.Level, vi)
+	}
+	return clPipeline(cfg.Level, vi)
+}
+
+func gcPipeline(level string, vi int) []opt.Pass {
+	base := []opt.Pass{opt.Mem2Reg{}}
+	switch level {
+	case "Og":
+		return append(base,
+			opt.CCP{},
+			opt.CopyProp{},
+			opt.SimplifyCFG{},
+			opt.DCE{},
+			opt.IPAReference{},
+			opt.TopLevelReorder{},
+		)
+	case "O1":
+		return append(base,
+			opt.CCP{},
+			opt.VRP{},
+			opt.InstCombine{},
+			opt.CopyProp{},
+			opt.DSE{},
+			opt.DCE{},
+			opt.SimplifyCFG{},
+			opt.TopLevelReorder{},
+			opt.DCE{},
+		)
+	case "O2", "O3", "Os", "Oz":
+		ps := append(base,
+			opt.IPAPureConst{},
+			opt.Inline{MaxInstrs: inlineBudget(level)},
+			opt.CCP{},
+			opt.VRP{},
+			opt.InstCombine{},
+			opt.CopyProp{},
+			opt.SROA{},
+			opt.DSE{},
+			opt.SimplifyCFG{},
+		)
+		ps = append(ps, opt.IVSimplify{}, opt.LSR{})
+		if level == "O3" {
+			ps = append(ps, opt.LoopUnroll{MaxTrip: unrollBudget(vi)})
+		}
+		if level == "O3" || level == "Oz" {
+			ps = append(ps, opt.LoopDelete{})
+		}
+		if level == "O2" || level == "O3" {
+			ps = append(ps, opt.LoopRotate{})
+		}
+		ps = append(ps,
+			opt.CCP{},
+			opt.DCE{},
+			opt.Sched{},
+			opt.SimplifyCFG{},
+			opt.TopLevelReorder{},
+			opt.DCE{},
+		)
+		return ps
+	}
+	return nil
+}
+
+func clPipeline(level string, vi int) []opt.Pass {
+	base := []opt.Pass{opt.Mem2Reg{}}
+	switch level {
+	case "Og", "O1":
+		ps := append(base,
+			opt.Inline{MaxInstrs: inlineBudget(level)},
+			opt.SimplifyCFG{},
+			opt.InstCombine{},
+			opt.CCP{},
+			opt.CopyProp{},
+			opt.LSR{},
+			opt.LoopRotate{},
+			opt.DCE{},
+		)
+		if vi >= 4 {
+			// Recent releases remove dead loops already at -Og.
+			ps = append(ps, opt.LoopDelete{})
+		}
+		ps = append(ps, opt.SimplifyCFG{})
+		return ps
+	case "O2", "O3":
+		ps := append(base,
+			opt.IPAPureConst{},
+			opt.Inline{MaxInstrs: inlineBudget(level)},
+			opt.SimplifyCFG{},
+			opt.InstCombine{},
+			opt.CCP{},
+			opt.VRP{},
+			opt.CopyProp{},
+			opt.SROA{},
+			opt.IVSimplify{},
+			opt.LSR{},
+			opt.LoopUnroll{MaxTrip: unrollBudget(vi) + b2i(level == "O3")},
+			opt.LoopDelete{},
+			opt.LoopRotate{},
+			opt.DSE{},
+			opt.CCP{},
+			opt.DCE{},
+			opt.Sched{},
+			opt.SimplifyCFG{},
+		)
+		return ps
+	case "Os", "Oz":
+		ps := append(base,
+			opt.IPAPureConst{},
+			opt.Inline{MaxInstrs: inlineBudget(level)},
+			opt.SimplifyCFG{},
+			opt.InstCombine{},
+			opt.CCP{},
+			opt.VRP{},
+			opt.CopyProp{},
+			opt.SROA{},
+			opt.IVSimplify{},
+			opt.LSR{},
+		)
+		if level == "Oz" {
+			ps = append(ps, opt.LoopDelete{})
+		}
+		ps = append(ps,
+			opt.DSE{},
+			opt.CCP{},
+			opt.DCE{},
+			opt.Sched{},
+			opt.SimplifyCFG{},
+		)
+		return ps
+	}
+	return nil
+}
+
+// inlineBudget returns the callee-size threshold per level; size-optimizing
+// levels inline less, which (as the paper observes for -Os) indirectly
+// preserves more debug information.
+func inlineBudget(level string) int {
+	switch level {
+	case "Og", "O1":
+		return 24
+	case "Os", "Oz":
+		return 16
+	default:
+		return 40
+	}
+}
+
+// unrollBudget grows in newer releases.
+func unrollBudget(vi int) int {
+	if vi >= 3 {
+		return 4
+	}
+	return 2
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

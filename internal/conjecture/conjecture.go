@@ -1,0 +1,173 @@
+// Package conjecture implements the paper's three empirically derived
+// conjectures over debugger traces — the core of the testing methodology.
+//
+// Conjecture 1: a variable passed as an argument to an opaque function must
+// be available when stepping on the call line.
+//
+// Conjecture 2: at a line assigning to global storage through a
+// non-simplifiable expression, every qualifying constituent (constant, or
+// unalterable-and-live) must be available.
+//
+// Conjecture 3: after an assignment, a local variable's availability may
+// only stay equal or degrade until its next reassignment.
+package conjecture
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/debugger"
+)
+
+// Violation is one conjecture violation at a program point.
+type Violation struct {
+	Conjecture int
+	Line       int
+	Func       string
+	Var        string
+	State      debugger.VarState
+	Detail     string
+}
+
+// Key identifies a violation for deduplication across optimization levels
+// (the paper treats violations at different lines as distinct).
+func (v Violation) Key() string {
+	return fmt.Sprintf("C%d:%s:%s:%d", v.Conjecture, v.Func, v.Var, v.Line)
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("C%d violation: %s of %s is %s at line %d (%s)",
+		v.Conjecture, v.Var, v.Func, v.State, v.Line, v.Detail)
+}
+
+// CheckC1 checks the call-argument conjecture against a trace.
+func CheckC1(f *analysis.Facts, tr *debugger.Trace) []Violation {
+	var out []Violation
+	seen := map[string]bool{}
+	for _, oc := range f.OpaqueCalls {
+		stop := tr.Stops[oc.Line]
+		if stop == nil {
+			continue // the line was not stepped; the conjecture is silent
+		}
+		for _, name := range oc.ArgVars {
+			v := stop.Var(name)
+			if v.State == debugger.Available {
+				continue
+			}
+			viol := Violation{Conjecture: 1, Line: oc.Line, Func: oc.Func,
+				Var: name, State: v.State,
+				Detail: fmt.Sprintf("argument to opaque %s", oc.Callee)}
+			if !seen[viol.Key()] {
+				seen[viol.Key()] = true
+				out = append(out, viol)
+			}
+		}
+	}
+	return out
+}
+
+// CheckC2 checks the constituents conjecture against a trace.
+func CheckC2(f *analysis.Facts, tr *debugger.Trace) []Violation {
+	var out []Violation
+	seen := map[string]bool{}
+	for _, ga := range f.GlobalAssigns {
+		if ga.Simplifiable {
+			continue
+		}
+		stop := tr.Stops[ga.Line]
+		if stop == nil {
+			continue
+		}
+		for _, c := range ga.Constituents {
+			if !c.Qualifies() {
+				continue
+			}
+			v := stop.Var(c.Name)
+			if v.State == debugger.Available {
+				continue
+			}
+			why := "constant constituent"
+			if !c.Constant {
+				why = "unalterable live constituent"
+			}
+			viol := Violation{Conjecture: 2, Line: ga.Line, Func: ga.Func,
+				Var: c.Name, State: v.State,
+				Detail: fmt.Sprintf("%s of store to %s", why, ga.Global)}
+			if !seen[viol.Key()] {
+				seen[viol.Key()] = true
+				out = append(out, viol)
+			}
+		}
+	}
+	return out
+}
+
+// CheckC3 checks the decaying-visibility conjecture: within one variable
+// instance (assignment to next assignment), walking the stepped lines in
+// source order, availability must never improve.
+func CheckC3(f *analysis.Facts, tr *debugger.Trace) []Violation {
+	var out []Violation
+	seen := map[string]bool{}
+	for _, inst := range f.Instances {
+		// The assignment line itself is excluded: a stop there happens
+		// before the assignment executes, so the variable may legitimately
+		// be unavailable at that point.
+		var lines []int
+		for l := inst.StartLine + 1; l < inst.EndLine; l++ {
+			if tr.Stops[l] != nil && f.FuncOfLine[l] == inst.Func {
+				lines = append(lines, l)
+			}
+		}
+		sort.Ints(lines)
+		if len(lines) < 2 {
+			continue
+		}
+		prev := rank(tr.Stops[lines[0]].Var(inst.Var).State)
+		for _, l := range lines[1:] {
+			cur := rank(tr.Stops[l].Var(inst.Var).State)
+			if cur > prev {
+				viol := Violation{Conjecture: 3, Line: l, Func: inst.Func,
+					Var: inst.Var, State: tr.Stops[l].Var(inst.Var).State,
+					Detail: fmt.Sprintf("availability improved after line %d without reassignment", lines[0])}
+				if !seen[viol.Key()] {
+					seen[viol.Key()] = true
+					out = append(out, viol)
+				}
+			}
+			if cur < prev {
+				prev = cur
+			}
+		}
+	}
+	return out
+}
+
+func rank(s debugger.VarState) int {
+	switch s {
+	case debugger.Available:
+		return 2
+	case debugger.OptimizedOut:
+		return 1
+	}
+	return 0
+}
+
+// CheckAll runs the three conjectures and returns all violations.
+func CheckAll(f *analysis.Facts, tr *debugger.Trace) []Violation {
+	out := CheckC1(f, tr)
+	out = append(out, CheckC2(f, tr)...)
+	out = append(out, CheckC3(f, tr)...)
+	return out
+}
+
+// Filter returns the violations of one conjecture.
+func Filter(vs []Violation, conj int) []Violation {
+	var out []Violation
+	for _, v := range vs {
+		if v.Conjecture == conj {
+			out = append(out, v)
+		}
+	}
+	return out
+}

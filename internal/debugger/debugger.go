@@ -1,0 +1,234 @@
+// Package debugger implements source-level debuggers over the VM and the
+// DWARF-like debug information: a gdb-like and an lldb-like engine sharing
+// the scope-resolution core but differing in the catalogued quirks the
+// paper exposed (empty location ranges, abstract-origin-only locations, and
+// concrete/abstract structural mismatches for inlined subroutines).
+package debugger
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/asm"
+	"repro/internal/bugs"
+	"repro/internal/dwarf"
+	"repro/internal/object"
+	"repro/internal/vm"
+)
+
+// VarState is the presentation state of a variable at a stop.
+type VarState int
+
+// Variable presentation states, in increasing quality.
+const (
+	// NotVisible: the variable does not appear in the frame at all.
+	NotVisible VarState = iota
+	// OptimizedOut: listed, but no value can be shown.
+	OptimizedOut
+	// Available: listed with its current value.
+	Available
+)
+
+func (s VarState) String() string {
+	return [...]string{"not-visible", "optimized-out", "available"}[s]
+}
+
+// Variable is one frame variable at a stop.
+type Variable struct {
+	Name  string
+	State VarState
+	Value int64
+}
+
+// Stop describes the program state the debugger presents at a breakpoint.
+type Stop struct {
+	PC   uint32
+	Line int
+	// Frame is the innermost function name (an inlined callee when the pc
+	// falls inside an inlined subroutine).
+	Frame string
+	Vars  []Variable
+}
+
+// Var returns the named variable's presentation, defaulting to NotVisible.
+func (s *Stop) Var(name string) Variable {
+	for _, v := range s.Vars {
+		if v.Name == name {
+			return v
+		}
+	}
+	return Variable{Name: name, State: NotVisible}
+}
+
+// Debugger inspects stopped machines through debug information.
+type Debugger interface {
+	// Name identifies the engine ("gdb" or "lldb").
+	Name() string
+	// Inspect builds the stop presentation for the machine's current pc.
+	Inspect(exe *object.Executable, m *vm.Machine) (*Stop, error)
+}
+
+// engine is the shared implementation; quirks are toggled per debugger.
+type engine struct {
+	name string
+	// defects holds the debugger-side defect mechanisms that are active.
+	defects map[string]bool
+}
+
+// NewGDB returns the gdb-like debugger with the given active defects
+// (bugs.GDBEmptyRange, bugs.GDBConcreteMismatch).
+func NewGDB(defects map[string]bool) Debugger {
+	return &engine{name: "gdb", defects: defects}
+}
+
+// NewLLDB returns the lldb-like debugger with the given active defects
+// (bugs.LLDBAbstractOnly).
+func NewLLDB(defects map[string]bool) Debugger {
+	return &engine{name: "lldb", defects: defects}
+}
+
+func (e *engine) Name() string { return e.name }
+
+func (e *engine) defect(id string) bool { return e.defects[id] }
+
+// Inspect implements Debugger.
+func (e *engine) Inspect(exe *object.Executable, m *vm.Machine) (*Stop, error) {
+	info, err := exe.DebugInfo()
+	if err != nil {
+		return nil, err
+	}
+	pc := uint32(m.PC)
+	stop := &Stop{PC: pc, Line: info.PCToLine(pc)}
+	sub := info.Subprogram(pc)
+	if sub == nil {
+		return stop, nil
+	}
+	chain := info.InlineChainAt(pc)
+	scope := sub
+	stop.Frame = sub.Name
+	if len(chain) > 0 {
+		scope = chain[len(chain)-1]
+		stop.Frame = scope.Name
+	}
+	// Collect the variables of the innermost frame's scope.
+	dies := e.scopeVariables(info, scope, pc)
+	for _, d := range dies {
+		v := Variable{Name: d.Name}
+		v.State, v.Value = e.resolve(info, d, pc, m)
+		stop.Vars = append(stop.Vars, v)
+	}
+	sort.Slice(stop.Vars, func(i, j int) bool { return stop.Vars[i].Name < stop.Vars[j].Name })
+	return stop, nil
+}
+
+// scopeVariables lists the variable DIEs of a frame scope at pc, descending
+// into lexical blocks that are in scope.
+func (e *engine) scopeVariables(info *dwarf.Info, scope *dwarf.DIE, pc uint32) []*dwarf.DIE {
+	var out []*dwarf.DIE
+	var walk func(d *dwarf.DIE, inBlock bool)
+	walk = func(d *dwarf.DIE, inBlock bool) {
+		for _, c := range d.Children {
+			switch c.Tag {
+			case dwarf.TagVariable, dwarf.TagFormalParameter:
+				if inBlock && e.defect(bugs.GDBConcreteMismatch) && e.mismatched(info, c) {
+					// gdb 29060: the concrete instance nests the variable
+					// in a lexical block the abstract instance lacks; the
+					// mismatch makes gdb drop the variable.
+					continue
+				}
+				out = append(out, c)
+			case dwarf.TagLexicalBlock:
+				if c.CoversPC(pc) || len(c.Ranges) == 0 {
+					walk(c, true)
+				}
+			}
+		}
+	}
+	walk(scope, false)
+	return out
+}
+
+// mismatched reports a concrete/abstract structural asymmetry for a
+// variable: the concrete DIE sits in a lexical block while its abstract
+// origin does not (or vice versa would also qualify; this direction is the
+// one the compiler emits).
+func (e *engine) mismatched(info *dwarf.Info, d *dwarf.DIE) bool {
+	if d.AbstractOrigin == 0 {
+		return false
+	}
+	org := info.ByID(d.AbstractOrigin)
+	if org == nil {
+		return false
+	}
+	// The abstract variable's parent must be the abstract subprogram, i.e.
+	// flat structure; the concrete one is inside a block, hence mismatch.
+	parent := parentOf(info.CU, org)
+	return parent != nil && parent.Tag == dwarf.TagSubprogram
+}
+
+func parentOf(root, target *dwarf.DIE) *dwarf.DIE {
+	var found *dwarf.DIE
+	var walk func(d *dwarf.DIE)
+	walk = func(d *dwarf.DIE) {
+		for _, c := range d.Children {
+			if c == target {
+				found = d
+				return
+			}
+			walk(c)
+		}
+	}
+	walk(root)
+	return found
+}
+
+// resolve evaluates a variable DIE's value at pc against machine state.
+func (e *engine) resolve(info *dwarf.Info, d *dwarf.DIE, pc uint32, m *vm.Machine) (VarState, int64) {
+	if d.ConstValue != nil {
+		return Available, *d.ConstValue
+	}
+	for _, r := range d.Loc {
+		if r.Lo == r.Hi && e.defect(bugs.GDBEmptyRange) {
+			// gdb 28987: an empty range derails the location-list scan.
+			return OptimizedOut, 0
+		}
+		if !r.Covers(pc) {
+			continue
+		}
+		switch r.Kind {
+		case dwarf.LocConst:
+			return Available, r.Value
+		case dwarf.LocReg:
+			if v, ok := m.ReadReg(asm.RegOf(int(r.Value))); ok {
+				return Available, v
+			}
+			return OptimizedOut, 0
+		case dwarf.LocSlot:
+			if v, ok := m.ReadSlot(int(r.Value)); ok {
+				return Available, v
+			}
+			return OptimizedOut, 0
+		}
+	}
+	// No covering plain location: consult the abstract origin, whose
+	// constant value is legitimate DWARF that lldb's engine cannot use.
+	if d.AbstractOrigin != 0 && !e.defect(bugs.LLDBAbstractOnly) {
+		if org := info.ByID(d.AbstractOrigin); org != nil && org.ConstValue != nil {
+			return Available, *org.ConstValue
+		}
+	}
+	return OptimizedOut, 0
+}
+
+// String renders a stop for logs and the example programs.
+func (s *Stop) String() string {
+	out := fmt.Sprintf("stop at line %d in %s (pc %d):", s.Line, s.Frame, s.PC)
+	for _, v := range s.Vars {
+		if v.State == Available {
+			out += fmt.Sprintf(" %s=%d", v.Name, v.Value)
+		} else {
+			out += fmt.Sprintf(" %s=<%s>", v.Name, v.State)
+		}
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package debugger
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/object"
+	"repro/internal/vm"
+)
+
+// Trace is the per-line record of one debugging session: for every source
+// line that could be stepped on, the first-hit presentation of the frame
+// (the paper's checking criterion — footnote 3 — records only the first
+// time a line is met).
+type Trace struct {
+	// Stops maps a source line to its first-hit stop record.
+	Stops map[int]*Stop
+	// Steppable is the set of lines with line-table entries (breakpoint
+	// candidates), whether or not execution reached them.
+	Steppable map[int]bool
+	// NLines is the total number of source lines of the program.
+	NLines int
+}
+
+// HitLines returns the executed lines in ascending order.
+func (t *Trace) HitLines() []int {
+	var out []int
+	for l := range t.Stops {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Record runs the executable under the given debugger: it arms one-time
+// breakpoints on every line-table address and records the first stop per
+// source line, exactly like the paper's checking pipeline (§4.2).
+func Record(exe *object.Executable, dbg Debugger) (*Trace, error) {
+	info, err := exe.DebugInfo()
+	if err != nil {
+		return nil, err
+	}
+	t := &Trace{Stops: map[int]*Stop{}, Steppable: info.SteppableLines(), NLines: info.NLines}
+	m, err := vm.New(exe.Prog)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range info.Lines {
+		m.SetBreak(int(e.PC))
+	}
+	for {
+		hit, err := m.Continue()
+		if err != nil {
+			return nil, fmt.Errorf("debugger: execution failed: %w", err)
+		}
+		if !hit {
+			break
+		}
+		line := info.PCToLine(uint32(m.PC))
+		if line == 0 || t.Stops[line] != nil {
+			// Not the first hit of this line: resume (the breakpoint was
+			// one-shot, so the cost is bounded).
+			if err := m.Step(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		stop, err := dbg.Inspect(exe, m)
+		if err != nil {
+			return nil, err
+		}
+		t.Stops[line] = stop
+		if err := m.Step(); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

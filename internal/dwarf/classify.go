@@ -1,0 +1,99 @@
+package dwarf
+
+// The DIE-level defect classifier of Section 5.3: given a conjecture
+// violation (a variable that should have been available at a program
+// counter), the classifier inspects the emitted DWARF and assigns one of the
+// paper's four manifestation categories.
+
+// Class is a DIE defect category.
+type Class string
+
+// DIE defect classes.
+const (
+	ClassMissing    Class = "Missing DIE"
+	ClassHollow     Class = "Hollow DIE"
+	ClassIncomplete Class = "Incomplete DIE"
+	ClassIncorrect  Class = "Incorrect DIE"
+	ClassNone       Class = "OK"
+)
+
+// Classify determines how the debug information of variable name fails at
+// pc. It returns ClassNone when the DWARF actually provides the value (then
+// the unavailability was a debugger-side problem).
+func Classify(info *Info, varName string, pc uint32) Class {
+	sub := info.Subprogram(pc)
+	if sub == nil {
+		return ClassMissing
+	}
+	// Search the frame subtree (innermost inline frame first, then the
+	// subprogram scope), like a debugger would.
+	scopes := []*DIE{sub}
+	scopes = append(scopes, info.InlineChainAt(pc)...)
+	var die *DIE
+	for k := len(scopes) - 1; k >= 0; k-- {
+		die = findVarInScope(scopes[k], varName, pc)
+		if die != nil {
+			break
+		}
+	}
+	if die == nil {
+		// The variable may have a DIE outside the current frame's scopes:
+		// location information attributed to the wrong frame.
+		var foreign *DIE
+		info.CU.Walk(func(d *DIE) {
+			if foreign != nil || d.Tag != TagVariable && d.Tag != TagFormalParameter {
+				return
+			}
+			if d.Name == varName && !d.Abstract {
+				if _, ok := d.LocAt(pc); ok || d.ConstValue != nil {
+					foreign = d
+				}
+			}
+		})
+		if foreign != nil {
+			return ClassIncorrect
+		}
+		return ClassMissing
+	}
+	if die.ConstValue != nil {
+		return ClassNone
+	}
+	if len(die.Loc) == 0 {
+		// Check the abstract origin: legitimate DWARF may keep the location
+		// there (the lldb bug surface).
+		if die.AbstractOrigin != 0 {
+			if org := info.ByID(die.AbstractOrigin); org != nil {
+				if org.ConstValue != nil || len(org.Loc) > 0 {
+					return ClassNone
+				}
+			}
+		}
+		return ClassHollow
+	}
+	if r, ok := die.LocAt(pc); ok {
+		_ = r
+		return ClassNone
+	}
+	return ClassIncomplete
+}
+
+// findVarInScope locates the variable DIE for name visible at pc within the
+// given scope DIE (descending through lexical blocks that cover pc, but not
+// into nested subprograms or inlined subroutines).
+func findVarInScope(scope *DIE, name string, pc uint32) *DIE {
+	for _, c := range scope.Children {
+		switch c.Tag {
+		case TagVariable, TagFormalParameter:
+			if c.Name == name {
+				return c
+			}
+		case TagLexicalBlock:
+			if c.CoversPC(pc) || len(c.Ranges) == 0 {
+				if d := findVarInScope(c, name, pc); d != nil {
+					return d
+				}
+			}
+		}
+	}
+	return nil
+}

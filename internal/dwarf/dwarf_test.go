@@ -1,0 +1,194 @@
+package dwarf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func sampleInfo() *Info {
+	info := NewInfo()
+	info.NLines = 12
+	info.Lines = []LineEntry{{PC: 0, Line: 3}, {PC: 4, Line: 5}, {PC: 9, Line: 7}, {PC: 12, Line: 5}}
+	sub := info.CU.AddChild(&DIE{ID: info.NewID(), Tag: TagSubprogram, Name: "main",
+		DeclLine: 2, Ranges: []PCRange{{Lo: 0, Hi: 20}}})
+	c := int64(7)
+	sub.AddChild(&DIE{ID: info.NewID(), Tag: TagVariable, Name: "x",
+		DeclLine: 3, Loc: []LocRange{{Lo: 2, Hi: 10, Kind: LocReg, Value: 4}}})
+	sub.AddChild(&DIE{ID: info.NewID(), Tag: TagVariable, Name: "k",
+		DeclLine: 3, ConstValue: &c})
+	abs := info.CU.AddChild(&DIE{ID: info.NewID(), Tag: TagSubprogram, Name: "callee", Abstract: true})
+	av := abs.AddChild(&DIE{ID: info.NewID(), Tag: TagVariable, Name: "p", Abstract: true})
+	inl := sub.AddChild(&DIE{ID: info.NewID(), Tag: TagInlinedSubroutine, Name: "callee",
+		CallLine: 6, AbstractOrigin: abs.ID, Ranges: []PCRange{{Lo: 9, Hi: 12}}})
+	inl.AddChild(&DIE{ID: info.NewID(), Tag: TagVariable, Name: "p", AbstractOrigin: av.ID,
+		Loc: []LocRange{{Lo: 9, Hi: 12, Kind: LocConst, Value: 1}}})
+	return info
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	info := sampleInfo()
+	data := Encode(info)
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if back.NLines != info.NLines || len(back.Lines) != len(info.Lines) {
+		t.Fatal("line table header mismatch")
+	}
+	for i := range info.Lines {
+		if back.Lines[i] != info.Lines[i] {
+			t.Errorf("line entry %d: %v vs %v", i, back.Lines[i], info.Lines[i])
+		}
+	}
+	var count, countBack int
+	info.CU.Walk(func(*DIE) { count++ })
+	back.CU.Walk(func(*DIE) { countBack++ })
+	if count != countBack {
+		t.Fatalf("DIE count: %d vs %d", count, countBack)
+	}
+	x := back.CU.Find(func(d *DIE) bool { return d.Name == "x" })
+	if x == nil || len(x.Loc) != 1 || x.Loc[0] != (LocRange{Lo: 2, Hi: 10, Kind: LocReg, Value: 4}) {
+		t.Errorf("x loc list corrupted: %+v", x)
+	}
+	k := back.CU.Find(func(d *DIE) bool { return d.Name == "k" })
+	if k == nil || k.ConstValue == nil || *k.ConstValue != 7 {
+		t.Errorf("k const corrupted: %+v", k)
+	}
+	p := back.CU.Find(func(d *DIE) bool { return d.Name == "p" && !d.Abstract })
+	if p == nil || p.AbstractOrigin == 0 {
+		t.Error("abstract origin reference lost")
+	}
+	if back.ByID(p.AbstractOrigin) == nil {
+		t.Error("abstract origin unresolvable after decode")
+	}
+	// Encoding is deterministic.
+	if string(Encode(back)) != string(data) {
+		t.Error("re-encode differs")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Decode([]byte{1, 2, 3, 4, 5}); err == nil {
+		t.Error("bad magic accepted")
+	}
+	data := Encode(sampleInfo())
+	if _, err := Decode(data[:len(data)/2]); err == nil {
+		t.Error("truncated input accepted")
+	}
+}
+
+func TestPCToLineAndLinePCs(t *testing.T) {
+	info := sampleInfo()
+	cases := map[uint32]int{0: 3, 3: 3, 4: 5, 8: 5, 9: 7, 11: 7, 12: 5}
+	for pc, want := range cases {
+		if got := info.PCToLine(pc); got != want {
+			t.Errorf("PCToLine(%d) = %d, want %d", pc, got, want)
+		}
+	}
+	if pcs := info.LinePCs(5); len(pcs) != 2 || pcs[0] != 4 || pcs[1] != 12 {
+		t.Errorf("LinePCs(5) = %v (duplicated lines must yield all entries)", pcs)
+	}
+	steppable := info.SteppableLines()
+	for _, l := range []int{3, 5, 7} {
+		if !steppable[l] {
+			t.Errorf("line %d missing from steppable set", l)
+		}
+	}
+}
+
+func TestSubprogramAndInlineChain(t *testing.T) {
+	info := sampleInfo()
+	if sub := info.Subprogram(5); sub == nil || sub.Name != "main" {
+		t.Fatalf("Subprogram(5) = %v", sub)
+	}
+	if sub := info.Subprogram(25); sub != nil {
+		t.Error("pc outside all ranges should have no subprogram")
+	}
+	chain := info.InlineChainAt(10)
+	if len(chain) != 1 || chain[0].Name != "callee" {
+		t.Fatalf("InlineChainAt(10) = %v", chain)
+	}
+	if len(info.InlineChainAt(3)) != 0 {
+		t.Error("no inline chain expected at pc 3")
+	}
+	if abs := info.AbstractSubprogram("callee"); abs == nil || !abs.Abstract {
+		t.Error("abstract instance lookup failed")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	info := sampleInfo()
+	// Available in range: no defect.
+	if c := Classify(info, "x", 5); c != ClassNone {
+		t.Errorf("x at 5 = %v, want OK", c)
+	}
+	// Outside the location range but inside scope: incomplete.
+	if c := Classify(info, "x", 15); c != ClassIncomplete {
+		t.Errorf("x at 15 = %v, want Incomplete", c)
+	}
+	// Constant value: fine anywhere in scope.
+	if c := Classify(info, "k", 15); c != ClassNone {
+		t.Errorf("k at 15 = %v, want OK", c)
+	}
+	// No DIE at all: missing.
+	if c := Classify(info, "nosuch", 5); c != ClassMissing {
+		t.Errorf("nosuch = %v, want Missing", c)
+	}
+	// Hollow: DIE exists, no loc, no const.
+	sub := info.SubprogramByName("main")
+	sub.AddChild(&DIE{ID: info.NewID(), Tag: TagVariable, Name: "h"})
+	if c := Classify(info, "h", 5); c != ClassHollow {
+		t.Errorf("h = %v, want Hollow", c)
+	}
+	// Incorrect: the DIE with a covering location lives in another frame.
+	inl := sub.Find(func(d *DIE) bool { return d.Tag == TagInlinedSubroutine })
+	inl.AddChild(&DIE{ID: info.NewID(), Tag: TagVariable, Name: "w",
+		Loc: []LocRange{{Lo: 0, Hi: 20, Kind: LocConst, Value: 9}}})
+	if c := Classify(info, "w", 3); c != ClassIncorrect {
+		t.Errorf("w at 3 = %v, want Incorrect (it is scoped to the inlined frame)", c)
+	}
+}
+
+func TestLocRangeCovers(t *testing.T) {
+	r := LocRange{Lo: 4, Hi: 8}
+	for pc, want := range map[uint32]bool{3: false, 4: true, 7: true, 8: false} {
+		if r.Covers(pc) != want {
+			t.Errorf("Covers(%d) = %v", pc, !want)
+		}
+	}
+	empty := LocRange{Lo: 5, Hi: 5}
+	if empty.Covers(5) {
+		t.Error("empty range must cover nothing")
+	}
+}
+
+func TestEncodeDecodePropertyLineTable(t *testing.T) {
+	// Round-tripping arbitrary line tables preserves them.
+	f := func(pcs []uint16, lines []uint8) bool {
+		info := NewInfo()
+		n := len(pcs)
+		if len(lines) < n {
+			n = len(lines)
+		}
+		for i := 0; i < n; i++ {
+			info.Lines = append(info.Lines, LineEntry{PC: uint32(pcs[i]), Line: int(lines[i])})
+		}
+		info.NLines = 300
+		back, err := Decode(Encode(info))
+		if err != nil || len(back.Lines) != len(info.Lines) {
+			return false
+		}
+		for i := range info.Lines {
+			if back.Lines[i] != info.Lines[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

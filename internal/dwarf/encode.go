@@ -1,0 +1,232 @@
+package dwarf
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary serialization of Info. The format is a compact tag-length-value
+// tree using unsigned varints, reminiscent of real DWARF's abbreviation-
+// driven encoding. It exists so that executables can carry their debug
+// information as an opaque section, and so tools can reload it without
+// sharing memory with the compiler.
+
+const magic = 0x44574630 // "DWF0"
+
+// Encode serialises the debug information.
+func Encode(info *Info) []byte {
+	var b bytes.Buffer
+	writeU32(&b, magic)
+	writeUvarint(&b, uint64(info.NLines))
+	writeUvarint(&b, uint64(len(info.Lines)))
+	for _, e := range info.Lines {
+		writeUvarint(&b, uint64(e.PC))
+		writeUvarint(&b, uint64(e.Line))
+	}
+	encodeDIE(&b, info.CU)
+	return b.Bytes()
+}
+
+// Decode reconstructs debug information from Encode's output.
+func Decode(data []byte) (*Info, error) {
+	b := bytes.NewReader(data)
+	var m uint32
+	if err := binary.Read(b, binary.LittleEndian, &m); err != nil {
+		return nil, fmt.Errorf("dwarf: short header: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("dwarf: bad magic %#x", m)
+	}
+	info := &Info{}
+	nl, err := binary.ReadUvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	info.NLines = int(nl)
+	n, err := binary.ReadUvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	for k := uint64(0); k < n; k++ {
+		pc, err := binary.ReadUvarint(b)
+		if err != nil {
+			return nil, err
+		}
+		line, err := binary.ReadUvarint(b)
+		if err != nil {
+			return nil, err
+		}
+		info.Lines = append(info.Lines, LineEntry{PC: uint32(pc), Line: int(line)})
+	}
+	cu, maxID, err := decodeDIE(b)
+	if err != nil {
+		return nil, err
+	}
+	info.CU = cu
+	info.nextID = maxID + 1
+	return info, nil
+}
+
+func writeU32(b *bytes.Buffer, v uint32) {
+	_ = binary.Write(b, binary.LittleEndian, v)
+}
+
+func writeUvarint(b *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	b.Write(tmp[:n])
+}
+
+func writeVarint(b *bytes.Buffer, v int64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(tmp[:], v)
+	b.Write(tmp[:n])
+}
+
+func writeString(b *bytes.Buffer, s string) {
+	writeUvarint(b, uint64(len(s)))
+	b.WriteString(s)
+}
+
+func encodeDIE(b *bytes.Buffer, d *DIE) {
+	writeUvarint(b, uint64(d.ID))
+	writeUvarint(b, uint64(d.Tag))
+	writeString(b, d.Name)
+	writeUvarint(b, uint64(d.DeclLine))
+	writeUvarint(b, uint64(d.CallLine))
+	flags := uint64(0)
+	if d.Abstract {
+		flags |= 1
+	}
+	if d.ConstValue != nil {
+		flags |= 2
+	}
+	writeUvarint(b, flags)
+	writeUvarint(b, uint64(d.AbstractOrigin))
+	if d.ConstValue != nil {
+		writeVarint(b, *d.ConstValue)
+	}
+	writeUvarint(b, uint64(len(d.Loc)))
+	for _, r := range d.Loc {
+		writeUvarint(b, uint64(r.Lo))
+		writeUvarint(b, uint64(r.Hi))
+		writeUvarint(b, uint64(r.Kind))
+		writeVarint(b, r.Value)
+	}
+	writeUvarint(b, uint64(len(d.Ranges)))
+	for _, r := range d.Ranges {
+		writeUvarint(b, uint64(r.Lo))
+		writeUvarint(b, uint64(r.Hi))
+	}
+	writeUvarint(b, uint64(len(d.Children)))
+	for _, c := range d.Children {
+		encodeDIE(b, c)
+	}
+}
+
+func decodeDIE(b *bytes.Reader) (*DIE, int, error) {
+	d := &DIE{}
+	id, err := binary.ReadUvarint(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	d.ID = int(id)
+	maxID := d.ID
+	tag, err := binary.ReadUvarint(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	d.Tag = Tag(tag)
+	n, err := binary.ReadUvarint(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	name := make([]byte, n)
+	if _, err := b.Read(name); err != nil {
+		return nil, 0, err
+	}
+	d.Name = string(name)
+	decl, err := binary.ReadUvarint(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	d.DeclLine = int(decl)
+	callLine, err := binary.ReadUvarint(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	d.CallLine = int(callLine)
+	flags, err := binary.ReadUvarint(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	d.Abstract = flags&1 != 0
+	org, err := binary.ReadUvarint(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	d.AbstractOrigin = int(org)
+	if flags&2 != 0 {
+		cv, err := binary.ReadVarint(b)
+		if err != nil {
+			return nil, 0, err
+		}
+		d.ConstValue = &cv
+	}
+	nloc, err := binary.ReadUvarint(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	for k := uint64(0); k < nloc; k++ {
+		var r LocRange
+		lo, err := binary.ReadUvarint(b)
+		if err != nil {
+			return nil, 0, err
+		}
+		hi, err := binary.ReadUvarint(b)
+		if err != nil {
+			return nil, 0, err
+		}
+		kind, err := binary.ReadUvarint(b)
+		if err != nil {
+			return nil, 0, err
+		}
+		v, err := binary.ReadVarint(b)
+		if err != nil {
+			return nil, 0, err
+		}
+		r.Lo, r.Hi, r.Kind, r.Value = uint32(lo), uint32(hi), LocKind(kind), v
+		d.Loc = append(d.Loc, r)
+	}
+	nrng, err := binary.ReadUvarint(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	for k := uint64(0); k < nrng; k++ {
+		lo, err := binary.ReadUvarint(b)
+		if err != nil {
+			return nil, 0, err
+		}
+		hi, err := binary.ReadUvarint(b)
+		if err != nil {
+			return nil, 0, err
+		}
+		d.Ranges = append(d.Ranges, PCRange{Lo: uint32(lo), Hi: uint32(hi)})
+	}
+	nch, err := binary.ReadUvarint(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	for k := uint64(0); k < nch; k++ {
+		c, cmax, err := decodeDIE(b)
+		if err != nil {
+			return nil, 0, err
+		}
+		if cmax > maxID {
+			maxID = cmax
+		}
+		d.Children = append(d.Children, c)
+	}
+	return d, maxID, nil
+}

@@ -1,0 +1,214 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation: the quantitative study (Figure 1), per-level violation counts
+// (Table 1), level-set distributions (Figures 2 and 3), triaged culprit
+// rankings (Table 2), the issue catalog (Table 3), the cross-version
+// regression study (Table 4), and the per-program violation grid
+// (Figure 4). The same runners back cmd/paperbench and the benchmark
+// harness in the repository root.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/compiler"
+	"repro/internal/conjecture"
+	"repro/internal/debugger"
+	"repro/internal/fuzzgen"
+	"repro/internal/minic"
+)
+
+// nativeDebugger builds the family's reference debugger with its defects.
+func nativeDebugger(f compiler.Family) debugger.Debugger {
+	if compiler.NativeDebugger(f) == "gdb" {
+		return debugger.NewGDB(compiler.DebuggerDefects("gdb"))
+	}
+	return debugger.NewLLDB(compiler.DebuggerDefects("lldb"))
+}
+
+// TraceFor compiles prog under cfg and records its native-debugger trace.
+func TraceFor(prog *minic.Program, cfg compiler.Config) (*debugger.Trace, error) {
+	res, err := compiler.Compile(prog, cfg, compiler.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return debugger.Record(res.Exe, nativeDebugger(cfg.Family))
+}
+
+// ViolationsFor runs the complete single-program check: compile, trace,
+// check all three conjectures.
+func ViolationsFor(prog *minic.Program, facts *analysis.Facts, cfg compiler.Config) ([]conjecture.Violation, error) {
+	tr, err := TraceFor(prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return conjecture.CheckAll(facts, tr), nil
+}
+
+// optLevels returns the optimization levels (excluding O0) of a family.
+func optLevels(f compiler.Family) []string {
+	if f == compiler.GC {
+		return []string{"Og", "O1", "O2", "O3", "Os", "Oz"}
+	}
+	return []string{"Og", "O2", "O3", "Os", "Oz"}
+}
+
+// LevelViolations is the per-level violation key sets of one sweep.
+type LevelViolations struct {
+	Family compiler.Family
+	// PerLevel[level][conjecture-1] is the set of violation keys.
+	PerLevel map[string][3]map[string]bool
+	// Programs is the number of programs swept.
+	Programs int
+	// CleanPrograms counts programs with zero violations per conjecture.
+	CleanPrograms [3]int
+	// PerProgram[i][conjecture-1] is the count for program i (Figure 4).
+	PerProgram [][3]int
+}
+
+// Sweep checks n fuzzed programs (seeds seed0..seed0+n-1) against all
+// optimization levels of the configuration's family and version.
+func Sweep(family compiler.Family, version string, n int, seed0 int64) (*LevelViolations, error) {
+	lv := &LevelViolations{Family: family, Programs: n,
+		PerLevel: map[string][3]map[string]bool{}}
+	levels := optLevels(family)
+	for _, l := range levels {
+		lv.PerLevel[l] = [3]map[string]bool{{}, {}, {}}
+	}
+	for i := 0; i < n; i++ {
+		prog := fuzzgen.GenerateSeed(seed0 + int64(i))
+		facts := analysis.Analyze(prog)
+		var perProg [3]int
+		for _, level := range levels {
+			cfg := compiler.Config{Family: family, Version: version, Level: level}
+			vs, err := ViolationsFor(prog, facts, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("seed %d %s: %w", seed0+int64(i), cfg, err)
+			}
+			sets := lv.PerLevel[level]
+			for _, v := range vs {
+				// Violation keys are program-qualified so they never
+				// collide across the pool.
+				key := fmt.Sprintf("p%d:%s", i, v.Key())
+				sets[v.Conjecture-1][key] = true
+				perProg[v.Conjecture-1]++
+			}
+			lv.PerLevel[level] = sets
+		}
+		for c := 0; c < 3; c++ {
+			if perProg[c] == 0 {
+				lv.CleanPrograms[c]++
+			}
+		}
+		lv.PerProgram = append(lv.PerProgram, perProg)
+	}
+	return lv, nil
+}
+
+// Unique returns the number of distinct violations of a conjecture across
+// all levels.
+func (lv *LevelViolations) Unique(conj int) int {
+	all := map[string]bool{}
+	for _, sets := range lv.PerLevel {
+		for k := range sets[conj-1] {
+			all[k] = true
+		}
+	}
+	return len(all)
+}
+
+// Count returns the violation count of a conjecture at one level.
+func (lv *LevelViolations) Count(level string, conj int) int {
+	return len(lv.PerLevel[level][conj-1])
+}
+
+// Table1 reproduces Table 1: conjecture violations per optimization level
+// for the trunk versions of both families.
+func Table1(n int, seed0 int64, w io.Writer) (gc, cl *LevelViolations, err error) {
+	cl, err = Sweep(compiler.CL, "trunk", n, seed0)
+	if err != nil {
+		return nil, nil, err
+	}
+	gc, err = Sweep(compiler.GC, "trunk", n, seed0)
+	if err != nil {
+		return nil, nil, err
+	}
+	fmt.Fprintf(w, "Table 1: conjecture violations in cl (left) & gc (right), %d programs\n", n)
+	fmt.Fprintf(w, "%-6s %6s %6s %6s   %6s %6s %6s\n", "Level", "C1", "C2", "C3", "C1", "C2", "C3")
+	for _, level := range []string{"Og", "O1", "O2", "O3", "Os", "Oz"} {
+		clRow := [3]string{"-", "-", "-"}
+		if _, ok := cl.PerLevel[level]; ok {
+			for c := 0; c < 3; c++ {
+				clRow[c] = fmt.Sprintf("%d", cl.Count(level, c+1))
+			}
+		}
+		gcRow := [3]string{"-", "-", "-"}
+		if _, ok := gc.PerLevel[level]; ok {
+			for c := 0; c < 3; c++ {
+				gcRow[c] = fmt.Sprintf("%d", gc.Count(level, c+1))
+			}
+		}
+		fmt.Fprintf(w, "%-6s %6s %6s %6s   %6s %6s %6s\n", level,
+			clRow[0], clRow[1], clRow[2], gcRow[0], gcRow[1], gcRow[2])
+	}
+	fmt.Fprintf(w, "%-6s %6d %6d %6d   %6d %6d %6d\n", "unique",
+		cl.Unique(1), cl.Unique(2), cl.Unique(3),
+		gc.Unique(1), gc.Unique(2), gc.Unique(3))
+	fmt.Fprintf(w, "programs with no violations: cl (%d, %d, %d) / gc (%d, %d, %d) of %d\n",
+		cl.CleanPrograms[0], cl.CleanPrograms[1], cl.CleanPrograms[2],
+		gc.CleanPrograms[0], gc.CleanPrograms[1], gc.CleanPrograms[2], n)
+	return gc, cl, nil
+}
+
+// LevelSetDistribution groups unique violations by the exact set of levels
+// they reproduce at (the Venn diagrams of Figures 2 and 3). Oz is excluded,
+// as in the paper's figures.
+func LevelSetDistribution(lv *LevelViolations) map[string]int {
+	membership := map[string][]string{}
+	ordered := []string{"Og", "O1", "O2", "O3", "Os"}
+	for _, level := range ordered {
+		sets, ok := lv.PerLevel[level]
+		if !ok {
+			continue
+		}
+		for c := 0; c < 3; c++ {
+			for k := range sets[c] {
+				membership[fmt.Sprintf("c%d:%s", c, k)] = append(membership[fmt.Sprintf("c%d:%s", c, k)], level)
+			}
+		}
+	}
+	out := map[string]int{}
+	for _, levels := range membership {
+		key := ""
+		for _, l := range levels {
+			if key != "" {
+				key += "+"
+			}
+			key += l
+		}
+		out[key]++
+	}
+	return out
+}
+
+// Figure23 prints the unique-violation level-set distribution for one
+// family (Figure 2 is cl, Figure 3 is gc).
+func Figure23(lv *LevelViolations, w io.Writer) {
+	dist := LevelSetDistribution(lv)
+	var keys []string
+	for k := range dist {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if dist[keys[i]] != dist[keys[j]] {
+			return dist[keys[i]] > dist[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	fmt.Fprintf(w, "Unique violations by level set (%s):\n", lv.Family)
+	for _, k := range keys {
+		fmt.Fprintf(w, "  %-24s %d\n", k, dist[k])
+	}
+}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/compiler"
+)
+
+const (
+	testN    = 12
+	testSeed = 500
+)
+
+func TestTable1ShapesHold(t *testing.T) {
+	var buf bytes.Buffer
+	gc, cl, err := Table1(testN, testSeed, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "unique") {
+		t.Error("missing unique row")
+	}
+	// cl has no O1 sets (alias of Og), gc has all six levels.
+	if _, ok := cl.PerLevel["O1"]; ok {
+		t.Error("cl must not have a distinct O1")
+	}
+	if _, ok := gc.PerLevel["O1"]; !ok {
+		t.Error("gc must have O1")
+	}
+	// Unique counts upper-bound per-level counts.
+	for _, level := range []string{"Og", "O2", "Os"} {
+		for c := 1; c <= 3; c++ {
+			if gc.Count(level, c) > gc.Unique(c) {
+				t.Errorf("gc %s C%d exceeds unique", level, c)
+			}
+		}
+	}
+}
+
+func TestSweepDeterministic(t *testing.T) {
+	a, err := Sweep(compiler.GC, "trunk", 6, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sweep(compiler.GC, "trunk", 6, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 1; c <= 3; c++ {
+		if a.Unique(c) != b.Unique(c) {
+			t.Errorf("C%d not deterministic: %d vs %d", c, a.Unique(c), b.Unique(c))
+		}
+	}
+}
+
+func TestLevelSetDistributionAccountsForAll(t *testing.T) {
+	lv, err := Sweep(compiler.CL, "trunk", testN, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := LevelSetDistribution(lv)
+	total := 0
+	for _, n := range dist {
+		total += n
+	}
+	// Every unique violation occurring at some non-Oz level appears once.
+	uniq := map[string]bool{}
+	for _, level := range []string{"Og", "O2", "O3", "Os"} {
+		sets, ok := lv.PerLevel[level]
+		if !ok {
+			continue
+		}
+		for c := 0; c < 3; c++ {
+			for k := range sets[c] {
+				uniq["c"+string(rune('0'+c))+k] = true
+			}
+		}
+	}
+	if total != len(uniq) {
+		t.Errorf("distribution total %d != unique count %d", total, len(uniq))
+	}
+	Figure23(lv, io.Discard) // must not panic
+}
+
+func TestTable4RegressionShapes(t *testing.T) {
+	rows, err := Table4(testN, testSeed, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string][3]int{}
+	for _, r := range rows {
+		byKey[string(r.Family)+r.Version] = r.Counts
+	}
+	// The patched gc build must not add gc C1 violations, and should fix
+	// some relative to trunk across a large enough pool (tolerate equality
+	// on a small pool).
+	if byKey["gcpatched"][0] > byKey["gctrunk"][0] {
+		t.Errorf("patched build increased C1: %v vs %v", byKey["gcpatched"], byKey["gctrunk"])
+	}
+	// trunkstar must not add cl C2 violations.
+	if byKey["cltrunkstar"][1] > byKey["cltrunk"][1] {
+		t.Errorf("trunkstar increased C2: %v vs %v", byKey["cltrunkstar"], byKey["cltrunk"])
+	}
+	// The patched build improves at least one conjecture strictly when the
+	// pool is non-trivial.
+	improved := false
+	for c := 0; c < 3; c++ {
+		if byKey["gcpatched"][c] < byKey["gctrunk"][c] {
+			improved = true
+		}
+	}
+	if !improved {
+		t.Errorf("patched build fixed nothing: %v vs %v", byKey["gcpatched"], byKey["gctrunk"])
+	}
+}
+
+func TestFigure1MonotoneAtO0Boundary(t *testing.T) {
+	cells, err := Figure1(4, testSeed, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		if c.LineCoverage < 0 || c.LineCoverage > 1 ||
+			c.Availability < 0 || c.Availability > 1 {
+			t.Errorf("%s %s %s out of range: %+v", c.Family, c.Version, c.Level, c.Metrics)
+		}
+	}
+}
+
+func TestFigure4Renders(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Figure4(8, testSeed, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 4") {
+		t.Error("missing header")
+	}
+}
+
+func TestTable3PrintsCatalog(t *testing.T) {
+	var buf bytes.Buffer
+	Table3(&buf)
+	out := buf.String()
+	for _, tracker := range []string{"49546", "105158", "28987", "50076"} {
+		if !strings.Contains(out, tracker) {
+			t.Errorf("catalog missing %s", tracker)
+		}
+	}
+	if !strings.Contains(out, "total 24 of 38") {
+		t.Errorf("confirmed summary wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,296 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/analysis"
+	"repro/internal/bugs"
+	"repro/internal/compiler"
+	"repro/internal/conjecture"
+	"repro/internal/debugger"
+	"repro/internal/fuzzgen"
+	"repro/internal/metrics"
+	"repro/internal/triage"
+)
+
+// Figure1Cell is one (version, level) aggregate of the quantitative study.
+type Figure1Cell struct {
+	Family  compiler.Family
+	Version string
+	Level   string
+	metrics.Metrics
+}
+
+// Figure1 reproduces the §2 quantitative study: line coverage, availability
+// of variables, and their product, for n fuzzed programs across versions
+// and levels of both families.
+func Figure1(n int, seed0 int64, w io.Writer) ([]Figure1Cell, error) {
+	var cells []Figure1Cell
+	type fam struct {
+		f        compiler.Family
+		versions []string
+		levels   []string
+	}
+	fams := []fam{
+		{compiler.CL, []string{"v5", "v7", "v9", "v11", "trunk"}, []string{"Og", "O2", "O3", "Os"}},
+		{compiler.GC, []string{"v4", "v6", "v8", "v10", "trunk"}, []string{"O1", "O2", "O3", "Og", "Os"}},
+	}
+	for _, fm := range fams {
+		fmt.Fprintf(w, "Figure 1 (%s): version x level -> line coverage / availability / product\n", fm.f)
+		for _, ver := range fm.versions {
+			for _, level := range fm.levels {
+				var ms []metrics.Metrics
+				for i := 0; i < n; i++ {
+					prog := fuzzgen.GenerateSeed(seed0 + int64(i))
+					ref, err := TraceFor(prog, compiler.Config{Family: fm.f, Version: ver, Level: "O0"})
+					if err != nil {
+						return nil, err
+					}
+					tr, err := TraceFor(prog, compiler.Config{Family: fm.f, Version: ver, Level: level})
+					if err != nil {
+						return nil, err
+					}
+					ms = append(ms, metrics.Compute(tr, ref))
+				}
+				mean := metrics.Mean(ms)
+				cells = append(cells, Figure1Cell{Family: fm.f, Version: ver, Level: level, Metrics: mean})
+				fmt.Fprintf(w, "  %-7s %-3s  line=%.3f  avail=%.3f  product=%.3f\n",
+					ver, level, mean.LineCoverage, mean.Availability, mean.Product)
+			}
+		}
+	}
+	return cells, nil
+}
+
+// Table2Row is one triaged-culprit count.
+type Table2Row struct {
+	Family     compiler.Family
+	Conjecture int
+	Pass       string
+	Count      int
+}
+
+// Table2 triages the violations of n programs at the trunk versions and
+// prints the most frequent culprit optimizations per conjecture (top-5), as
+// in the paper's Table 2. Triage is the expensive step; n is typically
+// smaller than for the counting sweeps.
+func Table2(n int, seed0 int64, w io.Writer) ([]Table2Row, error) {
+	counts := map[compiler.Family]map[int]map[string]int{
+		compiler.GC: {1: {}, 2: {}, 3: {}},
+		compiler.CL: {1: {}, 2: {}, 3: {}},
+	}
+	for _, family := range []compiler.Family{compiler.CL, compiler.GC} {
+		for _, level := range []string{"Og", "O2"} {
+			cfg := compiler.Config{Family: family, Version: "trunk", Level: level}
+			for i := 0; i < n; i++ {
+				prog := fuzzgen.GenerateSeed(seed0 + int64(i))
+				facts := analysis.Analyze(prog)
+				vs, err := ViolationsFor(prog, facts, cfg)
+				if err != nil {
+					return nil, err
+				}
+				for _, v := range vs {
+					tg := triage.Target{Prog: prog, Facts: facts, Cfg: cfg, Key: v.Key()}
+					culprit, err := triage.Culprit(tg)
+					if err != nil {
+						continue // not controllable by a single knob (§4.3)
+					}
+					counts[family][v.Conjecture][culprit]++
+				}
+			}
+		}
+	}
+	var rows []Table2Row
+	fmt.Fprintln(w, "Table 2: triaged culprit optimizations (top-5 per conjecture)")
+	for _, family := range []compiler.Family{compiler.GC, compiler.CL} {
+		method := "flag search"
+		if family == compiler.CL {
+			method = "opt-bisect"
+		}
+		fmt.Fprintf(w, "%s (%s):\n", family, method)
+		for conj := 1; conj <= 3; conj++ {
+			top := topN(counts[family][conj], 5)
+			fmt.Fprintf(w, "  C%d:", conj)
+			for _, kv := range top {
+				fmt.Fprintf(w, "  %s=%d", kv.k, kv.v)
+				rows = append(rows, Table2Row{Family: family, Conjecture: conj, Pass: kv.k, Count: kv.v})
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return rows, nil
+}
+
+type kv struct {
+	k string
+	v int
+}
+
+func topN(m map[string]int, n int) []kv {
+	var out []kv
+	for k, v := range m {
+		out = append(out, kv{k, v})
+	}
+	// Stable deterministic ordering: count desc, then name.
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j].v > out[i].v || (out[j].v == out[i].v && out[j].k < out[i].k) {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Table3 prints the 38-issue catalog with status, conjecture and DWARF
+// classification, i.e. the paper's Table 3.
+func Table3(w io.Writer) {
+	fmt.Fprintln(w, "Table 3: reported issues and their status")
+	fmt.Fprintf(w, "%-8s %-6s %-16s %-3s %-15s %s\n", "Tracker", "System", "Status", "C", "DWARF class", "Mechanism")
+	for _, is := range bugs.Catalog {
+		fmt.Fprintf(w, "%-8s %-6s %-16s C%d  %-15s %s\n",
+			is.Tracker, is.System, is.Status, is.Conjecture, is.Class, is.Mechanism)
+	}
+	confirmed := map[bugs.System]int{}
+	for _, is := range bugs.Catalog {
+		if is.Status == bugs.Confirmed || is.Status == bugs.Fixed || is.Status == bugs.FixedByTrunk {
+			confirmed[is.System]++
+		}
+	}
+	fmt.Fprintf(w, "confirmed: clang=%d gcc=%d gdb=%d lldb=%d (total %d of %d)\n",
+		confirmed[bugs.SysClang], confirmed[bugs.SysGCC], confirmed[bugs.SysGDB],
+		confirmed[bugs.SysLLDB],
+		confirmed[bugs.SysClang]+confirmed[bugs.SysGCC]+confirmed[bugs.SysGDB]+confirmed[bugs.SysLLDB],
+		len(bugs.Catalog))
+}
+
+// Table4Row is one cross-version violation count.
+type Table4Row struct {
+	Family  compiler.Family
+	Version string
+	Counts  [3]int
+}
+
+// Table4 reproduces the regression study: unique violations per conjecture
+// across versions far apart in time, including the patched gc build and the
+// cl trunk with the partial LSR fix.
+func Table4(n int, seed0 int64, w io.Writer) ([]Table4Row, error) {
+	var rows []Table4Row
+	sweep := func(f compiler.Family, versions []string) error {
+		for _, ver := range versions {
+			lv, err := Sweep(f, ver, n, seed0)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, Table4Row{Family: f, Version: ver,
+				Counts: [3]int{lv.Unique(1), lv.Unique(2), lv.Unique(3)}})
+		}
+		return nil
+	}
+	if err := sweep(compiler.GC, []string{"v4", "v8", "trunk", "patched"}); err != nil {
+		return nil, err
+	}
+	if err := sweep(compiler.CL, []string{"v5", "v9", "trunk", "trunkstar"}); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "Table 4: unique violations across versions (%d programs)\n", n)
+	fmt.Fprintf(w, "%-4s %-10s %6s %6s %6s\n", "fam", "version", "C1", "C2", "C3")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-4s %-10s %6d %6d %6d\n", r.Family, r.Version, r.Counts[0], r.Counts[1], r.Counts[2])
+	}
+	return rows, nil
+}
+
+// Figure4 renders the per-program conjecture-violation grid across gc
+// versions (one row of cells per version block, 25 programs per text row,
+// digit = number of conjectures violated).
+func Figure4(n int, seed0 int64, w io.Writer) error {
+	for _, ver := range []string{"v4", "v8", "trunk", "patched"} {
+		lv, err := Sweep(compiler.GC, ver, n, seed0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "Figure 4 (%s): conjectures violated per program\n", ver)
+		for i := 0; i < len(lv.PerProgram); i += 25 {
+			row := ""
+			for j := i; j < i+25 && j < len(lv.PerProgram); j++ {
+				c := 0
+				for k := 0; k < 3; k++ {
+					if lv.PerProgram[j][k] > 0 {
+						c++
+					}
+				}
+				row += fmt.Sprintf("%d", c)
+			}
+			fmt.Fprintln(w, "  "+row)
+		}
+	}
+	return nil
+}
+
+// RegressionAvailability reproduces the §5.4 availability-of-variables
+// comparison around the patched gc build: it returns the O1 availability
+// metric for trunk, patched, and the Og reference, so callers can verify
+// that the patch closes about half of the O1→Og gap.
+func RegressionAvailability(n int, seed0 int64, w io.Writer) (trunkO1, patchedO1, trunkOg float64, err error) {
+	avail := func(ver, level string) (float64, error) {
+		var ms []metrics.Metrics
+		for i := 0; i < n; i++ {
+			prog := fuzzgen.GenerateSeed(seed0 + int64(i))
+			ref, err := TraceFor(prog, compiler.Config{Family: compiler.GC, Version: ver, Level: "O0"})
+			if err != nil {
+				return 0, err
+			}
+			tr, err := TraceFor(prog, compiler.Config{Family: compiler.GC, Version: ver, Level: level})
+			if err != nil {
+				return 0, err
+			}
+			ms = append(ms, metrics.Compute(tr, ref))
+		}
+		return metrics.Mean(ms).Availability, nil
+	}
+	if trunkO1, err = avail("trunk", "O1"); err != nil {
+		return
+	}
+	if patchedO1, err = avail("patched", "O1"); err != nil {
+		return
+	}
+	// The Og reference uses the fixed build: the shared-cleanup defect also
+	// affected -Og, so the debugger-friendly ceiling is the patched one.
+	if trunkOg, err = avail("patched", "Og"); err != nil {
+		return
+	}
+	fmt.Fprintf(w, "availability-of-variables at O1: trunk=%.4f patched=%.4f (Og reference %.4f)\n",
+		trunkO1, patchedO1, trunkOg)
+	return
+}
+
+// ValidateInOtherDebugger revalidates a violation in the non-native
+// debugger (§4.2): a violation that disappears there points at the native
+// debugger rather than the compiler.
+func ValidateInOtherDebugger(tg triage.Target) (bool, error) {
+	res, err := compiler.Compile(tg.Prog, tg.Cfg, compiler.Options{})
+	if err != nil {
+		return false, err
+	}
+	var other debugger.Debugger
+	if compiler.NativeDebugger(tg.Cfg.Family) == "gdb" {
+		other = debugger.NewLLDB(compiler.DebuggerDefects("lldb"))
+	} else {
+		other = debugger.NewGDB(compiler.DebuggerDefects("gdb"))
+	}
+	tr, err := debugger.Record(res.Exe, other)
+	if err != nil {
+		return false, err
+	}
+	for _, v := range conjecture.CheckAll(tg.Facts, tr) {
+		if v.Key() == tg.Key {
+			return true, nil
+		}
+	}
+	return false, nil
+}

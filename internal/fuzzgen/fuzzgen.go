@@ -1,0 +1,630 @@
+// Package fuzzgen generates random MiniC test programs, playing the role of
+// Csmith in the paper's pipeline. Programs are deterministic functions of
+// the seed, free of undefined behaviour by construction, and guaranteed to
+// terminate: every loop is a counted loop with literal bounds whose
+// induction variable the body never modifies, and goto loops test
+// zero-initialised globals.
+//
+// Like the paper's Csmith setup, each generation draws an assortment of
+// ~20 feature options that shape the program (arrays, volatiles, pointers,
+// opaque calls, helper functions, assignment expressions, nested scopes...).
+package fuzzgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/minic"
+)
+
+// Options are the generator's feature knobs (the "assortment of 20 options"
+// of §4.1).
+type Options struct {
+	Seed int64
+
+	MaxGlobals   int // 1
+	MaxArrays    int // 2
+	MaxHelpers   int // 3
+	MaxStmts     int // 4: statements per block
+	MaxDepth     int // 5: block nesting
+	MaxLoopNest  int // 6
+	MaxLoopBound int // 7
+	MaxExprDepth int // 8
+
+	Volatile      bool // 9
+	Pointers      bool // 10
+	OpaqueCalls   bool // 11
+	Helpers       bool // 12
+	AssignExprs   bool // 13
+	NestedScopes  bool // 14
+	Gotos         bool // 15
+	ShortCircuit  bool // 16
+	Unsigned      bool // 17
+	NarrowTypes   bool // 18
+	IndexArith    bool // 19: iv*const array indexing (LSR bait)
+	ConstFoldBait bool // 20: (x)*zeroConst patterns (the paper's §1 shape)
+}
+
+// DefaultOptions returns an assortment of options drawn from the seed,
+// mirroring how the paper configures Csmith differently per program.
+func DefaultOptions(seed int64) Options {
+	r := rand.New(rand.NewSource(seed))
+	return Options{
+		Seed:          seed,
+		MaxGlobals:    2 + r.Intn(4),
+		MaxArrays:     1 + r.Intn(3),
+		MaxHelpers:    r.Intn(4),
+		MaxStmts:      3 + r.Intn(5),
+		MaxDepth:      1 + r.Intn(3),
+		MaxLoopNest:   1 + r.Intn(2),
+		MaxLoopBound:  2 + r.Intn(7),
+		MaxExprDepth:  1 + r.Intn(3),
+		Volatile:      r.Intn(4) != 0,
+		Pointers:      r.Intn(3) != 0,
+		OpaqueCalls:   r.Intn(8) != 0,
+		Helpers:       r.Intn(3) != 0,
+		AssignExprs:   r.Intn(2) == 0,
+		NestedScopes:  r.Intn(3) == 0,
+		Gotos:         r.Intn(4) == 0,
+		ShortCircuit:  r.Intn(2) == 0,
+		Unsigned:      r.Intn(3) == 0,
+		NarrowTypes:   r.Intn(3) == 0,
+		IndexArith:    r.Intn(3) != 0,
+		ConstFoldBait: r.Intn(3) == 0,
+	}
+}
+
+// Generate builds a program from the options. The result is laid out and
+// type-checked; generation panics only on internal generator bugs.
+func Generate(o Options) *minic.Program {
+	g := &gen{o: o, r: rand.New(rand.NewSource(o.Seed))}
+	prog := g.program()
+	minic.AssignLines(prog)
+	if err := minic.Check(prog); err != nil {
+		panic(fmt.Sprintf("fuzzgen: generated invalid program (seed %d): %v", o.Seed, err))
+	}
+	return prog
+}
+
+// GenerateSeed is shorthand for Generate(DefaultOptions(seed)).
+func GenerateSeed(seed int64) *minic.Program {
+	return Generate(DefaultOptions(seed))
+}
+
+type scalarVar struct {
+	name string
+	typ  minic.Type
+	// iv marks loop induction variables (not to be reassigned).
+	iv bool
+}
+
+type arrayVar struct {
+	name string
+	typ  *minic.ArrayType
+	dims []int
+}
+
+type gen struct {
+	o r1Options
+	r *rand.Rand
+
+	prog     *minic.Program
+	globals  []scalarVar
+	garrs    []arrayVar
+	volatile []string
+	helpers  []*minic.FuncDecl
+	opaques  []*minic.FuncDecl
+
+	locals   []scalarVar // current function scope stack (flat; names unique)
+	consts   []string    // constant-valued locals (assigned literals only)
+	loopIVs  []string
+	nextName int
+	labelN   int
+	loopNest int
+}
+
+type r1Options = Options
+
+func (g *gen) fresh(prefix string) string {
+	g.nextName++
+	return fmt.Sprintf("%s%d", prefix, g.nextName)
+}
+
+func (g *gen) scalarType() minic.Type {
+	choices := []minic.Type{minic.Int32, minic.Int32, minic.Int64}
+	if g.o.NarrowTypes {
+		choices = append(choices, minic.Int16, minic.Int8)
+	}
+	if g.o.Unsigned {
+		choices = append(choices, minic.Uint32, minic.Uint16)
+	}
+	return choices[g.r.Intn(len(choices))]
+}
+
+func (g *gen) program() *minic.Program {
+	g.prog = &minic.Program{}
+	// Globals: scalars, some volatile.
+	n := 1 + g.r.Intn(g.o.MaxGlobals)
+	for i := 0; i < n; i++ {
+		name := g.fresh("g")
+		t := g.scalarType()
+		gd := &minic.GlobalDecl{Name: name, Type: t}
+		if g.r.Intn(2) == 0 {
+			gd.Init = &minic.InitValue{Scalar: int64(g.r.Intn(10))}
+		}
+		if g.o.Volatile && g.r.Intn(3) == 0 {
+			gd.Volatile = true
+			g.volatile = append(g.volatile, name)
+		}
+		g.prog.Globals = append(g.prog.Globals, gd)
+		g.globals = append(g.globals, scalarVar{name: name, typ: t})
+	}
+	// Global arrays with initialisers.
+	na := g.r.Intn(g.o.MaxArrays + 1)
+	for i := 0; i < na; i++ {
+		name := g.fresh("arr")
+		dims := []int{2 + g.r.Intn(4)}
+		if g.r.Intn(2) == 0 {
+			dims = append(dims, 2+g.r.Intn(3))
+		}
+		var t minic.Type = g.scalarType()
+		for d := len(dims) - 1; d >= 0; d-- {
+			t = &minic.ArrayType{Elem: t, Len: dims[d]}
+		}
+		at := t.(*minic.ArrayType)
+		g.prog.Globals = append(g.prog.Globals, &minic.GlobalDecl{
+			Name: name, Type: at, Init: g.arrayInit(at),
+		})
+		g.garrs = append(g.garrs, arrayVar{name: name, typ: at, dims: dims})
+	}
+	// Opaque externs (the paper links a printf-like stub).
+	if g.o.OpaqueCalls {
+		for _, arity := range []int{1, 3} {
+			f := &minic.FuncDecl{Name: fmt.Sprintf("opaque%d", arity), Ret: minic.Void, Opaque: true}
+			for p := 0; p < arity; p++ {
+				f.Params = append(f.Params, &minic.Param{Name: fmt.Sprintf("p%d", p), Type: minic.Int32})
+			}
+			g.prog.Funcs = append(g.prog.Funcs, f)
+			g.opaques = append(g.opaques, f)
+		}
+	}
+	// Helper functions.
+	if g.o.Helpers {
+		nh := g.r.Intn(g.o.MaxHelpers + 1)
+		for i := 0; i < nh; i++ {
+			g.helper()
+		}
+	}
+	g.mainFunc()
+	return g.prog
+}
+
+func (g *gen) arrayInit(t *minic.ArrayType) *minic.InitValue {
+	iv := &minic.InitValue{List: []*minic.InitValue{}}
+	for i := 0; i < t.Len; i++ {
+		if sub, ok := t.Elem.(*minic.ArrayType); ok {
+			iv.List = append(iv.List, g.arrayInit(sub))
+		} else {
+			iv.List = append(iv.List, &minic.InitValue{Scalar: int64(g.r.Intn(9))})
+		}
+	}
+	return iv
+}
+
+// helper emits a small function: constant-returning (pure), computing, or
+// global-writing.
+func (g *gen) helper() {
+	name := g.fresh("f")
+	kind := g.r.Intn(3)
+	f := &minic.FuncDecl{Name: name, Ret: minic.Int32}
+	switch kind {
+	case 0: // pure constant return
+		f.Body = &minic.Block{Stmts: []minic.Stmt{
+			&minic.ReturnStmt{X: &minic.IntLit{Value: int64(g.r.Intn(5)), Typ: minic.Int32}},
+		}}
+	case 1: // parameterised computation
+		f.Params = []*minic.Param{{Name: "x", Type: minic.Int32}}
+		f.Body = &minic.Block{Stmts: []minic.Stmt{
+			&minic.ReturnStmt{X: &minic.BinaryExpr{Op: minic.Add,
+				X: &minic.VarRef{Name: "x"},
+				Y: &minic.IntLit{Value: int64(1 + g.r.Intn(4)), Typ: minic.Int32}}},
+		}}
+	default: // writes a global and returns it
+		if len(g.globals) == 0 {
+			f.Body = &minic.Block{Stmts: []minic.Stmt{
+				&minic.ReturnStmt{X: &minic.IntLit{Value: 0, Typ: minic.Int32}},
+			}}
+			break
+		}
+		gv := g.globals[g.r.Intn(len(g.globals))]
+		f.Body = &minic.Block{Stmts: []minic.Stmt{
+			&minic.AssignStmt{LHS: &minic.VarRef{Name: gv.name},
+				RHS: &minic.IntLit{Value: int64(g.r.Intn(7)), Typ: minic.Int32}},
+			&minic.ReturnStmt{X: &minic.VarRef{Name: gv.name}},
+		}}
+	}
+	g.prog.Funcs = append(g.prog.Funcs, f)
+	g.helpers = append(g.helpers, f)
+}
+
+func (g *gen) mainFunc() {
+	g.locals = nil
+	main := &minic.FuncDecl{Name: "main", Ret: minic.Int32}
+	body := &minic.Block{}
+	// Declarations first: a handful of scalars with varied initialisers.
+	nd := 2 + g.r.Intn(4)
+	ds := &minic.DeclStmt{}
+	for i := 0; i < nd; i++ {
+		name := g.fresh("v")
+		t := g.scalarType()
+		vd := &minic.VarDecl{Name: name, Type: t}
+		switch g.r.Intn(3) {
+		case 0:
+			vd.Init = &minic.IntLit{Value: int64(g.r.Intn(10)), Typ: minic.Int32}
+		case 1:
+			if e := g.readExpr(0); e != nil {
+				vd.Init = e
+			}
+		}
+		ds.Vars = append(ds.Vars, vd)
+		g.locals = append(g.locals, scalarVar{name: name, typ: t})
+	}
+	body.Stmts = append(body.Stmts, ds)
+	// The paper's §1 constant-fold bait: a constant local (assigned only a
+	// literal) flowing into a global store through a foldable expression.
+	if g.o.ConstFoldBait {
+		name := g.fresh("z")
+		body.Stmts = append(body.Stmts, &minic.DeclStmt{Vars: []*minic.VarDecl{{
+			Name: name, Type: minic.Int32, Init: &minic.IntLit{Value: int64(g.r.Intn(3)), Typ: minic.Int32},
+		}}})
+		g.consts = append(g.consts, name)
+		// Readable (e.g. as an opaque-call argument) but never reassigned,
+		// so it stays in the conjectures' "constant variable" class.
+		g.locals = append(g.locals, scalarVar{name: name, typ: minic.Int32, iv: true})
+		if tgt := g.anyGlobalScalar(); tgt != "" {
+			body.Stmts = append(body.Stmts, &minic.AssignStmt{
+				LHS: &minic.VarRef{Name: tgt},
+				RHS: &minic.BinaryExpr{Op: minic.Add,
+					X: &minic.VarRef{Name: name},
+					Y: g.readExprOr(&minic.IntLit{Value: 1, Typ: minic.Int32})},
+			})
+		}
+	}
+	// Pointer pattern: p = &local; *p = ...
+	if g.o.Pointers && len(g.locals) > 0 {
+		tgt := g.locals[g.r.Intn(len(g.locals))]
+		if it, ok := tgt.typ.(*minic.IntType); ok {
+			pname := g.fresh("p")
+			body.Stmts = append(body.Stmts, &minic.DeclStmt{Vars: []*minic.VarDecl{{
+				Name: pname, Type: &minic.PointerType{Elem: it},
+				Init: &minic.UnaryExpr{Op: minic.Addr, X: &minic.VarRef{Name: tgt.name}},
+			}}})
+			body.Stmts = append(body.Stmts, &minic.AssignStmt{
+				LHS: &minic.UnaryExpr{Op: minic.Deref, X: &minic.VarRef{Name: pname}},
+				RHS: &minic.IntLit{Value: int64(g.r.Intn(9)), Typ: minic.Int32},
+			})
+		}
+	}
+	// Goto loop on a zero global (terminates immediately), paper §3.4 style.
+	if g.o.Gotos && len(g.globals) > 0 {
+		gv := g.globals[0]
+		lbl := fmt.Sprintf("l%d", g.labelN)
+		g.labelN++
+		body.Stmts = append(body.Stmts, &minic.LabeledStmt{Label: lbl,
+			Stmt: &minic.IfStmt{
+				Cond: &minic.BinaryExpr{Op: minic.Lt,
+					X: &minic.VarRef{Name: gv.name},
+					Y: &minic.IntLit{Value: 0, Typ: minic.Int32}},
+				Then: &minic.Block{Stmts: []minic.Stmt{&minic.GotoStmt{Label: lbl}}},
+			}})
+	}
+	// Main statement soup.
+	g.stmts(body, 0)
+	// Final opaque call exposing several locals (Conjecture 1 bait).
+	if len(g.opaques) > 0 && len(g.locals) >= 3 {
+		f := g.opaques[len(g.opaques)-1]
+		call := &minic.CallExpr{Name: f.Name}
+		perm := g.r.Perm(len(g.locals))
+		for i := 0; i < len(f.Params) && i < len(perm); i++ {
+			call.Args = append(call.Args, &minic.VarRef{Name: g.locals[perm[i]].name})
+		}
+		for len(call.Args) < len(f.Params) {
+			call.Args = append(call.Args, &minic.IntLit{Value: 0, Typ: minic.Int32})
+		}
+		body.Stmts = append(body.Stmts, &minic.ExprStmt{X: call})
+	}
+	body.Stmts = append(body.Stmts, &minic.ReturnStmt{X: &minic.IntLit{Value: 0, Typ: minic.Int32}})
+	main.Body = body
+	g.prog.Funcs = append(g.prog.Funcs, main)
+}
+
+// stmts fills a block with random statements.
+func (g *gen) stmts(b *minic.Block, depth int) {
+	n := 1 + g.r.Intn(g.o.MaxStmts)
+	for i := 0; i < n; i++ {
+		if s := g.stmt(depth); s != nil {
+			b.Stmts = append(b.Stmts, s)
+		}
+	}
+}
+
+func (g *gen) stmt(depth int) minic.Stmt {
+	roll := g.r.Intn(10)
+	switch {
+	case roll < 3 && g.loopNest < g.o.MaxLoopNest:
+		return g.forLoop(depth)
+	case roll < 5:
+		return g.assignment()
+	case roll == 5 && depth < g.o.MaxDepth:
+		return g.ifStmt(depth)
+	case roll == 6 && len(g.opaques) > 0:
+		return g.opaqueCall()
+	case roll == 7 && len(g.helpers) > 0:
+		return g.helperCall()
+	case roll == 8 && g.o.NestedScopes && depth < g.o.MaxDepth:
+		blk := &minic.Block{}
+		name := g.fresh("s")
+		blk.Stmts = append(blk.Stmts, &minic.DeclStmt{Vars: []*minic.VarDecl{{
+			Name: name, Type: minic.Int32, Init: &minic.IntLit{Value: int64(g.r.Intn(6)), Typ: minic.Int32},
+		}}})
+		inner := g.assignmentTo(name)
+		if inner != nil {
+			blk.Stmts = append(blk.Stmts, inner)
+		}
+		if st := g.globalStoreUsing(name); st != nil {
+			blk.Stmts = append(blk.Stmts, st)
+		}
+		return blk
+	default:
+		return g.assignment()
+	}
+}
+
+// forLoop builds a counted loop; its body may index global arrays with the
+// induction variable (the Conjecture 2 / LSR surface).
+func (g *gen) forLoop(depth int) minic.Stmt {
+	iv := g.fresh("i")
+	bound := 1 + g.r.Intn(g.o.MaxLoopBound)
+	savedLocals := len(g.locals)
+	g.locals = append(g.locals, scalarVar{name: iv, typ: minic.Int32, iv: true})
+	g.loopIVs = append(g.loopIVs, iv)
+	g.loopNest++
+	body := &minic.Block{}
+	// Array traffic indexed by the IV.
+	if len(g.garrs) > 0 {
+		arr := g.garrs[g.r.Intn(len(g.garrs))]
+		var idx minic.Expr = &minic.VarRef{Name: iv}
+		switch {
+		case g.o.IndexArith && arr.dims[0] >= bound:
+			// In-range scaled access arr[i * k] — the loop-strength-
+			// reduction surface of the paper's Conjecture 2 examples.
+			k := (arr.dims[0] - 1) / maxInt(bound-1, 1)
+			if k < 1 {
+				k = 1
+			}
+			if k > 1 {
+				idx = &minic.BinaryExpr{Op: minic.Mul, X: idx,
+					Y: &minic.IntLit{Value: int64(k), Typ: minic.Int32}}
+			}
+		case g.o.IndexArith && g.r.Intn(2) == 0:
+			k := int64(1)
+			if arr.dims[0] > 1 {
+				k = int64(g.r.Intn(arr.dims[0]-1) + 1)
+			}
+			idx = &minic.BinaryExpr{Op: minic.Mul, X: idx,
+				Y: &minic.IntLit{Value: k, Typ: minic.Int32}}
+			idx = &minic.BinaryExpr{Op: minic.Rem, X: idx,
+				Y: &minic.IntLit{Value: int64(arr.dims[0]), Typ: minic.Int32}}
+		default:
+			idx = &minic.BinaryExpr{Op: minic.Rem, X: idx,
+				Y: &minic.IntLit{Value: int64(arr.dims[0]), Typ: minic.Int32}}
+		}
+		var access minic.Expr = &minic.IndexExpr{Base: &minic.VarRef{Name: arr.name}, Index: idx}
+		for d := 1; d < len(arr.dims); d++ {
+			inner := g.r.Intn(arr.dims[d])
+			access = &minic.IndexExpr{Base: access,
+				Index: &minic.IntLit{Value: int64(inner), Typ: minic.Int32}}
+		}
+		if tgt := g.anyGlobalScalar(); tgt != "" && g.r.Intn(2) == 0 {
+			body.Stmts = append(body.Stmts, &minic.AssignStmt{
+				LHS: &minic.VarRef{Name: tgt}, RHS: access})
+		} else {
+			body.Stmts = append(body.Stmts, &minic.AssignStmt{
+				LHS: access, RHS: g.readExprOr(&minic.VarRef{Name: iv})})
+		}
+	}
+	g.stmts(body, depth+1)
+	g.loopNest--
+	g.loopIVs = g.loopIVs[:len(g.loopIVs)-1]
+	// The induction variable's scope ends with the loop.
+	g.locals = g.locals[:savedLocals]
+	return &minic.ForStmt{
+		Init: &minic.DeclStmt{Vars: []*minic.VarDecl{{Name: iv, Type: minic.Int32,
+			Init: &minic.IntLit{Value: 0, Typ: minic.Int32}}}},
+		Cond: &minic.BinaryExpr{Op: minic.Lt, X: &minic.VarRef{Name: iv},
+			Y: &minic.IntLit{Value: int64(bound), Typ: minic.Int32}},
+		Post: &minic.AssignStmt{LHS: &minic.VarRef{Name: iv},
+			RHS: &minic.BinaryExpr{Op: minic.Add, X: &minic.VarRef{Name: iv},
+				Y: &minic.IntLit{Value: 1, Typ: minic.Int32}}},
+		Body: body,
+	}
+}
+
+func (g *gen) ifStmt(depth int) minic.Stmt {
+	cond := g.readExpr(0)
+	if cond == nil {
+		cond = &minic.IntLit{Value: 1, Typ: minic.Int32}
+	}
+	if g.o.ShortCircuit && g.r.Intn(2) == 0 {
+		if rhs := g.readExpr(0); rhs != nil {
+			op := minic.LogAnd
+			if g.r.Intn(2) == 0 {
+				op = minic.LogOr
+			}
+			cond = &minic.BinaryExpr{Op: op, X: cond, Y: rhs}
+		}
+	}
+	then := &minic.Block{}
+	g.stmts(then, depth+1)
+	is := &minic.IfStmt{Cond: cond, Then: then}
+	if g.r.Intn(2) == 0 {
+		is.Else = &minic.Block{}
+		g.stmts(is.Else, depth+1)
+	}
+	return is
+}
+
+func (g *gen) opaqueCall() minic.Stmt {
+	f := g.opaques[g.r.Intn(len(g.opaques))]
+	call := &minic.CallExpr{Name: f.Name}
+	for range f.Params {
+		if len(g.locals) > 0 && g.r.Intn(4) != 0 {
+			call.Args = append(call.Args, &minic.VarRef{Name: g.locals[g.r.Intn(len(g.locals))].name})
+		} else {
+			call.Args = append(call.Args, &minic.IntLit{Value: int64(g.r.Intn(9)), Typ: minic.Int32})
+		}
+	}
+	return &minic.ExprStmt{X: call}
+}
+
+func (g *gen) helperCall() minic.Stmt {
+	f := g.helpers[g.r.Intn(len(g.helpers))]
+	call := &minic.CallExpr{Name: f.Name}
+	for range f.Params {
+		call.Args = append(call.Args, g.readExprOr(&minic.IntLit{Value: 1, Typ: minic.Int32}))
+	}
+	if tgt := g.writableLocal(); tgt != "" {
+		return &minic.AssignStmt{LHS: &minic.VarRef{Name: tgt}, RHS: call}
+	}
+	return &minic.ExprStmt{X: call}
+}
+
+// assignment produces a local or global store, possibly with an embedded
+// assignment expression (the Conjecture 1 running-example shape).
+func (g *gen) assignment() minic.Stmt {
+	if g.r.Intn(3) == 0 {
+		if tgt := g.anyGlobalScalar(); tgt != "" {
+			return &minic.AssignStmt{LHS: &minic.VarRef{Name: tgt}, RHS: g.expr(0)}
+		}
+	}
+	if tgt := g.writableLocal(); tgt != "" {
+		return g.assignmentTo(tgt)
+	}
+	return nil
+}
+
+func (g *gen) assignmentTo(tgt string) minic.Stmt {
+	rhs := g.expr(0)
+	if g.o.AssignExprs && g.r.Intn(3) == 0 {
+		// (v = src) == 0 & other
+		if inner := g.writableLocalNot(tgt); inner != "" {
+			src := g.readExprOr(&minic.IntLit{Value: 0, Typ: minic.Int32})
+			rhs = &minic.BinaryExpr{Op: minic.And,
+				X: &minic.BinaryExpr{Op: minic.Eq,
+					X: &minic.AssignExpr{LHS: &minic.VarRef{Name: inner}, RHS: src},
+					Y: &minic.IntLit{Value: 0, Typ: minic.Int32}},
+				Y: g.readExprOr(&minic.IntLit{Value: 1, Typ: minic.Int32}),
+			}
+		}
+	}
+	return &minic.AssignStmt{LHS: &minic.VarRef{Name: tgt}, RHS: rhs}
+}
+
+// globalStoreUsing emits a store of a non-simplifiable expression over the
+// named variable into a global (Conjecture 2 bait), sometimes multiplied by
+// a constant-zero local (the paper's §1 fold bait).
+func (g *gen) globalStoreUsing(name string) minic.Stmt {
+	tgt := g.anyGlobalScalar()
+	if tgt == "" {
+		return nil
+	}
+	var rhs minic.Expr = &minic.VarRef{Name: name}
+	if g.o.ConstFoldBait && g.r.Intn(2) == 0 {
+		rhs = &minic.BinaryExpr{Op: minic.Add, X: rhs,
+			Y: &minic.BinaryExpr{Op: minic.Mul,
+				X: g.readExprOr(&minic.IntLit{Value: 1, Typ: minic.Int32}),
+				Y: &minic.VarRef{Name: name}}}
+	}
+	return &minic.AssignStmt{LHS: &minic.VarRef{Name: tgt}, RHS: rhs}
+}
+
+func (g *gen) anyGlobalScalar() string {
+	if len(g.globals) == 0 {
+		return ""
+	}
+	return g.globals[g.r.Intn(len(g.globals))].name
+}
+
+func (g *gen) writableLocal() string {
+	var cands []string
+	for _, v := range g.locals {
+		if !v.iv {
+			cands = append(cands, v.name)
+		}
+	}
+	if len(cands) == 0 {
+		return ""
+	}
+	return cands[g.r.Intn(len(cands))]
+}
+
+func (g *gen) writableLocalNot(not string) string {
+	var cands []string
+	for _, v := range g.locals {
+		if !v.iv && v.name != not {
+			cands = append(cands, v.name)
+		}
+	}
+	if len(cands) == 0 {
+		return ""
+	}
+	return cands[g.r.Intn(len(cands))]
+}
+
+// readExpr returns a random readable atom (local, global, literal), or nil.
+func (g *gen) readExpr(depth int) minic.Expr {
+	switch g.r.Intn(3) {
+	case 0:
+		if len(g.locals) > 0 {
+			return &minic.VarRef{Name: g.locals[g.r.Intn(len(g.locals))].name}
+		}
+	case 1:
+		if len(g.globals) > 0 {
+			return &minic.VarRef{Name: g.globals[g.r.Intn(len(g.globals))].name}
+		}
+	}
+	return &minic.IntLit{Value: int64(g.r.Intn(16)), Typ: minic.Int32}
+}
+
+func (g *gen) readExprOr(fallback minic.Expr) minic.Expr {
+	if e := g.readExpr(0); e != nil {
+		return e
+	}
+	return fallback
+}
+
+// expr builds a random expression of bounded depth. Division and shifts use
+// literal right operands to keep values tame (semantics are defined either
+// way).
+func (g *gen) expr(depth int) minic.Expr {
+	if depth >= g.o.MaxExprDepth || g.r.Intn(3) == 0 {
+		return g.readExprOr(&minic.IntLit{Value: int64(g.r.Intn(9)), Typ: minic.Int32})
+	}
+	ops := []minic.BinOp{minic.Add, minic.Sub, minic.Mul, minic.And, minic.Or,
+		minic.Xor, minic.Eq, minic.Ne, minic.Lt, minic.Gt}
+	op := ops[g.r.Intn(len(ops))]
+	x := g.expr(depth + 1)
+	y := g.expr(depth + 1)
+	if g.r.Intn(4) == 0 {
+		op = minic.Shl
+		y = &minic.IntLit{Value: int64(g.r.Intn(4)), Typ: minic.Int32}
+	}
+	return &minic.BinaryExpr{Op: op, X: x, Y: y}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

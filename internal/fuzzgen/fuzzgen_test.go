@@ -1,0 +1,98 @@
+package fuzzgen
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/minic"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		a := minic.Render(GenerateSeed(seed))
+		b := minic.Render(GenerateSeed(seed))
+		if a != b {
+			t.Fatalf("seed %d not deterministic", seed)
+		}
+	}
+}
+
+func TestGeneratedProgramsCheckAndRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		prog := GenerateSeed(seed)
+		src := minic.Render(prog)
+		re, err := minic.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: reparse: %v\n%s", seed, err, src)
+		}
+		minic.AssignLines(re)
+		if err := minic.Check(re); err != nil {
+			t.Fatalf("seed %d: recheck: %v\n%s", seed, err, src)
+		}
+		if minic.Render(re) != src {
+			t.Fatalf("seed %d: render not stable", seed)
+		}
+	}
+}
+
+func TestGeneratedProgramsTerminate(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		prog := GenerateSeed(seed)
+		m, err := ir.Lower(prog)
+		if err != nil {
+			t.Fatalf("seed %d: lower: %v", seed, err)
+		}
+		if err := ir.Verify(m); err != nil {
+			t.Fatalf("seed %d: verify: %v", seed, err)
+		}
+		if _, err := ir.Interp(m, 500_000); err != nil {
+			t.Fatalf("seed %d: interp: %v\n%s", seed, err, minic.Render(prog))
+		}
+	}
+}
+
+func TestOptionVariety(t *testing.T) {
+	// Across many seeds the option assortments must vary and exercise the
+	// main features at least sometimes.
+	sawVolatile, sawOpaque, sawArrays, sawPointers, sawGoto := false, false, false, false, false
+	for seed := int64(0); seed < 60; seed++ {
+		prog := GenerateSeed(seed)
+		for _, g := range prog.Globals {
+			if g.Volatile {
+				sawVolatile = true
+			}
+			if minic.IsArray(g.Type) {
+				sawArrays = true
+			}
+		}
+		for _, f := range prog.Funcs {
+			if f.Opaque {
+				sawOpaque = true
+			}
+		}
+		src := minic.Render(prog)
+		if containsStr(src, "goto") {
+			sawGoto = true
+		}
+		if containsStr(src, "*p") || containsStr(src, "int* p") {
+			sawPointers = true
+		}
+	}
+	for name, saw := range map[string]bool{
+		"volatile": sawVolatile, "opaque": sawOpaque, "arrays": sawArrays,
+		"pointers": sawPointers, "goto": sawGoto,
+	} {
+		if !saw {
+			t.Errorf("feature %s never generated across 60 seeds", name)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

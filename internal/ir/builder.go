@@ -1,0 +1,762 @@
+package ir
+
+import (
+	"fmt"
+
+	"repro/internal/minic"
+)
+
+// Lower translates a checked MiniC program into an IR module. The produced
+// code is unoptimized "-O0 style": every source variable lives in a stack
+// slot, every use reloads it, and one DbgVal intrinsic per variable declares
+// the slot as its lifetime location. mem2reg (an optimization pass) later
+// promotes eligible slots to registers and rewrites the debug intrinsics.
+func Lower(prog *minic.Program) (*Module, error) {
+	m := &Module{}
+	nlines := 0
+	for _, g := range prog.Globals {
+		mg := &Global{
+			Name:     g.Name,
+			Type:     g.Type,
+			Size:     g.Type.Size(),
+			Volatile: g.Volatile,
+			DeclLine: g.Line,
+		}
+		mg.Init = make([]int64, mg.Size)
+		flattenInit(g.Type, g.Init, mg.Init, 0)
+		m.Globals = append(m.Globals, mg)
+		if g.Line > nlines {
+			nlines = g.Line
+		}
+	}
+	for _, f := range prog.Funcs {
+		lf, err := lowerFunc(prog, m, f)
+		if err != nil {
+			return nil, err
+		}
+		m.Funcs = append(m.Funcs, lf)
+		maxLine := f.Line
+		if f.Body != nil {
+			minic.WalkStmt(f.Body, func(s minic.Stmt) bool {
+				if s.Pos() > maxLine {
+					maxLine = s.Pos()
+				}
+				return true
+			})
+		}
+		if maxLine+1 > nlines {
+			nlines = maxLine + 1
+		}
+	}
+	m.NLines = nlines
+	return m, nil
+}
+
+// flattenInit fills out[] with the flattened initialiser of t at offset off
+// and returns the next offset.
+func flattenInit(t minic.Type, iv *minic.InitValue, out []int64, off int) int {
+	switch tt := t.(type) {
+	case *minic.ArrayType:
+		elemSize := tt.Elem.Size()
+		for i := 0; i < tt.Len; i++ {
+			var sub *minic.InitValue
+			if iv != nil && iv.List != nil && i < len(iv.List) {
+				sub = iv.List[i]
+			}
+			flattenInit(tt.Elem, sub, out, off+i*elemSize)
+		}
+		return off + tt.Len*elemSize
+	default:
+		if iv != nil {
+			v := iv.Scalar
+			if it, ok := t.(*minic.IntType); ok {
+				v = it.Truncate(v)
+			}
+			out[off] = v
+		}
+		return off + 1
+	}
+}
+
+type loopCtx struct {
+	breakTo    *Block
+	continueTo *Block
+}
+
+type builder struct {
+	prog   *minic.Program
+	mod    *Module
+	fn     *Func
+	cur    *Block
+	scopes []map[string]*Var
+	labels map[string]*Block
+	loops  []loopCtx
+	// nestedDepth counts enclosing bare brace scopes (not control-flow
+	// bodies); declarations inside them are flagged on the variable.
+	nestedDepth int
+}
+
+func lowerFunc(prog *minic.Program, m *Module, fd *minic.FuncDecl) (*Func, error) {
+	f := &Func{
+		Name:   fd.Name,
+		HasRet: !minic.Equal(fd.Ret, minic.Void),
+		Line:   fd.Line,
+		Opaque: fd.Opaque,
+	}
+	if fd.Opaque {
+		return f, nil
+	}
+	b := &builder{prog: prog, mod: m, fn: f, labels: map[string]*Block{}}
+	b.cur = f.NewBlock()
+	b.push()
+	for _, p := range fd.Params {
+		v := b.declareVar(p.Name, p.Type, fd.Line, true)
+		f.Params = append(f.Params, v)
+	}
+	// Pre-create label blocks so forward gotos resolve.
+	minic.WalkStmt(fd.Body, func(s minic.Stmt) bool {
+		if ls, ok := s.(*minic.LabeledStmt); ok {
+			b.labels[ls.Label] = f.NewBlock()
+		}
+		return true
+	})
+	if err := b.stmts(fd.Body.Stmts); err != nil {
+		return nil, err
+	}
+	b.pop()
+	// Implicit return for functions that fall off the end.
+	if b.cur.Term() == nil {
+		ret := &Instr{Op: OpRet, Dst: -1}
+		if f.HasRet {
+			ret.Args = []Value{ConstVal(0)}
+		}
+		b.cur.Instrs = append(b.cur.Instrs, ret)
+	}
+	// Terminate any unterminated blocks (dead ends after goto/return) with a
+	// self-consistent return so the verifier is happy; unreachable blocks
+	// are cleaned by simplifycfg.
+	for _, blk := range f.Blocks {
+		if blk.Term() == nil {
+			ret := &Instr{Op: OpRet, Dst: -1}
+			if f.HasRet {
+				ret.Args = []Value{ConstVal(0)}
+			}
+			blk.Instrs = append(blk.Instrs, ret)
+		}
+	}
+	return f, nil
+}
+
+func (b *builder) push() { b.scopes = append(b.scopes, map[string]*Var{}) }
+func (b *builder) pop()  { b.scopes = b.scopes[:len(b.scopes)-1] }
+
+func (b *builder) declareVar(name string, t minic.Type, line int, param bool) *Var {
+	size := t.Size()
+	v := &Var{Name: name, Type: t, DeclLine: line, Slot: b.fn.NewSlot(size), IsParam: param,
+		InNestedScope: b.nestedDepth > 0}
+	b.fn.Vars = append(b.fn.Vars, v)
+	b.scopes[len(b.scopes)-1][name] = v
+	// Declare the variable's lifetime location: its stack slot.
+	b.emit(&Instr{Op: OpDbgVal, Dst: -1, V: v, Args: []Value{SlotVal(v.Slot)}, Line: line})
+	return v
+}
+
+func (b *builder) lookupVar(name string) *Var {
+	for i := len(b.scopes) - 1; i >= 0; i-- {
+		if v := b.scopes[i][name]; v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+func (b *builder) emit(in *Instr) *Instr {
+	b.cur.Instrs = append(b.cur.Instrs, in)
+	return in
+}
+
+func (b *builder) br(to *Block, line int) {
+	if b.cur.Term() == nil {
+		b.emit(&Instr{Op: OpBr, Dst: -1, Tgts: []*Block{to}, Line: line})
+	}
+}
+
+func (b *builder) stmts(ss []minic.Stmt) error {
+	for _, s := range ss {
+		if err := b.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *builder) stmt(s minic.Stmt) error {
+	switch x := s.(type) {
+	case *minic.Block:
+		b.push()
+		b.nestedDepth++
+		defer func() { b.nestedDepth--; b.pop() }()
+		return b.stmts(x.Stmts)
+	case *minic.DeclStmt:
+		for _, vd := range x.Vars {
+			v := b.declareVar(vd.Name, vd.Type, vd.Line, false)
+			if vd.Init != nil {
+				val, err := b.expr(vd.Init)
+				if err != nil {
+					return err
+				}
+				b.storeVar(v, val, vd.Line)
+			}
+		}
+		return nil
+	case *minic.AssignStmt:
+		return b.assign(x.LHS, x.RHS, x.Line)
+	case *minic.IfStmt:
+		return b.ifStmt(x)
+	case *minic.ForStmt:
+		return b.forStmt(x)
+	case *minic.WhileStmt:
+		return b.whileStmt(x)
+	case *minic.ExprStmt:
+		_, err := b.expr(x.X)
+		return err
+	case *minic.ReturnStmt:
+		in := &Instr{Op: OpRet, Dst: -1, Line: x.Line}
+		if x.X != nil {
+			v, err := b.expr(x.X)
+			if err != nil {
+				return err
+			}
+			in.Args = []Value{v}
+		} else if b.fn.HasRet {
+			in.Args = []Value{ConstVal(0)}
+		}
+		b.emit(in)
+		b.cur = b.fn.NewBlock()
+		return nil
+	case *minic.GotoStmt:
+		tgt := b.labels[x.Label]
+		if tgt == nil {
+			return fmt.Errorf("ir: line %d: goto to unknown label %q", x.Line, x.Label)
+		}
+		b.emit(&Instr{Op: OpBr, Dst: -1, Tgts: []*Block{tgt}, Line: x.Line})
+		b.cur = b.fn.NewBlock()
+		return nil
+	case *minic.LabeledStmt:
+		tgt := b.labels[x.Label]
+		b.br(tgt, x.Line)
+		b.cur = tgt
+		return b.stmt(x.Stmt)
+	case *minic.BreakStmt:
+		if len(b.loops) == 0 {
+			return fmt.Errorf("ir: line %d: break outside loop", x.Line)
+		}
+		b.emit(&Instr{Op: OpBr, Dst: -1, Tgts: []*Block{b.loops[len(b.loops)-1].breakTo}, Line: x.Line})
+		b.cur = b.fn.NewBlock()
+		return nil
+	case *minic.ContinueStmt:
+		if len(b.loops) == 0 {
+			return fmt.Errorf("ir: line %d: continue outside loop", x.Line)
+		}
+		b.emit(&Instr{Op: OpBr, Dst: -1, Tgts: []*Block{b.loops[len(b.loops)-1].continueTo}, Line: x.Line})
+		b.cur = b.fn.NewBlock()
+		return nil
+	}
+	return fmt.Errorf("ir: unknown statement %T", s)
+}
+
+func (b *builder) ifStmt(x *minic.IfStmt) error {
+	cond, err := b.expr(x.Cond)
+	if err != nil {
+		return err
+	}
+	thenB := b.fn.NewBlock()
+	var elseB *Block
+	exitB := b.fn.NewBlock()
+	if x.Else != nil {
+		elseB = b.fn.NewBlock()
+	} else {
+		elseB = exitB
+	}
+	b.emit(&Instr{Op: OpCondBr, Dst: -1, Args: []Value{cond}, Tgts: []*Block{thenB, elseB}, Line: x.Line})
+	b.cur = thenB
+	b.push()
+	if err := b.stmts(x.Then.Stmts); err != nil {
+		return err
+	}
+	b.pop()
+	b.br(exitB, x.Line)
+	if x.Else != nil {
+		b.cur = elseB
+		b.push()
+		if err := b.stmts(x.Else.Stmts); err != nil {
+			return err
+		}
+		b.pop()
+		b.br(exitB, x.Line)
+	}
+	b.cur = exitB
+	return nil
+}
+
+func (b *builder) forStmt(x *minic.ForStmt) error {
+	b.push()
+	defer b.pop()
+	if x.Init != nil {
+		if err := b.stmt(x.Init); err != nil {
+			return err
+		}
+	}
+	head := b.fn.NewBlock()
+	body := b.fn.NewBlock()
+	post := b.fn.NewBlock()
+	exit := b.fn.NewBlock()
+	b.br(head, x.Line)
+	b.cur = head
+	if x.Cond != nil {
+		cond, err := b.expr(x.Cond)
+		if err != nil {
+			return err
+		}
+		b.emit(&Instr{Op: OpCondBr, Dst: -1, Args: []Value{cond}, Tgts: []*Block{body, exit}, Line: x.Line})
+	} else {
+		b.br(body, x.Line)
+	}
+	b.cur = body
+	b.loops = append(b.loops, loopCtx{breakTo: exit, continueTo: post})
+	b.push()
+	if err := b.stmts(x.Body.Stmts); err != nil {
+		return err
+	}
+	b.pop()
+	b.loops = b.loops[:len(b.loops)-1]
+	b.br(post, x.Line)
+	b.cur = post
+	if x.Post != nil {
+		if err := b.stmt(x.Post); err != nil {
+			return err
+		}
+	}
+	b.br(head, x.Line)
+	b.cur = exit
+	return nil
+}
+
+func (b *builder) whileStmt(x *minic.WhileStmt) error {
+	head := b.fn.NewBlock()
+	body := b.fn.NewBlock()
+	exit := b.fn.NewBlock()
+	b.br(head, x.Line)
+	b.cur = head
+	cond, err := b.expr(x.Cond)
+	if err != nil {
+		return err
+	}
+	b.emit(&Instr{Op: OpCondBr, Dst: -1, Args: []Value{cond}, Tgts: []*Block{body, exit}, Line: x.Line})
+	b.cur = body
+	b.loops = append(b.loops, loopCtx{breakTo: exit, continueTo: head})
+	b.push()
+	if err := b.stmts(x.Body.Stmts); err != nil {
+		return err
+	}
+	b.pop()
+	b.loops = b.loops[:len(b.loops)-1]
+	b.br(head, x.Line)
+	b.cur = exit
+	return nil
+}
+
+// storeVar stores val into v's slot and records the debug update.
+func (b *builder) storeVar(v *Var, val Value, line int) {
+	b.emit(&Instr{Op: OpStoreSlot, Dst: -1, Slot: v.Slot, Args: []Value{ConstVal(0), val},
+		Width: intWidth(v.Type), Line: line})
+}
+
+func intWidth(t minic.Type) *minic.IntType {
+	if it, ok := t.(*minic.IntType); ok {
+		return it
+	}
+	return nil
+}
+
+// assign lowers LHS = RHS and returns nothing; used by statements and by
+// AssignExpr (which additionally wants the value).
+func (b *builder) assign(lhs, rhs minic.Expr, line int) error {
+	_, err := b.assignVal(lhs, rhs, line)
+	return err
+}
+
+func (b *builder) assignVal(lhs, rhs minic.Expr, line int) (Value, error) {
+	val, err := b.expr(rhs)
+	if err != nil {
+		return Value{}, err
+	}
+	// Truncate the value to the LHS type if needed.
+	if it, ok := lhs.ExprType().(*minic.IntType); ok {
+		if val.IsConst() {
+			val = ConstVal(it.Truncate(val.C))
+		} else if it.Width < 64 {
+			t := b.fn.NewTemp()
+			b.emit(&Instr{Op: OpCopy, Dst: t, Args: []Value{val}, Width: it, Line: line})
+			val = TempVal(t)
+		}
+	}
+	switch l := lhs.(type) {
+	case *minic.VarRef:
+		if v := b.lookupVar(l.Name); v != nil {
+			b.storeVar(v, val, line)
+			return val, nil
+		}
+		g := b.mod.Global(l.Name)
+		if g == nil {
+			return Value{}, fmt.Errorf("ir: line %d: unknown variable %q", line, l.Name)
+		}
+		b.emit(&Instr{Op: OpStoreG, Dst: -1, G: g, Args: []Value{ConstVal(0), val},
+			Width: intWidth(g.Type), Line: line})
+		return val, nil
+	case *minic.IndexExpr:
+		base, idx, err := b.indexChain(l)
+		if err != nil {
+			return Value{}, err
+		}
+		switch tgt := base.(type) {
+		case *Global:
+			b.emit(&Instr{Op: OpStoreG, Dst: -1, G: tgt, Args: []Value{idx, val},
+				Width: intWidth(l.ExprType()), Line: line})
+		case *Var:
+			b.emit(&Instr{Op: OpStoreSlot, Dst: -1, Slot: tgt.Slot, Args: []Value{idx, val},
+				Width: intWidth(l.ExprType()), Line: line})
+		case Value: // pointer base: computed address
+			addr := b.addInto(tgt, idx, line)
+			b.emit(&Instr{Op: OpStorePtr, Dst: -1, Args: []Value{addr, val},
+				Width: intWidth(l.ExprType()), Line: line})
+		}
+		return val, nil
+	case *minic.UnaryExpr: // *p = val
+		if l.Op != minic.Deref {
+			return Value{}, fmt.Errorf("ir: line %d: bad assignment target", line)
+		}
+		p, err := b.expr(l.X)
+		if err != nil {
+			return Value{}, err
+		}
+		b.emit(&Instr{Op: OpStorePtr, Dst: -1, Args: []Value{p, val},
+			Width: intWidth(l.ExprType()), Line: line})
+		return val, nil
+	}
+	return Value{}, fmt.Errorf("ir: line %d: bad assignment target %T", line, lhs)
+}
+
+// addInto emits base+idx unless idx is the constant 0.
+func (b *builder) addInto(base, idx Value, line int) Value {
+	if idx.IsConst() && idx.C == 0 {
+		return base
+	}
+	t := b.fn.NewTemp()
+	b.emit(&Instr{Op: OpBin, Dst: t, BinOp: minic.Add, Args: []Value{base, idx}, Line: line})
+	return TempVal(t)
+}
+
+// indexChain resolves a (possibly nested) IndexExpr down to its base object
+// and a flattened index value. The base is a *Global, a *Var (local array
+// slot), or a Value holding a computed pointer.
+func (b *builder) indexChain(e *minic.IndexExpr) (interface{}, Value, error) {
+	// Collect indices innermost-last.
+	var idxExprs []minic.Expr
+	var baseExpr minic.Expr = e
+	for {
+		ie, ok := baseExpr.(*minic.IndexExpr)
+		if !ok {
+			break
+		}
+		idxExprs = append([]minic.Expr{ie.Index}, idxExprs...)
+		baseExpr = ie.Base
+	}
+	// Determine the base object and its type.
+	var base interface{}
+	var baseType minic.Type
+	switch be := baseExpr.(type) {
+	case *minic.VarRef:
+		if v := b.lookupVar(be.Name); v != nil {
+			baseType = v.Type
+			if minic.IsPointer(v.Type) {
+				pv, err := b.expr(be)
+				if err != nil {
+					return nil, Value{}, err
+				}
+				base = pv
+				baseType = v.Type.(*minic.PointerType).Elem
+			} else {
+				base = v
+			}
+		} else if g := b.mod.Global(be.Name); g != nil {
+			baseType = g.Type
+			if minic.IsPointer(g.Type) {
+				pv, err := b.expr(be)
+				if err != nil {
+					return nil, Value{}, err
+				}
+				base = pv
+				baseType = g.Type.(*minic.PointerType).Elem
+			} else {
+				base = g
+			}
+		} else {
+			return nil, Value{}, fmt.Errorf("ir: line %d: unknown array %q", e.Line, be.Name)
+		}
+	default:
+		// Pointer-valued expression as base.
+		pv, err := b.expr(baseExpr)
+		if err != nil {
+			return nil, Value{}, err
+		}
+		base = pv
+		pt, ok := baseExpr.ExprType().(*minic.PointerType)
+		if !ok {
+			return nil, Value{}, fmt.Errorf("ir: line %d: bad index base", e.Line)
+		}
+		baseType = pt.Elem
+	}
+	// Flatten indices: for each dimension, scale by element size.
+	flat := ConstVal(0)
+	t := baseType
+	for i, ie := range idxExprs {
+		var elemSize int
+		if at, ok := t.(*minic.ArrayType); ok {
+			elemSize = at.Elem.Size()
+			t = at.Elem
+		} else {
+			elemSize = 1
+		}
+		iv, err := b.expr(ie)
+		if err != nil {
+			return nil, Value{}, err
+		}
+		scaled := iv
+		if elemSize != 1 {
+			if iv.IsConst() {
+				scaled = ConstVal(iv.C * int64(elemSize))
+			} else {
+				tt := b.fn.NewTemp()
+				b.emit(&Instr{Op: OpBin, Dst: tt, BinOp: minic.Mul,
+					Args: []Value{iv, ConstVal(int64(elemSize))}, Line: ie.Pos()})
+				scaled = TempVal(tt)
+			}
+		}
+		if i == 0 {
+			flat = scaled
+		} else {
+			flat = b.addInto(flat, scaled, ie.Pos())
+		}
+	}
+	return base, flat, nil
+}
+
+// expr lowers an expression and returns the resulting value.
+func (b *builder) expr(e minic.Expr) (Value, error) {
+	switch x := e.(type) {
+	case *minic.IntLit:
+		return ConstVal(x.Value), nil
+	case *minic.VarRef:
+		if v := b.lookupVar(x.Name); v != nil {
+			if minic.IsArray(v.Type) {
+				// Array decays to its address.
+				t := b.fn.NewTemp()
+				b.emit(&Instr{Op: OpAddrSlot, Dst: t, Slot: v.Slot, Args: []Value{ConstVal(0)}, Line: x.Line})
+				v.AddrTaken = true
+				return TempVal(t), nil
+			}
+			t := b.fn.NewTemp()
+			b.emit(&Instr{Op: OpLoadSlot, Dst: t, Slot: v.Slot, Args: []Value{ConstVal(0)},
+				Width: intWidth(v.Type), Line: x.Line})
+			return TempVal(t), nil
+		}
+		g := b.mod.Global(x.Name)
+		if g == nil {
+			return Value{}, fmt.Errorf("ir: line %d: unknown variable %q", x.Line, x.Name)
+		}
+		if minic.IsArray(g.Type) {
+			t := b.fn.NewTemp()
+			b.emit(&Instr{Op: OpAddrG, Dst: t, G: g, Args: []Value{ConstVal(0)}, Line: x.Line})
+			return TempVal(t), nil
+		}
+		t := b.fn.NewTemp()
+		b.emit(&Instr{Op: OpLoadG, Dst: t, G: g, Args: []Value{ConstVal(0)},
+			Width: intWidth(g.Type), Line: x.Line})
+		return TempVal(t), nil
+	case *minic.IndexExpr:
+		base, idx, err := b.indexChain(x)
+		if err != nil {
+			return Value{}, err
+		}
+		t := b.fn.NewTemp()
+		switch tgt := base.(type) {
+		case *Global:
+			b.emit(&Instr{Op: OpLoadG, Dst: t, G: tgt, Args: []Value{idx},
+				Width: intWidth(x.ExprType()), Line: x.Line})
+		case *Var:
+			b.emit(&Instr{Op: OpLoadSlot, Dst: t, Slot: tgt.Slot, Args: []Value{idx},
+				Width: intWidth(x.ExprType()), Line: x.Line})
+		case Value:
+			addr := b.addInto(tgt, idx, x.Line)
+			b.emit(&Instr{Op: OpLoadPtr, Dst: t, Args: []Value{addr},
+				Width: intWidth(x.ExprType()), Line: x.Line})
+		}
+		return TempVal(t), nil
+	case *minic.UnaryExpr:
+		return b.unary(x)
+	case *minic.BinaryExpr:
+		return b.binary(x)
+	case *minic.AssignExpr:
+		return b.assignVal(x.LHS, x.RHS, x.Line)
+	case *minic.CallExpr:
+		return b.call(x)
+	}
+	return Value{}, fmt.Errorf("ir: unknown expression %T", e)
+}
+
+func (b *builder) unary(x *minic.UnaryExpr) (Value, error) {
+	switch x.Op {
+	case minic.Addr:
+		switch tgt := x.X.(type) {
+		case *minic.VarRef:
+			if v := b.lookupVar(tgt.Name); v != nil {
+				v.AddrTaken = true
+				t := b.fn.NewTemp()
+				b.emit(&Instr{Op: OpAddrSlot, Dst: t, Slot: v.Slot, Args: []Value{ConstVal(0)}, Line: x.Line})
+				return TempVal(t), nil
+			}
+			g := b.mod.Global(tgt.Name)
+			if g == nil {
+				return Value{}, fmt.Errorf("ir: line %d: unknown variable %q", x.Line, tgt.Name)
+			}
+			t := b.fn.NewTemp()
+			b.emit(&Instr{Op: OpAddrG, Dst: t, G: g, Args: []Value{ConstVal(0)}, Line: x.Line})
+			return TempVal(t), nil
+		case *minic.IndexExpr:
+			base, idx, err := b.indexChain(tgt)
+			if err != nil {
+				return Value{}, err
+			}
+			t := b.fn.NewTemp()
+			switch bb := base.(type) {
+			case *Global:
+				b.emit(&Instr{Op: OpAddrG, Dst: t, G: bb, Args: []Value{idx}, Line: x.Line})
+			case *Var:
+				bb.AddrTaken = true
+				b.emit(&Instr{Op: OpAddrSlot, Dst: t, Slot: bb.Slot, Args: []Value{idx}, Line: x.Line})
+			case Value:
+				return b.addInto(bb, idx, x.Line), nil
+			}
+			return TempVal(t), nil
+		case *minic.UnaryExpr:
+			if tgt.Op == minic.Deref {
+				return b.expr(tgt.X) // &*p == p
+			}
+		}
+		return Value{}, fmt.Errorf("ir: line %d: cannot take address", x.Line)
+	case minic.Deref:
+		p, err := b.expr(x.X)
+		if err != nil {
+			return Value{}, err
+		}
+		t := b.fn.NewTemp()
+		b.emit(&Instr{Op: OpLoadPtr, Dst: t, Args: []Value{p},
+			Width: intWidth(x.ExprType()), Line: x.Line})
+		return TempVal(t), nil
+	default:
+		v, err := b.expr(x.X)
+		if err != nil {
+			return Value{}, err
+		}
+		t := b.fn.NewTemp()
+		b.emit(&Instr{Op: OpUn, Dst: t, UnOp: x.Op, Args: []Value{v},
+			Width: intWidth(x.ExprType()), Line: x.Line})
+		return TempVal(t), nil
+	}
+}
+
+func (b *builder) binary(x *minic.BinaryExpr) (Value, error) {
+	if x.Op.IsLogical() {
+		return b.logical(x)
+	}
+	l, err := b.expr(x.X)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := b.expr(x.Y)
+	if err != nil {
+		return Value{}, err
+	}
+	w := intWidth(x.ExprType())
+	if x.Op.IsComparison() {
+		// Comparisons use the left operand's signedness.
+		w = intWidth(x.X.ExprType())
+	}
+	t := b.fn.NewTemp()
+	b.emit(&Instr{Op: OpBin, Dst: t, BinOp: x.Op, Args: []Value{l, r}, Width: w, Line: x.Line})
+	return TempVal(t), nil
+}
+
+// logical lowers short-circuit && and || into control flow writing a result
+// register.
+func (b *builder) logical(x *minic.BinaryExpr) (Value, error) {
+	res := b.fn.NewTemp()
+	l, err := b.expr(x.X)
+	if err != nil {
+		return Value{}, err
+	}
+	lBool := b.fn.NewTemp()
+	b.emit(&Instr{Op: OpBin, Dst: lBool, BinOp: minic.Ne, Args: []Value{l, ConstVal(0)}, Line: x.Line})
+	evalRHS := b.fn.NewBlock()
+	short := b.fn.NewBlock()
+	done := b.fn.NewBlock()
+	if x.Op == minic.LogAnd {
+		b.emit(&Instr{Op: OpCondBr, Dst: -1, Args: []Value{TempVal(lBool)},
+			Tgts: []*Block{evalRHS, short}, Line: x.Line})
+	} else {
+		b.emit(&Instr{Op: OpCondBr, Dst: -1, Args: []Value{TempVal(lBool)},
+			Tgts: []*Block{short, evalRHS}, Line: x.Line})
+	}
+	// Short-circuit result.
+	b.cur = short
+	var sc int64
+	if x.Op == minic.LogOr {
+		sc = 1
+	}
+	b.emit(&Instr{Op: OpCopy, Dst: res, Args: []Value{ConstVal(sc)}, Line: x.Line})
+	b.br(done, x.Line)
+	// Full evaluation.
+	b.cur = evalRHS
+	r, err := b.expr(x.Y)
+	if err != nil {
+		return Value{}, err
+	}
+	b.emit(&Instr{Op: OpBin, Dst: res, BinOp: minic.Ne, Args: []Value{r, ConstVal(0)}, Line: x.Line})
+	b.br(done, x.Line)
+	b.cur = done
+	return TempVal(res), nil
+}
+
+func (b *builder) call(x *minic.CallExpr) (Value, error) {
+	callee := b.prog.Func(x.Name)
+	if callee == nil {
+		return Value{}, fmt.Errorf("ir: line %d: unknown function %q", x.Line, x.Name)
+	}
+	in := &Instr{Op: OpCall, Dst: -1, Call: x.Name, Line: x.Line}
+	for _, a := range x.Args {
+		v, err := b.expr(a)
+		if err != nil {
+			return Value{}, err
+		}
+		in.Args = append(in.Args, v)
+	}
+	if !minic.Equal(callee.Ret, minic.Void) {
+		in.Dst = b.fn.NewTemp()
+	}
+	b.emit(in)
+	if in.Dst >= 0 {
+		return TempVal(in.Dst), nil
+	}
+	return ConstVal(0), nil
+}

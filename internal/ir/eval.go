@@ -1,0 +1,131 @@
+package ir
+
+import "repro/internal/minic"
+
+// This file defines MiniC's defined arithmetic semantics in one place. The
+// IR interpreter, the constant folder, and the virtual machine all call
+// these helpers, so an optimization can never change observable behaviour by
+// disagreeing about edge cases (division by zero, shift overflow, wrapping).
+
+// width64 is the default arithmetic width when an instruction carries none.
+var width64 = minic.Int64
+
+// widthOf normalises a possibly-nil width annotation.
+func widthOf(w *minic.IntType) *minic.IntType {
+	if w == nil {
+		return width64
+	}
+	return w
+}
+
+// EvalBin evaluates a binary operation at the given width with MiniC's
+// defined semantics: wrap-around arithmetic, division by zero yields zero,
+// shift counts are masked to 0..63.
+func EvalBin(op minic.BinOp, a, b int64, w *minic.IntType) int64 {
+	w = widthOf(w)
+	var r int64
+	switch op {
+	case minic.Add:
+		r = a + b
+	case minic.Sub:
+		r = a - b
+	case minic.Mul:
+		r = a * b
+	case minic.Div:
+		if b == 0 {
+			return 0
+		}
+		if w.Unsigned {
+			r = int64(uint64(a) / uint64(b))
+		} else {
+			if a == -1<<63 && b == -1 {
+				r = a // wraps, like Go
+			} else {
+				r = a / b
+			}
+		}
+	case minic.Rem:
+		if b == 0 {
+			return 0
+		}
+		if w.Unsigned {
+			r = int64(uint64(a) % uint64(b))
+		} else {
+			if a == -1<<63 && b == -1 {
+				r = 0
+			} else {
+				r = a % b
+			}
+		}
+	case minic.And:
+		r = a & b
+	case minic.Or:
+		r = a | b
+	case minic.Xor:
+		r = a ^ b
+	case minic.Shl:
+		r = a << (uint64(b) & 63)
+	case minic.Shr:
+		s := uint64(b) & 63
+		if w.Unsigned {
+			// Mask the value to its width before the logical shift.
+			uv := uint64(a)
+			if w.Width < 64 {
+				uv &= 1<<uint(w.Width) - 1
+			}
+			r = int64(uv >> s)
+		} else {
+			r = a >> s
+		}
+	case minic.Eq:
+		return b2i(a == b)
+	case minic.Ne:
+		return b2i(a != b)
+	case minic.Lt:
+		if w.Unsigned {
+			return b2i(uint64(a) < uint64(b))
+		}
+		return b2i(a < b)
+	case minic.Le:
+		if w.Unsigned {
+			return b2i(uint64(a) <= uint64(b))
+		}
+		return b2i(a <= b)
+	case minic.Gt:
+		if w.Unsigned {
+			return b2i(uint64(a) > uint64(b))
+		}
+		return b2i(a > b)
+	case minic.Ge:
+		if w.Unsigned {
+			return b2i(uint64(a) >= uint64(b))
+		}
+		return b2i(a >= b)
+	case minic.LogAnd:
+		return b2i(a != 0 && b != 0)
+	case minic.LogOr:
+		return b2i(a != 0 || b != 0)
+	}
+	return w.Truncate(r)
+}
+
+// EvalUn evaluates a unary operation at the given width.
+func EvalUn(op minic.UnaryOp, a int64, w *minic.IntType) int64 {
+	w = widthOf(w)
+	switch op {
+	case minic.Neg:
+		return w.Truncate(-a)
+	case minic.LogNot:
+		return b2i(a == 0)
+	case minic.BitNot:
+		return w.Truncate(^a)
+	}
+	return a
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

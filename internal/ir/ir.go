@@ -1,0 +1,520 @@
+// Package ir defines the three-address intermediate representation of the
+// simulated optimizing compiler, including the debug-metadata intrinsics
+// (DbgVal) that the optimizer must maintain and that the paper's injected
+// implementation defects mishandle.
+//
+// The IR is register-based but not SSA: each source variable promoted by
+// mem2reg maps to one virtual register that may be redefined. Address-taken
+// locals and local arrays live in stack slots; globals live in module memory.
+// Every instruction carries the source line it implements and, when it was
+// produced by inlining, the inline site chain.
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/minic"
+)
+
+// Op enumerates IR operations.
+type Op int
+
+// IR operations.
+const (
+	OpCopy      Op = iota // Dst = Args[0]
+	OpUn                  // Dst = UnOp Args[0]
+	OpBin                 // Dst = Args[0] BinOp Args[1]
+	OpLoadG               // Dst = Global[Args[0]]
+	OpStoreG              // Global[Args[0]] = Args[1]
+	OpLoadSlot            // Dst = Slot[Args[0]]
+	OpStoreSlot           // Slot[Args[0]] = Args[1]
+	OpAddrG               // Dst = &Global + Args[0]
+	OpAddrSlot            // Dst = &Slot + Args[0]
+	OpLoadPtr             // Dst = *Args[0]
+	OpStorePtr            // *Args[0] = Args[1]
+	OpCall                // Dst = Callee(Args...); Dst < 0 for void
+	OpBr                  // goto Targets[0]
+	OpCondBr              // if Args[0] != 0 goto Targets[0] else Targets[1]
+	OpRet                 // return Args[0] if len(Args) > 0
+	OpDbgVal              // debug intrinsic: Var's value is Args[0] from here
+)
+
+var opNames = [...]string{
+	"copy", "un", "bin", "loadg", "storeg", "loadslot", "storeslot",
+	"addrg", "addrslot", "loadptr", "storeptr", "call", "br", "condbr",
+	"ret", "dbgval",
+}
+
+func (o Op) String() string { return opNames[o] }
+
+// IsTerminator reports whether o ends a basic block.
+func (o Op) IsTerminator() bool { return o == OpBr || o == OpCondBr || o == OpRet }
+
+// HasDst reports whether the operation defines a destination register.
+func (o Op) HasDst() bool {
+	switch o {
+	case OpCopy, OpUn, OpBin, OpLoadG, OpLoadSlot, OpAddrG, OpAddrSlot, OpLoadPtr:
+		return true
+	}
+	return false
+}
+
+// ValueKind tags the variants of Value.
+type ValueKind int
+
+// Value kinds.
+const (
+	Const   ValueKind = iota // a constant integer
+	Temp                     // a virtual register
+	Undef                    // no value (debug intrinsics only)
+	SlotRef                  // "lives in stack slot N" (debug intrinsics only)
+)
+
+// Value is an operand: a constant, a virtual register, or (for DbgVal only)
+// an undefined marker or a slot reference.
+type Value struct {
+	Kind ValueKind
+	Temp int   // register or slot index
+	C    int64 // constant payload
+}
+
+// ConstVal returns a constant value.
+func ConstVal(c int64) Value { return Value{Kind: Const, C: c} }
+
+// TempVal returns a register value.
+func TempVal(t int) Value { return Value{Kind: Temp, Temp: t} }
+
+// UndefVal returns the undefined marker.
+func UndefVal() Value { return Value{Kind: Undef} }
+
+// SlotVal returns a slot-reference value for debug intrinsics.
+func SlotVal(slot int) Value { return Value{Kind: SlotRef, Temp: slot} }
+
+// IsConst reports whether v is a constant.
+func (v Value) IsConst() bool { return v.Kind == Const }
+
+// IsTemp reports whether v is a register.
+func (v Value) IsTemp() bool { return v.Kind == Temp }
+
+func (v Value) String() string {
+	switch v.Kind {
+	case Const:
+		return fmt.Sprintf("%d", v.C)
+	case Temp:
+		return fmt.Sprintf("t%d", v.Temp)
+	case Undef:
+		return "undef"
+	case SlotRef:
+		return fmt.Sprintf("slot%d", v.Temp)
+	}
+	return "?"
+}
+
+// InlineSite records one level of inlining: the named callee was inlined at
+// CallLine of the function identified by Parent (nil parent = the enclosing
+// physical function). ID disambiguates multiple inlinings of the same callee.
+type InlineSite struct {
+	Callee   string
+	CallLine int
+	ID       int
+	Parent   *InlineSite
+}
+
+// Root returns the outermost inline site in the chain.
+func (s *InlineSite) Root() *InlineSite {
+	for s.Parent != nil {
+		s = s.Parent
+	}
+	return s
+}
+
+// Var is a source-level variable tracked by debug information.
+type Var struct {
+	Name      string
+	Type      minic.Type
+	DeclLine  int
+	Slot      int  // stack slot index, or -1 when register-promoted
+	AddrTaken bool // the program takes &v somewhere
+	IsParam   bool
+	Inlined   *InlineSite // non-nil when this var came from an inlined callee
+	// SuppressDIE marks variables for which a defective transformation
+	// lost all debug metadata in a way that prevents any DIE emission
+	// (the paper's "Missing DIE" manifestation).
+	SuppressDIE bool
+	// InNestedScope records that the variable was declared inside an
+	// unnamed brace scope (relevant to one catalogued gcc defect).
+	InNestedScope bool
+}
+
+func (v *Var) String() string { return v.Name }
+
+// Global is a module-level variable.
+type Global struct {
+	Name     string
+	Type     minic.Type
+	Size     int // flattened size in words
+	Init     []int64
+	Volatile bool
+	DeclLine int
+}
+
+// Debug-location flags carried on OpDbgVal intrinsics. They model damage
+// whose effect materialises during code generation: truncated ranges, wrong
+// frame attribution, abstract-origin-only emission.
+const (
+	// DbgTruncRange asks codegen to end this location's range early (just
+	// before the next call instruction), reproducing ranges that fail to
+	// cover a call site.
+	DbgTruncRange uint8 = 1 << iota
+	// DbgWrongFrame makes codegen attribute the location to the wrong
+	// (inlined) frame, so the debugger cannot resolve it at the point of
+	// interest.
+	DbgWrongFrame
+	// DbgAbstractOnly makes codegen place the location on the abstract
+	// origin DIE only. This is legitimate DWARF; one of the debuggers
+	// cannot consume it.
+	DbgAbstractOnly
+	// DbgEmptyRange makes codegen emit a zero-length range before the real
+	// one; one of the debuggers mishandles it and shows a stale value.
+	DbgEmptyRange
+)
+
+// Instr is one IR instruction.
+type Instr struct {
+	Op    Op
+	Dst   int // destination register, -1 when none
+	Args  []Value
+	UnOp  minic.UnaryOp  // for OpUn
+	BinOp minic.BinOp    // for OpBin
+	Width *minic.IntType // arithmetic width; nil means 64-bit
+	G     *Global        // for global memory ops
+	Slot  int            // for slot memory ops
+	Call  string         // callee name for OpCall
+	Tgts  []*Block       // branch targets
+	V     *Var           // for OpDbgVal
+	Flags uint8          // Dbg* flag bits, OpDbgVal only
+	Line  int            // source line (0 = artificial)
+	At    *InlineSite    // inline site chain, nil at top level
+}
+
+// Clone returns a shallow-control copy of the instruction (Args and Tgts
+// slices are fresh; referenced blocks/vars/globals are shared).
+func (in *Instr) Clone() *Instr {
+	cp := *in
+	cp.Args = append([]Value(nil), in.Args...)
+	cp.Tgts = append([]*Block(nil), in.Tgts...)
+	return &cp
+}
+
+func (in *Instr) String() string {
+	var sb strings.Builder
+	if in.Dst >= 0 {
+		fmt.Fprintf(&sb, "t%d = ", in.Dst)
+	}
+	switch in.Op {
+	case OpCopy:
+		fmt.Fprintf(&sb, "%s", in.Args[0])
+	case OpUn:
+		fmt.Fprintf(&sb, "%s%s", in.UnOp, in.Args[0])
+	case OpBin:
+		fmt.Fprintf(&sb, "%s %s %s", in.Args[0], in.BinOp, in.Args[1])
+	case OpLoadG:
+		fmt.Fprintf(&sb, "%s[%s]", in.G.Name, in.Args[0])
+	case OpStoreG:
+		fmt.Fprintf(&sb, "%s[%s] = %s", in.G.Name, in.Args[0], in.Args[1])
+	case OpLoadSlot:
+		fmt.Fprintf(&sb, "slot%d[%s]", in.Slot, in.Args[0])
+	case OpStoreSlot:
+		fmt.Fprintf(&sb, "slot%d[%s] = %s", in.Slot, in.Args[0], in.Args[1])
+	case OpAddrG:
+		fmt.Fprintf(&sb, "&%s + %s", in.G.Name, in.Args[0])
+	case OpAddrSlot:
+		fmt.Fprintf(&sb, "&slot%d + %s", in.Slot, in.Args[0])
+	case OpLoadPtr:
+		fmt.Fprintf(&sb, "*%s", in.Args[0])
+	case OpStorePtr:
+		fmt.Fprintf(&sb, "*%s = %s", in.Args[0], in.Args[1])
+	case OpCall:
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = a.String()
+		}
+		fmt.Fprintf(&sb, "call %s(%s)", in.Call, strings.Join(args, ", "))
+	case OpBr:
+		fmt.Fprintf(&sb, "br b%d", in.Tgts[0].ID)
+	case OpCondBr:
+		fmt.Fprintf(&sb, "condbr %s, b%d, b%d", in.Args[0], in.Tgts[0].ID, in.Tgts[1].ID)
+	case OpRet:
+		if len(in.Args) > 0 {
+			fmt.Fprintf(&sb, "ret %s", in.Args[0])
+		} else {
+			sb.WriteString("ret")
+		}
+	case OpDbgVal:
+		fmt.Fprintf(&sb, "dbgval %s = %s", in.V.Name, in.Args[0])
+	}
+	if in.Line > 0 {
+		fmt.Fprintf(&sb, "  ; line %d", in.Line)
+	}
+	if in.At != nil {
+		fmt.Fprintf(&sb, " (inlined %s@%d)", in.At.Callee, in.At.CallLine)
+	}
+	return sb.String()
+}
+
+// Block is a basic block: a label plus an instruction list ending in a
+// terminator.
+type Block struct {
+	ID     int
+	Instrs []*Instr
+}
+
+// Term returns the block terminator, or nil if the block is not terminated.
+func (b *Block) Term() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	last := b.Instrs[len(b.Instrs)-1]
+	if last.Op.IsTerminator() {
+		return last
+	}
+	return nil
+}
+
+// Succs returns the successor blocks.
+func (b *Block) Succs() []*Block {
+	t := b.Term()
+	if t == nil {
+		return nil
+	}
+	return t.Tgts
+}
+
+// Func is an IR function.
+type Func struct {
+	Name    string
+	HasRet  bool
+	Params  []*Var
+	Vars    []*Var // all source variables, including params and inlined vars
+	Blocks  []*Block
+	NTemp   int
+	NSlot   int
+	Slots   []int // size of each slot in words
+	Line    int
+	Opaque  bool
+	Pure    bool // side-effect-free; set by the ipa-pure-const analysis
+	nextBID int
+	nextIID int // inline site id counter
+}
+
+// NewTemp allocates a fresh virtual register.
+func (f *Func) NewTemp() int {
+	t := f.NTemp
+	f.NTemp++
+	return t
+}
+
+// NewSlot allocates a stack slot of the given size and returns its index.
+func (f *Func) NewSlot(size int) int {
+	s := f.NSlot
+	f.NSlot++
+	f.Slots = append(f.Slots, size)
+	return s
+}
+
+// NewBlock appends a fresh empty block.
+func (f *Func) NewBlock() *Block {
+	b := &Block{ID: f.nextBID}
+	f.nextBID++
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// NewInlineID returns a fresh inline-site identifier.
+func (f *Func) NewInlineID() int {
+	f.nextIID++
+	return f.nextIID
+}
+
+// Entry returns the entry block.
+func (f *Func) Entry() *Block { return f.Blocks[0] }
+
+// VarByName returns the non-inlined variable with the given name, or nil.
+func (f *Func) VarByName(name string) *Var {
+	for _, v := range f.Vars {
+		if v.Name == name && v.Inlined == nil {
+			return v
+		}
+	}
+	return nil
+}
+
+// Preds computes the predecessor map of the function's CFG.
+func (f *Func) Preds() map[*Block][]*Block {
+	preds := make(map[*Block][]*Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	return preds
+}
+
+// RemoveBlock deletes b from the block list (callers must fix branches).
+func (f *Func) RemoveBlock(b *Block) {
+	for i, bb := range f.Blocks {
+		if bb == b {
+			f.Blocks = append(f.Blocks[:i], f.Blocks[i+1:]...)
+			return
+		}
+	}
+}
+
+// Reachable returns the set of blocks reachable from the entry.
+func (f *Func) Reachable() map[*Block]bool {
+	seen := map[*Block]bool{}
+	var stack []*Block
+	if len(f.Blocks) > 0 {
+		stack = append(stack, f.Entry())
+		seen[f.Entry()] = true
+	}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs() {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// String renders the function as readable IR text.
+func (f *Func) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s:\n", f.Name)
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "b%d:\n", b.ID)
+		for _, in := range b.Instrs {
+			fmt.Fprintf(&sb, "  %s\n", in)
+		}
+	}
+	return sb.String()
+}
+
+// Module is a compiled translation unit before code generation.
+type Module struct {
+	Globals []*Global
+	Funcs   []*Func
+	NLines  int // number of source lines, for metric denominators
+}
+
+// Func returns the function named name, or nil.
+func (m *Module) Func(name string) *Func {
+	for _, f := range m.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Global returns the global named name, or nil.
+func (m *Module) Global(name string) *Global {
+	for _, g := range m.Globals {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+// String renders the whole module.
+func (m *Module) String() string {
+	var sb strings.Builder
+	for _, g := range m.Globals {
+		fmt.Fprintf(&sb, "global %s size=%d volatile=%v\n", g.Name, g.Size, g.Volatile)
+	}
+	for _, f := range m.Funcs {
+		if f.Opaque {
+			fmt.Fprintf(&sb, "extern func %s\n", f.Name)
+			continue
+		}
+		sb.WriteString(f.String())
+	}
+	return sb.String()
+}
+
+// Clone deep-copies the module so that destructive pass pipelines can run on
+// independent instances (the triage machinery recompiles many variants).
+func (m *Module) Clone() *Module {
+	out := &Module{NLines: m.NLines}
+	gmap := map[*Global]*Global{}
+	for _, g := range m.Globals {
+		ng := &Global{Name: g.Name, Type: g.Type, Size: g.Size,
+			Init: append([]int64(nil), g.Init...), Volatile: g.Volatile, DeclLine: g.DeclLine}
+		gmap[g] = ng
+		out.Globals = append(out.Globals, ng)
+	}
+	for _, f := range m.Funcs {
+		out.Funcs = append(out.Funcs, cloneFunc(f, gmap))
+	}
+	return out
+}
+
+func cloneFunc(f *Func, gmap map[*Global]*Global) *Func {
+	nf := &Func{Name: f.Name, HasRet: f.HasRet, NTemp: f.NTemp, NSlot: f.NSlot,
+		Slots: append([]int(nil), f.Slots...), Line: f.Line, Opaque: f.Opaque,
+		Pure: f.Pure, nextBID: f.nextBID, nextIID: f.nextIID}
+	vmap := map[*Var]*Var{}
+	smap := map[*InlineSite]*InlineSite{}
+	var cloneSite func(s *InlineSite) *InlineSite
+	cloneSite = func(s *InlineSite) *InlineSite {
+		if s == nil {
+			return nil
+		}
+		if ns, ok := smap[s]; ok {
+			return ns
+		}
+		ns := &InlineSite{Callee: s.Callee, CallLine: s.CallLine, ID: s.ID, Parent: cloneSite(s.Parent)}
+		smap[s] = ns
+		return ns
+	}
+	for _, v := range f.Vars {
+		nv := &Var{Name: v.Name, Type: v.Type, DeclLine: v.DeclLine, Slot: v.Slot,
+			AddrTaken: v.AddrTaken, IsParam: v.IsParam, Inlined: cloneSite(v.Inlined),
+			SuppressDIE: v.SuppressDIE, InNestedScope: v.InNestedScope}
+		vmap[v] = nv
+		nf.Vars = append(nf.Vars, nv)
+	}
+	for _, p := range f.Params {
+		nf.Params = append(nf.Params, vmap[p])
+	}
+	bmap := map[*Block]*Block{}
+	for _, b := range f.Blocks {
+		nb := &Block{ID: b.ID}
+		bmap[b] = nb
+		nf.Blocks = append(nf.Blocks, nb)
+	}
+	for _, b := range f.Blocks {
+		nb := bmap[b]
+		for _, in := range b.Instrs {
+			ni := in.Clone()
+			if ni.G != nil {
+				ni.G = gmap[ni.G]
+			}
+			if ni.V != nil {
+				ni.V = vmap[ni.V]
+			}
+			ni.At = cloneSite(in.At)
+			for i, t := range ni.Tgts {
+				ni.Tgts[i] = bmap[t]
+			}
+			nb.Instrs = append(nb.Instrs, ni)
+		}
+	}
+	return nf
+}

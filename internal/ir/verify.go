@@ -1,0 +1,97 @@
+package ir
+
+import "fmt"
+
+// Verify checks structural invariants of a module: every block ends in
+// exactly one terminator (and only at the end), branch targets belong to the
+// function, register and slot indices are in range, and debug intrinsics
+// reference variables of the function. The optimizer runs the verifier after
+// every pass in tests.
+func Verify(m *Module) error {
+	for _, f := range m.Funcs {
+		if f.Opaque {
+			continue
+		}
+		if err := verifyFunc(f); err != nil {
+			return fmt.Errorf("func %s: %w", f.Name, err)
+		}
+	}
+	return nil
+}
+
+func verifyFunc(f *Func) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("no blocks")
+	}
+	inFunc := map[*Block]bool{}
+	for _, b := range f.Blocks {
+		inFunc[b] = true
+	}
+	vars := map[*Var]bool{}
+	for _, v := range f.Vars {
+		vars[v] = true
+	}
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 0 {
+			return fmt.Errorf("b%d: empty block", b.ID)
+		}
+		for i, in := range b.Instrs {
+			isLast := i == len(b.Instrs)-1
+			if in.Op.IsTerminator() != isLast {
+				if isLast {
+					return fmt.Errorf("b%d: does not end in a terminator", b.ID)
+				}
+				return fmt.Errorf("b%d: terminator %v in mid-block position %d", b.ID, in.Op, i)
+			}
+			if in.Op.HasDst() {
+				if in.Dst < 0 || in.Dst >= f.NTemp {
+					return fmt.Errorf("b%d[%d]: bad dst t%d", b.ID, i, in.Dst)
+				}
+			}
+			for _, a := range in.Args {
+				if a.Kind == Temp && (a.Temp < 0 || a.Temp >= f.NTemp) {
+					return fmt.Errorf("b%d[%d]: bad temp operand t%d", b.ID, i, a.Temp)
+				}
+				if a.Kind == SlotRef && in.Op != OpDbgVal {
+					return fmt.Errorf("b%d[%d]: slot-ref operand outside dbgval", b.ID, i)
+				}
+				if a.Kind == Undef && in.Op != OpDbgVal {
+					return fmt.Errorf("b%d[%d]: undef operand outside dbgval", b.ID, i)
+				}
+			}
+			switch in.Op {
+			case OpLoadSlot, OpStoreSlot, OpAddrSlot:
+				if in.Slot < 0 || in.Slot >= f.NSlot {
+					return fmt.Errorf("b%d[%d]: bad slot %d", b.ID, i, in.Slot)
+				}
+			case OpLoadG, OpStoreG, OpAddrG:
+				if in.G == nil {
+					return fmt.Errorf("b%d[%d]: nil global", b.ID, i)
+				}
+			case OpBr:
+				if len(in.Tgts) != 1 || !inFunc[in.Tgts[0]] {
+					return fmt.Errorf("b%d[%d]: bad br target", b.ID, i)
+				}
+			case OpCondBr:
+				if len(in.Tgts) != 2 || !inFunc[in.Tgts[0]] || !inFunc[in.Tgts[1]] {
+					return fmt.Errorf("b%d[%d]: bad condbr targets", b.ID, i)
+				}
+				if len(in.Args) != 1 {
+					return fmt.Errorf("b%d[%d]: condbr needs one operand", b.ID, i)
+				}
+			case OpDbgVal:
+				if in.V == nil || !vars[in.V] {
+					return fmt.Errorf("b%d[%d]: dbgval references foreign variable", b.ID, i)
+				}
+				if len(in.Args) != 1 {
+					return fmt.Errorf("b%d[%d]: dbgval needs one operand", b.ID, i)
+				}
+			case OpRet:
+				if f.HasRet && len(in.Args) == 0 {
+					return fmt.Errorf("b%d[%d]: ret without value in value-returning function", b.ID, i)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+// Package metrics computes the paper's quantitative-study measures (§2):
+// line coverage and availability of variables of an optimized executable
+// relative to its -O0 counterpart, plus their product.
+package metrics
+
+import (
+	"repro/internal/debugger"
+)
+
+// Metrics holds the three per-program measures.
+type Metrics struct {
+	LineCoverage float64
+	Availability float64
+	Product      float64
+}
+
+// Compute derives the metrics for an optimized trace against the
+// unoptimized reference trace of the same program.
+//
+//   - Line coverage: unique source lines the debugger stepped on, relative
+//     to the reference.
+//   - Availability of variables: for each line stepped in both traces, the
+//     ratio of available variables to the reference's, averaged.
+func Compute(opt, ref *debugger.Trace) Metrics {
+	m := Metrics{}
+	refLines := ref.HitLines()
+	if len(refLines) > 0 {
+		hit := 0
+		for _, l := range refLines {
+			if opt.Stops[l] != nil {
+				hit++
+			}
+		}
+		m.LineCoverage = float64(hit) / float64(len(refLines))
+	}
+	var sum float64
+	var n int
+	for _, l := range refLines {
+		so := opt.Stops[l]
+		sr := ref.Stops[l]
+		if so == nil || sr == nil {
+			continue
+		}
+		refAvail := countAvailable(sr)
+		if refAvail == 0 {
+			continue // no variables to compare on this line
+		}
+		optAvail := 0
+		for _, v := range sr.Vars {
+			if v.State != debugger.Available {
+				continue
+			}
+			if so.Var(v.Name).State == debugger.Available {
+				optAvail++
+			}
+		}
+		sum += float64(optAvail) / float64(refAvail)
+		n++
+	}
+	if n > 0 {
+		m.Availability = sum / float64(n)
+	}
+	m.Product = m.LineCoverage * m.Availability
+	return m
+}
+
+func countAvailable(s *debugger.Stop) int {
+	n := 0
+	for _, v := range s.Vars {
+		if v.State == debugger.Available {
+			n++
+		}
+	}
+	return n
+}
+
+// Mean averages a set of per-program metrics (the paper's global average
+// over the testing pool).
+func Mean(ms []Metrics) Metrics {
+	if len(ms) == 0 {
+		return Metrics{}
+	}
+	var out Metrics
+	for _, m := range ms {
+		out.LineCoverage += m.LineCoverage
+		out.Availability += m.Availability
+		out.Product += m.Product
+	}
+	n := float64(len(ms))
+	out.LineCoverage /= n
+	out.Availability /= n
+	out.Product /= n
+	return out
+}

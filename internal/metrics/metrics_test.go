@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/debugger"
+)
+
+func stop(line int, vars map[string]debugger.VarState) *debugger.Stop {
+	s := &debugger.Stop{Line: line}
+	for n, st := range vars {
+		s.Vars = append(s.Vars, debugger.Variable{Name: n, State: st})
+	}
+	return s
+}
+
+func TestComputeIdenticalTracesScoreOne(t *testing.T) {
+	tr := &debugger.Trace{Stops: map[int]*debugger.Stop{
+		3: stop(3, map[string]debugger.VarState{"x": debugger.Available}),
+		4: stop(4, map[string]debugger.VarState{"x": debugger.Available, "y": debugger.Available}),
+	}}
+	m := Compute(tr, tr)
+	if m.LineCoverage != 1 || m.Availability != 1 || m.Product != 1 {
+		t.Errorf("self comparison = %+v, want all 1", m)
+	}
+}
+
+func TestComputeLineLoss(t *testing.T) {
+	ref := &debugger.Trace{Stops: map[int]*debugger.Stop{
+		3: stop(3, map[string]debugger.VarState{"x": debugger.Available}),
+		4: stop(4, map[string]debugger.VarState{"x": debugger.Available}),
+		5: stop(5, map[string]debugger.VarState{"x": debugger.Available}),
+		6: stop(6, map[string]debugger.VarState{"x": debugger.Available}),
+	}}
+	opt := &debugger.Trace{Stops: map[int]*debugger.Stop{
+		3: ref.Stops[3],
+		5: ref.Stops[5],
+	}}
+	m := Compute(opt, ref)
+	if m.LineCoverage != 0.5 {
+		t.Errorf("line coverage = %v, want 0.5", m.LineCoverage)
+	}
+	if m.Availability != 1 {
+		t.Errorf("availability on shared lines = %v, want 1", m.Availability)
+	}
+	if m.Product != 0.5 {
+		t.Errorf("product = %v, want 0.5", m.Product)
+	}
+}
+
+func TestComputeAvailabilityLoss(t *testing.T) {
+	ref := &debugger.Trace{Stops: map[int]*debugger.Stop{
+		3: stop(3, map[string]debugger.VarState{"x": debugger.Available, "y": debugger.Available}),
+	}}
+	opt := &debugger.Trace{Stops: map[int]*debugger.Stop{
+		3: stop(3, map[string]debugger.VarState{"x": debugger.Available, "y": debugger.OptimizedOut}),
+	}}
+	m := Compute(opt, ref)
+	if m.Availability != 0.5 {
+		t.Errorf("availability = %v, want 0.5", m.Availability)
+	}
+}
+
+func TestComputeSkipsVarlessLines(t *testing.T) {
+	ref := &debugger.Trace{Stops: map[int]*debugger.Stop{
+		3: stop(3, nil), // no variables: the ratio is undefined there
+		4: stop(4, map[string]debugger.VarState{"x": debugger.Available}),
+	}}
+	opt := &debugger.Trace{Stops: map[int]*debugger.Stop{
+		3: stop(3, nil),
+		4: stop(4, map[string]debugger.VarState{"x": debugger.Available}),
+	}}
+	if m := Compute(opt, ref); m.Availability != 1 {
+		t.Errorf("availability = %v, want 1", m.Availability)
+	}
+}
+
+func TestMean(t *testing.T) {
+	ms := []Metrics{
+		{LineCoverage: 1, Availability: 0.5, Product: 0.5},
+		{LineCoverage: 0.5, Availability: 1, Product: 0.5},
+	}
+	mean := Mean(ms)
+	if mean.LineCoverage != 0.75 || mean.Availability != 0.75 || mean.Product != 0.5 {
+		t.Errorf("mean = %+v", mean)
+	}
+	zero := Mean(nil)
+	if zero.LineCoverage != 0 {
+		t.Errorf("empty mean = %+v", zero)
+	}
+}
+
+func TestMetricsBoundedProperty(t *testing.T) {
+	// Whatever the traces, all metrics stay within [0, 1].
+	f := func(optAvail []bool, lines []uint8) bool {
+		ref := &debugger.Trace{Stops: map[int]*debugger.Stop{}}
+		opt := &debugger.Trace{Stops: map[int]*debugger.Stop{}}
+		for i, l := range lines {
+			line := int(l)%20 + 1
+			ref.Stops[line] = stop(line, map[string]debugger.VarState{"x": debugger.Available})
+			st := debugger.OptimizedOut
+			if i < len(optAvail) && optAvail[i] {
+				st = debugger.Available
+			}
+			if i%3 != 0 {
+				opt.Stops[line] = stop(line, map[string]debugger.VarState{"x": st})
+			}
+		}
+		m := Compute(opt, ref)
+		ok := func(v float64) bool { return v >= 0 && v <= 1 && !math.IsNaN(v) }
+		return ok(m.LineCoverage) && ok(m.Availability) && ok(m.Product)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,416 @@
+package minic
+
+// This file defines the MiniC abstract syntax tree. Every statement and
+// expression carries the source line it appears on; for generated programs
+// the layout pass (AssignLines) synchronises lines with the printer so that
+// the debugger, the conjecture checkers, and the reducer all agree on line
+// identity.
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() int // source line, 1-based; 0 if not laid out yet
+}
+
+// Program is a whole MiniC translation unit.
+type Program struct {
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// GlobalDecl declares a file-scope variable, optionally volatile and
+// optionally initialised.
+type GlobalDecl struct {
+	Name     string
+	Type     Type
+	Volatile bool
+	Init     *InitValue // nil means zero-initialised
+	Line     int
+}
+
+func (d *GlobalDecl) Pos() int { return d.Line }
+
+// InitValue is a (possibly nested) initialiser: either a scalar or a list.
+type InitValue struct {
+	Scalar int64
+	List   []*InitValue // non-nil for aggregate initialisers
+}
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	Type Type
+}
+
+// FuncDecl declares (and, unless Opaque, defines) a function.
+type FuncDecl struct {
+	Name   string
+	Params []*Param
+	Ret    Type
+	Body   *Block // nil when Opaque
+	Opaque bool   // declared extern: the optimizer knows nothing about it
+	Line   int
+}
+
+func (d *FuncDecl) Pos() int { return d.Line }
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmt()
+}
+
+// Block is a brace-delimited statement list.
+type Block struct {
+	Stmts []Stmt
+	Line  int
+}
+
+// VarDecl is a single local variable declaration with optional initialiser.
+type VarDecl struct {
+	Name string
+	Type Type
+	Init Expr // may be nil
+	Line int
+}
+
+// DeclStmt declares one or more local variables.
+type DeclStmt struct {
+	Vars []*VarDecl
+	Line int
+}
+
+// AssignStmt assigns RHS to LHS. LHS is a VarRef, IndexExpr or UnaryExpr
+// with op Deref.
+type AssignStmt struct {
+	LHS  Expr
+	RHS  Expr
+	Line int
+}
+
+// IfStmt is a conditional with optional else branch.
+type IfStmt struct {
+	Cond Expr
+	Then *Block
+	Else *Block // may be nil
+	Line int
+}
+
+// ForStmt is a C-style for loop; any of Init, Cond, Post may be nil.
+type ForStmt struct {
+	Init Stmt // DeclStmt or AssignStmt
+	Cond Expr
+	Post Stmt // AssignStmt
+	Body *Block
+	Line int
+}
+
+// WhileStmt loops while Cond is nonzero.
+type WhileStmt struct {
+	Cond Expr
+	Body *Block
+	Line int
+}
+
+// ExprStmt evaluates an expression for its side effects (calls, assignment
+// expressions).
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+// ReturnStmt returns from the enclosing function.
+type ReturnStmt struct {
+	X    Expr // nil for void returns
+	Line int
+}
+
+// GotoStmt jumps to a label in the same function.
+type GotoStmt struct {
+	Label string
+	Line  int
+}
+
+// LabeledStmt attaches a label to a statement.
+type LabeledStmt struct {
+	Label string
+	Stmt  Stmt
+	Line  int
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt jumps to the next iteration of the innermost loop.
+type ContinueStmt struct{ Line int }
+
+func (s *Block) stmt()        {}
+func (s *DeclStmt) stmt()     {}
+func (s *AssignStmt) stmt()   {}
+func (s *IfStmt) stmt()       {}
+func (s *ForStmt) stmt()      {}
+func (s *WhileStmt) stmt()    {}
+func (s *ExprStmt) stmt()     {}
+func (s *ReturnStmt) stmt()   {}
+func (s *GotoStmt) stmt()     {}
+func (s *LabeledStmt) stmt()  {}
+func (s *BreakStmt) stmt()    {}
+func (s *ContinueStmt) stmt() {}
+
+func (s *Block) Pos() int        { return s.Line }
+func (s *DeclStmt) Pos() int     { return s.Line }
+func (s *AssignStmt) Pos() int   { return s.Line }
+func (s *IfStmt) Pos() int       { return s.Line }
+func (s *ForStmt) Pos() int      { return s.Line }
+func (s *WhileStmt) Pos() int    { return s.Line }
+func (s *ExprStmt) Pos() int     { return s.Line }
+func (s *ReturnStmt) Pos() int   { return s.Line }
+func (s *GotoStmt) Pos() int     { return s.Line }
+func (s *LabeledStmt) Pos() int  { return s.Line }
+func (s *BreakStmt) Pos() int    { return s.Line }
+func (s *ContinueStmt) Pos() int { return s.Line }
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	Node
+	expr()
+	// Type returns the checked type of the expression; nil before checking.
+	ExprType() Type
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Value int64
+	Typ   Type
+	Line  int
+}
+
+// VarRef names a local, parameter or global.
+type VarRef struct {
+	Name string
+	Typ  Type
+	Line int
+}
+
+// IndexExpr indexes an array: Base[Index]. Multi-dimensional accesses nest.
+type IndexExpr struct {
+	Base  Expr
+	Index Expr
+	Typ   Type
+	Line  int
+}
+
+// UnaryOp enumerates unary operators.
+type UnaryOp int
+
+// Unary operators.
+const (
+	Neg    UnaryOp = iota // -x
+	LogNot                // !x
+	BitNot                // ~x
+	Addr                  // &x
+	Deref                 // *x
+)
+
+func (op UnaryOp) String() string {
+	return [...]string{"-", "!", "~", "&", "*"}[op]
+}
+
+// UnaryExpr applies a unary operator.
+type UnaryExpr struct {
+	Op   UnaryOp
+	X    Expr
+	Typ  Type
+	Line int
+}
+
+// BinOp enumerates binary operators.
+type BinOp int
+
+// Binary operators.
+const (
+	Add BinOp = iota
+	Sub
+	Mul
+	Div
+	Rem
+	And
+	Or
+	Xor
+	Shl
+	Shr
+	Eq
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+	LogAnd
+	LogOr
+)
+
+func (op BinOp) String() string {
+	return [...]string{"+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>",
+		"==", "!=", "<", "<=", ">", ">=", "&&", "||"}[op]
+}
+
+// IsComparison reports whether op yields a boolean 0/1 result.
+func (op BinOp) IsComparison() bool { return op >= Eq && op <= Ge }
+
+// IsLogical reports whether op is short-circuiting.
+func (op BinOp) IsLogical() bool { return op == LogAnd || op == LogOr }
+
+// BinaryExpr applies a binary operator.
+type BinaryExpr struct {
+	Op   BinOp
+	X, Y Expr
+	Typ  Type
+	Line int
+}
+
+// AssignExpr is an assignment used as an expression, e.g. (v2 = a) == 0.
+type AssignExpr struct {
+	LHS  Expr // VarRef, IndexExpr, or Deref UnaryExpr
+	RHS  Expr
+	Typ  Type
+	Line int
+}
+
+// CallExpr calls a named function.
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Typ  Type
+	Line int
+}
+
+func (e *IntLit) expr()     {}
+func (e *VarRef) expr()     {}
+func (e *IndexExpr) expr()  {}
+func (e *UnaryExpr) expr()  {}
+func (e *BinaryExpr) expr() {}
+func (e *AssignExpr) expr() {}
+func (e *CallExpr) expr()   {}
+
+func (e *IntLit) Pos() int     { return e.Line }
+func (e *VarRef) Pos() int     { return e.Line }
+func (e *IndexExpr) Pos() int  { return e.Line }
+func (e *UnaryExpr) Pos() int  { return e.Line }
+func (e *BinaryExpr) Pos() int { return e.Line }
+func (e *AssignExpr) Pos() int { return e.Line }
+func (e *CallExpr) Pos() int   { return e.Line }
+
+func (e *IntLit) ExprType() Type     { return e.Typ }
+func (e *VarRef) ExprType() Type     { return e.Typ }
+func (e *IndexExpr) ExprType() Type  { return e.Typ }
+func (e *UnaryExpr) ExprType() Type  { return e.Typ }
+func (e *BinaryExpr) ExprType() Type { return e.Typ }
+func (e *AssignExpr) ExprType() Type { return e.Typ }
+func (e *CallExpr) ExprType() Type   { return e.Typ }
+
+// Func returns the function named name, or nil.
+func (p *Program) Func(name string) *FuncDecl {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Global returns the global named name, or nil.
+func (p *Program) Global(name string) *GlobalDecl {
+	for _, g := range p.Globals {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+// WalkExpr calls fn for e and every sub-expression, pre-order. If fn returns
+// false the walk does not descend into the node's children.
+func WalkExpr(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	switch x := e.(type) {
+	case *IndexExpr:
+		WalkExpr(x.Base, fn)
+		WalkExpr(x.Index, fn)
+	case *UnaryExpr:
+		WalkExpr(x.X, fn)
+	case *BinaryExpr:
+		WalkExpr(x.X, fn)
+		WalkExpr(x.Y, fn)
+	case *AssignExpr:
+		WalkExpr(x.LHS, fn)
+		WalkExpr(x.RHS, fn)
+	case *CallExpr:
+		for _, a := range x.Args {
+			WalkExpr(a, fn)
+		}
+	}
+}
+
+// WalkStmt calls fn for s and every nested statement, pre-order. If fn
+// returns false the walk does not descend.
+func WalkStmt(s Stmt, fn func(Stmt) bool) {
+	if s == nil || !fn(s) {
+		return
+	}
+	switch x := s.(type) {
+	case *Block:
+		for _, st := range x.Stmts {
+			WalkStmt(st, fn)
+		}
+	case *IfStmt:
+		WalkStmt(x.Then, fn)
+		if x.Else != nil {
+			WalkStmt(x.Else, fn)
+		}
+	case *ForStmt:
+		if x.Init != nil {
+			WalkStmt(x.Init, fn)
+		}
+		if x.Post != nil {
+			WalkStmt(x.Post, fn)
+		}
+		WalkStmt(x.Body, fn)
+	case *WhileStmt:
+		WalkStmt(x.Body, fn)
+	case *LabeledStmt:
+		WalkStmt(x.Stmt, fn)
+	}
+}
+
+// Exprs returns the expressions directly contained in s (not recursing into
+// nested statements).
+func Exprs(s Stmt) []Expr {
+	switch x := s.(type) {
+	case *DeclStmt:
+		var out []Expr
+		for _, v := range x.Vars {
+			if v.Init != nil {
+				out = append(out, v.Init)
+			}
+		}
+		return out
+	case *AssignStmt:
+		return []Expr{x.LHS, x.RHS}
+	case *IfStmt:
+		return []Expr{x.Cond}
+	case *ForStmt:
+		if x.Cond != nil {
+			return []Expr{x.Cond}
+		}
+	case *WhileStmt:
+		return []Expr{x.Cond}
+	case *ExprStmt:
+		return []Expr{x.X}
+	case *ReturnStmt:
+		if x.X != nil {
+			return []Expr{x.X}
+		}
+	}
+	return nil
+}

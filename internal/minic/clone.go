@@ -1,0 +1,127 @@
+package minic
+
+// Clone returns a deep copy of prog. Types are shared (they are immutable);
+// all declarations, statements and expressions are fresh nodes. The reducer
+// relies on Clone to mutate candidate programs without disturbing the
+// original.
+func Clone(p *Program) *Program {
+	out := &Program{}
+	for _, g := range p.Globals {
+		out.Globals = append(out.Globals, &GlobalDecl{
+			Name: g.Name, Type: g.Type, Volatile: g.Volatile,
+			Init: cloneInit(g.Init), Line: g.Line,
+		})
+	}
+	for _, f := range p.Funcs {
+		nf := &FuncDecl{Name: f.Name, Ret: f.Ret, Opaque: f.Opaque, Line: f.Line}
+		for _, pa := range f.Params {
+			nf.Params = append(nf.Params, &Param{Name: pa.Name, Type: pa.Type})
+		}
+		if f.Body != nil {
+			nf.Body = cloneBlock(f.Body)
+		}
+		out.Funcs = append(out.Funcs, nf)
+	}
+	return out
+}
+
+func cloneInit(iv *InitValue) *InitValue {
+	if iv == nil {
+		return nil
+	}
+	out := &InitValue{Scalar: iv.Scalar}
+	if iv.List != nil {
+		out.List = make([]*InitValue, len(iv.List))
+		for i, sub := range iv.List {
+			out.List[i] = cloneInit(sub)
+		}
+	}
+	return out
+}
+
+func cloneBlock(b *Block) *Block {
+	out := &Block{Line: b.Line}
+	for _, s := range b.Stmts {
+		out.Stmts = append(out.Stmts, CloneStmt(s))
+	}
+	return out
+}
+
+// CloneStmt returns a deep copy of a statement.
+func CloneStmt(s Stmt) Stmt {
+	switch x := s.(type) {
+	case *Block:
+		return cloneBlock(x)
+	case *DeclStmt:
+		out := &DeclStmt{Line: x.Line}
+		for _, v := range x.Vars {
+			out.Vars = append(out.Vars, &VarDecl{
+				Name: v.Name, Type: v.Type, Init: CloneExpr(v.Init), Line: v.Line,
+			})
+		}
+		return out
+	case *AssignStmt:
+		return &AssignStmt{LHS: CloneExpr(x.LHS), RHS: CloneExpr(x.RHS), Line: x.Line}
+	case *IfStmt:
+		out := &IfStmt{Cond: CloneExpr(x.Cond), Then: cloneBlock(x.Then), Line: x.Line}
+		if x.Else != nil {
+			out.Else = cloneBlock(x.Else)
+		}
+		return out
+	case *ForStmt:
+		out := &ForStmt{Body: cloneBlock(x.Body), Line: x.Line}
+		if x.Init != nil {
+			out.Init = CloneStmt(x.Init)
+		}
+		if x.Cond != nil {
+			out.Cond = CloneExpr(x.Cond)
+		}
+		if x.Post != nil {
+			out.Post = CloneStmt(x.Post)
+		}
+		return out
+	case *WhileStmt:
+		return &WhileStmt{Cond: CloneExpr(x.Cond), Body: cloneBlock(x.Body), Line: x.Line}
+	case *ExprStmt:
+		return &ExprStmt{X: CloneExpr(x.X), Line: x.Line}
+	case *ReturnStmt:
+		return &ReturnStmt{X: CloneExpr(x.X), Line: x.Line}
+	case *GotoStmt:
+		return &GotoStmt{Label: x.Label, Line: x.Line}
+	case *LabeledStmt:
+		return &LabeledStmt{Label: x.Label, Stmt: CloneStmt(x.Stmt), Line: x.Line}
+	case *BreakStmt:
+		return &BreakStmt{Line: x.Line}
+	case *ContinueStmt:
+		return &ContinueStmt{Line: x.Line}
+	}
+	panic("minic: CloneStmt: unknown statement")
+}
+
+// CloneExpr returns a deep copy of an expression (nil-safe).
+func CloneExpr(e Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *IntLit:
+		return &IntLit{Value: x.Value, Typ: x.Typ, Line: x.Line}
+	case *VarRef:
+		return &VarRef{Name: x.Name, Typ: x.Typ, Line: x.Line}
+	case *IndexExpr:
+		return &IndexExpr{Base: CloneExpr(x.Base), Index: CloneExpr(x.Index), Typ: x.Typ, Line: x.Line}
+	case *UnaryExpr:
+		return &UnaryExpr{Op: x.Op, X: CloneExpr(x.X), Typ: x.Typ, Line: x.Line}
+	case *BinaryExpr:
+		return &BinaryExpr{Op: x.Op, X: CloneExpr(x.X), Y: CloneExpr(x.Y), Typ: x.Typ, Line: x.Line}
+	case *AssignExpr:
+		return &AssignExpr{LHS: CloneExpr(x.LHS), RHS: CloneExpr(x.RHS), Typ: x.Typ, Line: x.Line}
+	case *CallExpr:
+		out := &CallExpr{Name: x.Name, Typ: x.Typ, Line: x.Line}
+		for _, a := range x.Args {
+			out.Args = append(out.Args, CloneExpr(a))
+		}
+		return out
+	}
+	panic("minic: CloneExpr: unknown expression")
+}

@@ -1,0 +1,206 @@
+package minic
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+// TokenKind enumerates lexical token classes.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+	TokPunct   // operators and delimiters
+	TokKeyword // reserved words
+)
+
+// Token is a lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Val  int64 // for TokNumber
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "EOF"
+	}
+	return t.Text
+}
+
+var keywords = map[string]bool{
+	"int": true, "short": true, "char": true, "long": true,
+	"unsigned": true, "void": true, "volatile": true, "extern": true,
+	"if": true, "else": true, "for": true, "while": true,
+	"return": true, "goto": true, "break": true, "continue": true,
+	"static": true,
+}
+
+// Lexer tokenises MiniC source text.
+type Lexer struct {
+	src  []byte
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: []byte(src), line: 1, col: 1}
+}
+
+func (l *Lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			l.advance()
+			l.advance()
+			for {
+				if l.pos >= len(l.src) {
+					return fmt.Errorf("minic: line %d: unterminated block comment", l.line)
+				}
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// twoCharPuncts lists the multi-character operators, longest first.
+var twoCharPuncts = []string{"<<", ">>", "==", "!=", "<=", ">=", "&&", "||"}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Line: l.line, Col: l.col}, nil
+	}
+	line, col := l.line, l.col
+	c := l.peek()
+
+	if unicode.IsLetter(rune(c)) || c == '_' {
+		start := l.pos
+		for l.pos < len(l.src) {
+			c := l.peek()
+			if unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)) || c == '_' {
+				l.advance()
+			} else {
+				break
+			}
+		}
+		text := string(l.src[start:l.pos])
+		kind := TokIdent
+		if keywords[text] {
+			kind = TokKeyword
+		}
+		return Token{Kind: kind, Text: text, Line: line, Col: col}, nil
+	}
+
+	if unicode.IsDigit(rune(c)) {
+		start := l.pos
+		for l.pos < len(l.src) && (unicode.IsDigit(rune(l.peek())) ||
+			l.peek() == 'x' || l.peek() == 'X' ||
+			(l.peek() >= 'a' && l.peek() <= 'f') || (l.peek() >= 'A' && l.peek() <= 'F')) {
+			l.advance()
+		}
+		// Trailing integer suffixes (U, L, UL) are accepted and ignored.
+		for l.pos < len(l.src) && (l.peek() == 'u' || l.peek() == 'U' || l.peek() == 'l' || l.peek() == 'L') {
+			l.advance()
+		}
+		text := string(l.src[start:l.pos])
+		numText := text
+		for len(numText) > 0 {
+			last := numText[len(numText)-1]
+			if last == 'u' || last == 'U' || last == 'l' || last == 'L' {
+				numText = numText[:len(numText)-1]
+			} else {
+				break
+			}
+		}
+		v, err := strconv.ParseUint(numText, 0, 64)
+		if err != nil {
+			return Token{}, fmt.Errorf("minic: line %d: bad number %q", line, text)
+		}
+		return Token{Kind: TokNumber, Text: text, Val: int64(v), Line: line, Col: col}, nil
+	}
+
+	for _, p := range twoCharPuncts {
+		if l.pos+1 < len(l.src) && string(l.src[l.pos:l.pos+2]) == p {
+			l.advance()
+			l.advance()
+			return Token{Kind: TokPunct, Text: p, Line: line, Col: col}, nil
+		}
+	}
+
+	switch c {
+	case '+', '-', '*', '/', '%', '&', '|', '^', '~', '!', '<', '>', '=',
+		'(', ')', '{', '}', '[', ']', ';', ',', ':':
+		l.advance()
+		return Token{Kind: TokPunct, Text: string(c), Line: line, Col: col}, nil
+	}
+	return Token{}, fmt.Errorf("minic: line %d: unexpected character %q", line, string(c))
+}
+
+// LexAll tokenises the whole input, excluding the trailing EOF token.
+func LexAll(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+		toks = append(toks, t)
+	}
+}

@@ -1,0 +1,670 @@
+package minic
+
+import (
+	"fmt"
+)
+
+// Parser is a recursive-descent parser for MiniC.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a whole MiniC translation unit. The returned program is not
+// yet type-checked; call Check on it.
+func Parse(src string) (*Program, error) {
+	toks, err := LexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	prog := &Program{}
+	for !p.atEOF() {
+		if err := p.parseTopLevel(prog); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+func (p *Parser) atEOF() bool { return p.pos >= len(p.toks) }
+
+func (p *Parser) cur() Token {
+	if p.atEOF() {
+		return Token{Kind: TokEOF}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *Parser) next() Token {
+	t := p.cur()
+	p.pos++
+	return t
+}
+
+func (p *Parser) is(text string) bool { return p.cur().Text == text && p.cur().Kind != TokEOF }
+
+func (p *Parser) accept(text string) bool {
+	if p.is(text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(text string) (Token, error) {
+	if !p.is(text) {
+		return Token{}, fmt.Errorf("minic: line %d: expected %q, got %q", p.cur().Line, text, p.cur().String())
+	}
+	return p.next(), nil
+}
+
+func (p *Parser) expectIdent() (Token, error) {
+	if p.cur().Kind != TokIdent {
+		return Token{}, fmt.Errorf("minic: line %d: expected identifier, got %q", p.cur().Line, p.cur().String())
+	}
+	return p.next(), nil
+}
+
+// parseBaseType parses a scalar base type (no array suffixes or stars).
+func (p *Parser) parseBaseType() (Type, error) {
+	unsigned := p.accept("unsigned")
+	t := p.cur()
+	var base *IntType
+	switch t.Text {
+	case "char":
+		base = Int8
+	case "short":
+		base = Int16
+	case "int":
+		base = Int32
+	case "long":
+		base = Int64
+	case "void":
+		if unsigned {
+			return nil, fmt.Errorf("minic: line %d: unsigned void", t.Line)
+		}
+		p.next()
+		return Void, nil
+	default:
+		if unsigned {
+			// Bare "unsigned" means unsigned int.
+			return Uint32, nil
+		}
+		return nil, fmt.Errorf("minic: line %d: expected type, got %q", t.Line, t.String())
+	}
+	p.next()
+	if unsigned {
+		return &IntType{Width: base.Width, Unsigned: true}, nil
+	}
+	return base, nil
+}
+
+func (p *Parser) startsType() bool {
+	switch p.cur().Text {
+	case "int", "short", "char", "long", "unsigned", "void", "volatile", "extern", "static":
+		return true
+	}
+	return false
+}
+
+// parseStars wraps base in one PointerType per '*'.
+func (p *Parser) parseStars(base Type) Type {
+	for p.accept("*") {
+		base = &PointerType{Elem: base}
+	}
+	return base
+}
+
+// parseArraySuffix parses trailing [N][M]... and builds the array type
+// outermost-first, as C does.
+func (p *Parser) parseArraySuffix(base Type) (Type, error) {
+	var dims []int
+	for p.accept("[") {
+		n := p.cur()
+		if n.Kind != TokNumber {
+			return nil, fmt.Errorf("minic: line %d: expected array length", n.Line)
+		}
+		p.next()
+		if _, err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		dims = append(dims, int(n.Val))
+	}
+	for i := len(dims) - 1; i >= 0; i-- {
+		base = &ArrayType{Elem: base, Len: dims[i]}
+	}
+	return base, nil
+}
+
+func (p *Parser) parseTopLevel(prog *Program) error {
+	extern := p.accept("extern")
+	p.accept("static") // accepted for Csmith-style sources; no linkage model
+	volatile := p.accept("volatile")
+	base, err := p.parseBaseType()
+	if err != nil {
+		return err
+	}
+	base = p.parseStars(base)
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if p.is("(") {
+		return p.parseFuncRest(prog, base, name, extern)
+	}
+	return p.parseGlobalRest(prog, base, name, volatile)
+}
+
+func (p *Parser) parseFuncRest(prog *Program, ret Type, name Token, extern bool) error {
+	if _, err := p.expect("("); err != nil {
+		return err
+	}
+	fd := &FuncDecl{Name: name.Text, Ret: ret, Line: name.Line, Opaque: extern}
+	if !p.is(")") {
+		if p.is("void") && p.toks[p.pos+1].Text == ")" {
+			p.next()
+		} else {
+			for {
+				pbase, err := p.parseBaseType()
+				if err != nil {
+					return err
+				}
+				pbase = p.parseStars(pbase)
+				pname, err := p.expectIdent()
+				if err != nil {
+					return err
+				}
+				fd.Params = append(fd.Params, &Param{Name: pname.Text, Type: pbase})
+				if !p.accept(",") {
+					break
+				}
+			}
+		}
+	}
+	if _, err := p.expect(")"); err != nil {
+		return err
+	}
+	if p.accept(";") {
+		fd.Opaque = true
+		prog.Funcs = append(prog.Funcs, fd)
+		return nil
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return err
+	}
+	fd.Body = body
+	fd.Opaque = false
+	prog.Funcs = append(prog.Funcs, fd)
+	return nil
+}
+
+func (p *Parser) parseGlobalRest(prog *Program, base Type, name Token, volatile bool) error {
+	for {
+		typ, err := p.parseArraySuffix(base)
+		if err != nil {
+			return err
+		}
+		g := &GlobalDecl{Name: name.Text, Type: typ, Volatile: volatile, Line: name.Line}
+		if p.accept("=") {
+			init, err := p.parseInit()
+			if err != nil {
+				return err
+			}
+			g.Init = init
+		}
+		prog.Globals = append(prog.Globals, g)
+		if p.accept(",") {
+			name, err = p.expectIdent()
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		_, err = p.expect(";")
+		return err
+	}
+}
+
+func (p *Parser) parseInit() (*InitValue, error) {
+	if p.accept("{") {
+		iv := &InitValue{List: []*InitValue{}}
+		if !p.is("}") {
+			for {
+				sub, err := p.parseInit()
+				if err != nil {
+					return nil, err
+				}
+				iv.List = append(iv.List, sub)
+				if !p.accept(",") {
+					break
+				}
+			}
+		}
+		if _, err := p.expect("}"); err != nil {
+			return nil, err
+		}
+		return iv, nil
+	}
+	neg := p.accept("-")
+	t := p.cur()
+	if t.Kind != TokNumber {
+		return nil, fmt.Errorf("minic: line %d: expected constant initialiser", t.Line)
+	}
+	p.next()
+	v := t.Val
+	if neg {
+		v = -v
+	}
+	return &InitValue{Scalar: v}, nil
+}
+
+func (p *Parser) parseBlock() (*Block, error) {
+	open, err := p.expect("{")
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{Line: open.Line}
+	for !p.is("}") {
+		if p.atEOF() {
+			return nil, fmt.Errorf("minic: unexpected EOF in block starting at line %d", open.Line)
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next()
+	return b, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	// Label: identifier followed by ':'.
+	if t.Kind == TokIdent && p.pos+1 < len(p.toks) && p.toks[p.pos+1].Text == ":" {
+		p.next()
+		p.next()
+		inner, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &LabeledStmt{Label: t.Text, Stmt: inner, Line: t.Line}, nil
+	}
+	switch {
+	case p.is("{"):
+		return p.parseBlock()
+	case p.startsType():
+		return p.parseDeclStmt()
+	case p.is("if"):
+		return p.parseIf()
+	case p.is("for"):
+		return p.parseFor()
+	case p.is("while"):
+		return p.parseWhile()
+	case p.is("return"):
+		p.next()
+		rs := &ReturnStmt{Line: t.Line}
+		if !p.is(";") {
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			rs.X = x
+		}
+		_, err := p.expect(";")
+		return rs, err
+	case p.is("goto"):
+		p.next()
+		lbl, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &GotoStmt{Label: lbl.Text, Line: t.Line}, nil
+	case p.is("break"):
+		p.next()
+		_, err := p.expect(";")
+		return &BreakStmt{Line: t.Line}, err
+	case p.is("continue"):
+		p.next()
+		_, err := p.expect(";")
+		return &ContinueStmt{Line: t.Line}, err
+	case p.is(";"):
+		p.next()
+		return &Block{Line: t.Line}, nil
+	}
+	return p.parseExprOrAssignStmt()
+}
+
+func (p *Parser) parseDeclStmt() (Stmt, error) {
+	line := p.cur().Line
+	p.accept("volatile") // accepted and ignored on locals
+	base, err := p.parseBaseType()
+	if err != nil {
+		return nil, err
+	}
+	ds := &DeclStmt{Line: line}
+	for {
+		t := p.parseStars(base)
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		t, err = p.parseArraySuffix(t)
+		if err != nil {
+			return nil, err
+		}
+		vd := &VarDecl{Name: name.Text, Type: t, Line: name.Line}
+		if p.accept("=") {
+			init, err := p.parseAssignExpr()
+			if err != nil {
+				return nil, err
+			}
+			vd.Init = init
+		}
+		ds.Vars = append(ds.Vars, vd)
+		if !p.accept(",") {
+			break
+		}
+	}
+	_, err = p.expect(";")
+	return ds, err
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	t := p.next() // if
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	thenB, err := p.parseStmtAsBlock()
+	if err != nil {
+		return nil, err
+	}
+	is := &IfStmt{Cond: cond, Then: thenB, Line: t.Line}
+	if p.accept("else") {
+		elseB, err := p.parseStmtAsBlock()
+		if err != nil {
+			return nil, err
+		}
+		is.Else = elseB
+	}
+	return is, nil
+}
+
+// parseStmtAsBlock parses a statement, wrapping non-block statements in a
+// single-statement block so control structures always have Block bodies.
+func (p *Parser) parseStmtAsBlock() (*Block, error) {
+	if p.is("{") {
+		return p.parseBlock()
+	}
+	s, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &Block{Stmts: []Stmt{s}, Line: s.Pos()}, nil
+}
+
+func (p *Parser) parseFor() (Stmt, error) {
+	t := p.next() // for
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	fs := &ForStmt{Line: t.Line}
+	if !p.is(";") {
+		if p.startsType() {
+			ds, err := p.parseDeclStmt() // consumes ';'
+			if err != nil {
+				return nil, err
+			}
+			fs.Init = ds
+		} else {
+			init, err := p.parseSimpleStmtNoSemi()
+			if err != nil {
+				return nil, err
+			}
+			fs.Init = init
+			if _, err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		p.next()
+	}
+	if !p.is(";") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		fs.Cond = cond
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	if !p.is(")") {
+		post, err := p.parseSimpleStmtNoSemi()
+		if err != nil {
+			return nil, err
+		}
+		fs.Post = post
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmtAsBlock()
+	if err != nil {
+		return nil, err
+	}
+	fs.Body = body
+	return fs, nil
+}
+
+func (p *Parser) parseWhile() (Stmt, error) {
+	t := p.next() // while
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmtAsBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Cond: cond, Body: body, Line: t.Line}, nil
+}
+
+// parseSimpleStmtNoSemi parses an assignment or expression statement without
+// consuming the trailing semicolon (used in for-loop clauses).
+func (p *Parser) parseSimpleStmtNoSemi() (Stmt, error) {
+	line := p.cur().Line
+	x, err := p.parseAssignExpr()
+	if err != nil {
+		return nil, err
+	}
+	if ae, ok := x.(*AssignExpr); ok {
+		return &AssignStmt{LHS: ae.LHS, RHS: ae.RHS, Line: line}, nil
+	}
+	return &ExprStmt{X: x, Line: line}, nil
+}
+
+func (p *Parser) parseExprOrAssignStmt() (Stmt, error) {
+	s, err := p.parseSimpleStmtNoSemi()
+	if err != nil {
+		return nil, err
+	}
+	_, err = p.expect(";")
+	return s, err
+}
+
+// Expression parsing with precedence climbing. parseExpr handles the comma-
+// free expression grammar; assignment is right-associative and lowest.
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseAssignExpr() }
+
+func (p *Parser) parseAssignExpr() (Expr, error) {
+	line := p.cur().Line
+	lhs, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.is("=") {
+		p.next()
+		rhs, err := p.parseAssignExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !isLValue(lhs) {
+			return nil, fmt.Errorf("minic: line %d: assignment to non-lvalue", line)
+		}
+		return &AssignExpr{LHS: lhs, RHS: rhs, Line: line}, nil
+	}
+	return lhs, nil
+}
+
+func isLValue(e Expr) bool {
+	switch x := e.(type) {
+	case *VarRef:
+		return true
+	case *IndexExpr:
+		return true
+	case *UnaryExpr:
+		return x.Op == Deref
+	}
+	return false
+}
+
+var binPrec = map[string]int{
+	"||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+var binOpOf = map[string]BinOp{
+	"+": Add, "-": Sub, "*": Mul, "/": Div, "%": Rem,
+	"&": And, "|": Or, "^": Xor, "<<": Shl, ">>": Shr,
+	"==": Eq, "!=": Ne, "<": Lt, "<=": Le, ">": Gt, ">=": Ge,
+	"&&": LogAnd, "||": LogOr,
+}
+
+func (p *Parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		prec, ok := binPrec[t.Text]
+		if t.Kind != TokPunct || !ok || prec <= minPrec {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.parseBinary(prec)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: binOpOf[t.Text], X: lhs, Y: rhs, Line: t.Line}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	var op UnaryOp
+	switch t.Text {
+	case "-":
+		op = Neg
+	case "!":
+		op = LogNot
+	case "~":
+		op = BitNot
+	case "&":
+		op = Addr
+	case "*":
+		op = Deref
+	default:
+		return p.parsePostfix()
+	}
+	p.next()
+	x, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	return &UnaryExpr{Op: op, X: x, Line: t.Line}, nil
+}
+
+func (p *Parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.is("[") {
+		t := p.next()
+		idx, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		x = &IndexExpr{Base: x, Index: idx, Line: t.Line}
+	}
+	return x, nil
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokNumber:
+		p.next()
+		return &IntLit{Value: t.Val, Typ: Int32, Line: t.Line}, nil
+	case t.Kind == TokIdent:
+		p.next()
+		if p.is("(") {
+			p.next()
+			call := &CallExpr{Name: t.Text, Line: t.Line}
+			if !p.is(")") {
+				for {
+					a, err := p.parseAssignExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.accept(",") {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		return &VarRef{Name: t.Text, Line: t.Line}, nil
+	case t.Text == "(":
+		p.next()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(")")
+		return x, err
+	}
+	return nil, fmt.Errorf("minic: line %d: unexpected token %q", t.Line, t.String())
+}

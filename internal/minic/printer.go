@@ -1,0 +1,433 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file implements the canonical source layout for MiniC programs.
+// Render prints a program one statement per line; AssignLines walks the AST
+// in exactly the same order and stores the resulting line numbers on the
+// nodes. The two are kept in lockstep by deriving both from the same
+// layout walker, so that a rendered program re-parses to an AST with
+// identical line numbers. Line identity is load-bearing: the debugger's
+// line table, the conjecture checkers, and the reducer all key on it.
+
+// Render returns the canonical source text of prog and assigns line numbers
+// to all nodes as a side effect.
+func Render(prog *Program) string {
+	var w layoutWriter
+	w.program(prog)
+	return w.b.String()
+}
+
+// AssignLines assigns canonical line numbers to every node of prog without
+// building the source text (it still walks the full layout).
+func AssignLines(prog *Program) {
+	var w layoutWriter
+	w.discard = true
+	w.program(prog)
+}
+
+type layoutWriter struct {
+	b       strings.Builder
+	line    int
+	indent  int
+	discard bool
+}
+
+// emit writes one full source line and returns its line number.
+func (w *layoutWriter) emit(text string) int {
+	w.line++
+	if !w.discard {
+		for i := 0; i < w.indent; i++ {
+			w.b.WriteString("  ")
+		}
+		w.b.WriteString(text)
+		w.b.WriteByte('\n')
+	}
+	return w.line
+}
+
+func (w *layoutWriter) program(p *Program) {
+	for _, g := range p.Globals {
+		g.Line = w.emit(globalText(g))
+	}
+	for _, f := range p.Funcs {
+		if f.Opaque {
+			f.Line = w.emit(fmt.Sprintf("extern %s %s(%s);", f.Ret, f.Name, paramsText(f.Params)))
+			continue
+		}
+		f.Line = w.emit(fmt.Sprintf("%s %s(%s) {", f.Ret, f.Name, paramsText(f.Params)))
+		f.Body.Line = f.Line
+		w.indent++
+		w.stmts(f.Body.Stmts)
+		w.indent--
+		w.emit("}")
+	}
+}
+
+func globalText(g *GlobalDecl) string {
+	var sb strings.Builder
+	if g.Volatile {
+		sb.WriteString("volatile ")
+	}
+	base, dims := splitArray(g.Type)
+	sb.WriteString(base.String())
+	sb.WriteByte(' ')
+	sb.WriteString(g.Name)
+	sb.WriteString(dims)
+	if g.Init != nil {
+		sb.WriteString(" = ")
+		sb.WriteString(initText(g.Init))
+	}
+	sb.WriteByte(';')
+	return sb.String()
+}
+
+// splitArray separates the element type from the [N][M] suffix text.
+func splitArray(t Type) (Type, string) {
+	dims := ""
+	for {
+		at, ok := t.(*ArrayType)
+		if !ok {
+			return t, dims
+		}
+		dims += fmt.Sprintf("[%d]", at.Len)
+		t = at.Elem
+	}
+}
+
+func initText(iv *InitValue) string {
+	if iv.List == nil {
+		return fmt.Sprintf("%d", iv.Scalar)
+	}
+	parts := make([]string, len(iv.List))
+	for i, sub := range iv.List {
+		parts[i] = initText(sub)
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+func paramsText(ps []*Param) string {
+	if len(ps) == 0 {
+		return "void"
+	}
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = p.Type.String() + " " + p.Name
+	}
+	return strings.Join(parts, ", ")
+}
+
+func (w *layoutWriter) stmts(ss []Stmt) {
+	for _, s := range ss {
+		w.stmt(s)
+	}
+}
+
+// stmt lays out one statement. Compound statements occupy a header line plus
+// their bodies; simple statements occupy exactly one line.
+func (w *layoutWriter) stmt(s Stmt) {
+	switch x := s.(type) {
+	case *Block:
+		if len(x.Stmts) == 0 {
+			x.Line = w.emit(";")
+			return
+		}
+		x.Line = w.emit("{")
+		w.indent++
+		w.stmts(x.Stmts)
+		w.indent--
+		w.emit("}")
+	case *DeclStmt:
+		x.Line = w.emit(declText(x))
+		for _, v := range x.Vars {
+			v.Line = x.Line
+			if v.Init != nil {
+				setExprLine(v.Init, x.Line)
+			}
+		}
+	case *AssignStmt:
+		x.Line = w.emit(exprText(x.LHS) + " = " + exprText(x.RHS) + ";")
+		setExprLine(x.LHS, x.Line)
+		setExprLine(x.RHS, x.Line)
+	case *IfStmt:
+		x.Line = w.emit("if (" + exprText(x.Cond) + ") {")
+		setExprLine(x.Cond, x.Line)
+		w.indent++
+		w.stmts(x.Then.Stmts)
+		x.Then.Line = x.Line
+		w.indent--
+		if x.Else != nil {
+			w.emit("} else {")
+			w.indent++
+			w.stmts(x.Else.Stmts)
+			x.Else.Line = x.Line
+			w.indent--
+		}
+		w.emit("}")
+	case *ForStmt:
+		hdr := "for ("
+		if x.Init != nil {
+			hdr += simpleStmtText(x.Init)
+		}
+		hdr += "; "
+		if x.Cond != nil {
+			hdr += exprText(x.Cond)
+		}
+		hdr += "; "
+		if x.Post != nil {
+			hdr += simpleStmtText(x.Post)
+		}
+		hdr += ") {"
+		x.Line = w.emit(hdr)
+		if x.Init != nil {
+			setStmtLine(x.Init, x.Line)
+		}
+		if x.Cond != nil {
+			setExprLine(x.Cond, x.Line)
+		}
+		if x.Post != nil {
+			setStmtLine(x.Post, x.Line)
+		}
+		w.indent++
+		w.stmts(x.Body.Stmts)
+		x.Body.Line = x.Line
+		w.indent--
+		w.emit("}")
+	case *WhileStmt:
+		x.Line = w.emit("while (" + exprText(x.Cond) + ") {")
+		setExprLine(x.Cond, x.Line)
+		w.indent++
+		w.stmts(x.Body.Stmts)
+		x.Body.Line = x.Line
+		w.indent--
+		w.emit("}")
+	case *ExprStmt:
+		x.Line = w.emit(exprText(x.X) + ";")
+		setExprLine(x.X, x.Line)
+	case *ReturnStmt:
+		if x.X != nil {
+			x.Line = w.emit("return " + exprText(x.X) + ";")
+			setExprLine(x.X, x.Line)
+		} else {
+			x.Line = w.emit("return;")
+		}
+	case *GotoStmt:
+		x.Line = w.emit("goto " + x.Label + ";")
+	case *LabeledStmt:
+		// The label shares the line of its statement, as with "f: if (a)".
+		save := w.line
+		if !w.discard {
+			// Emit label prefix inline with the inner statement by
+			// temporarily rendering the inner statement's first line with
+			// the label prepended. Simple statements only: compound inner
+			// statements get the label on their header line.
+			w.emitLabeled(x)
+			return
+		}
+		_ = save
+		w.emitLabeled(x)
+	case *BreakStmt:
+		x.Line = w.emit("break;")
+	case *ContinueStmt:
+		x.Line = w.emit("continue;")
+	default:
+		panic(fmt.Sprintf("minic: unknown statement %T", s))
+	}
+}
+
+// emitLabeled lays out "label: stmt" keeping the label on the statement's
+// first line.
+func (w *layoutWriter) emitLabeled(x *LabeledStmt) {
+	// Render the inner statement into a sub-writer to find its first line,
+	// then splice the label in. To keep line numbers identical between
+	// discard and render modes we lay out the inner statement normally and
+	// prepend the label text to the first emitted line.
+	if w.discard {
+		x.Line = w.line + 1
+		w.stmt(x.Stmt)
+		return
+	}
+	var sub layoutWriter
+	sub.line = w.line
+	sub.indent = w.indent
+	sub.stmt(x.Stmt)
+	rendered := sub.b.String()
+	lines := strings.SplitN(rendered, "\n", 2)
+	first := strings.TrimLeft(lines[0], " ")
+	x.Line = w.emit(x.Label + ": " + first)
+	if len(lines) > 1 && lines[1] != "" {
+		w.b.WriteString(lines[1])
+		w.line = sub.line
+	}
+	// Fix the inner statement's recorded lines: they were assigned by sub
+	// starting from the same base line, so they are already correct.
+	_ = first
+}
+
+func declText(d *DeclStmt) string {
+	base, _ := splitArray(d.Vars[0].Type)
+	if pt, ok := base.(*PointerType); ok {
+		for {
+			if inner, ok := pt.Elem.(*PointerType); ok {
+				pt = inner
+				continue
+			}
+			break
+		}
+	}
+	// Find the scalar base shared by the declaration group.
+	scalar := scalarBase(d.Vars[0].Type)
+	parts := make([]string, len(d.Vars))
+	for i, v := range d.Vars {
+		parts[i] = declaratorText(v.Type, v.Name, scalar)
+		if v.Init != nil {
+			parts[i] += " = " + exprText(v.Init)
+		}
+	}
+	return scalar.String() + " " + strings.Join(parts, ", ") + ";"
+}
+
+// scalarBase strips arrays and pointers down to the underlying scalar type.
+func scalarBase(t Type) Type {
+	for {
+		switch tt := t.(type) {
+		case *ArrayType:
+			t = tt.Elem
+		case *PointerType:
+			t = tt.Elem
+		default:
+			return t
+		}
+	}
+}
+
+// declaratorText renders the declarator for name of type t relative to the
+// scalar base (stars before the name, array dims after).
+func declaratorText(t Type, name string, scalar Type) string {
+	stars := ""
+	for {
+		pt, ok := t.(*PointerType)
+		if !ok {
+			break
+		}
+		stars += "*"
+		t = pt.Elem
+	}
+	_, dims := splitArray(t)
+	_ = scalar
+	return stars + name + dims
+}
+
+func simpleStmtText(s Stmt) string {
+	switch x := s.(type) {
+	case *AssignStmt:
+		return exprText(x.LHS) + " = " + exprText(x.RHS)
+	case *ExprStmt:
+		return exprText(x.X)
+	case *DeclStmt:
+		txt := declText(x)
+		return strings.TrimSuffix(txt, ";")
+	}
+	panic(fmt.Sprintf("minic: bad simple statement %T", s))
+}
+
+// exprText renders an expression with minimal-but-safe parenthesisation.
+func exprText(e Expr) string {
+	return exprTextPrec(e, 0)
+}
+
+func exprPrec(e Expr) int {
+	switch x := e.(type) {
+	case *BinaryExpr:
+		return binPrec[x.Op.String()]
+	case *AssignExpr:
+		return 0
+	case *UnaryExpr:
+		return 11
+	default:
+		return 12
+	}
+}
+
+func exprTextPrec(e Expr, outer int) string {
+	var s string
+	switch x := e.(type) {
+	case *IntLit:
+		s = fmt.Sprintf("%d", x.Value)
+	case *VarRef:
+		s = x.Name
+	case *IndexExpr:
+		s = exprTextPrec(x.Base, 11) + "[" + exprText(x.Index) + "]"
+	case *UnaryExpr:
+		s = x.Op.String() + exprTextPrec(x.X, 11)
+	case *BinaryExpr:
+		p := binPrec[x.Op.String()]
+		s = exprTextPrec(x.X, p-1) + " " + x.Op.String() + " " + exprTextPrec(x.Y, p)
+	case *AssignExpr:
+		s = exprTextPrec(x.LHS, 11) + " = " + exprTextPrec(x.RHS, 0)
+	case *CallExpr:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = exprText(a)
+		}
+		s = x.Name + "(" + strings.Join(args, ", ") + ")"
+	default:
+		panic(fmt.Sprintf("minic: unknown expression %T", e))
+	}
+	if exprPrec(e) < outer || (outer > 0 && isAssignOrLogical(e)) {
+		return "(" + s + ")"
+	}
+	return s
+}
+
+func isAssignOrLogical(e Expr) bool {
+	_, ok := e.(*AssignExpr)
+	return ok
+}
+
+// setExprLine stamps line onto e and all sub-expressions.
+func setExprLine(e Expr, line int) {
+	WalkExpr(e, func(x Expr) bool {
+		switch n := x.(type) {
+		case *IntLit:
+			n.Line = line
+		case *VarRef:
+			n.Line = line
+		case *IndexExpr:
+			n.Line = line
+		case *UnaryExpr:
+			n.Line = line
+		case *BinaryExpr:
+			n.Line = line
+		case *AssignExpr:
+			n.Line = line
+		case *CallExpr:
+			n.Line = line
+		}
+		return true
+	})
+}
+
+// setStmtLine stamps line onto a simple statement and its expressions.
+func setStmtLine(s Stmt, line int) {
+	switch x := s.(type) {
+	case *AssignStmt:
+		x.Line = line
+		setExprLine(x.LHS, line)
+		setExprLine(x.RHS, line)
+	case *ExprStmt:
+		x.Line = line
+		setExprLine(x.X, line)
+	case *DeclStmt:
+		x.Line = line
+		for _, v := range x.Vars {
+			v.Line = line
+			if v.Init != nil {
+				setExprLine(v.Init, line)
+			}
+		}
+	}
+}

@@ -1,0 +1,38 @@
+// Package object defines the executable container produced by the compiler:
+// machine code plus an encoded debug-information section, mirroring an ELF
+// file with DWARF sections. The debug information is stored in its binary
+// encoding and decoded on demand, so consumers exercise the same parse path
+// a real debugger would.
+package object
+
+import (
+	"repro/internal/asm"
+	"repro/internal/dwarf"
+)
+
+// Executable is a linked program image.
+type Executable struct {
+	Prog *asm.Program
+	// DebugSection is the encoded debug information ("the DWARF blob").
+	DebugSection []byte
+
+	cached *dwarf.Info
+}
+
+// New bundles a program with its debug information.
+func New(prog *asm.Program, info *dwarf.Info) *Executable {
+	return &Executable{Prog: prog, DebugSection: dwarf.Encode(info)}
+}
+
+// DebugInfo decodes (and caches) the debug section.
+func (e *Executable) DebugInfo() (*dwarf.Info, error) {
+	if e.cached != nil {
+		return e.cached, nil
+	}
+	info, err := dwarf.Decode(e.DebugSection)
+	if err != nil {
+		return nil, err
+	}
+	e.cached = info
+	return info, nil
+}

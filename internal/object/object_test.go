@@ -1,0 +1,43 @@
+package object
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/dwarf"
+)
+
+func TestExecutableDebugRoundTrip(t *testing.T) {
+	info := dwarf.NewInfo()
+	info.NLines = 9
+	info.Lines = []dwarf.LineEntry{{PC: 0, Line: 3}}
+	info.CU.AddChild(&dwarf.DIE{ID: info.NewID(), Tag: dwarf.TagSubprogram,
+		Name: "main", Ranges: []dwarf.PCRange{{Lo: 0, Hi: 4}}})
+	prog := &asm.Program{Funcs: []*asm.Func{{Name: "main", Entry: 0, End: 4}}}
+	exe := New(prog, info)
+	if len(exe.DebugSection) == 0 {
+		t.Fatal("empty debug section")
+	}
+	back, err := exe.DebugInfo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NLines != 9 || back.SubprogramByName("main") == nil {
+		t.Error("debug info corrupted through the section round trip")
+	}
+	// Cached decode returns the same instance.
+	again, err := exe.DebugInfo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != back {
+		t.Error("decode not cached")
+	}
+}
+
+func TestExecutableRejectsCorruptSection(t *testing.T) {
+	exe := &Executable{DebugSection: []byte{0xde, 0xad}}
+	if _, err := exe.DebugInfo(); err == nil {
+		t.Error("corrupt section accepted")
+	}
+}

@@ -1,0 +1,203 @@
+package opt
+
+import (
+	"repro/internal/ir"
+)
+
+// This file provides CFG analyses shared by the passes: dominators, natural
+// loop detection, and small structural helpers.
+
+// Dominators computes the immediate-dominator-closed dominator sets of fn
+// using the classic iterative dataflow formulation. The returned map gives,
+// for each block, the set of blocks that dominate it (including itself).
+func Dominators(fn *ir.Func) map[*ir.Block]map[*ir.Block]bool {
+	blocks := fn.Blocks
+	if len(blocks) == 0 {
+		return nil
+	}
+	entry := fn.Entry()
+	all := map[*ir.Block]bool{}
+	for _, b := range blocks {
+		all[b] = true
+	}
+	dom := map[*ir.Block]map[*ir.Block]bool{}
+	dom[entry] = map[*ir.Block]bool{entry: true}
+	for _, b := range blocks {
+		if b != entry {
+			s := map[*ir.Block]bool{}
+			for k := range all {
+				s[k] = true
+			}
+			dom[b] = s
+		}
+	}
+	reach := fn.Reachable()
+	preds := fn.Preds()
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range blocks {
+			if b == entry || !reach[b] {
+				// Unreachable blocks keep the full set: dominance over dead
+				// code is vacuous and this keeps the meet well-defined.
+				continue
+			}
+			var meet map[*ir.Block]bool
+			for _, p := range preds[b] {
+				if meet == nil {
+					meet = map[*ir.Block]bool{}
+					for k := range dom[p] {
+						meet[k] = true
+					}
+				} else {
+					for k := range meet {
+						if !dom[p][k] {
+							delete(meet, k)
+						}
+					}
+				}
+			}
+			if meet == nil {
+				meet = map[*ir.Block]bool{}
+			}
+			meet[b] = true
+			if len(meet) != len(dom[b]) {
+				dom[b] = meet
+				changed = true
+				continue
+			}
+			for k := range meet {
+				if !dom[b][k] {
+					dom[b] = meet
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return dom
+}
+
+// Loop describes one natural loop.
+type Loop struct {
+	Header *ir.Block
+	Latch  *ir.Block // source of the back edge
+	Blocks map[*ir.Block]bool
+	// Exits are blocks outside the loop that loop blocks branch to.
+	Exits []*ir.Block
+}
+
+// FindLoops detects natural loops (back edges to a dominating header).
+// Loops sharing a header are merged.
+func FindLoops(fn *ir.Func) []*Loop {
+	dom := Dominators(fn)
+	preds := fn.Preds()
+	byHeader := map[*ir.Block]*Loop{}
+	var order []*ir.Block
+	for _, b := range fn.Blocks {
+		for _, s := range b.Succs() {
+			if dom[b][s] { // back edge b -> s
+				l := byHeader[s]
+				if l == nil {
+					l = &Loop{Header: s, Latch: b, Blocks: map[*ir.Block]bool{s: true}}
+					byHeader[s] = l
+					order = append(order, s)
+				}
+				l.Latch = b
+				// Collect the loop body: blocks that reach the latch
+				// without passing through the header.
+				stack := []*ir.Block{b}
+				for len(stack) > 0 {
+					x := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					if l.Blocks[x] {
+						continue
+					}
+					l.Blocks[x] = true
+					for _, p := range preds[x] {
+						stack = append(stack, p)
+					}
+				}
+			}
+		}
+	}
+	var loops []*Loop
+	for _, h := range order {
+		l := byHeader[h]
+		seenExit := map[*ir.Block]bool{}
+		for b := range l.Blocks {
+			for _, s := range b.Succs() {
+				if !l.Blocks[s] && !seenExit[s] {
+					seenExit[s] = true
+					l.Exits = append(l.Exits, s)
+				}
+			}
+		}
+		loops = append(loops, l)
+	}
+	return loops
+}
+
+// ReplaceSucc rewrites branches in b from old to new.
+func ReplaceSucc(b *ir.Block, old, new *ir.Block) {
+	t := b.Term()
+	if t == nil {
+		return
+	}
+	for i, tgt := range t.Tgts {
+		if tgt == old {
+			t.Tgts[i] = new
+		}
+	}
+}
+
+// TempUseCounts returns, for each register, how many non-debug uses it has
+// in the function.
+func TempUseCounts(fn *ir.Func) []int {
+	uses := make([]int, fn.NTemp)
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpDbgVal {
+				continue
+			}
+			for _, a := range in.Args {
+				if a.IsTemp() {
+					uses[a.Temp]++
+				}
+			}
+		}
+	}
+	return uses
+}
+
+// DefCounts returns, for each register, how many definitions it has.
+func DefCounts(fn *ir.Func) []int {
+	defs := make([]int, fn.NTemp)
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Dst >= 0 {
+				defs[in.Dst]++
+			}
+		}
+	}
+	return defs
+}
+
+// RemoveUnreachable deletes blocks not reachable from the entry and returns
+// whether anything was removed. Debug intrinsics in removed blocks are
+// dropped: the code never executes, so no location can be valid there.
+func RemoveUnreachable(fn *ir.Func) bool {
+	reach := fn.Reachable()
+	if len(reach) == len(fn.Blocks) {
+		return false
+	}
+	var kept []*ir.Block
+	for _, b := range fn.Blocks {
+		if reach[b] {
+			kept = append(kept, b)
+		}
+	}
+	changed := len(kept) != len(fn.Blocks)
+	fn.Blocks = kept
+	return changed
+}

@@ -1,0 +1,348 @@
+package opt
+
+import (
+	"testing"
+
+	"repro/internal/bugs"
+	"repro/internal/ir"
+	"repro/internal/minic"
+)
+
+// These tests verify, mechanism by mechanism, that each injected defect (a)
+// damages debug metadata when active and (b) leaves it intact when not —
+// the contract the Table 3 catalog relies on. Run-time behaviour
+// equivalence under defects is covered by the differential tests.
+
+// dbgStates summarises a function's debug intrinsics per variable name.
+func dbgStates(m *ir.Module, fn string) map[string][]ir.ValueKind {
+	out := map[string][]ir.ValueKind{}
+	for _, b := range m.Func(fn).Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpDbgVal {
+				out[in.V.Name] = append(out[in.V.Name], in.Args[0].Kind)
+			}
+		}
+	}
+	return out
+}
+
+func countUndef(states map[string][]ir.ValueKind, name string) int {
+	n := 0
+	for _, k := range states[name] {
+		if k == ir.Undef {
+			n++
+		}
+	}
+	return n
+}
+
+func runWith(t *testing.T, src string, passes []Pass, defects map[string]bool, level string) *ir.Module {
+	t.Helper()
+	prog := minic.MustParse(src)
+	m, err := ir.Lower(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	RunPipeline(m, passes, Options{BisectLimit: -1, Defects: defects, Level: level})
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return m
+}
+
+func TestMechanismVRPDrop(t *testing.T) {
+	src := `
+int g;
+int main(void) {
+  int x = g;
+  if (x == 7) {
+    g = x + 1;
+  }
+  return 0;
+}`
+	passes := []Pass{Mem2Reg{}, VRP{}, DCE{}}
+	clean := runWith(t, src, passes, nil, "O2")
+	buggy := runWith(t, src, passes, map[string]bool{bugs.GCVRPDrop: true}, "O2")
+	cs, bs := dbgStates(clean, "main"), dbgStates(buggy, "main")
+	if countUndef(bs, "x") < countUndef(cs, "x") {
+		t.Errorf("VRP defect should not reduce undef count: clean=%v buggy=%v", cs["x"], bs["x"])
+	}
+}
+
+func TestMechanismDSEDrop(t *testing.T) {
+	src := `
+int g;
+int main(void) {
+  int a = 5;
+  g = a;
+  g = a + 1;
+  return 0;
+}`
+	passes := []Pass{Mem2Reg{}, DSE{}}
+	stats := map[string]int{}
+	prog := minic.MustParse(src)
+	m, _ := ir.Lower(prog)
+	RunPipeline(m, passes, Options{BisectLimit: -1, Stats: stats,
+		Defects: map[string]bool{bugs.GCDSEDrop: true}})
+	if stats["dse.removed-stores"] == 0 {
+		t.Skip("dead store not eliminated in this configuration")
+	}
+	// The defect is allowed to fire only when the store is removed.
+	if stats["dse.dropped-dbg"] > 0 && stats["dse.removed-stores"] == 0 {
+		t.Error("defect fired without the transformation")
+	}
+}
+
+func TestMechanismLoopRotateDrop(t *testing.T) {
+	// The assignment expression in the condition puts a debug update into
+	// the loop header, which rotation duplicates (or, defectively, drops).
+	src := `
+volatile int c;
+int main(void) {
+  int i = 0;
+  int t = 0;
+  while ((t = i + 1) < 5) {
+    c = t;
+    i = t;
+  }
+  return 0;
+}`
+	passes := []Pass{Mem2Reg{}, LoopRotate{}}
+	stats := map[string]int{}
+	prog := minic.MustParse(src)
+	m, _ := ir.Lower(prog)
+	RunPipeline(m, passes, Options{BisectLimit: -1, Stats: stats,
+		Defects: map[string]bool{bugs.CLLoopRotateDrop: true}})
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	if stats["looprotate.rotated"] == 0 {
+		t.Skip("loop not rotated")
+	}
+	if stats["looprotate.dropped-dbg"] == 0 {
+		t.Error("rotation defect did not drop any metadata")
+	}
+	// Semantics hold regardless.
+	ref, err := ir.Interp(mustLower(t, src), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ir.Interp(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Equal(got) {
+		t.Error("rotation defect changed behaviour")
+	}
+}
+
+func mustLower(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := ir.Lower(minic.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMechanismSROAAddrTaken(t *testing.T) {
+	src := `
+int g;
+int main(void) {
+  int x = 1;
+  int* p = &x;
+  *p = 5;
+  g = *p;
+  return g;
+}`
+	passes := []Pass{Mem2Reg{}, CopyProp{}, SROA{}}
+	clean := runWith(t, src, passes, nil, "O2")
+	hollow := runWith(t, src, passes, map[string]bool{bugs.GCAddrTakenReg: true}, "O2")
+	cs, hs := dbgStates(clean, "main"), dbgStates(hollow, "main")
+	if len(cs["x"]) == 0 {
+		t.Skip("SROA did not promote x")
+	}
+	if len(hs["x"]) >= len(cs["x"]) {
+		t.Errorf("addr-taken defect should lose x's metadata: clean=%d buggy=%d",
+			len(cs["x"]), len(hs["x"]))
+	}
+}
+
+func TestMechanismPureConstDrop(t *testing.T) {
+	src := `
+int zero(void) { return 0; }
+int g;
+int main(void) {
+  int x = zero();
+  g = x + 1;
+  return g;
+}`
+	// CCP completes the constant's journey into the home register's
+	// metadata; the defect must survive that recovery attempt.
+	passes := []Pass{Mem2Reg{}, IPAPureConst{}, CCP{}}
+	clean := runWith(t, src, passes, nil, "O2")
+	buggy := runWith(t, src, passes, map[string]bool{bugs.GCPureConstDrop: true}, "O2")
+	cleanConst, buggyConst := false, false
+	for _, k := range dbgStates(clean, "main")["x"] {
+		if k == ir.Const {
+			cleanConst = true
+		}
+	}
+	for _, k := range dbgStates(buggy, "main")["x"] {
+		if k == ir.Const {
+			buggyConst = true
+		}
+	}
+	if !cleanConst {
+		t.Error("correct fold must keep x's constant")
+	}
+	if buggyConst {
+		t.Error("defective fold must lose x's constant")
+	}
+}
+
+func TestMechanismSchedFlags(t *testing.T) {
+	src := `
+int a;
+int b;
+int g;
+extern void opaque(int x);
+int main(void) {
+  int x = a + 1;
+  int y = b;
+  g = x;
+  opaque(y);
+  return 0;
+}`
+	passes := []Pass{Mem2Reg{}, Sched{}}
+	prog := minic.MustParse(src)
+	m, _ := ir.Lower(prog)
+	stats := map[string]int{}
+	RunPipeline(m, passes, Options{BisectLimit: -1, Stats: stats,
+		Defects: map[string]bool{bugs.CLSchedIncomplete: true}})
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	if stats["sched.hoisted"] == 0 {
+		t.Skip("nothing scheduled")
+	}
+	// Any flagged intrinsic must carry the truncation bit.
+	flagged := 0
+	for _, b := range m.Func("main").Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpDbgVal && in.Flags&ir.DbgTruncRange != 0 {
+				flagged++
+			}
+		}
+	}
+	if stats["sched.flagged-trunc"] != flagged {
+		t.Errorf("stat/flag mismatch: %d vs %d", stats["sched.flagged-trunc"], flagged)
+	}
+}
+
+func TestMechanismTopLevelReorderDrop(t *testing.T) {
+	src := `
+int x = 7;
+int y = 7;
+int g;
+int main(void) {
+  int v = y;
+  g = v + x;
+  return g;
+}`
+	passes := []Pass{Mem2Reg{}, TopLevelReorder{}}
+	clean := runWith(t, src, passes, nil, "O2")
+	buggy := runWith(t, src, passes, map[string]bool{bugs.GCTopLevelReorder: true}, "O2")
+	cs, bs := dbgStates(clean, "main"), dbgStates(buggy, "main")
+	if countUndef(bs, "v") <= countUndef(cs, "v") {
+		t.Errorf("toplevel-reorder defect should damage v: clean=%v buggy=%v", cs["v"], bs["v"])
+	}
+}
+
+func TestMechanismInlineWrongFrame(t *testing.T) {
+	src := `
+int g;
+int callee(int p) { return p * 2; }
+int main(void) {
+  g = callee(21);
+  return g;
+}`
+	passes := []Pass{Mem2Reg{}, Inline{}}
+	m := runWith(t, src, passes, map[string]bool{bugs.GCInlineWrongLoc: true}, "O2")
+	flagged := false
+	for _, b := range m.Func("main").Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpDbgVal && in.Flags&ir.DbgWrongFrame != 0 {
+				flagged = true
+			}
+		}
+	}
+	if !flagged {
+		t.Error("inline wrong-frame defect set no flags")
+	}
+	obs, err := ir.Interp(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.Ret != 42 {
+		t.Errorf("ret = %d, want 42", obs.Ret)
+	}
+}
+
+func TestMechanismLegacyWeakTracking(t *testing.T) {
+	src := `
+int g;
+int main(void) {
+  int a = g;
+  int b = 3;
+  g = a + b;
+  return 0;
+}`
+	passes := []Pass{Mem2Reg{}}
+	clean := runWith(t, src, passes, nil, "O2")
+	legacy := runWith(t, src, passes, map[string]bool{bugs.LegacyWeakTracking: true}, "O2")
+	cs, ls := dbgStates(clean, "main"), dbgStates(legacy, "main")
+	// The constant-assigned b keeps its metadata; the register-assigned a
+	// loses everything under legacy tracking.
+	if len(ls["b"]) == 0 {
+		t.Error("legacy tracking must keep constant stores")
+	}
+	if len(ls["a"]) >= len(cs["a"]) {
+		t.Errorf("legacy tracking should lose register stores: clean=%d legacy=%d",
+			len(cs["a"]), len(ls["a"]))
+	}
+}
+
+func TestMechanismSimplifyCFGFoldDrop(t *testing.T) {
+	src := `
+int g;
+int main(void) {
+  int flag = 1;
+  int x = 9;
+  if (flag) {
+    g = x;
+  }
+  return 0;
+}`
+	passes := []Pass{Mem2Reg{}, CCP{}, SimplifyCFG{}}
+	stats := map[string]int{}
+	prog := minic.MustParse(src)
+	m, _ := ir.Lower(prog)
+	RunPipeline(m, passes, Options{BisectLimit: -1, Stats: stats, Level: "O1",
+		Defects: map[string]bool{bugs.GCCleanupCFGDrop: true}})
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	if stats["simplifycfg.folded-branches"] == 0 {
+		t.Skip("constant branch not folded")
+	}
+	// Behaviour still intact.
+	ref, _ := ir.Interp(mustLower(t, src), 0)
+	got, err := ir.Interp(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Equal(got) {
+		t.Error("cleanup defect changed behaviour")
+	}
+}

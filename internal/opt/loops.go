@@ -1,0 +1,839 @@
+package opt
+
+import (
+	"repro/internal/bugs"
+	"repro/internal/ir"
+	"repro/internal/minic"
+)
+
+// Canonical loop recognition shared by the loop passes. The matcher is
+// deliberately tolerant of the verbose register traffic our non-SSA IR
+// carries (copies between a variable's home register and use temporaries).
+
+// CanonLoop is a counted loop in canonical shape:
+//
+//	preheader:  ivReg = copy <init const>; ...; br header
+//	header:     t = cmp(ivReg, <limit const>); condbr t, bodyEntry, exit
+//	body ...:   arbitrary blocks
+//	latch:      ivReg = ivReg + <step const> (through copies); br header
+type CanonLoop struct {
+	Loop      *Loop
+	Preheader *ir.Block
+	Exit      *ir.Block
+	BodyEntry *ir.Block
+	IVReg     int
+	Init      int64
+	Step      int64
+	Limit     int64
+	CmpOp     minic.BinOp
+	CmpWidth  *minic.IntType
+	// IVWidth is the width at which the induction variable wraps (nil for
+	// full 64-bit arithmetic).
+	IVWidth *minic.IntType
+	// IVVars are the source variables whose debug values track IVReg.
+	IVVars []*ir.Var
+}
+
+// resolveCopies follows single-definition register copies inside fn.
+func resolveCopies(defs []*ir.Instr, v ir.Value) ir.Value {
+	for i := 0; i < 8 && v.IsTemp(); i++ {
+		d := defs[v.Temp]
+		if d == nil || d.Op != ir.OpCopy {
+			return v
+		}
+		if d.Width != nil && d.Width.Width < 64 {
+			return v
+		}
+		v = d.Args[0]
+	}
+	return v
+}
+
+// resolveLocal follows copies defined within one block, searching backwards
+// from index i; it tolerates multiply-defined registers by using the nearest
+// preceding definition in the same block. A truncating copy is followed only
+// when its source value is provably already truncated to the same width
+// (the source's defining instruction carries an identical width, or the
+// source is a constant within range), making the copy an identity move.
+func resolveLocal(b *ir.Block, i int, v ir.Value) ir.Value {
+	for steps := 0; steps < 12 && v.IsTemp(); steps++ {
+		var def *ir.Instr
+		defIdx := -1
+		for j := i - 1; j >= 0; j-- {
+			if b.Instrs[j].Dst == v.Temp {
+				def = b.Instrs[j]
+				defIdx = j
+				break
+			}
+		}
+		if def == nil || def.Op != ir.OpCopy {
+			return v
+		}
+		if def.Width != nil && def.Width.Width < 64 && !truncIsIdentity(b, defIdx, def) {
+			return v
+		}
+		v = def.Args[0]
+		i = defIdx
+	}
+	return v
+}
+
+// resolveLocalDef follows identity copies backwards within a block and
+// returns the first non-copy defining instruction of v, with its index.
+func resolveLocalDef(b *ir.Block, i int, v ir.Value) (*ir.Instr, int) {
+	for steps := 0; steps < 12 && v.IsTemp(); steps++ {
+		var def *ir.Instr
+		defIdx := -1
+		for j := i - 1; j >= 0; j-- {
+			if b.Instrs[j].Dst == v.Temp {
+				def = b.Instrs[j]
+				defIdx = j
+				break
+			}
+		}
+		if def == nil {
+			return nil, -1
+		}
+		if def.Op == ir.OpCopy &&
+			(def.Width == nil || def.Width.Width == 64 || truncIsIdentity(b, defIdx, def)) {
+			v = def.Args[0]
+			i = defIdx
+			continue
+		}
+		return def, defIdx
+	}
+	return nil, -1
+}
+
+// truncIsIdentity reports whether the truncating copy at b.Instrs[i] cannot
+// change its operand's value.
+func truncIsIdentity(b *ir.Block, i int, cp *ir.Instr) bool {
+	src := cp.Args[0]
+	if src.IsConst() {
+		return cp.Width.Truncate(src.C) == src.C
+	}
+	if !src.IsTemp() {
+		return false
+	}
+	for j := i - 1; j >= 0; j-- {
+		d := b.Instrs[j]
+		if d.Dst != src.Temp {
+			continue
+		}
+		return d.Width != nil && d.Width.Width == cp.Width.Width && d.Width.Unsigned == cp.Width.Unsigned
+	}
+	return false
+}
+
+// MatchCanonLoop tries to put l into canonical shape.
+func MatchCanonLoop(fn *ir.Func, l *Loop) (*CanonLoop, bool) {
+	h := l.Header
+	term := h.Term()
+	if term == nil || term.Op != ir.OpCondBr || !term.Args[0].IsTemp() {
+		return nil, false
+	}
+	// Find the comparison defining the branch condition inside the header.
+	var cmp *ir.Instr
+	cmpIdx := -1
+	for i, in := range h.Instrs {
+		if in.Dst == term.Args[0].Temp && in.Op == ir.OpBin && in.BinOp.IsComparison() {
+			cmp = in
+			cmpIdx = i
+		}
+	}
+	if cmp == nil || !cmp.Args[1].IsConst() {
+		return nil, false
+	}
+	ivv := resolveLocal(h, cmpIdx, cmp.Args[0])
+	if !ivv.IsTemp() {
+		return nil, false
+	}
+	iv := ivv.Temp
+	// Body entry must be inside the loop; exit must be outside.
+	var bodyEntry, exit *ir.Block
+	switch {
+	case l.Blocks[term.Tgts[0]] && !l.Blocks[term.Tgts[1]]:
+		bodyEntry, exit = term.Tgts[0], term.Tgts[1]
+	case l.Blocks[term.Tgts[1]] && !l.Blocks[term.Tgts[0]]:
+		// Inverted test; normalising would flip the comparison. Skip.
+		return nil, false
+	default:
+		return nil, false
+	}
+	// The latch must update the IV by a constant step: its last definition
+	// of the IV register resolves (through identity copies) to an addition
+	// of the IV and a constant.
+	latch := l.Latch
+	updIdx := -1
+	for j := len(latch.Instrs) - 1; j >= 0; j-- {
+		if latch.Instrs[j].Dst == iv {
+			updIdx = j
+			break
+		}
+	}
+	if updIdx < 0 {
+		return nil, false
+	}
+	upd := latch.Instrs[updIdx]
+	var add *ir.Instr
+	addIdx := -1
+	var ivWidth *minic.IntType
+	switch {
+	case upd.Op == ir.OpBin && upd.BinOp == minic.Add:
+		add, addIdx, ivWidth = upd, updIdx, upd.Width
+	case upd.Op == ir.OpCopy:
+		def, di := resolveLocalDef(latch, updIdx, upd.Args[0])
+		if def == nil || def.Op != ir.OpBin || def.BinOp != minic.Add {
+			return nil, false
+		}
+		add, addIdx = def, di
+		// The stored value wraps at the narrower of the addition's and the
+		// store copy's widths; mismatched widths are not canonical.
+		switch {
+		case upd.Width == nil:
+			ivWidth = add.Width
+		case add.Width == nil || (add.Width.Width == upd.Width.Width && add.Width.Unsigned == upd.Width.Unsigned):
+			ivWidth = upd.Width
+		default:
+			return nil, false
+		}
+	default:
+		return nil, false
+	}
+	a := resolveLocal(latch, addIdx, add.Args[0])
+	if !a.IsTemp() || a.Temp != iv || !add.Args[1].IsConst() {
+		return nil, false
+	}
+	step := add.Args[1].C
+	if step == 0 {
+		return nil, false
+	}
+	// The preheader is the unique non-latch predecessor of the header, and
+	// it must initialise the IV with a constant as its last IV definition.
+	preds := fn.Preds()
+	var pre *ir.Block
+	for _, p := range preds[h] {
+		if !l.Blocks[p] {
+			if pre != nil {
+				return nil, false
+			}
+			pre = p
+		}
+	}
+	if pre == nil {
+		return nil, false
+	}
+	var initC int64
+	haveInit := false
+	for _, in := range pre.Instrs {
+		if in.Dst == iv && in.Op == ir.OpCopy && in.Args[0].IsConst() {
+			initC = in.Args[0].C
+			if in.Width != nil {
+				initC = in.Width.Truncate(initC)
+			}
+			haveInit = true
+		} else if in.Dst == iv {
+			haveInit = false
+		}
+	}
+	if !haveInit {
+		return nil, false
+	}
+	// No other definitions of the IV inside the loop beyond the latch.
+	for b := range l.Blocks {
+		for _, in := range b.Instrs {
+			if in.Dst == iv && b != latch {
+				return nil, false
+			}
+		}
+	}
+	cl := &CanonLoop{Loop: l, Preheader: pre, Exit: exit, BodyEntry: bodyEntry,
+		IVReg: iv, Init: initC, Step: step, Limit: cmp.Args[1].C,
+		CmpOp: cmp.BinOp, CmpWidth: cmp.Width, IVWidth: ivWidth}
+	for b := range l.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpDbgVal && in.Args[0].IsTemp() && in.Args[0].Temp == iv {
+				cl.IVVars = appendVarOnce(cl.IVVars, in.V)
+			}
+		}
+	}
+	return cl, true
+}
+
+// linearChain returns the single-successor block chain from entry to the
+// loop latch, or false if the body is not linear.
+func linearChain(entry *ir.Block, l *Loop) ([]*ir.Block, bool) {
+	var chain []*ir.Block
+	cur := entry
+	for steps := 0; steps < 8; steps++ {
+		if !l.Blocks[cur] {
+			return nil, false
+		}
+		chain = append(chain, cur)
+		if cur == l.Latch {
+			return chain, true
+		}
+		succs := cur.Succs()
+		if len(succs) != 1 {
+			return nil, false
+		}
+		cur = succs[0]
+	}
+	return nil, false
+}
+
+func appendVarOnce(vs []*ir.Var, v *ir.Var) []*ir.Var {
+	for _, x := range vs {
+		if x == v {
+			return vs
+		}
+	}
+	return append(vs, v)
+}
+
+// TripCount simulates the exit test and returns the iteration count, or
+// false if it exceeds max or never terminates within it.
+func (cl *CanonLoop) TripCount(max int) (int, bool) {
+	n, _, ok := cl.simulate(max)
+	return n, ok
+}
+
+// TripCountNoWrap is like TripCount but additionally reports whether the
+// induction variable stayed within its width throughout (required by LSR's
+// wide accumulator).
+func (cl *CanonLoop) TripCountNoWrap(max int) (trip int, noWrap, ok bool) {
+	return cl.simulate(max)
+}
+
+func (cl *CanonLoop) simulate(max int) (int, bool, bool) {
+	iv := cl.Init
+	noWrap := true
+	for n := 0; n <= max; n++ {
+		taken := ir.EvalBin(cl.CmpOp, iv, cl.Limit, cl.CmpWidth)
+		if taken == 0 {
+			return n, noWrap, true
+		}
+		next := iv + cl.Step
+		if cl.IVWidth != nil && cl.IVWidth.Truncate(next) != next {
+			noWrap = false
+			next = cl.IVWidth.Truncate(next)
+		}
+		iv = next
+	}
+	return 0, noWrap, false
+}
+
+// LoopRotate converts while-style loops into do-while form guarded by a
+// cloned test: the header's instructions are duplicated into a guard block
+// before the loop and into the latch, and the original header disappears.
+//
+// Under bugs.CLLoopRotateDrop the duplicated header code omits the debug
+// intrinsics, losing the variable updates the header carried (49580).
+type LoopRotate struct{}
+
+// Name implements Pass.
+func (LoopRotate) Name() string { return "looprotate" }
+
+// Run implements Pass.
+func (p LoopRotate) Run(fn *ir.Func, ctx *Context) bool {
+	changed := false
+	for {
+		progress := false
+		for _, l := range FindLoops(fn) {
+			if p.rotate(fn, l, ctx) {
+				ctx.Count("looprotate.rotated")
+				RemoveUnreachable(fn)
+				progress = true
+				break // loop structures are stale after a rotation
+			}
+		}
+		if !progress {
+			break
+		}
+		changed = true
+	}
+	return changed
+}
+
+func (LoopRotate) rotate(fn *ir.Func, l *Loop, ctx *Context) bool {
+	h := l.Header
+	term := h.Term()
+	if term == nil || term.Op != ir.OpCondBr {
+		return false
+	}
+	if h == l.Latch {
+		return false // already bottom-tested
+	}
+	// The header must contain only speculatable instructions (it will run
+	// once more on the guard path).
+	if len(h.Instrs) > 8 {
+		return false
+	}
+	for _, in := range h.Instrs[:len(h.Instrs)-1] {
+		switch in.Op {
+		case ir.OpCopy, ir.OpUn, ir.OpBin, ir.OpDbgVal:
+		case ir.OpLoadG:
+			if in.G.Volatile {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	latch := l.Latch
+	lt := latch.Term()
+	if lt == nil || lt.Op != ir.OpBr || lt.Tgts[0] != h {
+		return false
+	}
+	dropDbg := ctx.Defect(bugs.CLLoopRotateDrop)
+	cloneHeader := func() []*ir.Instr {
+		var out []*ir.Instr
+		for _, in := range h.Instrs {
+			if in.Op == ir.OpDbgVal && dropDbg {
+				ctx.Count("looprotate.dropped-dbg")
+				continue
+			}
+			out = append(out, in.Clone())
+		}
+		return out
+	}
+	// Guard block: clone of the header placed before the loop.
+	preds := fn.Preds()
+	guard := fn.NewBlock()
+	guard.Instrs = cloneHeader()
+	for _, p := range preds[h] {
+		if p != latch {
+			ReplaceSucc(p, h, guard)
+		}
+	}
+	// Latch: replace the back edge with the cloned test.
+	latch.Instrs = latch.Instrs[:len(latch.Instrs)-1]
+	latch.Instrs = append(latch.Instrs, cloneHeader()...)
+	// The original header now only serves its internal successors; it has
+	// no predecessors left and will be removed as unreachable, after its
+	// role as branch target is gone.
+	return true
+}
+
+// LoopUnroll fully unrolls canonical counted loops with a small constant
+// trip count and a single-block body. Each unrolled copy keeps its debug
+// intrinsics and source lines, so one source line maps to several
+// instruction ranges afterwards (the situation footnote 3 of the paper
+// discusses).
+type LoopUnroll struct {
+	// MaxTrip bounds full unrolling; defaults to 4.
+	MaxTrip int
+	// MaxBody bounds the body size in instructions; defaults to 24.
+	MaxBody int
+}
+
+// Name implements Pass.
+func (LoopUnroll) Name() string { return "loopunroll" }
+
+// Run implements Pass.
+func (p LoopUnroll) Run(fn *ir.Func, ctx *Context) bool {
+	maxTrip := p.MaxTrip
+	if maxTrip == 0 {
+		maxTrip = 4
+	}
+	maxBody := p.MaxBody
+	if maxBody == 0 {
+		maxBody = 24
+	}
+	changed := false
+	for {
+		progress := false
+		for _, l := range FindLoops(fn) {
+			cl, ok := MatchCanonLoop(fn, l)
+			if !ok {
+				continue
+			}
+			// The body must be a linear block chain from the body entry to
+			// the latch, covering the whole loop except the header.
+			chain, ok := linearChain(cl.BodyEntry, l)
+			if !ok || len(chain)+1 != len(l.Blocks) {
+				continue
+			}
+			total := 0
+			for _, b := range chain {
+				total += len(b.Instrs)
+			}
+			if total > maxBody {
+				continue
+			}
+			trip, ok := cl.TripCount(maxTrip)
+			if !ok || trip == 0 {
+				continue
+			}
+			// Instantiate the chain trip times between preheader and exit.
+			entryOf := make([]*ir.Block, trip+1)
+			for k := 0; k < trip; k++ {
+				bmap := map[*ir.Block]*ir.Block{}
+				for _, b := range chain {
+					bmap[b] = fn.NewBlock()
+				}
+				for _, b := range chain {
+					nb := bmap[b]
+					for _, in := range b.Instrs {
+						ni := in.Clone()
+						for ti, tgt := range ni.Tgts {
+							if nt, ok := bmap[tgt]; ok {
+								ni.Tgts[ti] = nt
+							}
+						}
+						nb.Instrs = append(nb.Instrs, ni)
+					}
+				}
+				entryOf[k] = bmap[chain[0]]
+			}
+			entryOf[trip] = cl.Exit
+			ReplaceSucc(cl.Preheader, l.Header, entryOf[0])
+			// Retarget back edges: each copy's latch still points at the
+			// original header; it must continue into the next copy, and the
+			// last one into the exit.
+			for k := 0; k < trip; k++ {
+				next := entryOf[k+1]
+				// Walk the k-th copy chain and retarget header references.
+				seen := map[*ir.Block]bool{}
+				stack := []*ir.Block{entryOf[k]}
+				for len(stack) > 0 {
+					b := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					if seen[b] || b == cl.Exit || b == next {
+						continue
+					}
+					seen[b] = true
+					ReplaceSucc(b, l.Header, next)
+					for _, s := range b.Succs() {
+						stack = append(stack, s)
+					}
+				}
+			}
+			RemoveUnreachable(fn)
+			ctx.Count("loopunroll.unrolled")
+			progress = true
+			break // loop structures are stale after an unroll
+		}
+		if !progress {
+			break
+		}
+		changed = true
+	}
+	return changed
+}
+
+// LoopDelete removes loops whose bodies have no externally visible effects
+// and whose computed values are unused after the loop.
+//
+// A correct implementation records the final induction-variable value as a
+// constant debug location at the exit. Under bugs.CLLoopDeleteDrop all debug
+// information of the variables the loop defined is discarded instead, which
+// downgrades their DIEs to missing (49546).
+type LoopDelete struct{}
+
+// Name implements Pass.
+func (LoopDelete) Name() string { return "loopdelete" }
+
+// Run implements Pass.
+func (p LoopDelete) Run(fn *ir.Func, ctx *Context) bool {
+	changed := false
+restart:
+	for _, l := range FindLoops(fn) {
+		if len(l.Exits) != 1 {
+			continue
+		}
+		if !loopIsPure(l, ctx.Mod) {
+			continue
+		}
+		// Values defined inside must not be used outside.
+		defined := map[int]bool{}
+		for b := range l.Blocks {
+			for _, in := range b.Instrs {
+				if in.Dst >= 0 {
+					defined[in.Dst] = true
+				}
+			}
+		}
+		usedOutside := false
+		for _, b := range fn.Blocks {
+			if l.Blocks[b] {
+				continue
+			}
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpDbgVal {
+					continue
+				}
+				for _, a := range in.Args {
+					if a.IsTemp() && defined[a.Temp] {
+						usedOutside = true
+					}
+				}
+			}
+		}
+		if usedOutside {
+			continue
+		}
+		exit := l.Exits[0]
+		cl, canon := MatchCanonLoop(fn, l)
+		// Collect variables whose debug values live in the loop.
+		loopVars := map[*ir.Var]bool{}
+		for b := range l.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpDbgVal {
+					loopVars[in.V] = true
+				}
+			}
+		}
+		// Retarget every entering edge to the exit.
+		preds := fn.Preds()
+		for _, pb := range preds[l.Header] {
+			if !l.Blocks[pb] {
+				ReplaceSucc(pb, l.Header, exit)
+			}
+		}
+		RemoveUnreachable(fn)
+		if ctx.Defect(bugs.CLLoopDeleteDrop) {
+			// Defective: all trace of the loop's variables disappears.
+			for v := range loopVars {
+				for _, b := range fn.Blocks {
+					for i := 0; i < len(b.Instrs); i++ {
+						if b.Instrs[i].Op == ir.OpDbgVal && b.Instrs[i].V == v {
+							RemoveInstr(b, i)
+							i--
+						}
+					}
+				}
+			}
+			MarkSuppressedIfDbgless(fn, loopVars)
+			ctx.Count("loopdelete.dropped-dbg")
+		} else {
+			// Correct: the final IV value is recorded at the exit; other
+			// loop-local variables become optimized-out there.
+			var prologue []*ir.Instr
+			if canon {
+				if trip, ok := cl.TripCount(1 << 16); ok {
+					final := cl.Init + int64(trip)*cl.Step
+					for _, v := range cl.IVVars {
+						prologue = append(prologue, &ir.Instr{Op: ir.OpDbgVal, Dst: -1,
+							V: v, Args: []ir.Value{ir.ConstVal(final)}, Line: exitLine(exit)})
+						delete(loopVars, v)
+					}
+				}
+			}
+			for v := range loopVars {
+				prologue = append(prologue, &ir.Instr{Op: ir.OpDbgVal, Dst: -1,
+					V: v, Args: []ir.Value{ir.UndefVal()}, Line: exitLine(exit)})
+			}
+			exit.Instrs = append(prologue, exit.Instrs...)
+		}
+		changed = true
+		ctx.Count("loopdelete.deleted")
+		goto restart // loop structures are stale after a deletion
+	}
+	return changed
+}
+
+func exitLine(b *ir.Block) int {
+	for _, in := range b.Instrs {
+		if in.Line > 0 {
+			return in.Line
+		}
+	}
+	return 0
+}
+
+func loopIsPure(l *Loop, m *ir.Module) bool {
+	for b := range l.Blocks {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpStoreG, ir.OpStorePtr, ir.OpLoadPtr, ir.OpAddrSlot, ir.OpAddrG:
+				return false
+			case ir.OpStoreSlot:
+				return false // slots may be address-taken; be conservative
+			case ir.OpCall:
+				callee := m.Func(in.Call)
+				if callee == nil || !callee.Pure {
+					return false
+				}
+			case ir.OpLoadG:
+				if in.G.Volatile {
+					return false
+				}
+			case ir.OpRet:
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IVSimplify canonicalises induction variables. For single-trip loops it
+// propagates the (constant) initial value into the body's uses.
+//
+// Correct behaviour rewrites the IV's debug values in the body to the
+// constant; under bugs.CLIVSimplifyDrop they become undefined (49973).
+type IVSimplify struct{}
+
+// Name implements Pass.
+func (IVSimplify) Name() string { return "ivsimplify" }
+
+// Run implements Pass.
+func (p IVSimplify) Run(fn *ir.Func, ctx *Context) bool {
+	changed := false
+	for _, l := range FindLoops(fn) {
+		cl, ok := MatchCanonLoop(fn, l)
+		if !ok {
+			continue
+		}
+		trip, ok := cl.TripCount(1)
+		if !ok || trip != 1 {
+			continue
+		}
+		c := ir.ConstVal(cl.Init)
+		// Only body blocks are touched: in the header the IV may already
+		// hold the post-step value on the second test, and the latch must
+		// keep performing the real update.
+		for b := range l.Blocks {
+			if b == l.Header || b == l.Latch {
+				continue
+			}
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpDbgVal {
+					if in.Args[0].IsTemp() && in.Args[0].Temp == cl.IVReg {
+						if ctx.Defect(bugs.CLIVSimplifyDrop) {
+							in.Args[0] = ir.UndefVal()
+							ctx.Count("ivsimplify.dropped-dbg")
+						} else {
+							in.Args[0] = c
+						}
+						changed = true
+					}
+					continue
+				}
+				for i, a := range in.Args {
+					if a.IsTemp() && a.Temp == cl.IVReg {
+						in.Args[i] = c
+						changed = true
+						ctx.Count("ivsimplify.propagated")
+					}
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// LSR is loop strength reduction: multiplications of an induction variable
+// by a loop-invariant constant are replaced by a second accumulator that
+// steps by the scaled amount.
+//
+// A correct implementation leaves the IV's debug values untouched (the IV
+// itself survives for the exit test). Under bugs.CLLSRNoSalvage the pass
+// fails to salvage the IV's debug intrinsics inside the loop, leaving the
+// variable optimized-out exactly within the loop body (53855a); under
+// bugs.CLLSRNoSalvageSize the same happens only at size-optimizing levels
+// (the post-fix residue, 53855b).
+type LSR struct{}
+
+// Name implements Pass.
+func (LSR) Name() string { return "lsr" }
+
+// Run implements Pass.
+func (p LSR) Run(fn *ir.Func, ctx *Context) bool {
+	changed := false
+	for _, l := range FindLoops(fn) {
+		cl, ok := MatchCanonLoop(fn, l)
+		if !ok {
+			continue
+		}
+		// The wide accumulator is only equivalent while the induction
+		// variable does not wrap at its own width.
+		trip, noWrap, ok := cl.TripCountNoWrap(1 << 16)
+		if !ok || !noWrap {
+			continue
+		}
+		final := cl.Init + int64(trip)*cl.Step
+		// Find iv*const multiplications inside the loop.
+		var muls []*ir.Instr
+		var mulBlocks []*ir.Block
+		for b := range l.Blocks {
+			for i, in := range b.Instrs {
+				if in.Op != ir.OpBin || in.BinOp != minic.Mul {
+					continue
+				}
+				a := resolveLocal(b, i, in.Args[0])
+				if a.IsTemp() && a.Temp == cl.IVReg && in.Args[1].IsConst() && in.Args[1].C != 0 {
+					// A narrower multiplication is safe only when the
+					// product never overflows that width; iv*k is monotonic
+					// in iv, so checking both extremes suffices.
+					k := in.Args[1].C
+					if in.Width != nil && in.Width.Width < 64 {
+						lo, hi := cl.Init*k, final*k
+						if in.Width.Truncate(lo) != lo || in.Width.Truncate(hi) != hi {
+							continue
+						}
+					}
+					muls = append(muls, in)
+					mulBlocks = append(mulBlocks, b)
+				}
+			}
+		}
+		if len(muls) == 0 {
+			continue
+		}
+		for mi, mul := range muls {
+			k := mul.Args[1].C
+			acc := fn.NewTemp()
+			// Initialise the accumulator in the preheader, right before the
+			// terminator.
+			pre := cl.Preheader
+			// Accumulator scaffolding is artificial code: it belongs to no
+			// source line, exactly like the induction rewrites of real
+			// strength reduction.
+			initInstr := &ir.Instr{Op: ir.OpCopy, Dst: acc,
+				Args: []ir.Value{ir.ConstVal(cl.Init * k)}}
+			pre.Instrs = append(pre.Instrs[:len(pre.Instrs)-1],
+				initInstr, pre.Instrs[len(pre.Instrs)-1])
+			// Step the accumulator in the latch, before the terminator.
+			latch := cl.Loop.Latch
+			stepInstr := &ir.Instr{Op: ir.OpBin, Dst: acc, BinOp: minic.Add,
+				Args: []ir.Value{ir.TempVal(acc), ir.ConstVal(cl.Step * k)}}
+			latch.Instrs = append(latch.Instrs[:len(latch.Instrs)-1],
+				stepInstr, latch.Instrs[len(latch.Instrs)-1])
+			// The multiplication becomes a copy of the accumulator.
+			mul.Op = ir.OpCopy
+			mul.BinOp = 0
+			mul.Args = []ir.Value{ir.TempVal(acc)}
+			_ = mulBlocks[mi]
+			ctx.Count("lsr.reduced")
+		}
+		// The partial fix (trunkstar) salvages the common single-reduction
+		// case; the residue (53855b) needs a size-optimizing level and a
+		// loop with several reduced expressions, which the fix's provisions
+		// do not cover.
+		lossy := ctx.Defect(bugs.CLLSRNoSalvage) ||
+			(ctx.Defect(bugs.CLLSRNoSalvageSize) && ctx.Level == "Os" && len(muls) >= 2)
+		if lossy {
+			for b := range l.Blocks {
+				for _, in := range b.Instrs {
+					if in.Op == ir.OpDbgVal && in.Args[0].IsTemp() && in.Args[0].Temp == cl.IVReg {
+						in.Args[0] = ir.UndefVal()
+						ctx.Count("lsr.dropped-dbg")
+					}
+				}
+			}
+			// The salvage failure voids the location over the whole loop:
+			// the entry location must not leak into the rewritten body, on
+			// any path and regardless of later block cloning.
+			for _, v := range cl.IVVars {
+				for b := range l.Blocks {
+					undef := &ir.Instr{Op: ir.OpDbgVal, Dst: -1, V: v,
+						Args: []ir.Value{ir.UndefVal()}, Line: exitLine(b)}
+					b.Instrs = append([]*ir.Instr{undef}, b.Instrs...)
+				}
+			}
+		}
+		changed = true
+	}
+	return changed
+}

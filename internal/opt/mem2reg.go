@@ -1,0 +1,138 @@
+package opt
+
+import (
+	"repro/internal/bugs"
+	"repro/internal/ir"
+)
+
+// Mem2Reg promotes scalar, non-address-taken local variables from stack
+// slots to virtual registers, the first step of every optimizing pipeline.
+// After promotion the variable's debug information switches from a single
+// whole-lifetime slot location to a chain of DbgVal intrinsics, one per
+// source-level assignment — exactly the point at which the completeness
+// problem becomes possible.
+type Mem2Reg struct{}
+
+// Name implements Pass.
+func (Mem2Reg) Name() string { return "mem2reg" }
+
+// Run implements Pass.
+func (Mem2Reg) Run(fn *ir.Func, ctx *Context) bool {
+	// Decide which variables are promotable.
+	promoted := map[int]*ir.Var{} // slot -> var
+	regOf := map[int]int{}        // slot -> dedicated register
+	for _, v := range fn.Vars {
+		if v.AddrTaken || v.Slot < 0 {
+			continue
+		}
+		if v.Type.Size() != 1 {
+			continue // arrays stay in memory
+		}
+		promoted[v.Slot] = v
+		regOf[v.Slot] = fn.NewTemp()
+	}
+	if len(promoted) == 0 {
+		return false
+	}
+	changed := false
+	for _, b := range fn.Blocks {
+		var out []*ir.Instr
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpDbgVal:
+				// Replace the slot-lifetime declaration with nothing: the
+				// register location chain starts at the first assignment.
+				if in.Args[0].Kind == ir.SlotRef {
+					if _, ok := promoted[in.Args[0].Temp]; ok {
+						changed = true
+						continue
+					}
+				}
+				out = append(out, in)
+			case ir.OpLoadSlot:
+				if _, ok := promoted[in.Slot]; ok && in.Args[0].IsConst() && in.Args[0].C == 0 {
+					in.Op = ir.OpCopy
+					in.Args = []ir.Value{ir.TempVal(regOf[in.Slot])}
+					in.Slot = 0
+					// The register always holds a value already truncated
+					// to the variable's width, so the load's width
+					// annotation is redundant on the copy.
+					in.Width = nil
+					changed = true
+				}
+				out = append(out, in)
+			case ir.OpStoreSlot:
+				if v, ok := promoted[in.Slot]; ok && in.Args[0].IsConst() && in.Args[0].C == 0 {
+					reg := regOf[in.Slot]
+					val := in.Args[1]
+					st := &ir.Instr{Op: ir.OpCopy, Dst: reg, Args: []ir.Value{val},
+						Width: in.Width, Line: in.Line, At: in.At}
+					out = append(out, st)
+					// The debug value names the stored value itself when it
+					// is a constant (best information), else the register.
+					dv := val
+					if !dv.IsConst() {
+						dv = ir.TempVal(reg)
+					}
+					if dv.IsConst() || !ctx.Defect(bugs.LegacyWeakTracking) {
+						out = append(out, &ir.Instr{Op: ir.OpDbgVal, Dst: -1, V: v,
+							Args: []ir.Value{dv}, Line: in.Line, At: in.At})
+					} else {
+						ctx.Count("mem2reg.legacy-untracked")
+					}
+					changed = true
+					ctx.Count("mem2reg.promoted-stores")
+					continue
+				}
+				out = append(out, in)
+			default:
+				out = append(out, in)
+			}
+		}
+		b.Instrs = out
+	}
+	// Parameters are special: their value arrives in the slot, so promoted
+	// parameters need an entry copy from the incoming slot value. We model
+	// the calling convention as "parameters materialise in registers": add
+	// an entry DbgVal and replace the slot semantics by copying from the
+	// slot once at entry (the slot itself becomes dead and is collected by
+	// later passes).
+	entry := fn.Entry()
+	var prologue []*ir.Instr
+	for _, p := range fn.Params {
+		if _, ok := promoted[p.Slot]; !ok {
+			continue
+		}
+		reg := regOf[p.Slot]
+		// Parameter values were truncated at the call boundary, so the load
+		// needs no width annotation.
+		prologue = append(prologue,
+			&ir.Instr{Op: ir.OpLoadSlot, Dst: reg, Slot: p.Slot, Args: []ir.Value{ir.ConstVal(0)}, Line: fn.Line},
+			&ir.Instr{Op: ir.OpDbgVal, Dst: -1, V: p, Args: []ir.Value{ir.TempVal(reg)}, Line: fn.Line})
+	}
+	// Non-parameter promoted variables are bound to their home register
+	// from function entry: before the first assignment a debugger shows
+	// the register's (garbage) content, exactly like real targets — the
+	// variable is presented, not optimized out.
+	if !ctx.Defect(bugs.LegacyWeakTracking) {
+		for _, v := range fn.Vars { // deterministic order
+			if v.IsParam || v.Slot < 0 {
+				continue
+			}
+			if pv, ok := promoted[v.Slot]; !ok || pv != v {
+				continue
+			}
+			prologue = append(prologue, &ir.Instr{Op: ir.OpDbgVal, Dst: -1, V: v,
+				Args: []ir.Value{ir.TempVal(regOf[v.Slot])}, Line: v.DeclLine})
+		}
+	}
+	if len(prologue) > 0 {
+		entry.Instrs = append(prologue, entry.Instrs...)
+		changed = true
+	}
+	// Note: v.Slot is left in place. The slot itself becomes dead for
+	// non-parameters (no loads or stores reference it any more), but the
+	// index keeps identifying where a caller must materialise arguments if
+	// the function is later inlined.
+	return changed
+}

@@ -1,0 +1,212 @@
+package opt
+
+import (
+	"repro/internal/bugs"
+	"repro/internal/ir"
+)
+
+// Sched models the instruction scheduler: within each block it hoists
+// independent value-producing instructions over their neighbours to shorten
+// dependence chains (a deterministic stand-in for list scheduling).
+//
+// A correct scheduler moves a debug intrinsic together with the definition
+// it describes. Defects:
+//   - bugs.CLSchedIncomplete: the intrinsic stays behind and is flagged so
+//     that its emitted range misses the moved span (50286, 54611).
+//   - bugs.GCSchedWrongFrame: in blocks that mix inlined and non-inlined
+//     code, locations end up attributed to the inlined frame (105036,
+//     105249).
+type Sched struct{}
+
+// Name implements Pass.
+func (Sched) Name() string { return "sched" }
+
+// Run implements Pass.
+func (p Sched) Run(fn *ir.Func, ctx *Context) bool {
+	changed := false
+	for _, b := range fn.Blocks {
+		changed = p.schedBlock(fn, b, ctx) || changed
+	}
+	if ctx.Defect(bugs.GCSchedWrongFrame) {
+		for _, b := range fn.Blocks {
+			mixed := false
+			hasInline, hasTop := false, false
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpDbgVal {
+					continue
+				}
+				if in.At != nil {
+					hasInline = true
+				} else {
+					hasTop = true
+				}
+			}
+			mixed = hasInline && hasTop
+			if !mixed {
+				continue
+			}
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpDbgVal && in.At == nil && in.Flags&ir.DbgWrongFrame == 0 {
+					in.Flags |= ir.DbgWrongFrame
+					ctx.Count("sched.wrongframe")
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// schedBlock performs one hoisting sweep: a pure computation is moved above
+// an immediately preceding independent instruction.
+func (p Sched) schedBlock(fn *ir.Func, b *ir.Block, ctx *Context) bool {
+	changed := false
+	for i := 1; i < len(b.Instrs); i++ {
+		cur := b.Instrs[i]
+		prev := b.Instrs[i-1]
+		if !schedulable(cur) || !schedulable(prev) {
+			continue
+		}
+		if dependent(prev, cur) {
+			continue
+		}
+		// Hoist loads over non-loads only (a simple latency heuristic that
+		// keeps the sweep deterministic and idempotent-ish).
+		if !(isLoad(cur) && !isLoad(prev)) {
+			continue
+		}
+		b.Instrs[i-1], b.Instrs[i] = cur, prev
+		changed = true
+		ctx.Count("sched.hoisted")
+		// A debug intrinsic following prev that references prev's result
+		// must slide with it; the defective scheduler leaves it flagged.
+		if i+1 < len(b.Instrs) {
+			next := b.Instrs[i+1]
+			if next.Op == ir.OpDbgVal && prev.Dst >= 0 &&
+				next.Args[0].IsTemp() && next.Args[0].Temp == prev.Dst {
+				if ctx.Defect(bugs.CLSchedIncomplete) {
+					next.Flags |= ir.DbgTruncRange
+					ctx.Count("sched.flagged-trunc")
+				}
+			}
+		}
+	}
+	return changed
+}
+
+func schedulable(in *ir.Instr) bool {
+	switch in.Op {
+	case ir.OpCopy, ir.OpUn, ir.OpBin, ir.OpAddrG, ir.OpAddrSlot, ir.OpLoadSlot:
+		return true
+	case ir.OpLoadG:
+		return !in.G.Volatile
+	}
+	return false
+}
+
+func isLoad(in *ir.Instr) bool {
+	return in.Op == ir.OpLoadG || in.Op == ir.OpLoadSlot
+}
+
+// dependent reports whether b reads a's result or they touch the same
+// storage.
+func dependent(a, b *ir.Instr) bool {
+	if a.Dst >= 0 {
+		for _, arg := range b.Args {
+			if arg.IsTemp() && arg.Temp == a.Dst {
+				return true
+			}
+		}
+	}
+	if b.Dst >= 0 {
+		for _, arg := range a.Args {
+			if arg.IsTemp() && arg.Temp == b.Dst {
+				return true
+			}
+		}
+		if a.Dst == b.Dst {
+			return true
+		}
+	}
+	// Same-slot traffic.
+	if (a.Op == ir.OpLoadSlot || a.Op == ir.OpStoreSlot) &&
+		(b.Op == ir.OpLoadSlot || b.Op == ir.OpStoreSlot) && a.Slot == b.Slot {
+		return true
+	}
+	// Same-global traffic.
+	if (a.Op == ir.OpLoadG || a.Op == ir.OpStoreG) &&
+		(b.Op == ir.OpLoadG || b.Op == ir.OpStoreG) && a.G == b.G {
+		return true
+	}
+	return false
+}
+
+// IPAReference models the interprocedural reference analysis that discovers
+// read-only and non-addressable statics. The analysis itself changes no
+// code; under bugs.GCIPARefAddressable it damages the debug values of
+// variables loaded from the discovered globals (105159: location lost, code
+// unchanged).
+type IPAReference struct{}
+
+// Name implements Pass.
+func (IPAReference) Name() string { return "ipa-reference" }
+
+// Run implements Pass (unused; module pass).
+func (IPAReference) Run(fn *ir.Func, ctx *Context) bool { return false }
+
+// RunModule implements ModulePass.
+func (p IPAReference) RunModule(ctx *Context) bool {
+	if !ctx.Defect(bugs.GCIPARefAddressable) {
+		return false
+	}
+	m := ctx.Mod
+	written := map[*ir.Global]bool{}
+	addressed := map[*ir.Global]bool{}
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				switch in.Op {
+				case ir.OpStoreG:
+					written[in.G] = true
+				case ir.OpAddrG:
+					addressed[in.G] = true
+				}
+			}
+		}
+	}
+	changed := false
+	for _, f := range m.Funcs {
+		if f.Opaque {
+			continue
+		}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op != ir.OpLoadG || written[in.G] || addressed[in.G] || in.G.Volatile {
+					continue
+				}
+				if in.Dst >= 0 && DropDbgUses(f, in.Dst) > 0 {
+					ctx.Count("ipa-reference.dropped-dbg")
+					changed = true
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// MarkSuppressedIfDbgless flags variables that lost every debug intrinsic,
+// so that code generation emits no DIE for them (Missing DIE).
+func MarkSuppressedIfDbgless(fn *ir.Func, vars map[*ir.Var]bool) {
+	remaining := map[*ir.Var]int{}
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpDbgVal && in.Args[0].Kind != ir.Undef {
+				remaining[in.V]++
+			}
+		}
+	}
+	for v := range vars {
+		if remaining[v] == 0 {
+			v.SuppressDIE = true
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package opt
+
+import (
+	"repro/internal/bugs"
+	"repro/internal/ir"
+)
+
+// SimplifyCFG removes unreachable blocks, folds constant branches, threads
+// forwarder blocks, and merges straight-line block chains. It is the shared
+// cleanup helper of the pipeline: like gcc's cleanup_tree_cfg, it runs after
+// most other transformations, so a debug-information defect here bleeds into
+// violations attributed to many passes (the paper's 105158 experience).
+//
+// Defect hooks:
+//   - bugs.CLSimplifyCFGDrop: forwarder blocks whose only content is debug
+//     intrinsics are removed without re-homing the intrinsics.
+//   - bugs.GCCleanupCFGDrop: same lossy behaviour via the gcc-like shared
+//     cleanup (fixed in the "patched" version).
+type SimplifyCFG struct{}
+
+// Name implements Pass.
+func (SimplifyCFG) Name() string { return "simplifycfg" }
+
+// Run implements Pass.
+func (s SimplifyCFG) Run(fn *ir.Func, ctx *Context) bool {
+	changed := false
+	for {
+		round := false
+		round = RemoveUnreachable(fn) || round
+		round = s.foldConstBranches(fn, ctx) || round
+		round = s.threadForwarders(fn, ctx) || round
+		round = s.mergeChains(fn, ctx) || round
+		if !round {
+			break
+		}
+		changed = true
+	}
+	return changed
+}
+
+// foldConstBranches turns condbr on a constant into an unconditional
+// branch. This is the "boolean expression simplified, then the shared CFG
+// cleanup runs" site of the paper's 105158: under the cleanup defect, the
+// debug intrinsics at the head of the surviving edge's target are wrongly
+// invalidated while rewriting the edge.
+func (SimplifyCFG) foldConstBranches(fn *ir.Func, ctx *Context) bool {
+	lossy := ctx.Defect(bugs.CLSimplifyCFGDrop) || ctx.Defect(bugs.GCCleanupCFGDrop)
+	changed := false
+	for _, b := range fn.Blocks {
+		t := b.Term()
+		if t == nil || t.Op != ir.OpCondBr || !t.Args[0].IsConst() {
+			continue
+		}
+		var tgt *ir.Block
+		if t.Args[0].C != 0 {
+			tgt = t.Tgts[0]
+		} else {
+			tgt = t.Tgts[1]
+		}
+		t.Op = ir.OpBr
+		t.Args = nil
+		t.Tgts = []*ir.Block{tgt}
+		changed = true
+		ctx.Count("simplifycfg.folded-branches")
+		if lossy {
+			dropped := map[*ir.Var]bool{}
+			for _, in := range tgt.Instrs {
+				if in.Op != ir.OpDbgVal {
+					break
+				}
+				if in.Args[0].Kind != ir.Undef {
+					in.Args[0] = ir.UndefVal()
+					dropped[in.V] = true
+					ctx.Count("simplifycfg.dropped-dbg")
+				}
+			}
+			if len(dropped) > 0 {
+				MarkSuppressedIfDbgless(fn, dropped)
+			}
+		}
+	}
+	return changed
+}
+
+// threadForwarders removes blocks that only forward control (possibly
+// carrying debug intrinsics) by retargeting their predecessors.
+func (SimplifyCFG) threadForwarders(fn *ir.Func, ctx *Context) bool {
+	lossy := ctx.Defect(bugs.CLSimplifyCFGDrop) || ctx.Defect(bugs.GCCleanupCFGDrop)
+	preds := fn.Preds()
+	changed := false
+	for _, b := range fn.Blocks {
+		if b == fn.Entry() {
+			continue
+		}
+		t := b.Term()
+		if t == nil || t.Op != ir.OpBr {
+			continue
+		}
+		onlyDbg := true
+		nDbg := 0
+		for _, in := range b.Instrs[:len(b.Instrs)-1] {
+			if in.Op != ir.OpDbgVal {
+				onlyDbg = false
+				break
+			}
+			nDbg++
+		}
+		if !onlyDbg {
+			continue
+		}
+		succ := t.Tgts[0]
+		if succ == b {
+			continue // self loop
+		}
+		var droppedVars map[*ir.Var]bool
+		if nDbg > 0 {
+			if lossy {
+				// Defective behaviour: the intrinsics have nowhere to go in
+				// this helper's view, so they are dropped with the block.
+				droppedVars = map[*ir.Var]bool{}
+				for _, in := range b.Instrs[:len(b.Instrs)-1] {
+					droppedVars[in.V] = true
+				}
+				ctx.Count("simplifycfg.dropped-dbg")
+			} else if len(preds[succ]) == 1 {
+				// The successor is reached only through us: the intrinsics
+				// stay correct when hoisted to its head.
+				HoistDbgVals(b, succ)
+			} else {
+				// Cannot prove the intrinsics hold on the successor's other
+				// paths; keep the block.
+				continue
+			}
+		}
+		for _, p := range preds[b] {
+			ReplaceSucc(p, b, succ)
+		}
+		fn.RemoveBlock(b)
+		if droppedVars != nil {
+			MarkSuppressedIfDbgless(fn, droppedVars)
+		}
+		changed = true
+		ctx.Count("simplifycfg.threaded")
+		// Predecessor map is stale now; recompute next round.
+		return true
+	}
+	return changed
+}
+
+// mergeChains appends a block into its unique predecessor when that
+// predecessor has a single successor. Under the shared-cleanup defect
+// (105158/105194), constant-valued debug intrinsics at the seam are wrongly
+// invalidated while the blocks are stitched — the value was recoverable,
+// which is what makes this an implementation defect rather than an
+// unavoidable loss.
+func (SimplifyCFG) mergeChains(fn *ir.Func, ctx *Context) bool {
+	lossy := ctx.Defect(bugs.CLSimplifyCFGDrop) || ctx.Defect(bugs.GCCleanupCFGDrop)
+	preds := fn.Preds()
+	for _, b := range fn.Blocks {
+		if b == fn.Entry() {
+			continue
+		}
+		ps := preds[b]
+		if len(ps) != 1 {
+			continue
+		}
+		p := ps[0]
+		t := p.Term()
+		if t == nil || t.Op != ir.OpBr || p == b {
+			continue
+		}
+		if lossy {
+			// The defective cleanup rebuilds the merged block's statement
+			// list and loses the constant-valued debug bindings it carries
+			// (recoverable information — the definition of a completeness
+			// defect). Register-valued bindings survive: their storage
+			// subsists and the helper keeps those mappings intact.
+			dropped := map[*ir.Var]bool{}
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpDbgVal && in.Args[0].IsConst() {
+					in.Args[0] = ir.UndefVal()
+					dropped[in.V] = true
+					ctx.Count("simplifycfg.dropped-dbg")
+				}
+			}
+			if len(dropped) > 0 {
+				MarkSuppressedIfDbgless(fn, dropped)
+			}
+		}
+		// Merge: drop p's terminator, append b's instructions.
+		p.Instrs = append(p.Instrs[:len(p.Instrs)-1], b.Instrs...)
+		fn.RemoveBlock(b)
+		ctx.Count("simplifycfg.merged")
+		return true
+	}
+	return false
+}

@@ -1,0 +1,140 @@
+package opt
+
+import (
+	"repro/internal/bugs"
+	"repro/internal/ir"
+)
+
+// SROA promotes address-taken scalar locals to registers when their address
+// provably does not escape: every address value is used only by direct
+// loads and stores in the same function.
+//
+// Debug-information behaviours:
+//   - Correct: a debug value is recorded at every store, as mem2reg does.
+//   - bugs.GCAddrTakenReg: no debug values are recorded at all — gcc's
+//     acknowledged gap for address-taken locals that become registers
+//     (105145); the variable's DIE turns hollow.
+//   - bugs.CLSROAPartialRestore: debug values are recorded only for stores
+//     in the entry block; later control flow loses them (54796), so
+//     availability is intermittent.
+type SROA struct{}
+
+// Name implements Pass.
+func (SROA) Name() string { return "sroa" }
+
+// Run implements Pass.
+func (p SROA) Run(fn *ir.Func, ctx *Context) bool {
+	changed := false
+	for _, v := range fn.Vars {
+		if !v.AddrTaken || v.Slot < 0 || v.Type.Size() != 1 || v.Inlined != nil {
+			continue
+		}
+		if p.promote(fn, ctx, v) {
+			changed = true
+			ctx.Count("sroa.promoted")
+		}
+	}
+	return changed
+}
+
+// promote attempts to register-promote the address-taken variable v.
+func (p SROA) promote(fn *ir.Func, ctx *Context, v *ir.Var) bool {
+	slot := v.Slot
+	// Collect address definitions and validate all uses.
+	addrTemps := map[int]bool{}
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpAddrSlot && in.Slot == slot {
+				if in.Dst < 0 || !in.Args[0].IsConst() || in.Args[0].C != 0 {
+					return false
+				}
+				addrTemps[in.Dst] = true
+			}
+		}
+	}
+	// Every use of an address register must be a direct pointer load, or a
+	// pointer store's address operand. Any other use means escape. Debug
+	// intrinsics do not pin the address: the pointer variable's binding is
+	// voided below instead.
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpDbgVal {
+				continue
+			}
+			for ai, a := range in.Args {
+				if !a.IsTemp() || !addrTemps[a.Temp] {
+					continue
+				}
+				switch {
+				case in.Op == ir.OpLoadPtr && ai == 0:
+				case in.Op == ir.OpStorePtr && ai == 0:
+				case in.Op == ir.OpAddrSlot:
+				default:
+					return false
+				}
+			}
+			// Redefinition of an address register by unrelated code would
+			// confuse the rewrite; require address registers to have only
+			// OpAddrSlot definitions.
+			if in.Dst >= 0 && addrTemps[in.Dst] && in.Op != ir.OpAddrSlot {
+				return false
+			}
+		}
+	}
+	// Rewrite. The variable gets a home register.
+	reg := fn.NewTemp()
+	lossy := ctx.Defect(bugs.GCAddrTakenReg)
+	partial := ctx.Defect(bugs.CLSROAPartialRestore)
+	entry := fn.Entry()
+	for _, b := range fn.Blocks {
+		var out []*ir.Instr
+		for _, in := range b.Instrs {
+			switch {
+			case in.Op == ir.OpAddrSlot && in.Slot == slot:
+				continue // address computations disappear
+			case in.Op == ir.OpLoadSlot && in.Slot == slot:
+				in.Op = ir.OpCopy
+				in.Args = []ir.Value{ir.TempVal(reg)}
+				in.Slot = 0
+			case in.Op == ir.OpStoreSlot && in.Slot == slot,
+				in.Op == ir.OpStorePtr && in.Args[0].IsTemp() && addrTemps[in.Args[0].Temp]:
+				val := in.Args[1]
+				st := &ir.Instr{Op: ir.OpCopy, Dst: reg, Args: []ir.Value{val},
+					Width: in.Width, Line: in.Line, At: in.At}
+				out = append(out, st)
+				emitDbg := !lossy && (!partial || b == entry)
+				if emitDbg {
+					dv := val
+					if !dv.IsConst() {
+						dv = ir.TempVal(reg)
+					}
+					out = append(out, &ir.Instr{Op: ir.OpDbgVal, Dst: -1, V: v,
+						Args: []ir.Value{dv}, Line: in.Line, At: in.At})
+				} else {
+					ctx.Count("sroa.dropped-dbg")
+				}
+				continue
+			case in.Op == ir.OpLoadPtr && in.Args[0].IsTemp() && addrTemps[in.Args[0].Temp]:
+				in.Op = ir.OpCopy
+				in.Args = []ir.Value{ir.TempVal(reg)}
+			case in.Op == ir.OpDbgVal && in.Args[0].Kind == ir.SlotRef && in.Args[0].Temp == slot:
+				// The whole-lifetime slot location no longer holds.
+				if lossy || partial {
+					ctx.Count("sroa.dropped-decl")
+					continue
+				}
+				continue // replaced by per-store debug values
+			}
+			out = append(out, in)
+		}
+		b.Instrs = out
+	}
+	// Pointer variables that held the replaced address have no storage to
+	// refer to any more: their bindings become undefined (a legitimate
+	// optimized-out, as the paper's Conjecture 2 discussion notes).
+	for t := range addrTemps {
+		DropDbgUses(fn, t)
+	}
+	v.AddrTaken = false
+	return true
+}

@@ -1,0 +1,43 @@
+package reduce
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/compiler"
+	"repro/internal/conjecture"
+	"repro/internal/debugger"
+	"repro/internal/minic"
+	"repro/internal/triage"
+)
+
+// findViolation compiles p under cfg, traces it with the family's native
+// debugger, and looks for a violation of the given conjecture on the given
+// variable (any line: reduction moves line numbers around, so the paper's
+// "same line, same optimization" criterion translates here to "same
+// variable, same conjecture, culprit preserved").
+func findViolation(p *minic.Program, cfg compiler.Config, conj int, varName string) (string, bool) {
+	res, err := compiler.Compile(p, cfg, compiler.Options{})
+	if err != nil {
+		return "", false
+	}
+	var dbg debugger.Debugger
+	if compiler.NativeDebugger(cfg.Family) == "gdb" {
+		dbg = debugger.NewGDB(compiler.DebuggerDefects("gdb"))
+	} else {
+		dbg = debugger.NewLLDB(compiler.DebuggerDefects("lldb"))
+	}
+	tr, err := debugger.Record(res.Exe, dbg)
+	if err != nil {
+		return "", false
+	}
+	facts := analysis.Analyze(p)
+	for _, v := range conjecture.CheckAll(facts, tr) {
+		if v.Conjecture == conj && v.Var == varName {
+			return v.Key(), true
+		}
+	}
+	return "", false
+}
+
+func makeTarget(p *minic.Program, cfg compiler.Config, key string) triage.Target {
+	return triage.Target{Prog: p, Facts: analysis.Analyze(p), Cfg: cfg, Key: key}
+}

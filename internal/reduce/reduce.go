@@ -1,0 +1,191 @@
+// Package reduce shrinks a test program while preserving a property —
+// normally "the conjecture violation still occurs AND disabling the culprit
+// pass still makes it disappear", the paper's C-Reduce augmentation (§4.4)
+// that keeps the by-group prioritisation sound.
+package reduce
+
+import (
+	"repro/internal/compiler"
+	"repro/internal/minic"
+	"repro/internal/triage"
+)
+
+// Predicate reports whether a candidate program is still interesting. The
+// candidate is laid out and type-checked before the predicate runs.
+type Predicate func(*minic.Program) bool
+
+// Reduce repeatedly applies shrinking transformations, keeping those that
+// preserve the predicate, until a fixpoint. The input program is not
+// modified.
+func Reduce(prog *minic.Program, keep Predicate) *minic.Program {
+	cur := minic.Clone(prog)
+	for {
+		improved := false
+		for _, attempt := range candidates(cur) {
+			minic.AssignLines(attempt)
+			if minic.Check(attempt) != nil {
+				continue
+			}
+			if keep(attempt) {
+				cur = attempt
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+// ViolationPredicate builds the paper's culprit-preserving predicate: the
+// violation variable must still violate its conjecture at the given level,
+// and compiling with the culprit pass disabled must make the violation
+// disappear (§4.4's double compilation per step).
+func ViolationPredicate(cfg compiler.Config, conj int, varName, culprit string) Predicate {
+	return func(p *minic.Program) bool {
+		key, ok := findViolation(p, cfg, conj, varName)
+		if !ok {
+			return false
+		}
+		if culprit == "" {
+			return true
+		}
+		tg := makeTarget(p, cfg, key)
+		occ, err := triage.Occurs(tg, compiler.Options{Disabled: map[string]bool{culprit: true}})
+		return err == nil && !occ
+	}
+}
+
+// candidates generates one-step shrinks of prog, cheapest first.
+func candidates(prog *minic.Program) []*minic.Program {
+	var out []*minic.Program
+	// Remove one statement anywhere.
+	forEachBlock(prog, func(clone *minic.Program, b *minic.Block, path string) {
+		for i := range b.Stmts {
+			c := minic.Clone(clone)
+			cb := resolveBlock(c, path)
+			if cb == nil || i >= len(cb.Stmts) {
+				continue
+			}
+			cb.Stmts = append(cb.Stmts[:i:i], cb.Stmts[i+1:]...)
+			out = append(out, c)
+		}
+	})
+	// Drop a whole function (not main).
+	for fi, f := range prog.Funcs {
+		if f.Name == "main" {
+			continue
+		}
+		c := minic.Clone(prog)
+		c.Funcs = append(c.Funcs[:fi:fi], c.Funcs[fi+1:]...)
+		out = append(out, c)
+	}
+	// Drop a global.
+	for gi := range prog.Globals {
+		c := minic.Clone(prog)
+		c.Globals = append(c.Globals[:gi:gi], c.Globals[gi+1:]...)
+		out = append(out, c)
+	}
+	// Unwrap control structures: replace if/for/while bodies at top level.
+	forEachBlock(prog, func(clone *minic.Program, b *minic.Block, path string) {
+		for i, s := range b.Stmts {
+			var repl []minic.Stmt
+			switch x := s.(type) {
+			case *minic.IfStmt:
+				repl = x.Then.Stmts
+			case *minic.ForStmt:
+				repl = x.Body.Stmts
+			case *minic.WhileStmt:
+				repl = x.Body.Stmts
+			case *minic.Block:
+				repl = x.Stmts
+			case *minic.LabeledStmt:
+				repl = []minic.Stmt{x.Stmt}
+			default:
+				continue
+			}
+			c := minic.Clone(clone)
+			cb := resolveBlock(c, path)
+			if cb == nil || i >= len(cb.Stmts) {
+				continue
+			}
+			var cloned []minic.Stmt
+			for _, rs := range repl {
+				cloned = append(cloned, minic.CloneStmt(rs))
+			}
+			rest := append([]minic.Stmt{}, cb.Stmts[i+1:]...)
+			cb.Stmts = append(append(cb.Stmts[:i:i], cloned...), rest...)
+			out = append(out, c)
+		}
+	})
+	return out
+}
+
+// forEachBlock visits every block of the program with a stable path string
+// so the same block can be located in a clone.
+func forEachBlock(prog *minic.Program, visit func(*minic.Program, *minic.Block, string)) {
+	for _, f := range prog.Funcs {
+		if f.Body == nil {
+			continue
+		}
+		var walk func(b *minic.Block, path string)
+		walk = func(b *minic.Block, path string) {
+			visit(prog, b, path)
+			for i, s := range b.Stmts {
+				sub := func(bb *minic.Block, tag string) {
+					if bb != nil {
+						walk(bb, pathJoin(path, i, tag))
+					}
+				}
+				switch x := s.(type) {
+				case *minic.IfStmt:
+					sub(x.Then, "t")
+					sub(x.Else, "e")
+				case *minic.ForStmt:
+					sub(x.Body, "b")
+				case *minic.WhileStmt:
+					sub(x.Body, "b")
+				case *minic.Block:
+					sub(x, "k")
+				case *minic.LabeledStmt:
+					if inner, ok := x.Stmt.(*minic.Block); ok {
+						sub(inner, "k")
+					}
+					if inner, ok := x.Stmt.(*minic.IfStmt); ok {
+						sub(inner.Then, "t")
+						sub(inner.Else, "e")
+					}
+				}
+			}
+		}
+		walk(f.Body, f.Name)
+	}
+}
+
+func pathJoin(path string, i int, tag string) string {
+	return path + "/" + tag + itoa(i)
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+// resolveBlock finds the block named by path in a cloned program.
+func resolveBlock(prog *minic.Program, path string) *minic.Block {
+	var found *minic.Block
+	forEachBlock(prog, func(_ *minic.Program, b *minic.Block, p string) {
+		if p == path {
+			found = b
+		}
+	})
+	return found
+}

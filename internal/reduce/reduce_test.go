@@ -1,0 +1,104 @@
+package reduce
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/compiler"
+	"repro/internal/conjecture"
+	"repro/internal/debugger"
+	"repro/internal/fuzzgen"
+	"repro/internal/minic"
+)
+
+func TestReduceShrinksWhilePreservingProperty(t *testing.T) {
+	prog := minic.MustParse(`
+int g;
+int unused1;
+int unused2;
+void deadFunc(void) { unused1 = 3; }
+int main(void) {
+  int a = 1;
+  int b = 2;
+  int c = 3;
+  g = a;
+  g = b;
+  g = c;
+  return 0;
+}`)
+	// Property: the program still contains a store of c to g.
+	pred := func(p *minic.Program) bool {
+		return strings.Contains(minic.Render(p), "g = c;")
+	}
+	small := Reduce(prog, pred)
+	if !pred(small) {
+		t.Fatal("property lost")
+	}
+	before := len(strings.Split(minic.Render(prog), "\n"))
+	after := len(strings.Split(minic.Render(small), "\n"))
+	if after >= before {
+		t.Errorf("no shrink: %d -> %d lines", before, after)
+	}
+	if small.Func("deadFunc") != nil {
+		t.Error("dead function not removed")
+	}
+	// Original untouched.
+	if prog.Func("deadFunc") == nil {
+		t.Error("reduction mutated the input program")
+	}
+}
+
+func TestReduceRejectsInvalidCandidates(t *testing.T) {
+	// Removing the declaration of a used variable must be rejected by the
+	// type checker, not crash the reducer.
+	prog := minic.MustParse(`
+int g;
+int main(void) {
+  int x = 7;
+  g = x;
+  return 0;
+}`)
+	pred := func(p *minic.Program) bool {
+		return strings.Contains(minic.Render(p), "g = x;")
+	}
+	small := Reduce(prog, pred)
+	if err := minic.Check(small); err != nil {
+		t.Fatalf("reducer produced invalid program: %v", err)
+	}
+}
+
+func TestViolationPredicateEndToEnd(t *testing.T) {
+	// Find a real violation, then reduce preserving it with its culprit.
+	cfg := compiler.Config{Family: compiler.CL, Version: "trunk", Level: "Og"}
+	for seed := int64(1000); seed < 1050; seed++ {
+		prog := fuzzgen.GenerateSeed(seed)
+		facts := analysis.Analyze(prog)
+		res, err := compiler.Compile(prog, cfg, compiler.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := debugger.Record(res.Exe, debugger.NewLLDB(compiler.DebuggerDefects("lldb")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		vs := conjecture.CheckAll(facts, tr)
+		if len(vs) == 0 {
+			continue
+		}
+		v := vs[0]
+		pred := ViolationPredicate(cfg, v.Conjecture, v.Var, "")
+		if !pred(minic.Clone(prog)) {
+			t.Fatalf("predicate false on the original program for %v", v)
+		}
+		small := Reduce(prog, pred)
+		if !pred(small) {
+			t.Fatal("reduction lost the violation")
+		}
+		if len(minic.Render(small)) > len(minic.Render(prog)) {
+			t.Error("reduction grew the program")
+		}
+		return
+	}
+	t.Skip("no violation found in the seed range")
+}

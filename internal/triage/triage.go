@@ -1,0 +1,190 @@
+// Package triage pinpoints the optimization behind a conjecture violation
+// (§4.3 of the paper). Two methods mirror the paper's:
+//
+//   - Bisect, for the clang-like family: re-run the pipeline with an
+//     execution limit and binary-search the first pass application that
+//     makes the violation appear (the -opt-bisect-limit technique).
+//   - FlagSearch, for the gcc-like family: recompile with one pass disabled
+//     at a time (the -fno-<opt> survey); every flag whose removal makes the
+//     violation vanish is a culprit candidate.
+package triage
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/compiler"
+	"repro/internal/conjecture"
+	"repro/internal/debugger"
+	"repro/internal/minic"
+)
+
+// Target is one violation to triage.
+type Target struct {
+	Prog  *minic.Program
+	Facts *analysis.Facts
+	Cfg   compiler.Config
+	// Key identifies the violation (conjecture.Violation.Key()).
+	Key string
+}
+
+// newDebugger builds the family's native debugger with its catalogued
+// defects, as the paper's pipeline does.
+func newDebugger(f compiler.Family) debugger.Debugger {
+	name := compiler.NativeDebugger(f)
+	if name == "gdb" {
+		return debugger.NewGDB(compiler.DebuggerDefects("gdb"))
+	}
+	return debugger.NewLLDB(compiler.DebuggerDefects("lldb"))
+}
+
+// Occurs compiles with the given knobs and reports whether the violation
+// reproduces.
+func Occurs(tg Target, o compiler.Options) (bool, error) {
+	res, err := compiler.Compile(tg.Prog, tg.Cfg, o)
+	if err != nil {
+		return false, err
+	}
+	tr, err := debugger.Record(res.Exe, newDebugger(tg.Cfg.Family))
+	if err != nil {
+		return false, err
+	}
+	for _, v := range conjecture.CheckAll(tg.Facts, tr) {
+		if v.Key() == tg.Key {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Bisect finds the first pass execution whose application makes the
+// violation visible and returns the pass name (without the function
+// suffix). It fails when the violation does not reproduce with the full
+// pipeline.
+func Bisect(tg Target) (string, error) {
+	full, err := compiler.Compile(tg.Prog, tg.Cfg, compiler.Options{})
+	if err != nil {
+		return "", err
+	}
+	n := full.PipelineExecutions
+	occursAt := func(limit int) (bool, error) {
+		if limit == 0 {
+			// A zero execution budget cannot be expressed through the
+			// bisect knob (zero means "unlimited" there); disabling every
+			// pass is equivalent.
+			disabled := map[string]bool{}
+			for _, name := range compiler.PassNames(tg.Cfg) {
+				disabled[name] = true
+			}
+			return Occurs(tg, compiler.Options{Disabled: disabled})
+		}
+		return Occurs(tg, compiler.Options{BisectLimit: limit})
+	}
+	all, err := occursAt(n)
+	if err != nil {
+		return "", err
+	}
+	if !all {
+		return "", fmt.Errorf("triage: violation does not reproduce at full pipeline")
+	}
+	if zero, err := occursAt(0); err != nil {
+		return "", err
+	} else if zero {
+		// Present before any optimization ran: attributable to codegen or
+		// the debugger, not a middle-end pass.
+		return "codegen", nil
+	}
+	// Register promotion is the always-on baseline of every optimizing
+	// level (the -O0 comparison point of the paper uses memory-resident
+	// variables); start the search after it so attribution lands on a real
+	// transformation unless promotion itself is the cause.
+	lo := 0
+	for _, name := range full.Applied {
+		if !strings.HasPrefix(name, "mem2reg(") {
+			break
+		}
+		lo++
+	}
+	if lo > 0 {
+		occ, err := occursAt(lo)
+		if err != nil {
+			return "", err
+		}
+		if occ {
+			return "mem2reg", nil
+		}
+	}
+	hi := n // lo: absent, hi: present
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		occ, err := occursAt(mid)
+		if err != nil {
+			return "", err
+		}
+		if occ {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	name := full.Applied[hi-1]
+	if i := strings.IndexByte(name, '('); i >= 0 {
+		name = name[:i]
+	}
+	return name, nil
+}
+
+// FlagSearch tries the pipeline with each pass disabled separately and
+// returns the passes whose removal makes the violation disappear. Multiple
+// results reflect dependencies between optimizations (the paper's inlining
+// example); none means the behaviour is not controllable by single flags.
+func FlagSearch(tg Target) ([]string, error) {
+	base, err := Occurs(tg, compiler.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if !base {
+		return nil, fmt.Errorf("triage: violation does not reproduce with all passes enabled")
+	}
+	var culprits []string
+	for _, name := range compiler.PassNames(tg.Cfg) {
+		if name == "mem2reg" {
+			// Register promotion has no disable flag on real compilers
+			// (it is the optimizing levels' baseline); a violation only
+			// controllable by it counts as flag-uncontrollable (§4.3).
+			continue
+		}
+		occ, err := Occurs(tg, compiler.Options{Disabled: map[string]bool{name: true}})
+		if err != nil {
+			return nil, err
+		}
+		if !occ {
+			culprits = append(culprits, name)
+		}
+	}
+	return culprits, nil
+}
+
+// Culprit runs the family-appropriate method and returns a single ranked
+// culprit name (the paper heuristically down-ranks inlining because
+// disabling it suppresses many downstream passes).
+func Culprit(tg Target) (string, error) {
+	if tg.Cfg.Family == compiler.CL {
+		return Bisect(tg)
+	}
+	cands, err := FlagSearch(tg)
+	if err != nil {
+		return "", err
+	}
+	if len(cands) == 0 {
+		return "", fmt.Errorf("triage: no single flag controls the violation")
+	}
+	best := cands[0]
+	for _, c := range cands {
+		if c != "inline" && (best == "inline" || best == "mem2reg") {
+			best = c
+		}
+	}
+	return best, nil
+}

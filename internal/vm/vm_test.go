@@ -1,0 +1,165 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/ir"
+	"repro/internal/minic"
+)
+
+func build(t *testing.T, src string) (*ir.Module, *Machine) {
+	t.Helper()
+	prog := minic.MustParse(src)
+	m, err := ir.Lower(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asmProg, _, err := codegen.Generate(m, codegen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, err := New(asmProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, mach
+}
+
+func TestVMMatchesInterpreter(t *testing.T) {
+	srcs := []string{
+		`int main(void) { int a = 6; int b = 7; return a * b; }`,
+		`
+int g[4];
+volatile int c;
+extern void opaque(int x);
+int main(void) {
+  int i;
+  for (i = 0; i < 4; i = i + 1) {
+    g[i] = i * i;
+    c = g[i];
+  }
+  opaque(g[3]);
+  return g[2];
+}`,
+		`
+int fib(int n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+int main(void) { return fib(10); }`,
+		`
+int b = 0;
+int main(void) {
+  int* p = &b;
+  *p = 9;
+  return *p + b;
+}`,
+	}
+	for _, src := range srcs {
+		m, mach := build(t, src)
+		ref, err := ir.Interp(m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mach.Run(); err != nil {
+			t.Fatalf("vm: %v", err)
+		}
+		got, err := Observe(mach.Prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ref.Equal(got) {
+			t.Errorf("vm diverges from interpreter for:\n%s\nref=%+v\ngot=%+v", src, ref, got)
+		}
+	}
+}
+
+func TestBreakpointsAreOneShot(t *testing.T) {
+	_, mach := build(t, `
+int g;
+int main(void) {
+  int i;
+  for (i = 0; i < 3; i = i + 1) {
+    g = g + i;
+  }
+  return g;
+}`)
+	// Break at the loop body's first instruction; it executes 3 times but
+	// the breakpoint must fire once.
+	var bodyPC = -1
+	for pc, in := range mach.Prog.Instrs {
+		if in.Op == 4 /* OpStoreG */ {
+			bodyPC = pc
+			break
+		}
+	}
+	if bodyPC < 0 {
+		t.Fatal("no global store found")
+	}
+	mach.SetBreak(bodyPC)
+	hits := 0
+	for {
+		hit, err := mach.Continue()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hit {
+			break
+		}
+		hits++
+		if err := mach.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits != 1 {
+		t.Errorf("breakpoint fired %d times, want 1 (one-shot)", hits)
+	}
+	if !mach.Halted || mach.Exit != 3 {
+		t.Errorf("halted=%v exit=%d, want exit 3", mach.Halted, mach.Exit)
+	}
+}
+
+func TestReadRegAndSlot(t *testing.T) {
+	_, mach := build(t, `
+int main(void) {
+  int x = 41;
+  x = x + 1;
+  return x;
+}`)
+	if err := mach.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := mach.ReadReg(1 << 20); ok {
+		t.Error("out-of-range register read succeeded")
+	}
+	if _, ok := mach.ReadSlot(1 << 20); ok {
+		t.Error("out-of-range slot read succeeded")
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	_, mach := build(t, `int main(void) { while (1) { } return 0; }`)
+	mach.MaxStep = 500
+	if err := mach.Run(); err != ErrStepLimit {
+		t.Errorf("err = %v, want ErrStepLimit", err)
+	}
+}
+
+func TestCalleeSavedRegisters(t *testing.T) {
+	// A call must not clobber the caller's registers: the frame's register
+	// file is private (the callee-saved convention of the codegen model).
+	_, mach := build(t, `
+int f(int n) { return n * 2; }
+int main(void) {
+  int keep = 123;
+  int r = f(4);
+  return keep + r;
+}`)
+	if err := mach.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if mach.Exit != 131 {
+		t.Errorf("exit = %d, want 131", mach.Exit)
+	}
+}

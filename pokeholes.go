@@ -1,0 +1,172 @@
+// Package pokeholes is the public facade of the reproduction of "Where Did
+// My Variable Go? Poking Holes in Incomplete Debug Information" (ASPLOS
+// 2023). It wires the simulated toolchain — MiniC front end, optimizing
+// compiler with catalogued debug-information defects, DWARF-like debug
+// information, VM, and two debugger engines — to the paper's methodology:
+// conjecture checking, culprit triage, and violation-preserving reduction.
+//
+// Quick start:
+//
+//	prog, _ := pokeholes.ParseProgram(src)
+//	report, _ := pokeholes.Check(prog, pokeholes.Config{
+//	        Family: pokeholes.GC, Version: "trunk", Level: "O2"})
+//	for _, v := range report.Violations { fmt.Println(v) }
+package pokeholes
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/compiler"
+	"repro/internal/conjecture"
+	"repro/internal/debugger"
+	"repro/internal/dwarf"
+	"repro/internal/fuzzgen"
+	"repro/internal/metrics"
+	"repro/internal/minic"
+	"repro/internal/object"
+	"repro/internal/reduce"
+	"repro/internal/triage"
+)
+
+// Re-exported configuration types.
+type (
+	// Config selects a compiler family, version and optimization level.
+	Config = compiler.Config
+	// Violation is one conjecture violation.
+	Violation = conjecture.Violation
+	// Trace is a recorded debugging session.
+	Trace = debugger.Trace
+	// Metrics are the paper's §2 quantitative measures.
+	Metrics = metrics.Metrics
+)
+
+// Compiler families.
+const (
+	// GC is the gcc-like family (native debugger: the gdb-like engine).
+	GC = compiler.GC
+	// CL is the clang-like family (native debugger: the lldb-like engine).
+	CL = compiler.CL
+)
+
+// ParseProgram parses, lays out and type-checks MiniC source.
+func ParseProgram(src string) (*minic.Program, error) {
+	prog, err := minic.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	minic.AssignLines(prog)
+	if err := minic.Check(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// GenerateProgram returns the fuzzer's program for a seed (the Csmith
+// analogue, §4.1).
+func GenerateProgram(seed int64) *minic.Program {
+	return fuzzgen.GenerateSeed(seed)
+}
+
+// Render returns the canonical source of a program.
+func Render(prog *minic.Program) string { return minic.Render(prog) }
+
+// Compile builds prog under cfg and returns the executable.
+func Compile(prog *minic.Program, cfg Config) (*object.Executable, error) {
+	res, err := compiler.Compile(prog, cfg, compiler.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return res.Exe, nil
+}
+
+// NativeDebugger returns the reference debugger of a family, configured
+// with the catalogued defects of its latest release.
+func NativeDebugger(f compiler.Family) debugger.Debugger {
+	if compiler.NativeDebugger(f) == "gdb" {
+		return debugger.NewGDB(compiler.DebuggerDefects("gdb"))
+	}
+	return debugger.NewLLDB(compiler.DebuggerDefects("lldb"))
+}
+
+// RecordTrace runs exe under dbg with one-shot breakpoints on every
+// steppable line, as the paper's checking pipeline does (§4.2).
+func RecordTrace(exe *object.Executable, dbg debugger.Debugger) (*Trace, error) {
+	return debugger.Record(exe, dbg)
+}
+
+// Report is the result of checking one program under one configuration.
+type Report struct {
+	Config     Config
+	Trace      *Trace
+	Violations []Violation
+}
+
+// Check runs the full single-configuration pipeline: compile, trace under
+// the native debugger, and test the three conjectures.
+func Check(prog *minic.Program, cfg Config) (*Report, error) {
+	exe, err := Compile(prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := RecordTrace(exe, NativeDebugger(cfg.Family))
+	if err != nil {
+		return nil, err
+	}
+	facts := analysis.Analyze(prog)
+	return &Report{Config: cfg, Trace: tr,
+		Violations: conjecture.CheckAll(facts, tr)}, nil
+}
+
+// Triage identifies the culprit optimization behind a violation, using
+// pipeline bisection for CL and the per-flag search for GC (§4.3).
+func Triage(prog *minic.Program, cfg Config, v Violation) (string, error) {
+	tg := triage.Target{Prog: prog, Facts: analysis.Analyze(prog), Cfg: cfg, Key: v.Key()}
+	return triage.Culprit(tg)
+}
+
+// Minimize shrinks prog while preserving the violation and its culprit
+// (§4.4). An empty culprit skips the culprit-preservation check.
+func Minimize(prog *minic.Program, cfg Config, v Violation, culprit string) *minic.Program {
+	pred := reduce.ViolationPredicate(cfg, v.Conjecture, v.Var, culprit)
+	return reduce.Reduce(prog, pred)
+}
+
+// ClassifyDWARF assigns the paper's four-way DIE-defect category to a
+// violation (§5.3), by inspecting the executable's debug information at the
+// first line-table address of the violation line.
+func ClassifyDWARF(exe *object.Executable, v Violation) (dwarf.Class, error) {
+	info, err := exe.DebugInfo()
+	if err != nil {
+		return "", err
+	}
+	pcs := info.LinePCs(v.Line)
+	if len(pcs) == 0 {
+		return "", fmt.Errorf("pokeholes: line %d has no code", v.Line)
+	}
+	return dwarf.Classify(info, v.Var, pcs[0]), nil
+}
+
+// Measure computes line coverage and availability of variables of cfg's
+// build of prog against its -O0 counterpart (§2).
+func Measure(prog *minic.Program, cfg Config) (Metrics, error) {
+	refCfg := cfg
+	refCfg.Level = "O0"
+	refExe, err := Compile(prog, refCfg)
+	if err != nil {
+		return Metrics{}, err
+	}
+	ref, err := RecordTrace(refExe, NativeDebugger(cfg.Family))
+	if err != nil {
+		return Metrics{}, err
+	}
+	exe, err := Compile(prog, cfg)
+	if err != nil {
+		return Metrics{}, err
+	}
+	tr, err := RecordTrace(exe, NativeDebugger(cfg.Family))
+	if err != nil {
+		return Metrics{}, err
+	}
+	return metrics.Compute(tr, ref), nil
+}

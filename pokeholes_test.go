@@ -1,0 +1,97 @@
+package pokeholes
+
+import (
+	"strings"
+	"testing"
+)
+
+const facadeSrc = `
+int g;
+extern void opaque(int x);
+int main(void) {
+  int x = 40 + 2;
+  g = x;
+  opaque(x);
+  return 0;
+}
+`
+
+func TestFacadeRoundTrip(t *testing.T) {
+	prog, err := ParseProgram(facadeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(Render(prog), "opaque(x);") {
+		t.Error("render lost the call")
+	}
+	cfg := Config{Family: GC, Version: "trunk", Level: "O2"}
+	report, err := Check(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Trace.Stops) == 0 {
+		t.Fatal("empty trace")
+	}
+	// A constant-folded x must still be available at the opaque call on a
+	// healthy path; any violation here must at least be well-formed.
+	for _, v := range report.Violations {
+		if v.Conjecture < 1 || v.Conjecture > 3 || v.Var == "" {
+			t.Errorf("malformed violation %+v", v)
+		}
+	}
+}
+
+func TestFacadeMeasure(t *testing.T) {
+	prog, err := ParseProgram(facadeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Measure(prog, Config{Family: GC, Version: "trunk", Level: "Og"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.LineCoverage <= 0 || m.LineCoverage > 1 {
+		t.Errorf("line coverage out of range: %v", m.LineCoverage)
+	}
+	if m.Product > m.LineCoverage+1e-9 {
+		t.Errorf("product exceeds line coverage: %+v", m)
+	}
+}
+
+func TestFacadeGenerateAndFullPipeline(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		prog := GenerateProgram(seed)
+		for _, cfg := range []Config{
+			{Family: GC, Version: "trunk", Level: "O2"},
+			{Family: CL, Version: "trunkstar", Level: "Og"},
+		} {
+			report, err := Check(prog, cfg)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, cfg, err)
+			}
+			for _, v := range report.Violations {
+				exe, err := Compile(prog, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := ClassifyDWARF(exe, v); err != nil {
+					t.Errorf("classification failed for %v: %v", v, err)
+				}
+			}
+		}
+	}
+}
+
+func TestFacadeO0IsReference(t *testing.T) {
+	prog, err := ParseProgram(facadeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := Check(prog, Config{Family: CL, Version: "trunk", Level: "O0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Violations) != 0 {
+		t.Errorf("O0 must be violation-free: %v", report.Violations)
+	}
+}
