@@ -1,9 +1,12 @@
-package pokeholes
+package pokeholes_test
 
 import (
+	"context"
+	"fmt"
 	"io"
 	"testing"
 
+	"repro"
 	"repro/internal/compiler"
 	"repro/internal/experiments"
 	"repro/internal/fuzzgen"
@@ -99,21 +102,25 @@ func BenchmarkFigure4(b *testing.B) {
 // BenchmarkPipelinePerProgram measures the single-program end-to-end cost
 // (generate, compile, trace, check one conjecture sweep) — the paper
 // reports ~30 s/program on its server; this quantifies our substrate.
+// The engine's cache is disabled so every iteration is a cold run.
 func BenchmarkPipelinePerProgram(b *testing.B) {
+	eng := pokeholes.NewEngine(pokeholes.WithCompileCache(0))
 	for i := 0; i < b.N; i++ {
-		prog := GenerateProgram(int64(i))
-		if _, err := Check(prog, Config{Family: GC, Version: "trunk", Level: "O2"}); err != nil {
+		prog := pokeholes.GenerateProgram(int64(i))
+		if _, err := eng.Check(context.Background(), prog, pokeholes.Config{Family: pokeholes.GC, Version: "trunk", Level: "O2"}); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
-// BenchmarkCompileOnly isolates the compiler (lower + optimize + codegen).
+// BenchmarkCompileOnly isolates the compiler (lower + optimize + codegen),
+// with the cache disabled so each iteration really compiles.
 func BenchmarkCompileOnly(b *testing.B) {
-	prog := GenerateProgram(7)
+	eng := pokeholes.NewEngine(pokeholes.WithCompileCache(0))
+	prog := pokeholes.GenerateProgram(7)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Compile(prog, Config{Family: CL, Version: "trunk", Level: "O3"}); err != nil {
+		if _, err := eng.Compile(context.Background(), prog, pokeholes.Config{Family: pokeholes.CL, Version: "trunk", Level: "O3"}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -121,15 +128,15 @@ func BenchmarkCompileOnly(b *testing.B) {
 
 // BenchmarkTraceOnly isolates the debugger session over a fixed binary.
 func BenchmarkTraceOnly(b *testing.B) {
-	prog := GenerateProgram(7)
-	exe, err := Compile(prog, Config{Family: CL, Version: "trunk", Level: "O3"})
+	prog := pokeholes.GenerateProgram(7)
+	exe, err := pokeholes.Compile(prog, pokeholes.Config{Family: pokeholes.CL, Version: "trunk", Level: "O3"})
 	if err != nil {
 		b.Fatal(err)
 	}
-	dbg := NativeDebugger(CL)
+	dbg := pokeholes.NativeDebugger(pokeholes.CL)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := RecordTrace(exe, dbg); err != nil {
+		if _, err := pokeholes.RecordTrace(exe, dbg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -140,15 +147,15 @@ func BenchmarkTraceOnly(b *testing.B) {
 // hit. The recorded trace is the same; the cost difference is the number of
 // debugger stops.
 func BenchmarkAblationFirstHitVsFullLoop(b *testing.B) {
-	prog := GenerateProgram(11)
-	exe, err := Compile(prog, Config{Family: GC, Version: "trunk", Level: "O2"})
+	prog := pokeholes.GenerateProgram(11)
+	exe, err := pokeholes.Compile(prog, pokeholes.Config{Family: pokeholes.GC, Version: "trunk", Level: "O2"})
 	if err != nil {
 		b.Fatal(err)
 	}
-	dbg := NativeDebugger(GC)
+	dbg := pokeholes.NativeDebugger(pokeholes.GC)
 	b.Run("first-hit", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := RecordTrace(exe, dbg); err != nil {
+			if _, err := pokeholes.RecordTrace(exe, dbg); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -160,4 +167,51 @@ func BenchmarkFuzzgen(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		fuzzgen.GenerateSeed(int64(i))
 	}
+}
+
+// BenchmarkCampaignSweep measures one engine campaign (Table 1's
+// substrate: every level of gc trunk over the seed pool), with a fresh
+// engine per iteration so the cache starts cold.
+func BenchmarkCampaignSweep(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng := pokeholes.NewEngine(pokeholes.WithWorkers(workers))
+				results, err := eng.Campaign(context.Background(), pokeholes.CampaignSpec{
+					Family: pokeholes.GC, Version: "trunk",
+					N: benchPrograms, Seed0: benchSeed})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for res := range results {
+					if res.Err != nil {
+						b.Fatal(res.Err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCheckCachedVsCold quantifies what the compile cache buys on
+// repeated checks of one program (the Check->Triage->Minimize baseline).
+func BenchmarkCheckCachedVsCold(b *testing.B) {
+	prog := pokeholes.GenerateProgram(7)
+	cfg := pokeholes.Config{Family: pokeholes.GC, Version: "trunk", Level: "O2"}
+	b.Run("cold", func(b *testing.B) {
+		eng := pokeholes.NewEngine(pokeholes.WithCompileCache(0))
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Check(context.Background(), prog, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		eng := pokeholes.NewEngine()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Check(context.Background(), prog, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -1,0 +1,235 @@
+package pokeholes
+
+// This file implements the streaming batch API: Campaign fans a pool of
+// fuzzed (or explicit) programs out over the engine's worker pool, checks
+// every optimization level of a configuration, and streams per-program
+// results back in seed order so aggregation is deterministic regardless of
+// worker count.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/compiler"
+	"repro/internal/fuzzgen"
+	"repro/internal/minic"
+)
+
+// OptLevels returns a family's optimizing levels (everything but O0), the
+// default level sweep of a campaign.
+func OptLevels(f Family) []string {
+	all := compiler.GCLevels
+	if f == CL {
+		all = compiler.CLLevels
+	}
+	out := make([]string, 0, len(all)-1)
+	for _, l := range all {
+		if l != "O0" {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// CampaignSpec describes one batch run.
+type CampaignSpec struct {
+	// Family and Version select the compiler under test.
+	Family  Family
+	Version string
+	// Levels are the optimization levels to check (default: OptLevels).
+	Levels []string
+	// N programs are fuzzed from seeds Seed0..Seed0+N-1 ...
+	N     int
+	Seed0 int64
+	// ... unless Programs supplies them explicitly (Result.Seed is then
+	// the index).
+	Programs []*minic.Program
+	// Measure also computes the §2 metrics of every level against the O0
+	// reference build.
+	Measure bool
+	// Triage also attributes every violation to a culprit optimization.
+	Triage bool
+}
+
+// Result is one program's campaign outcome. Results arrive in seed order.
+type Result struct {
+	// Index is the program's position in the campaign (0-based); Seed is
+	// its fuzzer seed (or Index when the spec supplied explicit programs).
+	Index int
+	Seed  int64
+	Prog  *minic.Program
+	// Violations maps each checked level to its conjecture violations.
+	Violations map[string][]Violation
+	// Metrics maps each level to its §2 measures (when spec.Measure).
+	Metrics map[string]Metrics
+	// Culprits maps level+"|"+violation-key to the triaged culprit pass
+	// (when spec.Triage); empty string means not single-knob controllable.
+	Culprits map[string]string
+	// Err is the first error this program's checks hit, if any.
+	Err error
+}
+
+// Culprit returns the triaged culprit of a violation at a level.
+func (r *Result) Culprit(level string, v Violation) (string, bool) {
+	c, ok := r.Culprits[level+"|"+v.Key()]
+	return c, ok
+}
+
+// Campaign runs the spec over the engine's worker pool and returns a
+// channel that yields one Result per program, strictly in seed order. The
+// channel closes when the campaign finishes or ctx is cancelled; on
+// cancellation in-flight programs may be dropped, but the delivered prefix
+// is always contiguous. Identical specs yield identical result streams at
+// any worker count.
+func (e *Engine) Campaign(ctx context.Context, spec CampaignSpec) (<-chan Result, error) {
+	if spec.Family != GC && spec.Family != CL {
+		return nil, fmt.Errorf("pokeholes: unknown family %q", spec.Family)
+	}
+	if (Config{Family: spec.Family, Version: spec.Version}).VersionIndex() < 0 {
+		return nil, fmt.Errorf("pokeholes: unknown version %q for family %s", spec.Version, spec.Family)
+	}
+	jobs := spec.N
+	if len(spec.Programs) > 0 {
+		jobs = len(spec.Programs)
+	}
+	if jobs <= 0 {
+		return nil, fmt.Errorf("pokeholes: empty campaign (N == 0 and no programs)")
+	}
+	levels := spec.Levels
+	if len(levels) == 0 {
+		levels = OptLevels(spec.Family)
+	}
+	workers := e.workers
+	if workers > jobs {
+		workers = jobs
+	}
+
+	indexCh := make(chan int)
+	resCh := make(chan Result, workers)
+	out := make(chan Result)
+
+	// The dispatch window bounds how far the pool may run ahead of the
+	// slowest in-flight job, so the reorder buffer (and the Results it
+	// holds) stays O(workers) instead of O(jobs) when job costs are skewed.
+	window := 4 * workers
+	tokens := make(chan struct{}, window)
+	for i := 0; i < window; i++ {
+		tokens <- struct{}{}
+	}
+
+	go func() {
+		defer close(indexCh)
+		for i := 0; i < jobs; i++ {
+			select {
+			case <-tokens:
+			case <-ctx.Done():
+				return
+			}
+			select {
+			case indexCh <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range indexCh {
+				resCh <- e.campaignJob(ctx, spec, idx, levels)
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(resCh)
+	}()
+
+	// Reassemble in seed order: workers finish out of order, but the feeder
+	// dispatched a contiguous prefix of indices, so buffering until the next
+	// expected index arrives yields a gap-free ordered stream.
+	go func() {
+		defer close(out)
+		pending := map[int]Result{}
+		next := 0
+		for r := range resCh {
+			pending[r.Index] = r
+			for {
+				nr, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				select {
+				case out <- nr:
+				case <-ctx.Done():
+					// Consumer gone: drain the workers and stop.
+					for range resCh {
+					}
+					return
+				}
+				next++
+				// Refund the emitted result's dispatch credit. At most
+				// `window` jobs are outstanding, so this never blocks.
+				select {
+				case tokens <- struct{}{}:
+				default:
+				}
+			}
+		}
+	}()
+	return out, nil
+}
+
+// campaignJob runs one program through every level of the spec.
+func (e *Engine) campaignJob(ctx context.Context, spec CampaignSpec, idx int, levels []string) Result {
+	r := Result{Index: idx, Violations: map[string][]Violation{}}
+	if len(spec.Programs) > 0 {
+		r.Seed = int64(idx)
+		r.Prog = spec.Programs[idx]
+	} else {
+		r.Seed = spec.Seed0 + int64(idx)
+		r.Prog = fuzzgen.GenerateSeed(r.Seed)
+	}
+	if spec.Measure {
+		r.Metrics = map[string]Metrics{}
+	}
+	if spec.Triage {
+		r.Culprits = map[string]string{}
+	}
+	for _, level := range levels {
+		if err := ctx.Err(); err != nil {
+			r.Err = err
+			return r
+		}
+		cfg := Config{Family: spec.Family, Version: spec.Version, Level: level}
+		rep, err := e.Check(ctx, r.Prog, cfg)
+		if err != nil {
+			r.Err = fmt.Errorf("seed %d %s: %w", r.Seed, cfg, err)
+			return r
+		}
+		r.Violations[level] = rep.Violations
+		if spec.Measure {
+			m, err := e.Measure(ctx, r.Prog, cfg)
+			if err != nil {
+				r.Err = fmt.Errorf("seed %d %s: %w", r.Seed, cfg, err)
+				return r
+			}
+			r.Metrics[level] = m
+		}
+		if spec.Triage {
+			for _, v := range rep.Violations {
+				culprit, err := e.Triage(ctx, r.Prog, cfg, v)
+				if err != nil {
+					culprit = "" // not controllable by a single knob (§4.3)
+				}
+				r.Culprits[level+"|"+v.Key()] = culprit
+			}
+		}
+	}
+	return r
+}

@@ -1,27 +1,26 @@
 // Command conjhunt runs the paper's full bug-hunting pipeline: generate
 // fuzzed programs, compile them across optimization levels, record debugger
 // traces, check the three conjectures, triage each violation to a culprit
-// optimization, and minimize one exemplary test case per culprit.
+// optimization, and minimize one exemplary test case per culprit. The hunt
+// runs as one Engine campaign: programs fan out over the worker pool and
+// results stream back in seed order, so the report is deterministic at any
+// parallelism.
 //
 // Usage:
 //
-//	conjhunt [-family gc|cl] [-version trunk] [-n 50] [-seed 1] [-reduce]
+//	conjhunt [-family gc|cl] [-version trunk] [-n 50] [-seed 1] [-workers 0] [-reduce]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 
-	"repro/internal/analysis"
+	"repro"
 	"repro/internal/compiler"
-	"repro/internal/conjecture"
-	"repro/internal/experiments"
-	"repro/internal/fuzzgen"
 	"repro/internal/minic"
-	"repro/internal/reduce"
-	"repro/internal/triage"
 )
 
 func main() {
@@ -29,45 +28,51 @@ func main() {
 	version := flag.String("version", "trunk", "compiler version")
 	n := flag.Int("n", 50, "number of fuzzed programs")
 	seed := flag.Int64("seed", 1, "first seed")
+	workers := flag.Int("workers", 0, "campaign worker-pool size (0: GOMAXPROCS)")
 	doReduce := flag.Bool("reduce", false, "minimize one test case per culprit")
 	flag.Parse()
 
-	fam := compiler.Family(*family)
-	levels := []string{"Og", "O1", "O2", "O3", "Os", "Oz"}
-	if fam == compiler.CL {
-		levels = []string{"Og", "O2", "O3", "Os", "Oz"}
+	var opts []pokeholes.Option
+	if *workers > 0 {
+		opts = append(opts, pokeholes.WithWorkers(*workers))
 	}
+	eng := pokeholes.NewEngine(opts...)
+	ctx := context.Background()
+
+	fam := compiler.Family(*family)
+	results, err := eng.Campaign(ctx, pokeholes.CampaignSpec{
+		Family: fam, Version: *version, N: *n, Seed0: *seed, Triage: true})
+	if err != nil {
+		fatal(err)
+	}
+
+	levels := pokeholes.OptLevels(fam)
 	culpritCount := map[string]int{}
 	reduced := map[string]bool{}
 	total := 0
-	for i := 0; i < *n; i++ {
-		prog := fuzzgen.GenerateSeed(*seed + int64(i))
-		facts := analysis.Analyze(prog)
+	for res := range results {
+		if res.Err != nil {
+			fatal(res.Err)
+		}
 		for _, level := range levels {
-			cfg := compiler.Config{Family: fam, Version: *version, Level: level}
-			vs, err := experiments.ViolationsFor(prog, facts, cfg)
-			if err != nil {
-				fatal(err)
-			}
-			for _, v := range vs {
+			cfg := pokeholes.Config{Family: fam, Version: *version, Level: level}
+			for _, v := range res.Violations[level] {
 				total++
-				tg := triage.Target{Prog: prog, Facts: facts, Cfg: cfg, Key: v.Key()}
-				culprit, err := triage.Culprit(tg)
-				if err != nil {
+				culprit, _ := res.Culprit(level, v)
+				if culprit == "" {
 					culprit = "(untriaged)"
 				}
 				culpritCount[culprit]++
-				fmt.Printf("seed %d %s: %s -> culprit %s\n", *seed+int64(i), cfg, v, culprit)
+				fmt.Printf("seed %d %s: %s -> culprit %s\n", res.Seed, cfg, v, culprit)
 				// Cross-validate in the other debugger (§4.2).
-				if also, err := experiments.ValidateInOtherDebugger(tg); err == nil && !also {
+				if also, err := eng.CrossValidate(ctx, res.Prog, cfg, v); err == nil && !also {
 					fmt.Printf("  note: not reproducible in the other debugger (debugger-side suspect)\n")
 				}
 				if *doReduce && culprit != "(untriaged)" && !reduced[culprit] {
 					reduced[culprit] = true
-					pred := reduce.ViolationPredicate(cfg, v.Conjecture, v.Var, culprit)
-					small := reduce.Reduce(prog, pred)
-					fmt.Printf("  minimized test case (%d -> %d lines):\n", countLines(prog), countLines(small))
-					fmt.Println(indent(minic.Render(small)))
+					small := eng.Minimize(ctx, res.Prog, cfg, v, culprit)
+					fmt.Printf("  minimized test case (%d -> %d lines):\n", countLines(res.Prog), countLines(small))
+					fmt.Println(indent(pokeholes.Render(small)))
 				}
 			}
 		}
@@ -85,12 +90,11 @@ func main() {
 	for _, e := range ks {
 		fmt.Printf("  %-20s %d\n", e.k, e.v)
 	}
-	_ = conjecture.Violation{}
 }
 
 func countLines(p *minic.Program) int {
 	n := 0
-	for _, c := range minic.Render(p) {
+	for _, c := range pokeholes.Render(p) {
 		if c == '\n' {
 			n++
 		}

@@ -8,14 +8,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"repro"
 	"repro/internal/compiler"
 	"repro/internal/dwarf"
-	"repro/internal/minic"
 	"repro/internal/vm"
 )
 
@@ -34,20 +35,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	prog, err := minic.Parse(string(src))
+	prog, err := pokeholes.ParseProgram(string(src))
 	if err != nil {
-		fatal(err)
-	}
-	minic.AssignLines(prog)
-	if err := minic.Check(prog); err != nil {
 		fatal(err)
 	}
 	lvl := *level
 	if !strings.HasPrefix(lvl, "O") {
 		lvl = "O" + lvl
 	}
-	cfg := compiler.Config{Family: compiler.Family(*family), Version: *version, Level: lvl}
-	res, err := compiler.Compile(prog, cfg, compiler.Options{})
+	eng := pokeholes.NewEngine()
+	cfg := pokeholes.Config{Family: compiler.Family(*family), Version: *version, Level: lvl}
+	res, err := eng.CompileResult(context.Background(), prog, cfg)
 	if err != nil {
 		fatal(err)
 	}

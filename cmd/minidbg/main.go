@@ -8,14 +8,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"repro"
 	"repro/internal/compiler"
 	"repro/internal/debugger"
-	"repro/internal/minic"
 )
 
 func main() {
@@ -32,40 +33,32 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	prog, err := minic.Parse(string(src))
+	prog, err := pokeholes.ParseProgram(string(src))
 	if err != nil {
-		fatal(err)
-	}
-	minic.AssignLines(prog)
-	if err := minic.Check(prog); err != nil {
 		fatal(err)
 	}
 	lvl := *level
 	if !strings.HasPrefix(lvl, "O") {
 		lvl = "O" + lvl
 	}
-	cfg := compiler.Config{Family: compiler.Family(*family), Version: *version, Level: lvl}
-	res, err := compiler.Compile(prog, cfg, compiler.Options{})
-	if err != nil {
-		fatal(err)
+	fam := compiler.Family(*family)
+	var opts []pokeholes.Option
+	if *dbgName != "" {
+		dbg, err := pokeholes.DebuggerByName(*dbgName)
+		if err != nil {
+			fatal(err)
+		}
+		opts = append(opts, pokeholes.WithDebugger(fam, dbg))
 	}
-	name := *dbgName
-	if name == "" {
-		name = compiler.NativeDebugger(cfg.Family)
-	}
-	var dbg debugger.Debugger
-	if name == "gdb" {
-		dbg = debugger.NewGDB(compiler.DebuggerDefects("gdb"))
-	} else {
-		dbg = debugger.NewLLDB(compiler.DebuggerDefects("lldb"))
-	}
-	trace, err := debugger.Record(res.Exe, dbg)
+	eng := pokeholes.NewEngine(opts...)
+	cfg := pokeholes.Config{Family: fam, Version: *version, Level: lvl}
+	trace, err := eng.Trace(context.Background(), prog, cfg)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("%s under %s: %d steppable lines, %d stepped\n",
-		cfg, dbg.Name(), len(trace.Steppable), len(trace.Stops))
-	lines := strings.Split(minic.Render(prog), "\n")
+		cfg, eng.DebuggerFor(fam).Name(), len(trace.Steppable), len(trace.Stops))
+	lines := strings.Split(pokeholes.Render(prog), "\n")
 	for _, l := range trace.HitLines() {
 		srcLine := ""
 		if l-1 < len(lines) {

@@ -1,85 +1,174 @@
 // Command paperbench regenerates the paper's tables and figures at
-// configurable scale and prints them as text.
+// configurable scale and prints them as text, or as machine-readable JSON
+// with -json for benchmark trajectories. Experiments run on an Engine
+// session whose worker pool parallelizes each campaign.
 //
 // Usage:
 //
-//	paperbench [-exp all|fig1|tab1|fig23|tab2|tab3|tab4|fig4|regress] [-n 200] [-seed 1]
+//	paperbench [-exp all|fig1|tab1|fig23|tab2|tab3|tab4|fig4|regress]
+//	           [-n 200] [-seed 1] [-workers 0] [-cache 4096] [-json]
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
-	"repro/internal/compiler"
+	"repro"
 	"repro/internal/experiments"
 )
+
+// experimentJSON is one -json record: identity, wall time, and the
+// experiment-specific payload.
+type experimentJSON struct {
+	Experiment  string  `json:"experiment"`
+	Programs    int     `json:"programs"`
+	Seed        int64   `json:"seed"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Payload     any     `json:"payload,omitempty"`
+}
+
+type reportJSON struct {
+	Experiments []experimentJSON      `json:"experiments"`
+	Engine      pokeholes.EngineStats `json:"engine"`
+	Workers     int                   `json:"workers"`
+	TotalWallS  float64               `json:"total_wall_seconds"`
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id: fig1, tab1, fig23, tab2, tab3, tab4, fig4, regress, all")
 	n := flag.Int("n", 200, "number of fuzzed programs (paper: 1000 for tables, 5000 for fig1)")
 	nTriage := flag.Int("ntriage", 10, "programs for the triage table (expensive)")
 	seed := flag.Int64("seed", 1, "first seed")
+	workers := flag.Int("workers", 0, "campaign worker-pool size (0: GOMAXPROCS)")
+	cacheSize := flag.Int("cache", pokeholes.DefaultCacheSize, "compile-cache entries (0 disables)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable per-experiment results on stdout")
 	flag.Parse()
-	w := os.Stdout
 
+	var opts []pokeholes.Option
+	if *workers > 0 {
+		opts = append(opts, pokeholes.WithWorkers(*workers))
+	}
+	opts = append(opts, pokeholes.WithCompileCache(*cacheSize))
+	eng := pokeholes.NewEngine(opts...)
+	runner := experiments.NewRunner(eng)
+	ctx := context.Background()
+
+	var w io.Writer = os.Stdout
+	if *jsonOut {
+		w = io.Discard
+	}
+	var records []experimentJSON
+	t0 := time.Now()
+	record := func(id string, programs int, payload any, start time.Time) {
+		records = append(records, experimentJSON{
+			Experiment: id, Programs: programs, Seed: *seed,
+			WallSeconds: time.Since(start).Seconds(), Payload: payload})
+	}
 	run := func(id string) bool { return *exp == "all" || *exp == id }
 
 	if run("fig1") {
-		if _, err := experiments.Figure1(*n/4, *seed, w); err != nil {
+		start := time.Now()
+		cells, err := runner.Figure1(ctx, *n/4, *seed, w)
+		if err != nil {
 			fatal(err)
 		}
+		record("fig1", *n/4, cells, start)
 		fmt.Fprintln(w)
 	}
 	var gc, cl *experiments.LevelViolations
 	if run("tab1") || run("fig23") {
+		start := time.Now()
 		var err error
-		gc, cl, err = experiments.Table1(*n, *seed, w)
+		gc, cl, err = runner.Table1(ctx, *n, *seed, w)
 		if err != nil {
 			fatal(err)
+		}
+		if run("tab1") {
+			record("tab1", *n, map[string]any{
+				"cl_unique": [3]int{cl.Unique(1), cl.Unique(2), cl.Unique(3)},
+				"gc_unique": [3]int{gc.Unique(1), gc.Unique(2), gc.Unique(3)},
+				"cl_clean":  cl.CleanPrograms,
+				"gc_clean":  gc.CleanPrograms,
+			}, start)
 		}
 		fmt.Fprintln(w)
 	}
 	if run("fig23") {
+		start := time.Now()
 		fmt.Fprintln(w, "Figure 2 (cl):")
 		experiments.Figure23(cl, w)
 		fmt.Fprintln(w, "Figure 3 (gc):")
 		experiments.Figure23(gc, w)
+		record("fig23", *n, map[string]any{
+			"cl": experiments.LevelSetDistribution(cl),
+			"gc": experiments.LevelSetDistribution(gc),
+		}, start)
 		fmt.Fprintln(w)
 	}
 	if run("tab2") {
-		if _, err := experiments.Table2(*nTriage, *seed, w); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintln(w)
-	}
-	if run("tab3") {
-		experiments.Table3(w)
-		fmt.Fprintln(w)
-	}
-	if run("tab4") {
-		if _, err := experiments.Table4(*n/2, *seed, w); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintln(w)
-	}
-	if run("fig4") {
-		if err := experiments.Figure4(*n/2, *seed, w); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintln(w)
-	}
-	if run("regress") {
-		t1, p1, og, err := experiments.RegressionAvailability(*n/4, *seed, w)
+		start := time.Now()
+		rows, err := runner.Table2(ctx, *nTriage, *seed, w)
 		if err != nil {
 			fatal(err)
 		}
+		record("tab2", *nTriage, rows, start)
+		fmt.Fprintln(w)
+	}
+	if run("tab3") {
+		start := time.Now()
+		experiments.Table3(w)
+		record("tab3", 0, nil, start)
+		fmt.Fprintln(w)
+	}
+	if run("tab4") {
+		start := time.Now()
+		rows, err := runner.Table4(ctx, *n/2, *seed, w)
+		if err != nil {
+			fatal(err)
+		}
+		record("tab4", *n/2, rows, start)
+		fmt.Fprintln(w)
+	}
+	if run("fig4") {
+		start := time.Now()
+		if err := runner.Figure4(ctx, *n/2, *seed, w); err != nil {
+			fatal(err)
+		}
+		record("fig4", *n/2, nil, start)
+		fmt.Fprintln(w)
+	}
+	if run("regress") {
+		start := time.Now()
+		t1, p1, og, err := runner.RegressionAvailability(ctx, *n/4, *seed, w)
+		if err != nil {
+			fatal(err)
+		}
+		payload := map[string]float64{"trunk_o1": t1, "patched_o1": p1, "og_reference": og}
 		if og > t1 {
 			closed := (p1 - t1) / (og - t1)
+			payload["gap_closed"] = closed
 			fmt.Fprintf(w, "the patch closes %.0f%% of the O1 -> Og availability gap (paper: ~50%%)\n", closed*100)
 		}
+		record("regress", *n/4, payload, start)
 	}
-	_ = compiler.GC
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reportJSON{
+			Experiments: records,
+			Engine:      eng.Stats(),
+			Workers:     *workers,
+			TotalWallS:  time.Since(t0).Seconds(),
+		}); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func fatal(err error) {

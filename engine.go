@@ -1,0 +1,327 @@
+package pokeholes
+
+// This file defines the v2 session API. An Engine owns the resources one
+// checking session needs — a worker budget, a fingerprint-keyed
+// compile/analysis/trace cache, and the debugger engines — and exposes
+// context-aware versions of the paper's pipeline stages. The free functions
+// in pokeholes.go remain as thin wrappers over a shared default engine.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/analysis"
+	"repro/internal/cache"
+	"repro/internal/compiler"
+	"repro/internal/conjecture"
+	"repro/internal/debugger"
+	"repro/internal/dwarf"
+	"repro/internal/metrics"
+	"repro/internal/minic"
+	"repro/internal/object"
+	"repro/internal/reduce"
+	"repro/internal/triage"
+)
+
+// Family selects a compiler family (GC or CL).
+type Family = compiler.Family
+
+// Debugger is a source-level debugger engine.
+type Debugger = debugger.Debugger
+
+// DefaultCacheSize is the compile-cache capacity of NewEngine unless
+// overridden with WithCompileCache.
+const DefaultCacheSize = 4096
+
+// Engine is a checking session: it compiles, traces, checks, triages and
+// minimizes programs, reusing work through a concurrency-safe cache keyed
+// by canonical-source fingerprint. An Engine is safe for concurrent use;
+// Campaign fans work out over its worker pool.
+type Engine struct {
+	workers   int
+	cacheSize int
+	cache     *cache.Cache[string, any] // nil when caching is disabled
+	debuggers map[Family]Debugger
+
+	compiles atomic.Int64
+	records  atomic.Int64
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithWorkers sets the campaign worker-pool size (default: GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return func(e *Engine) { e.workers = n }
+}
+
+// WithCompileCache sets the cache capacity in entries. Zero disables
+// caching entirely; a negative capacity means unbounded.
+func WithCompileCache(entries int) Option {
+	return func(e *Engine) { e.cacheSize = entries }
+}
+
+// WithDebugger replaces the family's native debugger for every trace the
+// engine records.
+func WithDebugger(f Family, d Debugger) Option {
+	return func(e *Engine) { e.debuggers[f] = d }
+}
+
+// NewEngine returns a session with the given options applied.
+func NewEngine(opts ...Option) *Engine {
+	e := &Engine{
+		workers:   runtime.GOMAXPROCS(0),
+		cacheSize: DefaultCacheSize,
+		debuggers: map[Family]Debugger{},
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	if e.workers < 1 {
+		e.workers = 1
+	}
+	if e.cacheSize != 0 {
+		e.cache = cache.New[string, any](e.cacheSize)
+	}
+	for _, f := range []Family{GC, CL} {
+		if _, ok := e.debuggers[f]; !ok {
+			e.debuggers[f] = NativeDebugger(f)
+		}
+	}
+	return e
+}
+
+var (
+	defaultEngine     *Engine
+	defaultEngineOnce sync.Once
+)
+
+// Default returns the shared process-wide engine that backs the deprecated
+// free functions.
+func Default() *Engine {
+	defaultEngineOnce.Do(func() { defaultEngine = NewEngine() })
+	return defaultEngine
+}
+
+// EngineStats are an engine's lifetime work counters.
+type EngineStats struct {
+	// Compiles counts actual compilations (cache misses and uncacheable
+	// builds such as triage's knob-twiddling variants).
+	Compiles int64 `json:"compiles"`
+	// Traces counts actual debugger sessions recorded.
+	Traces int64 `json:"traces"`
+	// CacheHits and CacheMisses count lookups across the compile, analysis
+	// and trace caches; CacheEntries is the current resident count.
+	CacheHits    uint64 `json:"cache_hits"`
+	CacheMisses  uint64 `json:"cache_misses"`
+	CacheEntries int    `json:"cache_entries"`
+}
+
+// Stats returns the engine's work counters so far.
+func (e *Engine) Stats() EngineStats {
+	s := EngineStats{Compiles: e.compiles.Load(), Traces: e.records.Load()}
+	if e.cache != nil {
+		s.CacheHits, s.CacheMisses = e.cache.Stats()
+		s.CacheEntries = e.cache.Len()
+	}
+	return s
+}
+
+// DebuggerFor returns the debugger the engine uses for a family (the
+// native one unless WithDebugger overrode it).
+func (e *Engine) DebuggerFor(f Family) Debugger { return e.debuggers[f] }
+
+// cacheableOptions reports whether a compilation can be served from the
+// cache: only plain builds qualify, not triage's disabled-pass or
+// bisect-limited variants, and not builds that export pass statistics.
+func cacheableOptions(o compiler.Options) bool {
+	return len(o.Disabled) == 0 && o.BisectLimit <= 0 &&
+		len(o.ExtraDefects) == 0 && len(o.SuppressDefects) == 0 && o.Stats == nil
+}
+
+// sourceKey identifies a program for caching: its canonical source,
+// prefixed by the cheap fingerprint so key comparisons usually fail fast.
+// Keying on the full source (not the 64-bit hash alone) means a hash
+// collision can never serve another program's artifacts.
+func sourceKey(prog *minic.Program) string {
+	src := minic.Render(prog)
+	return fmt.Sprintf("%016x|%s", minic.FingerprintSource(src), src)
+}
+
+// compile builds prog under cfg, serving plain builds from the cache.
+func (e *Engine) compile(prog *minic.Program, cfg Config, o compiler.Options) (*compiler.Result, error) {
+	build := func() (*compiler.Result, error) {
+		e.compiles.Add(1)
+		return compiler.Compile(prog, cfg, o)
+	}
+	if e.cache == nil || !cacheableOptions(o) {
+		return build()
+	}
+	key := fmt.Sprintf("compile|%s|%s|%s|%s", sourceKey(prog), cfg.Family, cfg.Version, cfg.Level)
+	v, err := e.cache.GetOrCompute(key, func() (any, error) { return build() })
+	if err != nil {
+		return nil, err
+	}
+	return v.(*compiler.Result), nil
+}
+
+// compileFn exposes the caching compile as the hook triage and reduce
+// accept, bound to ctx so cancellation propagates into their inner loops.
+func (e *Engine) compileFn(ctx context.Context) triage.CompileFn {
+	return func(prog *minic.Program, cfg compiler.Config, o compiler.Options) (*compiler.Result, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return e.compile(prog, cfg, o)
+	}
+}
+
+// Facts returns the static analysis of prog, cached by fingerprint.
+func (e *Engine) Facts(prog *minic.Program) *analysis.Facts {
+	if e.cache == nil {
+		return analysis.Analyze(prog)
+	}
+	key := "facts|" + sourceKey(prog)
+	v, _ := e.cache.GetOrCompute(key, func() (any, error) { return analysis.Analyze(prog), nil })
+	return v.(*analysis.Facts)
+}
+
+// trace compiles prog under cfg and records the debugging session under
+// dbg, cached by (fingerprint, configuration, debugger).
+func (e *Engine) trace(ctx context.Context, prog *minic.Program, cfg Config, dbg Debugger) (*Trace, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	record := func() (*Trace, error) {
+		res, err := e.compile(prog, cfg, compiler.Options{})
+		if err != nil {
+			return nil, err
+		}
+		e.records.Add(1)
+		return debugger.Record(res.Exe, dbg)
+	}
+	if e.cache == nil {
+		return record()
+	}
+	key := fmt.Sprintf("trace|%s|%s|%s|%s|%s", sourceKey(prog), cfg.Family, cfg.Version, cfg.Level, dbg.Name())
+	v, err := e.cache.GetOrCompute(key, func() (any, error) { return record() })
+	if err != nil {
+		return nil, err
+	}
+	return v.(*Trace), nil
+}
+
+// Compile builds prog under cfg and returns the executable, reusing a
+// cached build of the same canonical source when available.
+func (e *Engine) Compile(ctx context.Context, prog *minic.Program, cfg Config) (*object.Executable, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res, err := e.compile(prog, cfg, compiler.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return res.Exe, nil
+}
+
+// CompileResult is Compile exposing the full compiler result (optimized
+// IR, applied-pass log) for inspection tools like cmd/minicc.
+func (e *Engine) CompileResult(ctx context.Context, prog *minic.Program, cfg Config) (*compiler.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return e.compile(prog, cfg, compiler.Options{})
+}
+
+// Trace compiles prog under cfg and records the session under the
+// engine's debugger for the family (the paper's §4.2 trace).
+func (e *Engine) Trace(ctx context.Context, prog *minic.Program, cfg Config) (*Trace, error) {
+	return e.trace(ctx, prog, cfg, e.debuggers[cfg.Family])
+}
+
+// Check runs the full single-configuration pipeline: compile, trace under
+// the family's debugger, and test the three conjectures.
+func (e *Engine) Check(ctx context.Context, prog *minic.Program, cfg Config) (*Report, error) {
+	tr, err := e.trace(ctx, prog, cfg, e.debuggers[cfg.Family])
+	if err != nil {
+		return nil, err
+	}
+	return &Report{Config: cfg, Trace: tr,
+		Violations: conjecture.CheckAll(e.Facts(prog), tr)}, nil
+}
+
+// Measure computes line coverage and availability of variables of cfg's
+// build of prog against its -O0 counterpart (§2). The O0 reference trace
+// is cached, so measuring several levels of one program records it once.
+func (e *Engine) Measure(ctx context.Context, prog *minic.Program, cfg Config) (Metrics, error) {
+	refCfg := cfg
+	refCfg.Level = "O0"
+	dbg := e.debuggers[cfg.Family]
+	ref, err := e.trace(ctx, prog, refCfg, dbg)
+	if err != nil {
+		return Metrics{}, err
+	}
+	tr, err := e.trace(ctx, prog, cfg, dbg)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return metrics.Compute(tr, ref), nil
+}
+
+// Triage identifies the culprit optimization behind a violation (§4.3).
+// The baseline build is served from the cache when Check already compiled
+// the program; only the knob-twiddling variant builds run fresh.
+func (e *Engine) Triage(ctx context.Context, prog *minic.Program, cfg Config, v Violation) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	tg := triage.Target{Prog: prog, Facts: e.Facts(prog), Cfg: cfg, Key: v.Key(),
+		Compile: e.compileFn(ctx), Debugger: e.debuggers[cfg.Family]}
+	return triage.Culprit(tg)
+}
+
+// Minimize shrinks prog while preserving the violation and its culprit
+// (§4.4). An empty culprit skips the culprit-preservation check. On
+// context cancellation the best reduction found so far is returned.
+func (e *Engine) Minimize(ctx context.Context, prog *minic.Program, cfg Config, v Violation, culprit string) *minic.Program {
+	pred := reduce.ViolationPredicateWith(cfg, v.Conjecture, v.Var, culprit,
+		e.compileFn(ctx), e.debuggers[cfg.Family])
+	return reduce.Reduce(prog, pred)
+}
+
+// ClassifyDWARF assigns the paper's four-way DIE-defect category to a
+// violation (§5.3) on the engine's (cached) build of prog under cfg.
+func (e *Engine) ClassifyDWARF(ctx context.Context, prog *minic.Program, cfg Config, v Violation) (dwarf.Class, error) {
+	exe, err := e.Compile(ctx, prog, cfg)
+	if err != nil {
+		return "", err
+	}
+	return ClassifyDWARF(exe, v)
+}
+
+// CrossValidate revalidates a violation in the other debugger engine
+// (§4.2): a violation that disappears there points at the checking
+// debugger rather than the compiler. "Other" is relative to the engine's
+// configured debugger for the family, so a WithDebugger override flips
+// the comparison too.
+func (e *Engine) CrossValidate(ctx context.Context, prog *minic.Program, cfg Config, v Violation) (bool, error) {
+	var other Debugger
+	if e.debuggers[cfg.Family].Name() == "gdb" {
+		other = debugger.NewLLDB(compiler.DebuggerDefects("lldb"))
+	} else {
+		other = debugger.NewGDB(compiler.DebuggerDefects("gdb"))
+	}
+	tr, err := e.trace(ctx, prog, cfg, other)
+	if err != nil {
+		return false, err
+	}
+	for _, got := range conjecture.CheckAll(e.Facts(prog), tr) {
+		if got.Key() == v.Key() {
+			return true, nil
+		}
+	}
+	return false, nil
+}

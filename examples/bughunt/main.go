@@ -1,9 +1,12 @@
 // Bughunt: the paper's §4 pipeline on fuzzed programs — find a conjecture
 // violation, triage the culprit optimization, cross-validate in the other
 // debugger, classify the DWARF manifestation, and minimize the test case.
+// Every stage runs on one Engine session, so the compile of Check is
+// reused by Triage, ClassifyDWARF and the first Minimize probe.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,10 +14,12 @@ import (
 )
 
 func main() {
+	eng := pokeholes.NewEngine()
+	ctx := context.Background()
 	cfg := pokeholes.Config{Family: pokeholes.CL, Version: "trunk", Level: "Og"}
 	for seed := int64(1000); seed < 1100; seed++ {
 		prog := pokeholes.GenerateProgram(seed)
-		report, err := pokeholes.Check(prog, cfg)
+		report, err := eng.Check(ctx, prog, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -24,25 +29,27 @@ func main() {
 		v := report.Violations[0]
 		fmt.Printf("seed %d: %s\n", seed, v)
 
-		culprit, err := pokeholes.Triage(prog, cfg, v)
+		culprit, err := eng.Triage(ctx, prog, cfg, v)
 		if err != nil {
 			fmt.Println("  triage failed:", err)
 			continue
 		}
 		fmt.Println("  culprit optimization:", culprit)
 
-		exe, err := pokeholes.Compile(prog, cfg)
-		if err != nil {
-			log.Fatal(err)
+		if also, err := eng.CrossValidate(ctx, prog, cfg, v); err == nil && !also {
+			fmt.Println("  note: not reproducible in the other debugger")
 		}
-		class, err := pokeholes.ClassifyDWARF(exe, v)
+
+		class, err := eng.ClassifyDWARF(ctx, prog, cfg, v)
 		if err == nil {
 			fmt.Println("  DWARF manifestation:", class)
 		}
 
-		small := pokeholes.Minimize(prog, cfg, v, culprit)
+		small := eng.Minimize(ctx, prog, cfg, v, culprit)
 		fmt.Printf("  minimized test case (culprit preserved):\n")
 		fmt.Println(indent(pokeholes.Render(small)))
+		stats := eng.Stats()
+		fmt.Printf("  engine: %d compiles, %d cache hits\n", stats.Compiles, stats.CacheHits)
 		return
 	}
 	fmt.Println("no violations found in the seed range")

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,6 +34,8 @@ int main(void) {
 `
 
 func main() {
+	eng := pokeholes.NewEngine()
+	ctx := context.Background()
 	prog, err := pokeholes.ParseProgram(src)
 	if err != nil {
 		log.Fatal(err)
@@ -40,7 +43,7 @@ func main() {
 	fmt.Print(pokeholes.Render(prog))
 	for _, level := range []string{"O0", "Og", "O1", "O2"} {
 		cfg := pokeholes.Config{Family: pokeholes.GC, Version: "trunk", Level: level}
-		report, err := pokeholes.Check(prog, cfg)
+		report, err := eng.Check(ctx, prog, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

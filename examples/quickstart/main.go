@@ -1,8 +1,9 @@
 // Quickstart: compile a small program at -O2, debug it, and check the three
-// conjectures — the library's minimal end-to-end flow.
+// conjectures — the library's minimal end-to-end flow on the Engine API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,12 +22,13 @@ int main(void) {
 `
 
 func main() {
+	eng := pokeholes.NewEngine()
 	prog, err := pokeholes.ParseProgram(src)
 	if err != nil {
 		log.Fatal(err)
 	}
 	cfg := pokeholes.Config{Family: pokeholes.GC, Version: "trunk", Level: "O2"}
-	report, err := pokeholes.Check(prog, cfg)
+	report, err := eng.Check(context.Background(), prog, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

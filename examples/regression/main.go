@@ -1,8 +1,11 @@
 // Regression: the paper's §5.4 study in miniature — how debug-information
 // quality evolves across compiler releases, and what a single fix buys.
+// Both halves run as Engine campaigns: the worker pool sweeps the seed
+// pool, and results aggregate in seed order.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,18 +17,25 @@ import (
 
 func main() {
 	const programs = 25
+	eng := pokeholes.NewEngine()
+	runner := experiments.NewRunner(eng)
+	ctx := context.Background()
+
 	// Availability of variables across gc releases at -O1.
 	fmt.Println("availability of variables at -O1 across gc releases:")
 	for _, ver := range []string{"v4", "v6", "v8", "v10", "trunk", "patched"} {
+		results, err := eng.Campaign(ctx, pokeholes.CampaignSpec{
+			Family: pokeholes.GC, Version: ver, Levels: []string{"O1"},
+			N: programs, Seed0: 0, Measure: true})
+		if err != nil {
+			log.Fatal(err)
+		}
 		var ms []metrics.Metrics
-		for seed := int64(0); seed < programs; seed++ {
-			prog := pokeholes.GenerateProgram(seed)
-			m, err := pokeholes.Measure(prog, pokeholes.Config{
-				Family: pokeholes.GC, Version: ver, Level: "O1"})
-			if err != nil {
-				log.Fatal(err)
+		for res := range results {
+			if res.Err != nil {
+				log.Fatal(res.Err)
 			}
-			ms = append(ms, m)
+			ms = append(ms, res.Metrics["O1"])
 		}
 		mean := metrics.Mean(ms)
 		fmt.Printf("  %-8s line=%.3f avail=%.3f product=%.3f\n",
@@ -39,7 +49,7 @@ func main() {
 			versions = []string{"v5", "v9", "trunk", "trunkstar"}
 		}
 		for _, ver := range versions {
-			lv, err := experiments.Sweep(f, ver, programs, 0)
+			lv, err := runner.Sweep(ctx, f, ver, programs, 0)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -191,10 +191,19 @@ func (a *funcAnalysis) run(out *Facts) {
 	// variable's lexical scope (a loop induction variable's instance ends
 	// with the loop, not the function).
 	a.recordScopes(a.fn.Body, a.lastLine)
-	for v, lines := range a.assignLines {
+	// Emit instances in sorted variable order: Facts (and hence violation
+	// order) must be deterministic for a given program, or parallel and
+	// serial campaign runs would stream violations differently.
+	vars := make([]string, 0, len(a.assignLines))
+	for v := range a.assignLines {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	for _, v := range vars {
 		if !a.locals[v] {
 			continue
 		}
+		lines := a.assignLines[v]
 		sort.Ints(lines)
 		scopeLimit := a.lastLine + 1
 		if se, ok := a.scopeEnd[v]; ok {

@@ -1,0 +1,78 @@
+package cache
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestLRUEviction(t *testing.T) {
+	c := New[int, int](2)
+	c.Add(1, 10)
+	c.Add(2, 20)
+	if _, ok := c.Get(1); !ok { // 1 becomes most recently used
+		t.Fatal("1 missing")
+	}
+	c.Add(3, 30) // evicts 2
+	if _, ok := c.Get(2); ok {
+		t.Error("2 should have been evicted")
+	}
+	if v, ok := c.Get(1); !ok || v != 10 {
+		t.Errorf("1 lost: %v %v", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d, want 2", c.Len())
+	}
+}
+
+func TestGetOrComputeCoalesces(t *testing.T) {
+	c := New[string, int](0)
+	var computes atomic.Int64
+	var wg sync.WaitGroup
+	gate := make(chan struct{})
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-gate
+			v, err := c.GetOrCompute("k", func() (int, error) {
+				computes.Add(1)
+				return 7, nil
+			})
+			if err != nil || v != 7 {
+				t.Errorf("got %v, %v", v, err)
+			}
+		}()
+	}
+	close(gate)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Errorf("computed %d times, want 1 (coalesced)", n)
+	}
+}
+
+func TestErrorsNotCached(t *testing.T) {
+	c := New[string, int](0)
+	boom := errors.New("boom")
+	if _, err := c.GetOrCompute("k", func() (int, error) { return 0, boom }); err != boom {
+		t.Fatalf("err = %v", err)
+	}
+	v, err := c.GetOrCompute("k", func() (int, error) { return 9, nil })
+	if err != nil || v != 9 {
+		t.Errorf("retry after error failed: %v %v", v, err)
+	}
+	if c.Len() != 1 {
+		t.Errorf("len = %d, want 1", c.Len())
+	}
+}
+
+func TestUnboundedCapacity(t *testing.T) {
+	c := New[int, int](0)
+	for i := 0; i < 100; i++ {
+		c.Add(i, i)
+	}
+	if c.Len() != 100 {
+		t.Errorf("len = %d, want 100", c.Len())
+	}
+}

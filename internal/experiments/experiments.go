@@ -5,54 +5,61 @@
 // regression study (Table 4), and the per-program violation grid
 // (Figure 4). The same runners back cmd/paperbench and the benchmark
 // harness in the repository root.
+//
+// The runners execute on the engine's streaming Campaign API: programs fan
+// out over the worker pool and results are aggregated in seed order, so a
+// parallel run reproduces a serial run byte for byte. A Runner wraps the
+// engine of choice; the package-level functions keep the original
+// free-function signatures on the shared default engine.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 
+	"repro"
 	"repro/internal/analysis"
 	"repro/internal/compiler"
 	"repro/internal/conjecture"
 	"repro/internal/debugger"
-	"repro/internal/fuzzgen"
 	"repro/internal/minic"
 )
 
-// nativeDebugger builds the family's reference debugger with its defects.
-func nativeDebugger(f compiler.Family) debugger.Debugger {
-	if compiler.NativeDebugger(f) == "gdb" {
-		return debugger.NewGDB(compiler.DebuggerDefects("gdb"))
-	}
-	return debugger.NewLLDB(compiler.DebuggerDefects("lldb"))
+// Runner executes the paper's experiments on one engine session.
+type Runner struct {
+	E *pokeholes.Engine
 }
 
-// TraceFor compiles prog under cfg and records its native-debugger trace.
-func TraceFor(prog *minic.Program, cfg compiler.Config) (*debugger.Trace, error) {
-	res, err := compiler.Compile(prog, cfg, compiler.Options{})
-	if err != nil {
-		return nil, err
+// NewRunner wraps an engine (nil means the shared default engine).
+func NewRunner(e *pokeholes.Engine) *Runner {
+	if e == nil {
+		e = pokeholes.Default()
 	}
-	return debugger.Record(res.Exe, nativeDebugger(cfg.Family))
+	return &Runner{E: e}
+}
+
+// std backs the package-level compatibility functions.
+var std = NewRunner(nil)
+
+// TraceFor compiles prog under cfg and records its native-debugger trace.
+//
+// Deprecated: use Engine.Trace.
+func TraceFor(prog *minic.Program, cfg compiler.Config) (*debugger.Trace, error) {
+	return std.E.Trace(context.Background(), prog, cfg)
 }
 
 // ViolationsFor runs the complete single-program check: compile, trace,
 // check all three conjectures.
+//
+// Deprecated: use Engine.Check.
 func ViolationsFor(prog *minic.Program, facts *analysis.Facts, cfg compiler.Config) ([]conjecture.Violation, error) {
-	tr, err := TraceFor(prog, cfg)
+	tr, err := std.E.Trace(context.Background(), prog, cfg)
 	if err != nil {
 		return nil, err
 	}
 	return conjecture.CheckAll(facts, tr), nil
-}
-
-// optLevels returns the optimization levels (excluding O0) of a family.
-func optLevels(f compiler.Family) []string {
-	if f == compiler.GC {
-		return []string{"Og", "O1", "O2", "O3", "Os", "Oz"}
-	}
-	return []string{"Og", "O2", "O3", "Os", "Oz"}
 }
 
 // LevelViolations is the per-level violation key sets of one sweep.
@@ -68,30 +75,51 @@ type LevelViolations struct {
 	PerProgram [][3]int
 }
 
+// forEachResult streams a campaign through fn in seed order, cancelling
+// the campaign and draining the channel on the first error (a failed
+// result or fn rejecting one). All experiment runners consume campaigns
+// through this helper so the cancel/drain protocol lives in one place.
+func (r *Runner) forEachResult(ctx context.Context, spec pokeholes.CampaignSpec, fn func(pokeholes.Result) error) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results, err := r.E.Campaign(ctx, spec)
+	if err != nil {
+		return err
+	}
+	for res := range results {
+		err := res.Err
+		if err == nil {
+			err = fn(res)
+		}
+		if err != nil {
+			cancel()
+			for range results {
+			}
+			return err
+		}
+	}
+	return ctx.Err()
+}
+
 // Sweep checks n fuzzed programs (seeds seed0..seed0+n-1) against all
-// optimization levels of the configuration's family and version.
-func Sweep(family compiler.Family, version string, n int, seed0 int64) (*LevelViolations, error) {
+// optimization levels of the configuration's family and version, fanned
+// out over the engine's workers and aggregated in seed order.
+func (r *Runner) Sweep(ctx context.Context, family compiler.Family, version string, n int, seed0 int64) (*LevelViolations, error) {
+	levels := pokeholes.OptLevels(family)
 	lv := &LevelViolations{Family: family, Programs: n,
 		PerLevel: map[string][3]map[string]bool{}}
-	levels := optLevels(family)
 	for _, l := range levels {
 		lv.PerLevel[l] = [3]map[string]bool{{}, {}, {}}
 	}
-	for i := 0; i < n; i++ {
-		prog := fuzzgen.GenerateSeed(seed0 + int64(i))
-		facts := analysis.Analyze(prog)
+	spec := pokeholes.CampaignSpec{Family: family, Version: version, N: n, Seed0: seed0}
+	err := r.forEachResult(ctx, spec, func(res pokeholes.Result) error {
 		var perProg [3]int
 		for _, level := range levels {
-			cfg := compiler.Config{Family: family, Version: version, Level: level}
-			vs, err := ViolationsFor(prog, facts, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("seed %d %s: %w", seed0+int64(i), cfg, err)
-			}
 			sets := lv.PerLevel[level]
-			for _, v := range vs {
+			for _, v := range res.Violations[level] {
 				// Violation keys are program-qualified so they never
 				// collide across the pool.
-				key := fmt.Sprintf("p%d:%s", i, v.Key())
+				key := fmt.Sprintf("p%d:%s", res.Index, v.Key())
 				sets[v.Conjecture-1][key] = true
 				perProg[v.Conjecture-1]++
 			}
@@ -103,8 +131,17 @@ func Sweep(family compiler.Family, version string, n int, seed0 int64) (*LevelVi
 			}
 		}
 		lv.PerProgram = append(lv.PerProgram, perProg)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return lv, nil
+}
+
+// Sweep is Runner.Sweep on the default engine.
+func Sweep(family compiler.Family, version string, n int, seed0 int64) (*LevelViolations, error) {
+	return std.Sweep(context.Background(), family, version, n, seed0)
 }
 
 // Unique returns the number of distinct violations of a conjecture across
@@ -126,12 +163,12 @@ func (lv *LevelViolations) Count(level string, conj int) int {
 
 // Table1 reproduces Table 1: conjecture violations per optimization level
 // for the trunk versions of both families.
-func Table1(n int, seed0 int64, w io.Writer) (gc, cl *LevelViolations, err error) {
-	cl, err = Sweep(compiler.CL, "trunk", n, seed0)
+func (r *Runner) Table1(ctx context.Context, n int, seed0 int64, w io.Writer) (gc, cl *LevelViolations, err error) {
+	cl, err = r.Sweep(ctx, compiler.CL, "trunk", n, seed0)
 	if err != nil {
 		return nil, nil, err
 	}
-	gc, err = Sweep(compiler.GC, "trunk", n, seed0)
+	gc, err = r.Sweep(ctx, compiler.GC, "trunk", n, seed0)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -160,6 +197,11 @@ func Table1(n int, seed0 int64, w io.Writer) (gc, cl *LevelViolations, err error
 		cl.CleanPrograms[0], cl.CleanPrograms[1], cl.CleanPrograms[2],
 		gc.CleanPrograms[0], gc.CleanPrograms[1], gc.CleanPrograms[2], n)
 	return gc, cl, nil
+}
+
+// Table1 is Runner.Table1 on the default engine.
+func Table1(n int, seed0 int64, w io.Writer) (gc, cl *LevelViolations, err error) {
+	return std.Table1(context.Background(), n, seed0, w)
 }
 
 // LevelSetDistribution groups unique violations by the exact set of levels

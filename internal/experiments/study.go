@@ -1,15 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
-	"repro/internal/analysis"
+	"repro"
 	"repro/internal/bugs"
 	"repro/internal/compiler"
 	"repro/internal/conjecture"
 	"repro/internal/debugger"
-	"repro/internal/fuzzgen"
 	"repro/internal/metrics"
 	"repro/internal/triage"
 )
@@ -22,10 +22,29 @@ type Figure1Cell struct {
 	metrics.Metrics
 }
 
+// measureCampaign runs one measuring campaign and returns the per-level
+// metrics of every program, in seed order.
+func (r *Runner) measureCampaign(ctx context.Context, family compiler.Family, version string, levels []string, n int, seed0 int64) (map[string][]metrics.Metrics, error) {
+	perLevel := map[string][]metrics.Metrics{}
+	spec := pokeholes.CampaignSpec{Family: family, Version: version, Levels: levels,
+		N: n, Seed0: seed0, Measure: true}
+	err := r.forEachResult(ctx, spec, func(res pokeholes.Result) error {
+		for _, level := range levels {
+			perLevel[level] = append(perLevel[level], res.Metrics[level])
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return perLevel, nil
+}
+
 // Figure1 reproduces the §2 quantitative study: line coverage, availability
 // of variables, and their product, for n fuzzed programs across versions
-// and levels of both families.
-func Figure1(n int, seed0 int64, w io.Writer) ([]Figure1Cell, error) {
+// and levels of both families. One measuring campaign per version covers
+// every level, so the O0 reference of each program is traced exactly once.
+func (r *Runner) Figure1(ctx context.Context, n int, seed0 int64, w io.Writer) ([]Figure1Cell, error) {
 	var cells []Figure1Cell
 	type fam struct {
 		f        compiler.Family
@@ -39,21 +58,12 @@ func Figure1(n int, seed0 int64, w io.Writer) ([]Figure1Cell, error) {
 	for _, fm := range fams {
 		fmt.Fprintf(w, "Figure 1 (%s): version x level -> line coverage / availability / product\n", fm.f)
 		for _, ver := range fm.versions {
+			perLevel, err := r.measureCampaign(ctx, fm.f, ver, fm.levels, n, seed0)
+			if err != nil {
+				return nil, err
+			}
 			for _, level := range fm.levels {
-				var ms []metrics.Metrics
-				for i := 0; i < n; i++ {
-					prog := fuzzgen.GenerateSeed(seed0 + int64(i))
-					ref, err := TraceFor(prog, compiler.Config{Family: fm.f, Version: ver, Level: "O0"})
-					if err != nil {
-						return nil, err
-					}
-					tr, err := TraceFor(prog, compiler.Config{Family: fm.f, Version: ver, Level: level})
-					if err != nil {
-						return nil, err
-					}
-					ms = append(ms, metrics.Compute(tr, ref))
-				}
-				mean := metrics.Mean(ms)
+				mean := metrics.Mean(perLevel[level])
 				cells = append(cells, Figure1Cell{Family: fm.f, Version: ver, Level: level, Metrics: mean})
 				fmt.Fprintf(w, "  %-7s %-3s  line=%.3f  avail=%.3f  product=%.3f\n",
 					ver, level, mean.LineCoverage, mean.Availability, mean.Product)
@@ -61,6 +71,11 @@ func Figure1(n int, seed0 int64, w io.Writer) ([]Figure1Cell, error) {
 		}
 	}
 	return cells, nil
+}
+
+// Figure1 is Runner.Figure1 on the default engine.
+func Figure1(n int, seed0 int64, w io.Writer) ([]Figure1Cell, error) {
+	return std.Figure1(context.Background(), n, seed0, w)
 }
 
 // Table2Row is one triaged-culprit count.
@@ -74,31 +89,31 @@ type Table2Row struct {
 // Table2 triages the violations of n programs at the trunk versions and
 // prints the most frequent culprit optimizations per conjecture (top-5), as
 // in the paper's Table 2. Triage is the expensive step; n is typically
-// smaller than for the counting sweeps.
-func Table2(n int, seed0 int64, w io.Writer) ([]Table2Row, error) {
+// smaller than for the counting sweeps. Triage runs inside the campaign
+// workers, so the whole table parallelizes across programs.
+func (r *Runner) Table2(ctx context.Context, n int, seed0 int64, w io.Writer) ([]Table2Row, error) {
 	counts := map[compiler.Family]map[int]map[string]int{
 		compiler.GC: {1: {}, 2: {}, 3: {}},
 		compiler.CL: {1: {}, 2: {}, 3: {}},
 	}
+	levels := []string{"Og", "O2"}
 	for _, family := range []compiler.Family{compiler.CL, compiler.GC} {
-		for _, level := range []string{"Og", "O2"} {
-			cfg := compiler.Config{Family: family, Version: "trunk", Level: level}
-			for i := 0; i < n; i++ {
-				prog := fuzzgen.GenerateSeed(seed0 + int64(i))
-				facts := analysis.Analyze(prog)
-				vs, err := ViolationsFor(prog, facts, cfg)
-				if err != nil {
-					return nil, err
-				}
-				for _, v := range vs {
-					tg := triage.Target{Prog: prog, Facts: facts, Cfg: cfg, Key: v.Key()}
-					culprit, err := triage.Culprit(tg)
-					if err != nil {
+		spec := pokeholes.CampaignSpec{Family: family, Version: "trunk",
+			Levels: levels, N: n, Seed0: seed0, Triage: true}
+		err := r.forEachResult(ctx, spec, func(res pokeholes.Result) error {
+			for _, level := range levels {
+				for _, v := range res.Violations[level] {
+					culprit, _ := res.Culprit(level, v)
+					if culprit == "" {
 						continue // not controllable by a single knob (§4.3)
 					}
 					counts[family][v.Conjecture][culprit]++
 				}
 			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 	}
 	var rows []Table2Row
@@ -120,6 +135,11 @@ func Table2(n int, seed0 int64, w io.Writer) ([]Table2Row, error) {
 		}
 	}
 	return rows, nil
+}
+
+// Table2 is Runner.Table2 on the default engine.
+func Table2(n int, seed0 int64, w io.Writer) ([]Table2Row, error) {
+	return std.Table2(context.Background(), n, seed0, w)
 }
 
 type kv struct {
@@ -178,11 +198,11 @@ type Table4Row struct {
 // Table4 reproduces the regression study: unique violations per conjecture
 // across versions far apart in time, including the patched gc build and the
 // cl trunk with the partial LSR fix.
-func Table4(n int, seed0 int64, w io.Writer) ([]Table4Row, error) {
+func (r *Runner) Table4(ctx context.Context, n int, seed0 int64, w io.Writer) ([]Table4Row, error) {
 	var rows []Table4Row
 	sweep := func(f compiler.Family, versions []string) error {
 		for _, ver := range versions {
-			lv, err := Sweep(f, ver, n, seed0)
+			lv, err := r.Sweep(ctx, f, ver, n, seed0)
 			if err != nil {
 				return err
 			}
@@ -205,12 +225,17 @@ func Table4(n int, seed0 int64, w io.Writer) ([]Table4Row, error) {
 	return rows, nil
 }
 
+// Table4 is Runner.Table4 on the default engine.
+func Table4(n int, seed0 int64, w io.Writer) ([]Table4Row, error) {
+	return std.Table4(context.Background(), n, seed0, w)
+}
+
 // Figure4 renders the per-program conjecture-violation grid across gc
 // versions (one row of cells per version block, 25 programs per text row,
 // digit = number of conjectures violated).
-func Figure4(n int, seed0 int64, w io.Writer) error {
+func (r *Runner) Figure4(ctx context.Context, n int, seed0 int64, w io.Writer) error {
 	for _, ver := range []string{"v4", "v8", "trunk", "patched"} {
-		lv, err := Sweep(compiler.GC, ver, n, seed0)
+		lv, err := r.Sweep(ctx, compiler.GC, ver, n, seed0)
 		if err != nil {
 			return err
 		}
@@ -232,26 +257,22 @@ func Figure4(n int, seed0 int64, w io.Writer) error {
 	return nil
 }
 
+// Figure4 is Runner.Figure4 on the default engine.
+func Figure4(n int, seed0 int64, w io.Writer) error {
+	return std.Figure4(context.Background(), n, seed0, w)
+}
+
 // RegressionAvailability reproduces the §5.4 availability-of-variables
 // comparison around the patched gc build: it returns the O1 availability
 // metric for trunk, patched, and the Og reference, so callers can verify
 // that the patch closes about half of the O1→Og gap.
-func RegressionAvailability(n int, seed0 int64, w io.Writer) (trunkO1, patchedO1, trunkOg float64, err error) {
+func (r *Runner) RegressionAvailability(ctx context.Context, n int, seed0 int64, w io.Writer) (trunkO1, patchedO1, trunkOg float64, err error) {
 	avail := func(ver, level string) (float64, error) {
-		var ms []metrics.Metrics
-		for i := 0; i < n; i++ {
-			prog := fuzzgen.GenerateSeed(seed0 + int64(i))
-			ref, err := TraceFor(prog, compiler.Config{Family: compiler.GC, Version: ver, Level: "O0"})
-			if err != nil {
-				return 0, err
-			}
-			tr, err := TraceFor(prog, compiler.Config{Family: compiler.GC, Version: ver, Level: level})
-			if err != nil {
-				return 0, err
-			}
-			ms = append(ms, metrics.Compute(tr, ref))
+		perLevel, err := r.measureCampaign(ctx, compiler.GC, ver, []string{level}, n, seed0)
+		if err != nil {
+			return 0, err
 		}
-		return metrics.Mean(ms).Availability, nil
+		return metrics.Mean(perLevel[level]).Availability, nil
 	}
 	if trunkO1, err = avail("trunk", "O1"); err != nil {
 		return
@@ -269,9 +290,17 @@ func RegressionAvailability(n int, seed0 int64, w io.Writer) (trunkO1, patchedO1
 	return
 }
 
+// RegressionAvailability is Runner.RegressionAvailability on the default
+// engine.
+func RegressionAvailability(n int, seed0 int64, w io.Writer) (trunkO1, patchedO1, trunkOg float64, err error) {
+	return std.RegressionAvailability(context.Background(), n, seed0, w)
+}
+
 // ValidateInOtherDebugger revalidates a violation in the non-native
 // debugger (§4.2): a violation that disappears there points at the native
 // debugger rather than the compiler.
+//
+// Deprecated: use Engine.CrossValidate.
 func ValidateInOtherDebugger(tg triage.Target) (bool, error) {
 	res, err := compiler.Compile(tg.Prog, tg.Cfg, compiler.Options{})
 	if err != nil {

@@ -1,0 +1,21 @@
+package minic
+
+import "hash/fnv"
+
+// Fingerprint returns a cheap content hash of the program's canonical
+// source (the printer's rendering). Two programs with the same canonical
+// source compile identically under a given configuration, so the engine's
+// compile, analysis and trace caches key on it: a clone of a program — as
+// the reducer produces on every step — hits the same cache entries as the
+// original. The engine pairs the hash with the full source in its keys,
+// so a hash collision cannot alias two programs.
+func Fingerprint(p *Program) uint64 {
+	return FingerprintSource(Render(p))
+}
+
+// FingerprintSource is Fingerprint over already-rendered canonical source.
+func FingerprintSource(src string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(src))
+	return h.Sum64()
+}

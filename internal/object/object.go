@@ -6,17 +6,23 @@
 package object
 
 import (
+	"sync"
+
 	"repro/internal/asm"
 	"repro/internal/dwarf"
 )
 
-// Executable is a linked program image.
+// Executable is a linked program image. It is safe for concurrent use once
+// built: the engine's compile cache shares one Executable across campaign
+// workers.
 type Executable struct {
 	Prog *asm.Program
 	// DebugSection is the encoded debug information ("the DWARF blob").
 	DebugSection []byte
 
-	cached *dwarf.Info
+	once      sync.Once
+	cached    *dwarf.Info
+	cachedErr error
 }
 
 // New bundles a program with its debug information.
@@ -26,13 +32,8 @@ func New(prog *asm.Program, info *dwarf.Info) *Executable {
 
 // DebugInfo decodes (and caches) the debug section.
 func (e *Executable) DebugInfo() (*dwarf.Info, error) {
-	if e.cached != nil {
-		return e.cached, nil
-	}
-	info, err := dwarf.Decode(e.DebugSection)
-	if err != nil {
-		return nil, err
-	}
-	e.cached = info
-	return info, nil
+	e.once.Do(func() {
+		e.cached, e.cachedErr = dwarf.Decode(e.DebugSection)
+	})
+	return e.cached, e.cachedErr
 }

@@ -14,16 +14,22 @@ import (
 // variable (any line: reduction moves line numbers around, so the paper's
 // "same line, same optimization" criterion translates here to "same
 // variable, same conjecture, culprit preserved").
-func findViolation(p *minic.Program, cfg compiler.Config, conj int, varName string) (string, bool) {
-	res, err := compiler.Compile(p, cfg, compiler.Options{})
+func findViolation(p *minic.Program, cfg compiler.Config, conj int, varName string, compile triage.CompileFn, dbg debugger.Debugger) (string, bool) {
+	if compile == nil {
+		compile = func(p *minic.Program, cfg compiler.Config, o compiler.Options) (*compiler.Result, error) {
+			return compiler.Compile(p, cfg, o)
+		}
+	}
+	res, err := compile(p, cfg, compiler.Options{})
 	if err != nil {
 		return "", false
 	}
-	var dbg debugger.Debugger
-	if compiler.NativeDebugger(cfg.Family) == "gdb" {
-		dbg = debugger.NewGDB(compiler.DebuggerDefects("gdb"))
-	} else {
-		dbg = debugger.NewLLDB(compiler.DebuggerDefects("lldb"))
+	if dbg == nil {
+		if compiler.NativeDebugger(cfg.Family) == "gdb" {
+			dbg = debugger.NewGDB(compiler.DebuggerDefects("gdb"))
+		} else {
+			dbg = debugger.NewLLDB(compiler.DebuggerDefects("lldb"))
+		}
 	}
 	tr, err := debugger.Record(res.Exe, dbg)
 	if err != nil {
@@ -38,6 +44,7 @@ func findViolation(p *minic.Program, cfg compiler.Config, conj int, varName stri
 	return "", false
 }
 
-func makeTarget(p *minic.Program, cfg compiler.Config, key string) triage.Target {
-	return triage.Target{Prog: p, Facts: analysis.Analyze(p), Cfg: cfg, Key: key}
+func makeTarget(p *minic.Program, cfg compiler.Config, key string, compile triage.CompileFn, dbg debugger.Debugger) triage.Target {
+	return triage.Target{Prog: p, Facts: analysis.Analyze(p), Cfg: cfg, Key: key,
+		Compile: compile, Debugger: dbg}
 }

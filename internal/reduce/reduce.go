@@ -6,6 +6,7 @@ package reduce
 
 import (
 	"repro/internal/compiler"
+	"repro/internal/debugger"
 	"repro/internal/minic"
 	"repro/internal/triage"
 )
@@ -43,15 +44,25 @@ func Reduce(prog *minic.Program, keep Predicate) *minic.Program {
 // and compiling with the culprit pass disabled must make the violation
 // disappear (§4.4's double compilation per step).
 func ViolationPredicate(cfg compiler.Config, conj int, varName, culprit string) Predicate {
+	return ViolationPredicateWith(cfg, conj, varName, culprit, nil, nil)
+}
+
+// ViolationPredicateWith is ViolationPredicate with a pluggable compiler
+// entry point and debugger (nil means compiler.Compile and the family's
+// native debugger). The engine injects its caching compile so the
+// reducer's first predicate evaluation — on a clone of the
+// already-checked program — reuses the cached build, and its configured
+// debugger so WithDebugger overrides hold through reduction.
+func ViolationPredicateWith(cfg compiler.Config, conj int, varName, culprit string, compile triage.CompileFn, dbg debugger.Debugger) Predicate {
 	return func(p *minic.Program) bool {
-		key, ok := findViolation(p, cfg, conj, varName)
+		key, ok := findViolation(p, cfg, conj, varName, compile, dbg)
 		if !ok {
 			return false
 		}
 		if culprit == "" {
 			return true
 		}
-		tg := makeTarget(p, cfg, key)
+		tg := makeTarget(p, cfg, key, compile, dbg)
 		occ, err := triage.Occurs(tg, compiler.Options{Disabled: map[string]bool{culprit: true}})
 		return err == nil && !occ
 	}

@@ -20,6 +20,10 @@ import (
 	"repro/internal/minic"
 )
 
+// CompileFn is a pluggable compiler entry point with the same contract as
+// compiler.Compile.
+type CompileFn func(*minic.Program, compiler.Config, compiler.Options) (*compiler.Result, error)
+
 // Target is one violation to triage.
 type Target struct {
 	Prog  *minic.Program
@@ -27,6 +31,30 @@ type Target struct {
 	Cfg   compiler.Config
 	// Key identifies the violation (conjecture.Violation.Key()).
 	Key string
+	// Compile, when non-nil, replaces compiler.Compile for every build the
+	// triage performs. The engine injects its caching, counting compile
+	// here so triage baselines reuse the artifacts of an earlier Check.
+	Compile CompileFn
+	// Debugger, when non-nil, replaces the family's native debugger for
+	// every trace the triage records (the engine injects its configured
+	// debugger so WithDebugger overrides hold through triage).
+	Debugger debugger.Debugger
+}
+
+// dbg returns the target's debugger, defaulting to the family's native one.
+func (tg Target) dbg() debugger.Debugger {
+	if tg.Debugger != nil {
+		return tg.Debugger
+	}
+	return newDebugger(tg.Cfg.Family)
+}
+
+// compile builds the target's program with the configured entry point.
+func (tg Target) compile(o compiler.Options) (*compiler.Result, error) {
+	if tg.Compile != nil {
+		return tg.Compile(tg.Prog, tg.Cfg, o)
+	}
+	return compiler.Compile(tg.Prog, tg.Cfg, o)
 }
 
 // newDebugger builds the family's native debugger with its catalogued
@@ -42,11 +70,11 @@ func newDebugger(f compiler.Family) debugger.Debugger {
 // Occurs compiles with the given knobs and reports whether the violation
 // reproduces.
 func Occurs(tg Target, o compiler.Options) (bool, error) {
-	res, err := compiler.Compile(tg.Prog, tg.Cfg, o)
+	res, err := tg.compile(o)
 	if err != nil {
 		return false, err
 	}
-	tr, err := debugger.Record(res.Exe, newDebugger(tg.Cfg.Family))
+	tr, err := debugger.Record(res.Exe, tg.dbg())
 	if err != nil {
 		return false, err
 	}
@@ -63,7 +91,7 @@ func Occurs(tg Target, o compiler.Options) (bool, error) {
 // suffix). It fails when the violation does not reproduce with the full
 // pipeline.
 func Bisect(tg Target) (string, error) {
-	full, err := compiler.Compile(tg.Prog, tg.Cfg, compiler.Options{})
+	full, err := tg.compile(compiler.Options{})
 	if err != nil {
 		return "", err
 	}

@@ -5,18 +5,24 @@
 // information, VM, and two debugger engines — to the paper's methodology:
 // conjecture checking, culprit triage, and violation-preserving reduction.
 //
-// Quick start:
+// Quick start (the v2 session API):
 //
+//	eng := pokeholes.NewEngine(pokeholes.WithWorkers(8))
 //	prog, _ := pokeholes.ParseProgram(src)
-//	report, _ := pokeholes.Check(prog, pokeholes.Config{
+//	report, _ := eng.Check(ctx, prog, pokeholes.Config{
 //	        Family: pokeholes.GC, Version: "trunk", Level: "O2"})
 //	for _, v := range report.Violations { fmt.Println(v) }
+//
+// Engine holds a fingerprint-keyed compile/analysis/trace cache and a
+// worker pool; Engine.Campaign streams batch results in seed order. The
+// free functions below predate the engine and now delegate to a shared
+// default engine; they are kept for compatibility.
 package pokeholes
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/analysis"
 	"repro/internal/compiler"
 	"repro/internal/conjecture"
 	"repro/internal/debugger"
@@ -25,8 +31,6 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/minic"
 	"repro/internal/object"
-	"repro/internal/reduce"
-	"repro/internal/triage"
 )
 
 // Re-exported configuration types.
@@ -72,12 +76,10 @@ func GenerateProgram(seed int64) *minic.Program {
 func Render(prog *minic.Program) string { return minic.Render(prog) }
 
 // Compile builds prog under cfg and returns the executable.
+//
+// Deprecated: use Engine.Compile, which reuses cached builds.
 func Compile(prog *minic.Program, cfg Config) (*object.Executable, error) {
-	res, err := compiler.Compile(prog, cfg, compiler.Options{})
-	if err != nil {
-		return nil, err
-	}
-	return res.Exe, nil
+	return Default().Compile(context.Background(), prog, cfg)
 }
 
 // NativeDebugger returns the reference debugger of a family, configured
@@ -104,32 +106,26 @@ type Report struct {
 
 // Check runs the full single-configuration pipeline: compile, trace under
 // the native debugger, and test the three conjectures.
+//
+// Deprecated: use Engine.Check, which is context-aware and cached.
 func Check(prog *minic.Program, cfg Config) (*Report, error) {
-	exe, err := Compile(prog, cfg)
-	if err != nil {
-		return nil, err
-	}
-	tr, err := RecordTrace(exe, NativeDebugger(cfg.Family))
-	if err != nil {
-		return nil, err
-	}
-	facts := analysis.Analyze(prog)
-	return &Report{Config: cfg, Trace: tr,
-		Violations: conjecture.CheckAll(facts, tr)}, nil
+	return Default().Check(context.Background(), prog, cfg)
 }
 
 // Triage identifies the culprit optimization behind a violation, using
 // pipeline bisection for CL and the per-flag search for GC (§4.3).
+//
+// Deprecated: use Engine.Triage, which reuses Check's cached baseline.
 func Triage(prog *minic.Program, cfg Config, v Violation) (string, error) {
-	tg := triage.Target{Prog: prog, Facts: analysis.Analyze(prog), Cfg: cfg, Key: v.Key()}
-	return triage.Culprit(tg)
+	return Default().Triage(context.Background(), prog, cfg, v)
 }
 
 // Minimize shrinks prog while preserving the violation and its culprit
 // (§4.4). An empty culprit skips the culprit-preservation check.
+//
+// Deprecated: use Engine.Minimize, which is context-aware and cached.
 func Minimize(prog *minic.Program, cfg Config, v Violation, culprit string) *minic.Program {
-	pred := reduce.ViolationPredicate(cfg, v.Conjecture, v.Var, culprit)
-	return reduce.Reduce(prog, pred)
+	return Default().Minimize(context.Background(), prog, cfg, v, culprit)
 }
 
 // ClassifyDWARF assigns the paper's four-way DIE-defect category to a
@@ -149,24 +145,20 @@ func ClassifyDWARF(exe *object.Executable, v Violation) (dwarf.Class, error) {
 
 // Measure computes line coverage and availability of variables of cfg's
 // build of prog against its -O0 counterpart (§2).
+//
+// Deprecated: use Engine.Measure, which caches the O0 reference trace.
 func Measure(prog *minic.Program, cfg Config) (Metrics, error) {
-	refCfg := cfg
-	refCfg.Level = "O0"
-	refExe, err := Compile(prog, refCfg)
-	if err != nil {
-		return Metrics{}, err
+	return Default().Measure(context.Background(), prog, cfg)
+}
+
+// DebuggerByName builds a debugger engine ("gdb" or "lldb") configured
+// with the catalogued defects of its latest release.
+func DebuggerByName(name string) (Debugger, error) {
+	switch name {
+	case "gdb":
+		return debugger.NewGDB(compiler.DebuggerDefects("gdb")), nil
+	case "lldb":
+		return debugger.NewLLDB(compiler.DebuggerDefects("lldb")), nil
 	}
-	ref, err := RecordTrace(refExe, NativeDebugger(cfg.Family))
-	if err != nil {
-		return Metrics{}, err
-	}
-	exe, err := Compile(prog, cfg)
-	if err != nil {
-		return Metrics{}, err
-	}
-	tr, err := RecordTrace(exe, NativeDebugger(cfg.Family))
-	if err != nil {
-		return Metrics{}, err
-	}
-	return metrics.Compute(tr, ref), nil
+	return nil, fmt.Errorf("pokeholes: unknown debugger %q", name)
 }
