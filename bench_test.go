@@ -16,6 +16,7 @@ import (
 // evaluation (see EXPERIMENTS.md for the mapping and the recorded shapes).
 // Program counts are scaled down from the paper's 1000/5000 so a full
 // -bench=. run stays in CI territory; cmd/paperbench runs the full sizes.
+// Each iteration runs on a fresh engine session so the caches start cold.
 
 const (
 	benchPrograms       = 30
@@ -23,11 +24,15 @@ const (
 	benchSeed           = 42
 )
 
+func benchRunner() *experiments.Runner {
+	return experiments.NewRunner(pokeholes.NewEngine())
+}
+
 // BenchmarkFigure1 regenerates the §2 quantitative study (line coverage,
 // availability of variables, product across versions and levels).
 func BenchmarkFigure1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure1(benchPrograms/3, benchSeed, io.Discard); err != nil {
+		if _, err := benchRunner().Figure1(context.Background(), benchPrograms/3, benchSeed, io.Discard); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -36,7 +41,7 @@ func BenchmarkFigure1(b *testing.B) {
 // BenchmarkTable1 regenerates the per-level violation counts.
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, _, err := experiments.Table1(benchPrograms, benchSeed, io.Discard); err != nil {
+		if _, _, err := benchRunner().Table1(context.Background(), benchPrograms, benchSeed, io.Discard); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -45,7 +50,7 @@ func BenchmarkTable1(b *testing.B) {
 // BenchmarkFigure2 regenerates the clang-like level-set distribution.
 func BenchmarkFigure2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		lv, err := experiments.Sweep(compiler.CL, "trunk", benchPrograms, benchSeed)
+		lv, err := benchRunner().Sweep(context.Background(), compiler.CL, "trunk", benchPrograms, benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -56,7 +61,7 @@ func BenchmarkFigure2(b *testing.B) {
 // BenchmarkFigure3 regenerates the gcc-like level-set distribution.
 func BenchmarkFigure3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		lv, err := experiments.Sweep(compiler.GC, "trunk", benchPrograms, benchSeed)
+		lv, err := benchRunner().Sweep(context.Background(), compiler.GC, "trunk", benchPrograms, benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -68,7 +73,7 @@ func BenchmarkFigure3(b *testing.B) {
 // experiment: every violation is bisected or flag-searched).
 func BenchmarkTable2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Table2(benchTriagePrograms, benchSeed, io.Discard); err != nil {
+		if _, err := benchRunner().Table2(context.Background(), benchTriagePrograms, benchSeed, io.Discard); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -81,10 +86,11 @@ func BenchmarkTable3(b *testing.B) {
 	}
 }
 
-// BenchmarkTable4 regenerates the cross-version regression study.
+// BenchmarkTable4 regenerates the cross-version regression study (one
+// matrix campaign per family).
 func BenchmarkTable4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Table4(benchPrograms/2, benchSeed, io.Discard); err != nil {
+		if _, err := benchRunner().Table4(context.Background(), benchPrograms/2, benchSeed, io.Discard); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -93,7 +99,7 @@ func BenchmarkTable4(b *testing.B) {
 // BenchmarkFigure4 regenerates the per-program violation grid.
 func BenchmarkFigure4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := experiments.Figure4(benchPrograms/2, benchSeed, io.Discard); err != nil {
+		if err := benchRunner().Figure4(context.Background(), benchPrograms/2, benchSeed, io.Discard); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -129,7 +135,7 @@ func BenchmarkCompileOnly(b *testing.B) {
 // BenchmarkTraceOnly isolates the debugger session over a fixed binary.
 func BenchmarkTraceOnly(b *testing.B) {
 	prog := pokeholes.GenerateProgram(7)
-	exe, err := pokeholes.Compile(prog, pokeholes.Config{Family: pokeholes.CL, Version: "trunk", Level: "O3"})
+	exe, err := pokeholes.NewEngine().Compile(context.Background(), prog, pokeholes.Config{Family: pokeholes.CL, Version: "trunk", Level: "O3"})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -148,7 +154,7 @@ func BenchmarkTraceOnly(b *testing.B) {
 // debugger stops.
 func BenchmarkAblationFirstHitVsFullLoop(b *testing.B) {
 	prog := pokeholes.GenerateProgram(11)
-	exe, err := pokeholes.Compile(prog, pokeholes.Config{Family: pokeholes.GC, Version: "trunk", Level: "O2"})
+	exe, err := pokeholes.NewEngine().Compile(context.Background(), prog, pokeholes.Config{Family: pokeholes.GC, Version: "trunk", Level: "O2"})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -191,6 +197,45 @@ func BenchmarkCampaignSweep(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSweepVsIndependentChecks pins the tentpole claim on the
+// paper's actual matrix workload (check + §2 metrics per configuration,
+// the Figure 1 substrate): one Engine.Sweep over a family's full
+// version × level matrix beats the same grid evaluated as independent
+// per-config sessions. The sweep lowers the frontend once, analyzes once,
+// and records each version's O0 reference trace once; the independent
+// loop — what a per-config driver does without a matrix primitive —
+// re-derives all of that for every configuration, on top of running the
+// configs serially instead of over the worker pool.
+func BenchmarkSweepVsIndependentChecks(b *testing.B) {
+	prog := pokeholes.GenerateProgram(7)
+	mx := pokeholes.FullMatrix(pokeholes.GC)
+	mx.Measure = true
+	configs := mx.Configs()
+	b.Run("sweep", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng := pokeholes.NewEngine()
+			if _, err := eng.Sweep(context.Background(), prog, mx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("independent", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// One fresh session per config: work is shared within a config
+			// (Measure reuses Check's trace) but never across configs.
+			for _, cfg := range configs {
+				eng := pokeholes.NewEngine()
+				if _, err := eng.Check(context.Background(), prog, cfg); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.Measure(context.Background(), prog, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
 }
 
 // BenchmarkCheckCachedVsCold quantifies what the compile cache buys on

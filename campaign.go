@@ -39,6 +39,12 @@ type CampaignSpec struct {
 	Version string
 	// Levels are the optimization levels to check (default: OptLevels).
 	Levels []string
+	// Matrix switches the campaign to matrix mode: every program is swept
+	// across the whole version × level grid via Engine.Sweep (the frontend
+	// of each program is lowered exactly once for the grid), and
+	// Family/Version/Levels above are ignored. Result.Sweep carries the
+	// per-config reports.
+	Matrix *Matrix
 	// N programs are fuzzed from seeds Seed0..Seed0+N-1 ...
 	N     int
 	Seed0 int64
@@ -59,12 +65,18 @@ type Result struct {
 	Index int
 	Seed  int64
 	Prog  *minic.Program
-	// Violations maps each checked level to its conjecture violations.
+	// Violations maps each checked level to its conjecture violations
+	// (single-version campaigns; nil in matrix mode).
 	Violations map[string][]Violation
-	// Metrics maps each level to its §2 measures (when spec.Measure).
+	// Sweep holds the matrix-mode outcome: per-config reports in
+	// Matrix.Configs order (nil in single-version campaigns).
+	Sweep *SweepResult
+	// Metrics maps each level to its §2 measures (when spec.Measure; in
+	// matrix mode the metrics live in Sweep.Metrics instead).
 	Metrics map[string]Metrics
-	// Culprits maps level+"|"+violation-key to the triaged culprit pass
-	// (when spec.Triage); empty string means not single-knob controllable.
+	// Culprits maps level+"|"+violation-key (matrix mode: the full config
+	// string + "|" + key) to the triaged culprit pass (when spec.Triage);
+	// empty string means not single-knob controllable.
 	Culprits map[string]string
 	// Err is the first error this program's checks hit, if any.
 	Err error
@@ -76,6 +88,13 @@ func (r *Result) Culprit(level string, v Violation) (string, bool) {
 	return c, ok
 }
 
+// CulpritAt returns the triaged culprit of a violation at a matrix
+// configuration (matrix-mode campaigns).
+func (r *Result) CulpritAt(cfg Config, v Violation) (string, bool) {
+	c, ok := r.Culprits[cfg.String()+"|"+v.Key()]
+	return c, ok
+}
+
 // Campaign runs the spec over the engine's worker pool and returns a
 // channel that yields one Result per program, strictly in seed order. The
 // channel closes when the campaign finishes or ctx is cancelled; on
@@ -83,11 +102,17 @@ func (r *Result) Culprit(level string, v Violation) (string, bool) {
 // is always contiguous. Identical specs yield identical result streams at
 // any worker count.
 func (e *Engine) Campaign(ctx context.Context, spec CampaignSpec) (<-chan Result, error) {
-	if spec.Family != GC && spec.Family != CL {
-		return nil, fmt.Errorf("pokeholes: unknown family %q", spec.Family)
-	}
-	if (Config{Family: spec.Family, Version: spec.Version}).VersionIndex() < 0 {
-		return nil, fmt.Errorf("pokeholes: unknown version %q for family %s", spec.Version, spec.Family)
+	if spec.Matrix != nil {
+		if err := spec.Matrix.withDefaults().validate(); err != nil {
+			return nil, err
+		}
+	} else {
+		if spec.Family != GC && spec.Family != CL {
+			return nil, fmt.Errorf("pokeholes: unknown family %q", spec.Family)
+		}
+		if (Config{Family: spec.Family, Version: spec.Version}).VersionIndex() < 0 {
+			return nil, fmt.Errorf("pokeholes: unknown version %q for family %s", spec.Version, spec.Family)
+		}
 	}
 	jobs := spec.N
 	if len(spec.Programs) > 0 {
@@ -96,9 +121,12 @@ func (e *Engine) Campaign(ctx context.Context, spec CampaignSpec) (<-chan Result
 	if jobs <= 0 {
 		return nil, fmt.Errorf("pokeholes: empty campaign (N == 0 and no programs)")
 	}
-	levels := spec.Levels
-	if len(levels) == 0 {
-		levels = OptLevels(spec.Family)
+	var levels []string
+	if spec.Matrix == nil {
+		levels = spec.Levels
+		if len(levels) == 0 {
+			levels = OptLevels(spec.Family)
+		}
 	}
 	workers := e.workers
 	if workers > jobs {
@@ -185,9 +213,10 @@ func (e *Engine) Campaign(ctx context.Context, spec CampaignSpec) (<-chan Result
 	return out, nil
 }
 
-// campaignJob runs one program through every level of the spec.
+// campaignJob runs one program through every level of the spec (or, in
+// matrix mode, through the whole configuration matrix in one Sweep).
 func (e *Engine) campaignJob(ctx context.Context, spec CampaignSpec, idx int, levels []string) Result {
-	r := Result{Index: idx, Violations: map[string][]Violation{}}
+	r := Result{Index: idx}
 	if len(spec.Programs) > 0 {
 		r.Seed = int64(idx)
 		r.Prog = spec.Programs[idx]
@@ -195,11 +224,39 @@ func (e *Engine) campaignJob(ctx context.Context, spec CampaignSpec, idx int, le
 		r.Seed = spec.Seed0 + int64(idx)
 		r.Prog = fuzzgen.GenerateSeed(r.Seed)
 	}
-	if spec.Measure {
-		r.Metrics = map[string]Metrics{}
-	}
 	if spec.Triage {
 		r.Culprits = map[string]string{}
+	}
+	if spec.Matrix != nil {
+		mx := *spec.Matrix
+		if spec.Measure {
+			mx.Measure = true
+		}
+		// One worker: the campaign pool is already e.workers wide, so the
+		// per-program config grid runs serially inside this job to keep
+		// total engine concurrency at the WithWorkers bound.
+		sr, err := e.sweep(ctx, r.Prog, mx, 1)
+		if err != nil {
+			r.Err = fmt.Errorf("seed %d matrix: %w", r.Seed, err)
+			return r
+		}
+		r.Sweep = sr
+		if spec.Triage {
+			for i, rep := range sr.Reports {
+				for _, v := range rep.Violations {
+					culprit, err := e.Triage(ctx, r.Prog, sr.Configs[i], v)
+					if err != nil {
+						culprit = "" // not controllable by a single knob (§4.3)
+					}
+					r.Culprits[sr.Configs[i].String()+"|"+v.Key()] = culprit
+				}
+			}
+		}
+		return r
+	}
+	r.Violations = map[string][]Violation{}
+	if spec.Measure {
+		r.Metrics = map[string]Metrics{}
 	}
 	for _, level := range levels {
 		if err := ctx.Err(); err != nil {

@@ -6,9 +6,13 @@
 // results stream back in seed order, so the report is deterministic at any
 // parallelism.
 //
+// With -matrix the hunt covers the family's full version × level grid in
+// one matrix campaign per program (the frontend is lowered once per
+// program for the whole grid) instead of a single version.
+//
 // Usage:
 //
-//	conjhunt [-family gc|cl] [-version trunk] [-n 50] [-seed 1] [-workers 0] [-reduce]
+//	conjhunt [-family gc|cl] [-version trunk] [-matrix] [-n 50] [-seed 1] [-workers 0] [-reduce]
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 func main() {
 	family := flag.String("family", "gc", "compiler family: gc or cl")
 	version := flag.String("version", "trunk", "compiler version")
+	matrix := flag.Bool("matrix", false, "hunt across the family's version × level matrix (all versions unless -version is given explicitly)")
 	n := flag.Int("n", 50, "number of fuzzed programs")
 	seed := flag.Int64("seed", 1, "first seed")
 	workers := flag.Int("workers", 0, "campaign worker-pool size (0: GOMAXPROCS)")
@@ -40,8 +45,20 @@ func main() {
 	ctx := context.Background()
 
 	fam := compiler.Family(*family)
-	results, err := eng.Campaign(ctx, pokeholes.CampaignSpec{
-		Family: fam, Version: *version, N: *n, Seed0: *seed, Triage: true})
+	spec := pokeholes.CampaignSpec{
+		Family: fam, Version: *version, N: *n, Seed0: *seed, Triage: true}
+	if *matrix {
+		mx := &pokeholes.Matrix{Family: fam}
+		// An explicitly passed -version narrows the matrix to that version
+		// instead of being silently ignored.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "version" {
+				mx.Versions = []string{*version}
+			}
+		})
+		spec.Matrix = mx
+	}
+	results, err := eng.Campaign(ctx, spec)
 	if err != nil {
 		fatal(err)
 	}
@@ -50,30 +67,44 @@ func main() {
 	culpritCount := map[string]int{}
 	reduced := map[string]bool{}
 	total := 0
+	// handle reports one violation, shared by both campaign modes.
+	handle := func(res pokeholes.Result, cfg pokeholes.Config, v pokeholes.Violation, culprit string) {
+		total++
+		if culprit == "" {
+			culprit = "(untriaged)"
+		}
+		culpritCount[culprit]++
+		fmt.Printf("seed %d %s: %s -> culprit %s\n", res.Seed, cfg, v, culprit)
+		// Cross-validate in the other debugger (§4.2).
+		if also, err := eng.CrossValidate(ctx, res.Prog, cfg, v); err == nil && !also {
+			fmt.Printf("  note: not reproducible in the other debugger (debugger-side suspect)\n")
+		}
+		if *doReduce && culprit != "(untriaged)" && !reduced[culprit] {
+			reduced[culprit] = true
+			small := eng.Minimize(ctx, res.Prog, cfg, v, culprit)
+			fmt.Printf("  minimized test case (%d -> %d lines):\n", countLines(res.Prog), countLines(small))
+			fmt.Println(indent(pokeholes.Render(small)))
+		}
+	}
 	for res := range results {
 		if res.Err != nil {
 			fatal(res.Err)
 		}
+		if *matrix {
+			for i, rep := range res.Sweep.Reports {
+				cfg := res.Sweep.Configs[i]
+				for _, v := range rep.Violations {
+					culprit, _ := res.CulpritAt(cfg, v)
+					handle(res, cfg, v, culprit)
+				}
+			}
+			continue
+		}
 		for _, level := range levels {
 			cfg := pokeholes.Config{Family: fam, Version: *version, Level: level}
 			for _, v := range res.Violations[level] {
-				total++
 				culprit, _ := res.Culprit(level, v)
-				if culprit == "" {
-					culprit = "(untriaged)"
-				}
-				culpritCount[culprit]++
-				fmt.Printf("seed %d %s: %s -> culprit %s\n", res.Seed, cfg, v, culprit)
-				// Cross-validate in the other debugger (§4.2).
-				if also, err := eng.CrossValidate(ctx, res.Prog, cfg, v); err == nil && !also {
-					fmt.Printf("  note: not reproducible in the other debugger (debugger-side suspect)\n")
-				}
-				if *doReduce && culprit != "(untriaged)" && !reduced[culprit] {
-					reduced[culprit] = true
-					small := eng.Minimize(ctx, res.Prog, cfg, v, culprit)
-					fmt.Printf("  minimized test case (%d -> %d lines):\n", countLines(res.Prog), countLines(small))
-					fmt.Println(indent(pokeholes.Render(small)))
-				}
+				handle(res, cfg, v, culprit)
 			}
 		}
 	}

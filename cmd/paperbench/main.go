@@ -5,8 +5,12 @@
 //
 // Usage:
 //
-//	paperbench [-exp all|fig1|tab1|fig23|tab2|tab3|tab4|fig4|regress]
-//	           [-n 200] [-seed 1] [-workers 0] [-cache 4096] [-json]
+//	paperbench [-exp all|fig1|tab1|fig23|tab2|tab3|tab4|fig4|regress|matrix]
+//	           [-matrix] [-n 200] [-seed 1] [-workers 0] [-cache 4096] [-json]
+//
+// -matrix (or -exp matrix) runs the full version × level grid of both
+// families as one Engine.Sweep matrix campaign per family: every program
+// is lowered exactly once for its whole grid.
 package main
 
 import (
@@ -40,7 +44,8 @@ type reportJSON struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: fig1, tab1, fig23, tab2, tab3, tab4, fig4, regress, all")
+	exp := flag.String("exp", "all", "experiment id: fig1, tab1, fig23, tab2, tab3, tab4, fig4, regress, matrix, all")
+	matrix := flag.Bool("matrix", false, "run the full version × level matrix sweep of both families (alone: only the matrix; with -exp: in addition)")
 	n := flag.Int("n", 200, "number of fuzzed programs (paper: 1000 for tables, 5000 for fig1)")
 	nTriage := flag.Int("ntriage", 10, "programs for the triage table (expensive)")
 	seed := flag.Int64("seed", 1, "first seed")
@@ -48,6 +53,18 @@ func main() {
 	cacheSize := flag.Int("cache", pokeholes.DefaultCacheSize, "compile-cache entries (0 disables)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable per-experiment results on stdout")
 	flag.Parse()
+	// A bare -matrix means "just the matrix", not "everything plus the
+	// matrix"; an explicitly passed -exp selection (including "all") keeps
+	// running alongside it.
+	expSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "exp" {
+			expSet = true
+		}
+	})
+	if *matrix && !expSet {
+		*exp = "matrix"
+	}
 
 	var opts []pokeholes.Option
 	if *workers > 0 {
@@ -140,6 +157,29 @@ func main() {
 			fatal(err)
 		}
 		record("fig4", *n/2, nil, start)
+		fmt.Fprintln(w)
+	}
+	if *matrix || *exp == "matrix" {
+		start := time.Now()
+		payload := map[string]any{}
+		for _, fam := range []pokeholes.Family{pokeholes.CL, pokeholes.GC} {
+			vers := pokeholes.Versions(fam)
+			byVer, err := runner.MatrixSweep(ctx, fam, vers, *n, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(w, "Matrix (%s): unique violations per version across all optimizing levels, %d programs\n", fam, *n)
+			fmt.Fprintf(w, "%-10s %6s %6s %6s\n", "version", "C1", "C2", "C3")
+			famPayload := map[string][3]int{}
+			for _, ver := range vers {
+				lv := byVer[ver]
+				counts := [3]int{lv.Unique(1), lv.Unique(2), lv.Unique(3)}
+				famPayload[ver] = counts
+				fmt.Fprintf(w, "%-10s %6d %6d %6d\n", ver, counts[0], counts[1], counts[2])
+			}
+			payload[string(fam)] = famPayload
+		}
+		record("matrix", *n, payload, start)
 		fmt.Fprintln(w)
 	}
 	if run("regress") {

@@ -2,9 +2,11 @@ package pokeholes
 
 // This file defines the v2 session API. An Engine owns the resources one
 // checking session needs — a worker budget, a fingerprint-keyed
-// compile/analysis/trace cache, and the debugger engines — and exposes
-// context-aware versions of the paper's pipeline stages. The free functions
-// in pokeholes.go remain as thin wrappers over a shared default engine.
+// frontend/compile/analysis/trace cache, and the debugger engines — and
+// exposes context-aware versions of the paper's pipeline stages. The
+// compilation is staged (see internal/compiler): the config-invariant
+// frontend is cached once per program, so matrix sweeps and campaigns
+// never re-lower a program they have already seen.
 
 import (
 	"context"
@@ -19,6 +21,7 @@ import (
 	"repro/internal/conjecture"
 	"repro/internal/debugger"
 	"repro/internal/dwarf"
+	"repro/internal/ir"
 	"repro/internal/metrics"
 	"repro/internal/minic"
 	"repro/internal/object"
@@ -41,13 +44,15 @@ const DefaultCacheSize = 4096
 // by canonical-source fingerprint. An Engine is safe for concurrent use;
 // Campaign fans work out over its worker pool.
 type Engine struct {
-	workers   int
-	cacheSize int
-	cache     *cache.Cache[string, any] // nil when caching is disabled
-	debuggers map[Family]Debugger
+	workers    int
+	cacheSize  int
+	stepBudget int                       // VM steps per recorded execution; 0 = vm.DefaultMaxStep
+	cache      *cache.Cache[string, any] // nil when caching is disabled
+	debuggers  map[Family]Debugger
 
-	compiles atomic.Int64
-	records  atomic.Int64
+	frontends atomic.Int64
+	compiles  atomic.Int64
+	records   atomic.Int64
 }
 
 // Option configures an Engine.
@@ -70,6 +75,13 @@ func WithDebugger(f Family, d Debugger) Option {
 	return func(e *Engine) { e.debuggers[f] = d }
 }
 
+// WithStepBudget caps the VM steps of every execution the engine records —
+// traces, triage's knob-twiddling variants, and reduction's predicate
+// runs. Zero or negative keeps vm.DefaultMaxStep.
+func WithStepBudget(n int) Option {
+	return func(e *Engine) { e.stepBudget = n }
+}
+
 // NewEngine returns a session with the given options applied.
 func NewEngine(opts ...Option) *Engine {
 	e := &Engine{
@@ -82,6 +94,9 @@ func NewEngine(opts ...Option) *Engine {
 	}
 	if e.workers < 1 {
 		e.workers = 1
+	}
+	if e.stepBudget < 0 {
+		e.stepBudget = 0
 	}
 	if e.cacheSize != 0 {
 		e.cache = cache.New[string, any](e.cacheSize)
@@ -99,8 +114,8 @@ var (
 	defaultEngineOnce sync.Once
 )
 
-// Default returns the shared process-wide engine that backs the deprecated
-// free functions.
+// Default returns the shared process-wide engine (the fallback session of
+// experiments.NewRunner and similar conveniences).
 func Default() *Engine {
 	defaultEngineOnce.Do(func() { defaultEngine = NewEngine() })
 	return defaultEngine
@@ -108,8 +123,12 @@ func Default() *Engine {
 
 // EngineStats are an engine's lifetime work counters.
 type EngineStats struct {
-	// Compiles counts actual compilations (cache misses and uncacheable
-	// builds such as triage's knob-twiddling variants).
+	// Frontends counts actual frontend runs (parse/check/lower to IR).
+	// One program checked across a whole configuration matrix lowers once.
+	Frontends int64 `json:"frontends"`
+	// Compiles counts actual backend compilations — optimize + codegen —
+	// (cache misses and uncacheable builds such as triage's knob-twiddling
+	// variants). The config-invariant frontend is counted separately.
 	Compiles int64 `json:"compiles"`
 	// Traces counts actual debugger sessions recorded.
 	Traces int64 `json:"traces"`
@@ -122,7 +141,7 @@ type EngineStats struct {
 
 // Stats returns the engine's work counters so far.
 func (e *Engine) Stats() EngineStats {
-	s := EngineStats{Compiles: e.compiles.Load(), Traces: e.records.Load()}
+	s := EngineStats{Frontends: e.frontends.Load(), Compiles: e.compiles.Load(), Traces: e.records.Load()}
 	if e.cache != nil {
 		s.CacheHits, s.CacheMisses = e.cache.Stats()
 		s.CacheEntries = e.cache.Len()
@@ -146,26 +165,69 @@ func cacheableOptions(o compiler.Options) bool {
 // prefixed by the cheap fingerprint so key comparisons usually fail fast.
 // Keying on the full source (not the 64-bit hash alone) means a hash
 // collision can never serve another program's artifacts.
+//
+// Render assigns line numbers into the AST as a (deterministic) side
+// effect, so sourceKey must not run concurrently on one program. Paths
+// that fan a single program out over goroutines — Sweep — compute the key
+// once up front and thread it through srcKey parameters.
 func sourceKey(prog *minic.Program) string {
 	src := minic.Render(prog)
 	return fmt.Sprintf("%016x|%s", minic.FingerprintSource(src), src)
 }
 
-// compile builds prog under cfg, serving plain builds from the cache.
-func (e *Engine) compile(prog *minic.Program, cfg Config, o compiler.Options) (*compiler.Result, error) {
+// frontend returns the config-invariant lowered IR of prog, computed once
+// per canonical-source fingerprint. The cached module is never mutated:
+// every backend compilation clones it (compiler.CompileFrom).
+func (e *Engine) frontend(prog *minic.Program) (*ir.Module, error) {
+	lower := func() (*ir.Module, error) {
+		e.frontends.Add(1)
+		return compiler.Frontend(prog)
+	}
+	if e.cache == nil {
+		return lower()
+	}
+	key := "frontend|" + sourceKey(prog)
+	v, err := e.cache.GetOrCompute(key, func() (any, error) { return lower() })
+	if err != nil {
+		return nil, err
+	}
+	return v.(*ir.Module), nil
+}
+
+// compileFrom builds cfg's backend (optimize + codegen) over a lowered
+// module, serving plain builds from the cache. A nil mod falls back to the
+// (cached) frontend of prog; Sweep passes its shared module explicitly so
+// the sharing holds even on cache-disabled engines. An empty srcKey is
+// computed from prog (single-caller paths); concurrent paths precompute it.
+func (e *Engine) compileFrom(mod *ir.Module, srcKey string, prog *minic.Program, cfg Config, o compiler.Options) (*compiler.Result, error) {
 	build := func() (*compiler.Result, error) {
+		m := mod
+		if m == nil {
+			var err error
+			if m, err = e.frontend(prog); err != nil {
+				return nil, err
+			}
+		}
 		e.compiles.Add(1)
-		return compiler.Compile(prog, cfg, o)
+		return compiler.CompileFrom(m, cfg, o)
 	}
 	if e.cache == nil || !cacheableOptions(o) {
 		return build()
 	}
-	key := fmt.Sprintf("compile|%s|%s|%s|%s", sourceKey(prog), cfg.Family, cfg.Version, cfg.Level)
+	if srcKey == "" {
+		srcKey = sourceKey(prog)
+	}
+	key := fmt.Sprintf("compile|%s|%s|%s|%s", srcKey, cfg.Family, cfg.Version, cfg.Level)
 	v, err := e.cache.GetOrCompute(key, func() (any, error) { return build() })
 	if err != nil {
 		return nil, err
 	}
 	return v.(*compiler.Result), nil
+}
+
+// compile builds prog under cfg, serving plain builds from the cache.
+func (e *Engine) compile(prog *minic.Program, cfg Config, o compiler.Options) (*compiler.Result, error) {
+	return e.compileFrom(nil, "", prog, cfg, o)
 }
 
 // compileFn exposes the caching compile as the hook triage and reduce
@@ -189,29 +251,44 @@ func (e *Engine) Facts(prog *minic.Program) *analysis.Facts {
 	return v.(*analysis.Facts)
 }
 
-// trace compiles prog under cfg and records the debugging session under
-// dbg, cached by (fingerprint, configuration, debugger).
-func (e *Engine) trace(ctx context.Context, prog *minic.Program, cfg Config, dbg Debugger) (*Trace, error) {
+// record runs one debugger session over exe under the engine's step budget.
+func (e *Engine) record(exe *object.Executable, dbg Debugger) (*Trace, error) {
+	e.records.Add(1)
+	return debugger.RecordWith(exe, dbg, debugger.RecordOpts{StepBudget: e.stepBudget})
+}
+
+// traceFrom compiles cfg's build over a lowered module (nil = the cached
+// frontend of prog) and records the debugging session under dbg, cached by
+// (fingerprint, configuration, debugger). srcKey follows the compileFrom
+// convention.
+func (e *Engine) traceFrom(ctx context.Context, mod *ir.Module, srcKey string, prog *minic.Program, cfg Config, dbg Debugger) (*Trace, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	record := func() (*Trace, error) {
-		res, err := e.compile(prog, cfg, compiler.Options{})
+		res, err := e.compileFrom(mod, srcKey, prog, cfg, compiler.Options{})
 		if err != nil {
 			return nil, err
 		}
-		e.records.Add(1)
-		return debugger.Record(res.Exe, dbg)
+		return e.record(res.Exe, dbg)
 	}
 	if e.cache == nil {
 		return record()
 	}
-	key := fmt.Sprintf("trace|%s|%s|%s|%s|%s", sourceKey(prog), cfg.Family, cfg.Version, cfg.Level, dbg.Name())
+	if srcKey == "" {
+		srcKey = sourceKey(prog)
+	}
+	key := fmt.Sprintf("trace|%s|%s|%s|%s|%s", srcKey, cfg.Family, cfg.Version, cfg.Level, dbg.Name())
 	v, err := e.cache.GetOrCompute(key, func() (any, error) { return record() })
 	if err != nil {
 		return nil, err
 	}
 	return v.(*Trace), nil
+}
+
+// trace is traceFrom on the cached frontend.
+func (e *Engine) trace(ctx context.Context, prog *minic.Program, cfg Config, dbg Debugger) (*Trace, error) {
+	return e.traceFrom(ctx, nil, "", prog, cfg, dbg)
 }
 
 // Compile builds prog under cfg and returns the executable, reusing a
@@ -279,7 +356,7 @@ func (e *Engine) Triage(ctx context.Context, prog *minic.Program, cfg Config, v 
 		return "", err
 	}
 	tg := triage.Target{Prog: prog, Facts: e.Facts(prog), Cfg: cfg, Key: v.Key(),
-		Compile: e.compileFn(ctx), Debugger: e.debuggers[cfg.Family]}
+		Compile: e.compileFn(ctx), Debugger: e.debuggers[cfg.Family], StepBudget: e.stepBudget}
 	return triage.Culprit(tg)
 }
 
@@ -288,7 +365,7 @@ func (e *Engine) Triage(ctx context.Context, prog *minic.Program, cfg Config, v 
 // context cancellation the best reduction found so far is returned.
 func (e *Engine) Minimize(ctx context.Context, prog *minic.Program, cfg Config, v Violation, culprit string) *minic.Program {
 	pred := reduce.ViolationPredicateWith(cfg, v.Conjecture, v.Var, culprit,
-		e.compileFn(ctx), e.debuggers[cfg.Family])
+		e.compileFn(ctx), e.debuggers[cfg.Family], e.stepBudget)
 	return reduce.Reduce(prog, pred)
 }
 

@@ -95,18 +95,62 @@ type Result struct {
 	Applied []string
 }
 
-// Compile lowers, optimizes and code-generates prog under cfg.
-func Compile(prog *minic.Program, cfg Config, o Options) (*Result, error) {
-	if cfg.VersionIndex() < 0 {
-		return nil, fmt.Errorf("compiler: unknown version %q for family %s", cfg.Version, cfg.Family)
+// The compilation is staged so callers can cache and share the
+// configuration-invariant work:
+//
+//   - Frontend lowers a program to IR. It depends only on the source, never
+//     on the configuration, so one lowered module serves a whole
+//     version × level matrix.
+//   - Optimize deep-clones a lowered module and runs the configuration's
+//     pass pipeline on the clone, leaving the input untouched.
+//   - Codegen turns optimized IR into an executable.
+//
+// Compile runs all three; CompileFrom skips the frontend for callers that
+// hold a lowered module already (the engine's Sweep does).
+
+// Frontend lowers prog to IR. The result is independent of any Config, so
+// it can be computed once per program and reused across configurations;
+// pass it to CompileFrom, which never mutates it.
+func Frontend(prog *minic.Program) (*ir.Module, error) {
+	return ir.Lower(prog)
+}
+
+// Optimize runs cfg's pass pipeline on a deep clone of m under the
+// configuration's active defects (adjusted by o) and returns the optimized
+// clone plus the pipeline statistics. The input module is not modified.
+func Optimize(m *ir.Module, cfg Config, o Options) (*ir.Module, *opt.Result) {
+	clone := m.Clone()
+	if cfg.Level == "O0" {
+		return clone, &opt.Result{}
 	}
 	if o.BisectLimit == 0 {
+		// The zero value means "no limit", as in Compile; the raw pipeline
+		// knob would read 0 as "stop before the first pass".
 		o.BisectLimit = -1
 	}
-	m, err := ir.Lower(prog)
+	pr := opt.RunPipeline(clone, Pipeline(cfg), opt.Options{
+		Disabled:    o.Disabled,
+		BisectLimit: o.BisectLimit,
+		Defects:     activeDefects(cfg, o),
+		Level:       cfg.Level,
+		Stats:       o.Stats,
+	})
+	return clone, pr
+}
+
+// Codegen turns optimized IR into an executable under the configuration's
+// active defects (adjusted by o).
+func Codegen(m *ir.Module, cfg Config, o Options) (*object.Executable, error) {
+	prog2, info, err := codegen.Generate(m, codegen.Options{Defects: activeDefects(cfg, o), Stats: o.Stats})
 	if err != nil {
 		return nil, err
 	}
+	return object.New(prog2, info), nil
+}
+
+// activeDefects is the registry's defect set for cfg with the option
+// overrides applied.
+func activeDefects(cfg Config, o Options) map[string]bool {
 	defects := ActiveDefects(cfg)
 	for d := range o.ExtraDefects {
 		defects[d] = true
@@ -114,24 +158,32 @@ func Compile(prog *minic.Program, cfg Config, o Options) (*Result, error) {
 	for d := range o.SuppressDefects {
 		delete(defects, d)
 	}
-	res := &Result{Mod: m}
-	if cfg.Level != "O0" {
-		passes := Pipeline(cfg)
-		pr := opt.RunPipeline(m, passes, opt.Options{
-			Disabled:    o.Disabled,
-			BisectLimit: o.BisectLimit,
-			Defects:     defects,
-			Level:       cfg.Level,
-			Stats:       o.Stats,
-		})
-		res.PipelineExecutions = pr.Executions
-		res.Applied = pr.Applied
-	}
-	prog2, info, err := codegen.Generate(m, codegen.Options{Defects: defects, Stats: o.Stats})
+	return defects
+}
+
+// Compile lowers, optimizes and code-generates prog under cfg.
+func Compile(prog *minic.Program, cfg Config, o Options) (*Result, error) {
+	m, err := Frontend(prog)
 	if err != nil {
 		return nil, err
 	}
-	res.Exe = object.New(prog2, info)
+	return CompileFrom(m, cfg, o)
+}
+
+// CompileFrom optimizes and code-generates a pre-lowered module under cfg.
+// The module is cloned before the pipeline runs, so a cached frontend
+// result can back any number of concurrent compilations.
+func CompileFrom(m *ir.Module, cfg Config, o Options) (*Result, error) {
+	if cfg.VersionIndex() < 0 {
+		return nil, fmt.Errorf("compiler: unknown version %q for family %s", cfg.Version, cfg.Family)
+	}
+	optimized, pr := Optimize(m, cfg, o)
+	res := &Result{Mod: optimized, PipelineExecutions: pr.Executions, Applied: pr.Applied}
+	exe, err := Codegen(optimized, cfg, o)
+	if err != nil {
+		return nil, err
+	}
+	res.Exe = exe
 	return res, nil
 }
 

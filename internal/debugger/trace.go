@@ -32,10 +32,21 @@ func (t *Trace) HitLines() []int {
 	return out
 }
 
+// RecordOpts tunes one recording session.
+type RecordOpts struct {
+	// StepBudget caps the VM steps of the run; 0 means vm.DefaultMaxStep.
+	StepBudget int
+}
+
 // Record runs the executable under the given debugger: it arms one-time
 // breakpoints on every line-table address and records the first stop per
 // source line, exactly like the paper's checking pipeline (§4.2).
 func Record(exe *object.Executable, dbg Debugger) (*Trace, error) {
+	return RecordWith(exe, dbg, RecordOpts{})
+}
+
+// RecordWith is Record with session options.
+func RecordWith(exe *object.Executable, dbg Debugger, o RecordOpts) (*Trace, error) {
 	info, err := exe.DebugInfo()
 	if err != nil {
 		return nil, err
@@ -44,6 +55,9 @@ func Record(exe *object.Executable, dbg Debugger) (*Trace, error) {
 	m, err := vm.New(exe.Prog)
 	if err != nil {
 		return nil, err
+	}
+	if o.StepBudget > 0 {
+		m.MaxStep = o.StepBudget
 	}
 	for _, e := range info.Lines {
 		m.SetBreak(int(e.PC))

@@ -6,25 +6,21 @@
 // (Figure 4). The same runners back cmd/paperbench and the benchmark
 // harness in the repository root.
 //
-// The runners execute on the engine's streaming Campaign API: programs fan
-// out over the worker pool and results are aggregated in seed order, so a
-// parallel run reproduces a serial run byte for byte. A Runner wraps the
-// engine of choice; the package-level functions keep the original
-// free-function signatures on the shared default engine.
+// The runners execute on the engine's matrix-campaign API: programs fan
+// out over the worker pool, each program is swept across its whole
+// version × level grid in one Engine.Sweep (the frontend is lowered once
+// per program for the entire grid), and results are aggregated in seed
+// order, so a parallel run reproduces a serial run byte for byte. A Runner
+// wraps the engine of choice.
 package experiments
 
 import (
 	"context"
 	"fmt"
 	"io"
-	"sort"
 
 	"repro"
-	"repro/internal/analysis"
 	"repro/internal/compiler"
-	"repro/internal/conjecture"
-	"repro/internal/debugger"
-	"repro/internal/minic"
 )
 
 // Runner executes the paper's experiments on one engine session.
@@ -38,28 +34,6 @@ func NewRunner(e *pokeholes.Engine) *Runner {
 		e = pokeholes.Default()
 	}
 	return &Runner{E: e}
-}
-
-// std backs the package-level compatibility functions.
-var std = NewRunner(nil)
-
-// TraceFor compiles prog under cfg and records its native-debugger trace.
-//
-// Deprecated: use Engine.Trace.
-func TraceFor(prog *minic.Program, cfg compiler.Config) (*debugger.Trace, error) {
-	return std.E.Trace(context.Background(), prog, cfg)
-}
-
-// ViolationsFor runs the complete single-program check: compile, trace,
-// check all three conjectures.
-//
-// Deprecated: use Engine.Check.
-func ViolationsFor(prog *minic.Program, facts *analysis.Facts, cfg compiler.Config) ([]conjecture.Violation, error) {
-	tr, err := std.E.Trace(context.Background(), prog, cfg)
-	if err != nil {
-		return nil, err
-	}
-	return conjecture.CheckAll(facts, tr), nil
 }
 
 // LevelViolations is the per-level violation key sets of one sweep.
@@ -101,47 +75,63 @@ func (r *Runner) forEachResult(ctx context.Context, spec pokeholes.CampaignSpec,
 	return ctx.Err()
 }
 
-// Sweep checks n fuzzed programs (seeds seed0..seed0+n-1) against all
-// optimization levels of the configuration's family and version, fanned
-// out over the engine's workers and aggregated in seed order.
-func (r *Runner) Sweep(ctx context.Context, family compiler.Family, version string, n int, seed0 int64) (*LevelViolations, error) {
+// MatrixSweep checks n fuzzed programs (seeds seed0..seed0+n-1) across
+// versions × optimizing levels of one family in a single matrix campaign —
+// the frontend of each program is lowered once for the whole grid — and
+// rolls the results up into one LevelViolations per version.
+func (r *Runner) MatrixSweep(ctx context.Context, family compiler.Family, versions []string, n int, seed0 int64) (map[string]*LevelViolations, error) {
 	levels := pokeholes.OptLevels(family)
-	lv := &LevelViolations{Family: family, Programs: n,
-		PerLevel: map[string][3]map[string]bool{}}
-	for _, l := range levels {
-		lv.PerLevel[l] = [3]map[string]bool{{}, {}, {}}
+	out := map[string]*LevelViolations{}
+	for _, ver := range versions {
+		lv := &LevelViolations{Family: family, Programs: n,
+			PerLevel: map[string][3]map[string]bool{}}
+		for _, l := range levels {
+			lv.PerLevel[l] = [3]map[string]bool{{}, {}, {}}
+		}
+		out[ver] = lv
 	}
-	spec := pokeholes.CampaignSpec{Family: family, Version: version, N: n, Seed0: seed0}
+	spec := pokeholes.CampaignSpec{
+		Matrix: &pokeholes.Matrix{Family: family, Versions: versions, Levels: levels},
+		N:      n, Seed0: seed0}
 	err := r.forEachResult(ctx, spec, func(res pokeholes.Result) error {
-		var perProg [3]int
-		for _, level := range levels {
-			sets := lv.PerLevel[level]
-			for _, v := range res.Violations[level] {
-				// Violation keys are program-qualified so they never
-				// collide across the pool.
-				key := fmt.Sprintf("p%d:%s", res.Index, v.Key())
-				sets[v.Conjecture-1][key] = true
-				perProg[v.Conjecture-1]++
+		for _, ver := range versions {
+			lv := out[ver]
+			var perProg [3]int
+			for _, level := range levels {
+				sets := lv.PerLevel[level]
+				for _, v := range res.Sweep.Violations(ver, level) {
+					// Violation keys are program-qualified so they never
+					// collide across the pool.
+					key := fmt.Sprintf("p%d:%s", res.Index, v.Key())
+					sets[v.Conjecture-1][key] = true
+					perProg[v.Conjecture-1]++
+				}
+				lv.PerLevel[level] = sets
 			}
-			lv.PerLevel[level] = sets
-		}
-		for c := 0; c < 3; c++ {
-			if perProg[c] == 0 {
-				lv.CleanPrograms[c]++
+			for c := 0; c < 3; c++ {
+				if perProg[c] == 0 {
+					lv.CleanPrograms[c]++
+				}
 			}
+			lv.PerProgram = append(lv.PerProgram, perProg)
 		}
-		lv.PerProgram = append(lv.PerProgram, perProg)
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return lv, nil
+	return out, nil
 }
 
-// Sweep is Runner.Sweep on the default engine.
-func Sweep(family compiler.Family, version string, n int, seed0 int64) (*LevelViolations, error) {
-	return std.Sweep(context.Background(), family, version, n, seed0)
+// Sweep checks n fuzzed programs (seeds seed0..seed0+n-1) against all
+// optimization levels of one family version, fanned out over the engine's
+// workers and aggregated in seed order.
+func (r *Runner) Sweep(ctx context.Context, family compiler.Family, version string, n int, seed0 int64) (*LevelViolations, error) {
+	m, err := r.MatrixSweep(ctx, family, []string{version}, n, seed0)
+	if err != nil {
+		return nil, err
+	}
+	return m[version], nil
 }
 
 // Unique returns the number of distinct violations of a conjecture across
@@ -199,11 +189,6 @@ func (r *Runner) Table1(ctx context.Context, n int, seed0 int64, w io.Writer) (g
 	return gc, cl, nil
 }
 
-// Table1 is Runner.Table1 on the default engine.
-func Table1(n int, seed0 int64, w io.Writer) (gc, cl *LevelViolations, err error) {
-	return std.Table1(context.Background(), n, seed0, w)
-}
-
 // LevelSetDistribution groups unique violations by the exact set of levels
 // they reproduce at (the Venn diagrams of Figures 2 and 3). Oz is excluded,
 // as in the paper's figures.
@@ -239,18 +224,8 @@ func LevelSetDistribution(lv *LevelViolations) map[string]int {
 // family (Figure 2 is cl, Figure 3 is gc).
 func Figure23(lv *LevelViolations, w io.Writer) {
 	dist := LevelSetDistribution(lv)
-	var keys []string
-	for k := range dist {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if dist[keys[i]] != dist[keys[j]] {
-			return dist[keys[i]] > dist[keys[j]]
-		}
-		return keys[i] < keys[j]
-	})
 	fmt.Fprintf(w, "Unique violations by level set (%s):\n", lv.Family)
-	for _, k := range keys {
+	for _, k := range pokeholes.SortedLevelSetKeys(dist) {
 		fmt.Fprintf(w, "  %-24s %d\n", k, dist[k])
 	}
 }

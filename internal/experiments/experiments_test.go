@@ -2,10 +2,12 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"strings"
 	"testing"
 
+	"repro"
 	"repro/internal/compiler"
 )
 
@@ -14,9 +16,15 @@ const (
 	testSeed = 500
 )
 
+// testRunner returns a fresh runner on its own engine so tests do not
+// share cache state through the process-wide default engine.
+func testRunner() *Runner {
+	return NewRunner(pokeholes.NewEngine())
+}
+
 func TestTable1ShapesHold(t *testing.T) {
 	var buf bytes.Buffer
-	gc, cl, err := Table1(testN, testSeed, &buf)
+	gc, cl, err := testRunner().Table1(context.Background(), testN, testSeed, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,11 +50,11 @@ func TestTable1ShapesHold(t *testing.T) {
 }
 
 func TestSweepDeterministic(t *testing.T) {
-	a, err := Sweep(compiler.GC, "trunk", 6, testSeed)
+	a, err := testRunner().Sweep(context.Background(), compiler.GC, "trunk", 6, testSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Sweep(compiler.GC, "trunk", 6, testSeed)
+	b, err := testRunner().Sweep(context.Background(), compiler.GC, "trunk", 6, testSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,8 +65,38 @@ func TestSweepDeterministic(t *testing.T) {
 	}
 }
 
+// TestMatrixSweepMatchesPerVersionSweeps pins the rollup: a matrix
+// campaign across versions must reproduce the per-version sweeps exactly.
+func TestMatrixSweepMatchesPerVersionSweeps(t *testing.T) {
+	ctx := context.Background()
+	versions := []string{"v4", "trunk"}
+	byVer, err := testRunner().MatrixSweep(ctx, compiler.GC, versions, 6, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ver := range versions {
+		single, err := testRunner().Sweep(ctx, compiler.GC, ver, 6, testSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := 1; c <= 3; c++ {
+			if byVer[ver].Unique(c) != single.Unique(c) {
+				t.Errorf("%s C%d: matrix %d vs single %d", ver, c, byVer[ver].Unique(c), single.Unique(c))
+			}
+		}
+		for level := range single.PerLevel {
+			for c := 1; c <= 3; c++ {
+				if byVer[ver].Count(level, c) != single.Count(level, c) {
+					t.Errorf("%s %s C%d: matrix %d vs single %d",
+						ver, level, c, byVer[ver].Count(level, c), single.Count(level, c))
+				}
+			}
+		}
+	}
+}
+
 func TestLevelSetDistributionAccountsForAll(t *testing.T) {
-	lv, err := Sweep(compiler.CL, "trunk", testN, testSeed)
+	lv, err := testRunner().Sweep(context.Background(), compiler.CL, "trunk", testN, testSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +125,7 @@ func TestLevelSetDistributionAccountsForAll(t *testing.T) {
 }
 
 func TestTable4RegressionShapes(t *testing.T) {
-	rows, err := Table4(testN, testSeed, io.Discard)
+	rows, err := testRunner().Table4(context.Background(), testN, testSeed, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +157,7 @@ func TestTable4RegressionShapes(t *testing.T) {
 }
 
 func TestFigure1MonotoneAtO0Boundary(t *testing.T) {
-	cells, err := Figure1(4, testSeed, io.Discard)
+	cells, err := testRunner().Figure1(context.Background(), 4, testSeed, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +171,7 @@ func TestFigure1MonotoneAtO0Boundary(t *testing.T) {
 
 func TestFigure4Renders(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Figure4(8, testSeed, &buf); err != nil {
+	if err := testRunner().Figure4(context.Background(), 8, testSeed, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "Figure 4") {

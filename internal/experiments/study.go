@@ -8,10 +8,7 @@ import (
 	"repro"
 	"repro/internal/bugs"
 	"repro/internal/compiler"
-	"repro/internal/conjecture"
-	"repro/internal/debugger"
 	"repro/internal/metrics"
-	"repro/internal/triage"
 )
 
 // Figure1Cell is one (version, level) aggregate of the quantitative study.
@@ -22,28 +19,34 @@ type Figure1Cell struct {
 	metrics.Metrics
 }
 
-// measureCampaign runs one measuring campaign and returns the per-level
-// metrics of every program, in seed order.
-func (r *Runner) measureCampaign(ctx context.Context, family compiler.Family, version string, levels []string, n int, seed0 int64) (map[string][]metrics.Metrics, error) {
-	perLevel := map[string][]metrics.Metrics{}
-	spec := pokeholes.CampaignSpec{Family: family, Version: version, Levels: levels,
-		N: n, Seed0: seed0, Measure: true}
+// measureMatrix runs one measuring matrix campaign over a version × level
+// grid of a family and returns every program's metrics per configuration,
+// keyed by version then level, in seed order.
+func (r *Runner) measureMatrix(ctx context.Context, family compiler.Family, versions, levels []string, n int, seed0 int64) (map[string]map[string][]metrics.Metrics, error) {
+	perCell := map[string]map[string][]metrics.Metrics{}
+	for _, ver := range versions {
+		perCell[ver] = map[string][]metrics.Metrics{}
+	}
+	spec := pokeholes.CampaignSpec{
+		Matrix: &pokeholes.Matrix{Family: family, Versions: versions, Levels: levels},
+		N:      n, Seed0: seed0, Measure: true}
 	err := r.forEachResult(ctx, spec, func(res pokeholes.Result) error {
-		for _, level := range levels {
-			perLevel[level] = append(perLevel[level], res.Metrics[level])
+		for i, cfg := range res.Sweep.Configs {
+			perCell[cfg.Version][cfg.Level] = append(perCell[cfg.Version][cfg.Level], res.Sweep.Metrics[i])
 		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return perLevel, nil
+	return perCell, nil
 }
 
 // Figure1 reproduces the §2 quantitative study: line coverage, availability
 // of variables, and their product, for n fuzzed programs across versions
-// and levels of both families. One measuring campaign per version covers
-// every level, so the O0 reference of each program is traced exactly once.
+// and levels of both families. One measuring matrix campaign per family
+// covers the whole grid, so each program is lowered once and its O0
+// reference is traced once per version.
 func (r *Runner) Figure1(ctx context.Context, n int, seed0 int64, w io.Writer) ([]Figure1Cell, error) {
 	var cells []Figure1Cell
 	type fam struct {
@@ -57,13 +60,13 @@ func (r *Runner) Figure1(ctx context.Context, n int, seed0 int64, w io.Writer) (
 	}
 	for _, fm := range fams {
 		fmt.Fprintf(w, "Figure 1 (%s): version x level -> line coverage / availability / product\n", fm.f)
+		perCell, err := r.measureMatrix(ctx, fm.f, fm.versions, fm.levels, n, seed0)
+		if err != nil {
+			return nil, err
+		}
 		for _, ver := range fm.versions {
-			perLevel, err := r.measureCampaign(ctx, fm.f, ver, fm.levels, n, seed0)
-			if err != nil {
-				return nil, err
-			}
 			for _, level := range fm.levels {
-				mean := metrics.Mean(perLevel[level])
+				mean := metrics.Mean(perCell[ver][level])
 				cells = append(cells, Figure1Cell{Family: fm.f, Version: ver, Level: level, Metrics: mean})
 				fmt.Fprintf(w, "  %-7s %-3s  line=%.3f  avail=%.3f  product=%.3f\n",
 					ver, level, mean.LineCoverage, mean.Availability, mean.Product)
@@ -71,11 +74,6 @@ func (r *Runner) Figure1(ctx context.Context, n int, seed0 int64, w io.Writer) (
 		}
 	}
 	return cells, nil
-}
-
-// Figure1 is Runner.Figure1 on the default engine.
-func Figure1(n int, seed0 int64, w io.Writer) ([]Figure1Cell, error) {
-	return std.Figure1(context.Background(), n, seed0, w)
 }
 
 // Table2Row is one triaged-culprit count.
@@ -137,11 +135,6 @@ func (r *Runner) Table2(ctx context.Context, n int, seed0 int64, w io.Writer) ([
 	return rows, nil
 }
 
-// Table2 is Runner.Table2 on the default engine.
-func Table2(n int, seed0 int64, w io.Writer) ([]Table2Row, error) {
-	return std.Table2(context.Background(), n, seed0, w)
-}
-
 type kv struct {
 	k string
 	v int
@@ -197,15 +190,17 @@ type Table4Row struct {
 
 // Table4 reproduces the regression study: unique violations per conjecture
 // across versions far apart in time, including the patched gc build and the
-// cl trunk with the partial LSR fix.
+// cl trunk with the partial LSR fix. Each family's versions are checked in
+// one matrix campaign, so every program is lowered once for all of them.
 func (r *Runner) Table4(ctx context.Context, n int, seed0 int64, w io.Writer) ([]Table4Row, error) {
 	var rows []Table4Row
 	sweep := func(f compiler.Family, versions []string) error {
+		byVer, err := r.MatrixSweep(ctx, f, versions, n, seed0)
+		if err != nil {
+			return err
+		}
 		for _, ver := range versions {
-			lv, err := r.Sweep(ctx, f, ver, n, seed0)
-			if err != nil {
-				return err
-			}
+			lv := byVer[ver]
 			rows = append(rows, Table4Row{Family: f, Version: ver,
 				Counts: [3]int{lv.Unique(1), lv.Unique(2), lv.Unique(3)}})
 		}
@@ -225,20 +220,18 @@ func (r *Runner) Table4(ctx context.Context, n int, seed0 int64, w io.Writer) ([
 	return rows, nil
 }
 
-// Table4 is Runner.Table4 on the default engine.
-func Table4(n int, seed0 int64, w io.Writer) ([]Table4Row, error) {
-	return std.Table4(context.Background(), n, seed0, w)
-}
-
 // Figure4 renders the per-program conjecture-violation grid across gc
 // versions (one row of cells per version block, 25 programs per text row,
-// digit = number of conjectures violated).
+// digit = number of conjectures violated). All four versions run in one
+// matrix campaign.
 func (r *Runner) Figure4(ctx context.Context, n int, seed0 int64, w io.Writer) error {
-	for _, ver := range []string{"v4", "v8", "trunk", "patched"} {
-		lv, err := r.Sweep(ctx, compiler.GC, ver, n, seed0)
-		if err != nil {
-			return err
-		}
+	versions := []string{"v4", "v8", "trunk", "patched"}
+	byVer, err := r.MatrixSweep(ctx, compiler.GC, versions, n, seed0)
+	if err != nil {
+		return err
+	}
+	for _, ver := range versions {
+		lv := byVer[ver]
 		fmt.Fprintf(w, "Figure 4 (%s): conjectures violated per program\n", ver)
 		for i := 0; i < len(lv.PerProgram); i += 25 {
 			row := ""
@@ -257,69 +250,24 @@ func (r *Runner) Figure4(ctx context.Context, n int, seed0 int64, w io.Writer) e
 	return nil
 }
 
-// Figure4 is Runner.Figure4 on the default engine.
-func Figure4(n int, seed0 int64, w io.Writer) error {
-	return std.Figure4(context.Background(), n, seed0, w)
-}
-
 // RegressionAvailability reproduces the §5.4 availability-of-variables
 // comparison around the patched gc build: it returns the O1 availability
 // metric for trunk, patched, and the Og reference, so callers can verify
 // that the patch closes about half of the O1→Og gap.
 func (r *Runner) RegressionAvailability(ctx context.Context, n int, seed0 int64, w io.Writer) (trunkO1, patchedO1, trunkOg float64, err error) {
-	avail := func(ver, level string) (float64, error) {
-		perLevel, err := r.measureCampaign(ctx, compiler.GC, ver, []string{level}, n, seed0)
-		if err != nil {
-			return 0, err
-		}
-		return metrics.Mean(perLevel[level]).Availability, nil
-	}
-	if trunkO1, err = avail("trunk", "O1"); err != nil {
+	// One matrix campaign covers both builds at both levels; each program
+	// is lowered once and its O0 reference traced once per version.
+	perCell, err := r.measureMatrix(ctx, compiler.GC,
+		[]string{"trunk", "patched"}, []string{"O1", "Og"}, n, seed0)
+	if err != nil {
 		return
 	}
-	if patchedO1, err = avail("patched", "O1"); err != nil {
-		return
-	}
+	trunkO1 = metrics.Mean(perCell["trunk"]["O1"]).Availability
+	patchedO1 = metrics.Mean(perCell["patched"]["O1"]).Availability
 	// The Og reference uses the fixed build: the shared-cleanup defect also
 	// affected -Og, so the debugger-friendly ceiling is the patched one.
-	if trunkOg, err = avail("patched", "Og"); err != nil {
-		return
-	}
+	trunkOg = metrics.Mean(perCell["patched"]["Og"]).Availability
 	fmt.Fprintf(w, "availability-of-variables at O1: trunk=%.4f patched=%.4f (Og reference %.4f)\n",
 		trunkO1, patchedO1, trunkOg)
 	return
-}
-
-// RegressionAvailability is Runner.RegressionAvailability on the default
-// engine.
-func RegressionAvailability(n int, seed0 int64, w io.Writer) (trunkO1, patchedO1, trunkOg float64, err error) {
-	return std.RegressionAvailability(context.Background(), n, seed0, w)
-}
-
-// ValidateInOtherDebugger revalidates a violation in the non-native
-// debugger (§4.2): a violation that disappears there points at the native
-// debugger rather than the compiler.
-//
-// Deprecated: use Engine.CrossValidate.
-func ValidateInOtherDebugger(tg triage.Target) (bool, error) {
-	res, err := compiler.Compile(tg.Prog, tg.Cfg, compiler.Options{})
-	if err != nil {
-		return false, err
-	}
-	var other debugger.Debugger
-	if compiler.NativeDebugger(tg.Cfg.Family) == "gdb" {
-		other = debugger.NewLLDB(compiler.DebuggerDefects("lldb"))
-	} else {
-		other = debugger.NewGDB(compiler.DebuggerDefects("gdb"))
-	}
-	tr, err := debugger.Record(res.Exe, other)
-	if err != nil {
-		return false, err
-	}
-	for _, v := range conjecture.CheckAll(tg.Facts, tr) {
-		if v.Key() == tg.Key {
-			return true, nil
-		}
-	}
-	return false, nil
 }

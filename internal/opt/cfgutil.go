@@ -88,13 +88,19 @@ type Loop struct {
 }
 
 // FindLoops detects natural loops (back edges to a dominating header).
-// Loops sharing a header are merged.
+// Loops sharing a header are merged. Only the reachable CFG is considered:
+// unreachable blocks carry the vacuous full dominator set, so without the
+// filter every edge out of one would read as a back edge.
 func FindLoops(fn *ir.Func) []*Loop {
 	dom := Dominators(fn)
 	preds := fn.Preds()
+	reach := fn.Reachable()
 	byHeader := map[*ir.Block]*Loop{}
 	var order []*ir.Block
 	for _, b := range fn.Blocks {
+		if !reach[b] {
+			continue
+		}
 		for _, s := range b.Succs() {
 			if dom[b][s] { // back edge b -> s
 				l := byHeader[s]
@@ -115,7 +121,9 @@ func FindLoops(fn *ir.Func) []*Loop {
 					}
 					l.Blocks[x] = true
 					for _, p := range preds[x] {
-						stack = append(stack, p)
+						if reach[p] {
+							stack = append(stack, p)
+						}
 					}
 				}
 			}

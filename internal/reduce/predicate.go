@@ -14,7 +14,7 @@ import (
 // variable (any line: reduction moves line numbers around, so the paper's
 // "same line, same optimization" criterion translates here to "same
 // variable, same conjecture, culprit preserved").
-func findViolation(p *minic.Program, cfg compiler.Config, conj int, varName string, compile triage.CompileFn, dbg debugger.Debugger) (string, bool) {
+func findViolation(p *minic.Program, cfg compiler.Config, conj int, varName string, compile triage.CompileFn, dbg debugger.Debugger, stepBudget int) (string, bool) {
 	if compile == nil {
 		compile = func(p *minic.Program, cfg compiler.Config, o compiler.Options) (*compiler.Result, error) {
 			return compiler.Compile(p, cfg, o)
@@ -31,7 +31,7 @@ func findViolation(p *minic.Program, cfg compiler.Config, conj int, varName stri
 			dbg = debugger.NewLLDB(compiler.DebuggerDefects("lldb"))
 		}
 	}
-	tr, err := debugger.Record(res.Exe, dbg)
+	tr, err := debugger.RecordWith(res.Exe, dbg, debugger.RecordOpts{StepBudget: stepBudget})
 	if err != nil {
 		return "", false
 	}
@@ -44,7 +44,7 @@ func findViolation(p *minic.Program, cfg compiler.Config, conj int, varName stri
 	return "", false
 }
 
-func makeTarget(p *minic.Program, cfg compiler.Config, key string, compile triage.CompileFn, dbg debugger.Debugger) triage.Target {
+func makeTarget(p *minic.Program, cfg compiler.Config, key string, compile triage.CompileFn, dbg debugger.Debugger, stepBudget int) triage.Target {
 	return triage.Target{Prog: p, Facts: analysis.Analyze(p), Cfg: cfg, Key: key,
-		Compile: compile, Debugger: dbg}
+		Compile: compile, Debugger: dbg, StepBudget: stepBudget}
 }

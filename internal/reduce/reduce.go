@@ -44,25 +44,26 @@ func Reduce(prog *minic.Program, keep Predicate) *minic.Program {
 // and compiling with the culprit pass disabled must make the violation
 // disappear (§4.4's double compilation per step).
 func ViolationPredicate(cfg compiler.Config, conj int, varName, culprit string) Predicate {
-	return ViolationPredicateWith(cfg, conj, varName, culprit, nil, nil)
+	return ViolationPredicateWith(cfg, conj, varName, culprit, nil, nil, 0)
 }
 
 // ViolationPredicateWith is ViolationPredicate with a pluggable compiler
-// entry point and debugger (nil means compiler.Compile and the family's
-// native debugger). The engine injects its caching compile so the
-// reducer's first predicate evaluation — on a clone of the
-// already-checked program — reuses the cached build, and its configured
-// debugger so WithDebugger overrides hold through reduction.
-func ViolationPredicateWith(cfg compiler.Config, conj int, varName, culprit string, compile triage.CompileFn, dbg debugger.Debugger) Predicate {
+// entry point, debugger and VM step budget (nil/0 mean compiler.Compile,
+// the family's native debugger and vm.DefaultMaxStep). The engine injects
+// its caching compile so the reducer's first predicate evaluation — on a
+// clone of the already-checked program — reuses the cached build, its
+// configured debugger so WithDebugger overrides hold through reduction,
+// and its WithStepBudget setting.
+func ViolationPredicateWith(cfg compiler.Config, conj int, varName, culprit string, compile triage.CompileFn, dbg debugger.Debugger, stepBudget int) Predicate {
 	return func(p *minic.Program) bool {
-		key, ok := findViolation(p, cfg, conj, varName, compile, dbg)
+		key, ok := findViolation(p, cfg, conj, varName, compile, dbg, stepBudget)
 		if !ok {
 			return false
 		}
 		if culprit == "" {
 			return true
 		}
-		tg := makeTarget(p, cfg, key, compile, dbg)
+		tg := makeTarget(p, cfg, key, compile, dbg, stepBudget)
 		occ, err := triage.Occurs(tg, compiler.Options{Disabled: map[string]bool{culprit: true}})
 		return err == nil && !occ
 	}

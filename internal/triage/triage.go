@@ -39,6 +39,9 @@ type Target struct {
 	// every trace the triage records (the engine injects its configured
 	// debugger so WithDebugger overrides hold through triage).
 	Debugger debugger.Debugger
+	// StepBudget caps the VM steps of every trace the triage records;
+	// 0 means vm.DefaultMaxStep (the engine threads WithStepBudget here).
+	StepBudget int
 }
 
 // dbg returns the target's debugger, defaulting to the family's native one.
@@ -74,7 +77,7 @@ func Occurs(tg Target, o compiler.Options) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	tr, err := debugger.Record(res.Exe, tg.dbg())
+	tr, err := debugger.RecordWith(res.Exe, tg.dbg(), debugger.RecordOpts{StepBudget: tg.StepBudget})
 	if err != nil {
 		return false, err
 	}

@@ -47,6 +47,10 @@ type Machine struct {
 // ErrStepLimit is returned when execution exceeds the step budget.
 var ErrStepLimit = fmt.Errorf("vm: step limit exceeded")
 
+// DefaultMaxStep is the step budget of a fresh machine. Callers may set
+// Machine.MaxStep before running to raise or lower it.
+const DefaultMaxStep = 4_000_000
+
 // New loads prog and prepares a machine stopped before main's first
 // instruction.
 func New(prog *asm.Program) (*Machine, error) {
@@ -56,7 +60,7 @@ func New(prog *asm.Program) (*Machine, error) {
 		gbase:   map[string]int64{},
 		sp:      ir.StackBase,
 		bps:     map[int]bool{},
-		MaxStep: 4_000_000,
+		MaxStep: DefaultMaxStep,
 	}
 	addr := int64(ir.GlobalBase)
 	for _, g := range prog.Globals {

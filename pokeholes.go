@@ -13,14 +13,14 @@
 //	        Family: pokeholes.GC, Version: "trunk", Level: "O2"})
 //	for _, v := range report.Violations { fmt.Println(v) }
 //
-// Engine holds a fingerprint-keyed compile/analysis/trace cache and a
-// worker pool; Engine.Campaign streams batch results in seed order. The
-// free functions below predate the engine and now delegate to a shared
-// default engine; they are kept for compatibility.
+// Engine holds a fingerprint-keyed frontend/compile/analysis/trace cache
+// and a worker pool. Engine.Campaign streams batch results in seed order;
+// Engine.Sweep checks one program across a whole version × level matrix
+// while lowering it exactly once. The remaining free functions below are
+// engine-independent helpers (parsing, rendering, debugger construction).
 package pokeholes
 
 import (
-	"context"
 	"fmt"
 
 	"repro/internal/compiler"
@@ -75,13 +75,6 @@ func GenerateProgram(seed int64) *minic.Program {
 // Render returns the canonical source of a program.
 func Render(prog *minic.Program) string { return minic.Render(prog) }
 
-// Compile builds prog under cfg and returns the executable.
-//
-// Deprecated: use Engine.Compile, which reuses cached builds.
-func Compile(prog *minic.Program, cfg Config) (*object.Executable, error) {
-	return Default().Compile(context.Background(), prog, cfg)
-}
-
 // NativeDebugger returns the reference debugger of a family, configured
 // with the catalogued defects of its latest release.
 func NativeDebugger(f compiler.Family) debugger.Debugger {
@@ -104,30 +97,6 @@ type Report struct {
 	Violations []Violation
 }
 
-// Check runs the full single-configuration pipeline: compile, trace under
-// the native debugger, and test the three conjectures.
-//
-// Deprecated: use Engine.Check, which is context-aware and cached.
-func Check(prog *minic.Program, cfg Config) (*Report, error) {
-	return Default().Check(context.Background(), prog, cfg)
-}
-
-// Triage identifies the culprit optimization behind a violation, using
-// pipeline bisection for CL and the per-flag search for GC (§4.3).
-//
-// Deprecated: use Engine.Triage, which reuses Check's cached baseline.
-func Triage(prog *minic.Program, cfg Config, v Violation) (string, error) {
-	return Default().Triage(context.Background(), prog, cfg, v)
-}
-
-// Minimize shrinks prog while preserving the violation and its culprit
-// (§4.4). An empty culprit skips the culprit-preservation check.
-//
-// Deprecated: use Engine.Minimize, which is context-aware and cached.
-func Minimize(prog *minic.Program, cfg Config, v Violation, culprit string) *minic.Program {
-	return Default().Minimize(context.Background(), prog, cfg, v, culprit)
-}
-
 // ClassifyDWARF assigns the paper's four-way DIE-defect category to a
 // violation (§5.3), by inspecting the executable's debug information at the
 // first line-table address of the violation line.
@@ -141,14 +110,6 @@ func ClassifyDWARF(exe *object.Executable, v Violation) (dwarf.Class, error) {
 		return "", fmt.Errorf("pokeholes: line %d has no code", v.Line)
 	}
 	return dwarf.Classify(info, v.Var, pcs[0]), nil
-}
-
-// Measure computes line coverage and availability of variables of cfg's
-// build of prog against its -O0 counterpart (§2).
-//
-// Deprecated: use Engine.Measure, which caches the O0 reference trace.
-func Measure(prog *minic.Program, cfg Config) (Metrics, error) {
-	return Default().Measure(context.Background(), prog, cfg)
 }
 
 // DebuggerByName builds a debugger engine ("gdb" or "lldb") configured

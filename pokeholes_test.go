@@ -1,6 +1,7 @@
 package pokeholes
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -25,7 +26,7 @@ func TestFacadeRoundTrip(t *testing.T) {
 		t.Error("render lost the call")
 	}
 	cfg := Config{Family: GC, Version: "trunk", Level: "O2"}
-	report, err := Check(prog, cfg)
+	report, err := NewEngine().Check(context.Background(), prog, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestFacadeMeasure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := Measure(prog, Config{Family: GC, Version: "trunk", Level: "Og"})
+	m, err := NewEngine().Measure(context.Background(), prog, Config{Family: GC, Version: "trunk", Level: "Og"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,18 +60,20 @@ func TestFacadeMeasure(t *testing.T) {
 }
 
 func TestFacadeGenerateAndFullPipeline(t *testing.T) {
+	eng := NewEngine()
+	ctx := context.Background()
 	for seed := int64(0); seed < 5; seed++ {
 		prog := GenerateProgram(seed)
 		for _, cfg := range []Config{
 			{Family: GC, Version: "trunk", Level: "O2"},
 			{Family: CL, Version: "trunkstar", Level: "Og"},
 		} {
-			report, err := Check(prog, cfg)
+			report, err := eng.Check(ctx, prog, cfg)
 			if err != nil {
 				t.Fatalf("seed %d %s: %v", seed, cfg, err)
 			}
 			for _, v := range report.Violations {
-				exe, err := Compile(prog, cfg)
+				exe, err := eng.Compile(ctx, prog, cfg)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -87,7 +90,7 @@ func TestFacadeO0IsReference(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	report, err := Check(prog, Config{Family: CL, Version: "trunk", Level: "O0"})
+	report, err := NewEngine().Check(context.Background(), prog, Config{Family: CL, Version: "trunk", Level: "O0"})
 	if err != nil {
 		t.Fatal(err)
 	}
