@@ -101,6 +101,14 @@ func (r *Result) CulpritAt(cfg Config, v Violation) (string, bool) {
 // cancellation in-flight programs may be dropped, but the delivered prefix
 // is always contiguous. Identical specs yield identical result streams at
 // any worker count.
+//
+// Cancel contract: a consumer that stops receiving before the channel
+// closes MUST cancel ctx (and may then abandon the channel — draining is
+// optional). Cancellation releases every campaign goroutine: the feeder
+// and the workers select on ctx.Done alongside their channel sends, and
+// the reorder goroutine drains the workers before exiting. Abandoning the
+// channel without cancelling leaks the pool: the reorder goroutine stays
+// blocked on its send to the consumer, and the workers behind it.
 func (e *Engine) Campaign(ctx context.Context, spec CampaignSpec) (<-chan Result, error) {
 	if spec.Matrix != nil {
 		if err := spec.Matrix.withDefaults().validate(); err != nil {
@@ -168,7 +176,15 @@ func (e *Engine) Campaign(ctx context.Context, spec CampaignSpec) (<-chan Result
 		go func() {
 			defer wg.Done()
 			for idx := range indexCh {
-				resCh <- e.campaignJob(ctx, spec, idx, levels)
+				// The send races the reorder goroutine's exit on
+				// cancellation: once it stops draining resCh, an
+				// unconditional send here would strand the worker (and
+				// wg.Wait, and the resCh close) forever.
+				select {
+				case resCh <- e.campaignJob(ctx, spec, idx, levels):
+				case <-ctx.Done():
+					return
+				}
 			}
 		}()
 	}

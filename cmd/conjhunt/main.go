@@ -1,40 +1,48 @@
-// Command conjhunt runs the paper's full bug-hunting pipeline: generate
-// fuzzed programs, compile them across optimization levels, record debugger
-// traces, check the three conjectures, triage each violation to a culprit
-// optimization, and minimize one exemplary test case per culprit. The hunt
-// runs as one Engine campaign: programs fan out over the worker pool and
-// results stream back in seed order, so the report is deterministic at any
-// parallelism.
+// Command conjhunt runs the paper's bug-hunting pipeline as an
+// open-ended, deduplicated hunt (Engine.Hunt): fuzzed programs stream
+// through the campaign worker pool, every conjecture violation is triaged
+// to a culprit optimization and bucketed by its stable signature
+// (conjecture, culprit pass, violation shape), and each bucket keeps one
+// minimized exemplar program. The corpus persists as a JSONL store, so
+// hunts are incremental: re-running with -resume continues from the saved
+// seed cursor and only ever reports buckets the corpus has not seen.
 //
-// With -matrix the hunt covers the family's full version × level grid in
-// one matrix campaign per program (the frontend is lowered once per
-// program for the whole grid) instead of a single version.
+// With -matrix the hunt covers the family's full version × level grid
+// per program instead of a single version.
 //
 // Usage:
 //
-//	conjhunt [-family gc|cl] [-version trunk] [-matrix] [-n 50] [-seed 1] [-workers 0] [-reduce]
+//	conjhunt [-family gc|cl] [-version trunk] [-matrix] [-budget 200]
+//	         [-seed 1] [-batch 32] [-workers 0] [-corpus hunt.jsonl]
+//	         [-resume] [-nominimize] [-show]
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
-	"sort"
+	"os/signal"
+	"syscall"
 
 	"repro"
 	"repro/internal/compiler"
-	"repro/internal/minic"
 )
 
 func main() {
 	family := flag.String("family", "gc", "compiler family: gc or cl")
 	version := flag.String("version", "trunk", "compiler version")
 	matrix := flag.Bool("matrix", false, "hunt across the family's version × level matrix (all versions unless -version is given explicitly)")
-	n := flag.Int("n", 50, "number of fuzzed programs")
-	seed := flag.Int64("seed", 1, "first seed")
-	workers := flag.Int("workers", 0, "campaign worker-pool size (0: GOMAXPROCS)")
-	doReduce := flag.Bool("reduce", false, "minimize one test case per culprit")
+	budget := flag.Int("budget", 200, "number of fuzzed programs this run")
+	seed := flag.Int64("seed", 1, "first seed of a fresh hunt (a resumed hunt continues from the corpus cursor)")
+	batch := flag.Int("batch", 0, "programs per fuzz batch (0: the default; adaptive weights update between batches)")
+	workers := flag.Int("workers", 0, "worker-pool size (0: GOMAXPROCS)")
+	corpusPath := flag.String("corpus", "", "corpus JSONL path: checkpointed after every batch")
+	resume := flag.Bool("resume", false, "resume the hunt from an existing -corpus store")
+	noMinimize := flag.Bool("nominimize", false, "keep original fuzzed programs as exemplars instead of reducing them")
+	show := flag.Bool("show", false, "print each new bucket's exemplar source")
 	flag.Parse()
 
 	var opts []pokeholes.Option
@@ -42,15 +50,22 @@ func main() {
 		opts = append(opts, pokeholes.WithWorkers(*workers))
 	}
 	eng := pokeholes.NewEngine(opts...)
-	ctx := context.Background()
+	// Ctrl-C and SIGTERM (CI timeouts, container stops) cancel the
+	// hunt; the loop checkpoints the corpus on the way out, so an
+	// interrupted hunt resumes where it stopped.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	fam := compiler.Family(*family)
-	spec := pokeholes.CampaignSpec{
-		Family: fam, Version: *version, N: *n, Seed0: *seed, Triage: true}
+	spec := pokeholes.HuntSpec{
+		Family: fam, Version: *version,
+		Budget: *budget, Seed0: *seed, BatchSize: *batch,
+		CorpusPath: *corpusPath, NoMinimize: *noMinimize,
+	}
 	if *matrix {
 		mx := &pokeholes.Matrix{Family: fam}
-		// An explicitly passed -version narrows the matrix to that version
-		// instead of being silently ignored.
+		// An explicitly passed -version narrows the matrix to that
+		// version instead of being silently ignored.
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "version" {
 				mx.Versions = []string{*version}
@@ -58,102 +73,104 @@ func main() {
 		})
 		spec.Matrix = mx
 	}
-	results, err := eng.Campaign(ctx, spec)
+	if !*resume && *corpusPath != "" {
+		// Refuse to clobber an existing store: a fresh hunt checkpoints
+		// over -corpus after its first batch, which would destroy every
+		// bucket a previous run collected.
+		if _, err := os.Stat(*corpusPath); err == nil {
+			fatal(fmt.Errorf("%s exists; pass -resume to continue it (or remove the file for a fresh hunt)", *corpusPath))
+		}
+	}
+	if *resume {
+		if *corpusPath == "" {
+			fatal(fmt.Errorf("-resume needs -corpus"))
+		}
+		c, err := pokeholes.LoadCorpus(*corpusPath)
+		switch {
+		case err == nil:
+			spec.Corpus = c
+			fmt.Fprintf(os.Stderr, "resuming: %d buckets, %d programs hunted, next seed %d\n",
+				c.Len(), c.Programs, c.NextSeed)
+		case errors.Is(err, fs.ErrNotExist):
+			// Absent store: a first -resume run legitimately starts
+			// fresh, but say so — a typo'd path would otherwise
+			// silently re-report every known bucket.
+			fmt.Fprintf(os.Stderr, "no corpus at %s; starting a fresh hunt\n", *corpusPath)
+		default:
+			fatal(err)
+		}
+	}
+
+	// Live progress line, updated after every batch.
+	spec.Progress = func(p pokeholes.HuntProgress) {
+		dupRate := 0.0
+		if p.Violations > 0 {
+			dupRate = 100 * float64(p.Dups) / float64(p.Violations)
+		}
+		fmt.Fprintf(os.Stderr, "\rhunt: %d programs | %d buckets (+%d this batch) | %d violations | dup %.0f%%   ",
+			p.Programs, p.Buckets, p.NewInBatch, p.Violations, dupRate)
+	}
+
+	rep, err := eng.Hunt(ctx, spec)
+	fmt.Fprintln(os.Stderr)
+	if rep != nil {
+		report(rep, *show)
+	}
+	if errors.Is(err, context.Canceled) {
+		// A signal-interrupted hunt that checkpointed is a clean,
+		// bounded run, not a failure.
+		if *corpusPath != "" {
+			fmt.Fprintln(os.Stderr, "conjhunt: interrupted; corpus checkpointed")
+		} else {
+			fmt.Fprintln(os.Stderr, "conjhunt: interrupted (no -corpus: findings not persisted)")
+		}
+		return
+	}
 	if err != nil {
 		fatal(err)
 	}
-
-	levels := pokeholes.OptLevels(fam)
-	culpritCount := map[string]int{}
-	reduced := map[string]bool{}
-	total := 0
-	// handle reports one violation, shared by both campaign modes.
-	handle := func(res pokeholes.Result, cfg pokeholes.Config, v pokeholes.Violation, culprit string) {
-		total++
-		if culprit == "" {
-			culprit = "(untriaged)"
-		}
-		culpritCount[culprit]++
-		fmt.Printf("seed %d %s: %s -> culprit %s\n", res.Seed, cfg, v, culprit)
-		// Cross-validate in the other debugger (§4.2).
-		if also, err := eng.CrossValidate(ctx, res.Prog, cfg, v); err == nil && !also {
-			fmt.Printf("  note: not reproducible in the other debugger (debugger-side suspect)\n")
-		}
-		if *doReduce && culprit != "(untriaged)" && !reduced[culprit] {
-			reduced[culprit] = true
-			small := eng.Minimize(ctx, res.Prog, cfg, v, culprit)
-			fmt.Printf("  minimized test case (%d -> %d lines):\n", countLines(res.Prog), countLines(small))
-			fmt.Println(indent(pokeholes.Render(small)))
-		}
-	}
-	for res := range results {
-		if res.Err != nil {
-			fatal(res.Err)
-		}
-		if *matrix {
-			for i, rep := range res.Sweep.Reports {
-				cfg := res.Sweep.Configs[i]
-				for _, v := range rep.Violations {
-					culprit, _ := res.CulpritAt(cfg, v)
-					handle(res, cfg, v, culprit)
-				}
-			}
-			continue
-		}
-		for _, level := range levels {
-			cfg := pokeholes.Config{Family: fam, Version: *version, Level: level}
-			for _, v := range res.Violations[level] {
-				culprit, _ := res.Culprit(level, v)
-				handle(res, cfg, v, culprit)
-			}
-		}
-	}
-	fmt.Printf("\n%d violations; culprit distribution:\n", total)
-	type kv struct {
-		k string
-		v int
-	}
-	var ks []kv
-	for k, v := range culpritCount {
-		ks = append(ks, kv{k, v})
-	}
-	sort.Slice(ks, func(i, j int) bool { return ks[i].v > ks[j].v })
-	for _, e := range ks {
-		fmt.Printf("  %-20s %d\n", e.k, e.v)
-	}
 }
 
-func countLines(p *minic.Program) int {
-	n := 0
-	for _, c := range pokeholes.Render(p) {
-		if c == '\n' {
-			n++
+func report(rep *pokeholes.HuntReport, show bool) {
+	c := rep.Corpus
+	fmt.Printf("hunted %d programs this run (%d lifetime): %d violations -> %d new buckets, %d dups\n",
+		rep.Programs, c.Programs, rep.Violations, len(rep.NewBuckets), rep.Dups)
+	fmt.Printf("corpus: %d unique bugs, %d violations total, next seed %d\n\n",
+		c.Len(), c.Violations(), c.NextSeed)
+	fmt.Printf("%-58s %6s %8s %6s %s\n", "signature", "count", "seed", "lines", "found-after")
+	for _, b := range c.Buckets() {
+		note := ""
+		if b.DebuggerSuspect {
+			note = "  [debugger-side suspect]"
+		}
+		fmt.Printf("%-58s %6d %8d %6d %d%s\n", b.Sig, b.Count, b.Seed, b.ExemplarLines, b.FoundAfter, note)
+	}
+	if show {
+		for _, b := range rep.NewBuckets {
+			state := "minimized"
+			if !b.Minimized {
+				state = "unminimized"
+			}
+			fmt.Printf("\n%s (%s exemplar, seed %d, %s, var %s line %d):\n",
+				b.Sig, state, b.Seed, b.Config, b.Var, b.Line)
+			fmt.Print(indent(b.Exemplar))
 		}
 	}
-	return n
 }
 
 func indent(s string) string {
 	out := ""
-	for _, line := range splitLines(s) {
-		out += "    " + line + "\n"
-	}
-	return out
-}
-
-func splitLines(s string) []string {
-	var out []string
 	cur := ""
 	for _, c := range s {
 		if c == '\n' {
-			out = append(out, cur)
+			out += "    " + cur + "\n"
 			cur = ""
 		} else {
 			cur += string(c)
 		}
 	}
 	if cur != "" {
-		out = append(out, cur)
+		out += "    " + cur + "\n"
 	}
 	return out
 }

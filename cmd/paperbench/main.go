@@ -5,12 +5,13 @@
 //
 // Usage:
 //
-//	paperbench [-exp all|fig1|tab1|fig23|tab2|tab3|tab4|fig4|regress|matrix]
+//	paperbench [-exp all|fig1|tab1|fig23|tab2|tab3|tab4|fig4|regress|matrix|hunt]
 //	           [-matrix] [-n 200] [-seed 1] [-workers 0] [-cache 4096] [-json]
 //
 // -matrix (or -exp matrix) runs the full version × level grid of both
 // families as one Engine.Sweep matrix campaign per family: every program
-// is lowered exactly once for its whole grid.
+// is lowered exactly once for its whole grid. -exp hunt runs a budgeted
+// deduplicated Engine.Hunt and prints the unique-bugs-over-time curve.
 package main
 
 import (
@@ -44,7 +45,7 @@ type reportJSON struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: fig1, tab1, fig23, tab2, tab3, tab4, fig4, regress, matrix, all")
+	exp := flag.String("exp", "all", "experiment id: fig1, tab1, fig23, tab2, tab3, tab4, fig4, regress, matrix, hunt, all")
 	matrix := flag.Bool("matrix", false, "run the full version × level matrix sweep of both families (alone: only the matrix; with -exp: in addition)")
 	n := flag.Int("n", 200, "number of fuzzed programs (paper: 1000 for tables, 5000 for fig1)")
 	nTriage := flag.Int("ntriage", 10, "programs for the triage table (expensive)")
@@ -157,6 +158,19 @@ func main() {
 			fatal(err)
 		}
 		record("fig4", *n/2, nil, start)
+		fmt.Fprintln(w)
+	}
+	if run("hunt") {
+		start := time.Now()
+		rep, err := runner.HuntCurve(ctx, pokeholes.HuntSpec{
+			Family: pokeholes.GC, Version: "trunk", Budget: *n, Seed0: *seed}, w)
+		if err != nil {
+			fatal(err)
+		}
+		record("hunt", *n, map[string]any{
+			"curve": rep.Curve, "buckets": rep.Corpus.Len(),
+			"violations": rep.Violations, "dups": rep.Dups,
+		}, start)
 		fmt.Fprintln(w)
 	}
 	if *matrix || *exp == "matrix" {

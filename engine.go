@@ -53,6 +53,11 @@ type Engine struct {
 	frontends atomic.Int64
 	compiles  atomic.Int64
 	records   atomic.Int64
+
+	// Hunting-loop counters (see hunt.go): unique bug buckets opened,
+	// and violations deduplicated into an existing bucket.
+	bucketsFound  atomic.Int64
+	dupViolations atomic.Int64
 }
 
 // Option configures an Engine.
@@ -137,11 +142,22 @@ type EngineStats struct {
 	CacheHits    uint64 `json:"cache_hits"`
 	CacheMisses  uint64 `json:"cache_misses"`
 	CacheEntries int    `json:"cache_entries"`
+	// Buckets counts the unique bug buckets the engine's hunts opened;
+	// DupViolations counts hunt violations deduplicated into an
+	// existing bucket. DupRate is DupViolations over all bucketed
+	// violations (0 when the engine never hunted).
+	Buckets       int64   `json:"buckets"`
+	DupViolations int64   `json:"dup_violations"`
+	DupRate       float64 `json:"dup_rate"`
 }
 
 // Stats returns the engine's work counters so far.
 func (e *Engine) Stats() EngineStats {
-	s := EngineStats{Frontends: e.frontends.Load(), Compiles: e.compiles.Load(), Traces: e.records.Load()}
+	s := EngineStats{Frontends: e.frontends.Load(), Compiles: e.compiles.Load(), Traces: e.records.Load(),
+		Buckets: e.bucketsFound.Load(), DupViolations: e.dupViolations.Load()}
+	if total := s.Buckets + s.DupViolations; total > 0 {
+		s.DupRate = float64(s.DupViolations) / float64(total)
+	}
 	if e.cache != nil {
 		s.CacheHits, s.CacheMisses = e.cache.Stats()
 		s.CacheEntries = e.cache.Len()
@@ -177,8 +193,10 @@ func sourceKey(prog *minic.Program) string {
 
 // frontend returns the config-invariant lowered IR of prog, computed once
 // per canonical-source fingerprint. The cached module is never mutated:
-// every backend compilation clones it (compiler.CompileFrom).
-func (e *Engine) frontend(prog *minic.Program) (*ir.Module, error) {
+// every backend compilation clones it (compiler.CompileFrom). A waiter
+// coalesced onto another goroutine's in-flight lowering unblocks with
+// ctx.Err() when ctx is cancelled.
+func (e *Engine) frontend(ctx context.Context, prog *minic.Program) (*ir.Module, error) {
 	lower := func() (*ir.Module, error) {
 		e.frontends.Add(1)
 		return compiler.Frontend(prog)
@@ -187,7 +205,7 @@ func (e *Engine) frontend(prog *minic.Program) (*ir.Module, error) {
 		return lower()
 	}
 	key := "frontend|" + sourceKey(prog)
-	v, err := e.cache.GetOrCompute(key, func() (any, error) { return lower() })
+	v, err := e.cache.GetOrComputeCtx(ctx, key, func() (any, error) { return lower() })
 	if err != nil {
 		return nil, err
 	}
@@ -199,12 +217,12 @@ func (e *Engine) frontend(prog *minic.Program) (*ir.Module, error) {
 // (cached) frontend of prog; Sweep passes its shared module explicitly so
 // the sharing holds even on cache-disabled engines. An empty srcKey is
 // computed from prog (single-caller paths); concurrent paths precompute it.
-func (e *Engine) compileFrom(mod *ir.Module, srcKey string, prog *minic.Program, cfg Config, o compiler.Options) (*compiler.Result, error) {
+func (e *Engine) compileFrom(ctx context.Context, mod *ir.Module, srcKey string, prog *minic.Program, cfg Config, o compiler.Options) (*compiler.Result, error) {
 	build := func() (*compiler.Result, error) {
 		m := mod
 		if m == nil {
 			var err error
-			if m, err = e.frontend(prog); err != nil {
+			if m, err = e.frontend(ctx, prog); err != nil {
 				return nil, err
 			}
 		}
@@ -218,7 +236,7 @@ func (e *Engine) compileFrom(mod *ir.Module, srcKey string, prog *minic.Program,
 		srcKey = sourceKey(prog)
 	}
 	key := fmt.Sprintf("compile|%s|%s|%s|%s", srcKey, cfg.Family, cfg.Version, cfg.Level)
-	v, err := e.cache.GetOrCompute(key, func() (any, error) { return build() })
+	v, err := e.cache.GetOrComputeCtx(ctx, key, func() (any, error) { return build() })
 	if err != nil {
 		return nil, err
 	}
@@ -226,8 +244,8 @@ func (e *Engine) compileFrom(mod *ir.Module, srcKey string, prog *minic.Program,
 }
 
 // compile builds prog under cfg, serving plain builds from the cache.
-func (e *Engine) compile(prog *minic.Program, cfg Config, o compiler.Options) (*compiler.Result, error) {
-	return e.compileFrom(nil, "", prog, cfg, o)
+func (e *Engine) compile(ctx context.Context, prog *minic.Program, cfg Config, o compiler.Options) (*compiler.Result, error) {
+	return e.compileFrom(ctx, nil, "", prog, cfg, o)
 }
 
 // compileFn exposes the caching compile as the hook triage and reduce
@@ -237,18 +255,29 @@ func (e *Engine) compileFn(ctx context.Context) triage.CompileFn {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		return e.compile(prog, cfg, o)
+		return e.compile(ctx, prog, cfg, o)
 	}
 }
 
 // Facts returns the static analysis of prog, cached by fingerprint.
 func (e *Engine) Facts(prog *minic.Program) *analysis.Facts {
+	f, _ := e.facts(context.Background(), prog)
+	return f
+}
+
+// facts is Facts under the caller's context: a waiter coalesced onto an
+// in-flight analysis unblocks with ctx.Err() on cancellation (analysis
+// itself never fails, so that is the only error).
+func (e *Engine) facts(ctx context.Context, prog *minic.Program) (*analysis.Facts, error) {
 	if e.cache == nil {
-		return analysis.Analyze(prog)
+		return analysis.Analyze(prog), nil
 	}
 	key := "facts|" + sourceKey(prog)
-	v, _ := e.cache.GetOrCompute(key, func() (any, error) { return analysis.Analyze(prog), nil })
-	return v.(*analysis.Facts)
+	v, err := e.cache.GetOrComputeCtx(ctx, key, func() (any, error) { return analysis.Analyze(prog), nil })
+	if err != nil {
+		return nil, err
+	}
+	return v.(*analysis.Facts), nil
 }
 
 // record runs one debugger session over exe under the engine's step budget.
@@ -266,7 +295,7 @@ func (e *Engine) traceFrom(ctx context.Context, mod *ir.Module, srcKey string, p
 		return nil, err
 	}
 	record := func() (*Trace, error) {
-		res, err := e.compileFrom(mod, srcKey, prog, cfg, compiler.Options{})
+		res, err := e.compileFrom(ctx, mod, srcKey, prog, cfg, compiler.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -279,7 +308,7 @@ func (e *Engine) traceFrom(ctx context.Context, mod *ir.Module, srcKey string, p
 		srcKey = sourceKey(prog)
 	}
 	key := fmt.Sprintf("trace|%s|%s|%s|%s|%s", srcKey, cfg.Family, cfg.Version, cfg.Level, dbg.Name())
-	v, err := e.cache.GetOrCompute(key, func() (any, error) { return record() })
+	v, err := e.cache.GetOrComputeCtx(ctx, key, func() (any, error) { return record() })
 	if err != nil {
 		return nil, err
 	}
@@ -297,7 +326,7 @@ func (e *Engine) Compile(ctx context.Context, prog *minic.Program, cfg Config) (
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	res, err := e.compile(prog, cfg, compiler.Options{})
+	res, err := e.compile(ctx, prog, cfg, compiler.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -310,7 +339,7 @@ func (e *Engine) CompileResult(ctx context.Context, prog *minic.Program, cfg Con
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return e.compile(prog, cfg, compiler.Options{})
+	return e.compile(ctx, prog, cfg, compiler.Options{})
 }
 
 // Trace compiles prog under cfg and records the session under the
@@ -326,8 +355,12 @@ func (e *Engine) Check(ctx context.Context, prog *minic.Program, cfg Config) (*R
 	if err != nil {
 		return nil, err
 	}
+	facts, err := e.facts(ctx, prog)
+	if err != nil {
+		return nil, err
+	}
 	return &Report{Config: cfg, Trace: tr,
-		Violations: conjecture.CheckAll(e.Facts(prog), tr)}, nil
+		Violations: conjecture.CheckAll(facts, tr)}, nil
 }
 
 // Measure computes line coverage and availability of variables of cfg's
@@ -355,7 +388,11 @@ func (e *Engine) Triage(ctx context.Context, prog *minic.Program, cfg Config, v 
 	if err := ctx.Err(); err != nil {
 		return "", err
 	}
-	tg := triage.Target{Prog: prog, Facts: e.Facts(prog), Cfg: cfg, Key: v.Key(),
+	facts, err := e.facts(ctx, prog)
+	if err != nil {
+		return "", err
+	}
+	tg := triage.Target{Prog: prog, Facts: facts, Cfg: cfg, Key: v.Key(),
 		Compile: e.compileFn(ctx), Debugger: e.debuggers[cfg.Family], StepBudget: e.stepBudget}
 	return triage.Culprit(tg)
 }
@@ -395,7 +432,11 @@ func (e *Engine) CrossValidate(ctx context.Context, prog *minic.Program, cfg Con
 	if err != nil {
 		return false, err
 	}
-	for _, got := range conjecture.CheckAll(e.Facts(prog), tr) {
+	facts, err := e.facts(ctx, prog)
+	if err != nil {
+		return false, err
+	}
+	for _, got := range conjecture.CheckAll(facts, tr) {
 		if got.Key() == v.Key() {
 			return true, nil
 		}

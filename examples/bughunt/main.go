@@ -1,8 +1,9 @@
-// Bughunt: the paper's §4 pipeline on fuzzed programs — find a conjecture
-// violation, triage the culprit optimization, cross-validate in the other
-// debugger, classify the DWARF manifestation, and minimize the test case.
-// Every stage runs on one Engine session, so the compile of Check is
-// reused by Triage, ClassifyDWARF and the first Minimize probe.
+// Bughunt: the paper's §4 pipeline as a deduplicated hunting loop. One
+// Engine.Hunt call fuzzes a budget of programs, checks the three
+// conjectures on every one, triages each violation to its culprit
+// optimization, buckets the violations by (conjecture, culprit,
+// violation shape), and minimizes one exemplar per bucket — tens of
+// violations collapse into a handful of unique, culprit-attributed bugs.
 package main
 
 import (
@@ -15,44 +16,29 @@ import (
 
 func main() {
 	eng := pokeholes.NewEngine()
-	ctx := context.Background()
-	cfg := pokeholes.Config{Family: pokeholes.CL, Version: "trunk", Level: "Og"}
-	for seed := int64(1000); seed < 1100; seed++ {
-		prog := pokeholes.GenerateProgram(seed)
-		report, err := eng.Check(ctx, prog, cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if len(report.Violations) == 0 {
-			continue
-		}
-		v := report.Violations[0]
-		fmt.Printf("seed %d: %s\n", seed, v)
-
-		culprit, err := eng.Triage(ctx, prog, cfg, v)
-		if err != nil {
-			fmt.Println("  triage failed:", err)
-			continue
-		}
-		fmt.Println("  culprit optimization:", culprit)
-
-		if also, err := eng.CrossValidate(ctx, prog, cfg, v); err == nil && !also {
-			fmt.Println("  note: not reproducible in the other debugger")
-		}
-
-		class, err := eng.ClassifyDWARF(ctx, prog, cfg, v)
-		if err == nil {
-			fmt.Println("  DWARF manifestation:", class)
-		}
-
-		small := eng.Minimize(ctx, prog, cfg, v, culprit)
-		fmt.Printf("  minimized test case (culprit preserved):\n")
-		fmt.Println(indent(pokeholes.Render(small)))
-		stats := eng.Stats()
-		fmt.Printf("  engine: %d compiles, %d cache hits\n", stats.Compiles, stats.CacheHits)
-		return
+	rep, err := eng.Hunt(context.Background(), pokeholes.HuntSpec{
+		Family: pokeholes.CL, Version: "trunk", Levels: []string{"Og"},
+		Budget: 100, Seed0: 1000,
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Println("no violations found in the seed range")
+
+	fmt.Printf("%d programs, %d violations -> %d unique bugs (%d duplicates)\n\n",
+		rep.Programs, rep.Violations, rep.Corpus.Len(), rep.Dups)
+	for _, b := range rep.Corpus.Buckets() {
+		fmt.Printf("%s\n", b.Sig)
+		fmt.Printf("  %d violation(s); first: seed %d, %s, var %s at line %d\n",
+			b.Count, b.Seed, b.Config, b.Var, b.Line)
+		if b.DebuggerSuspect {
+			fmt.Println("  note: not reproducible in the other debugger (debugger-side suspect)")
+		}
+		fmt.Printf("  minimized exemplar (%d lines):\n", b.ExemplarLines)
+		fmt.Println(indent(b.Exemplar))
+	}
+	stats := eng.Stats()
+	fmt.Printf("engine: %d compiles, %d cache hits, dup rate %.0f%%\n",
+		stats.Compiles, stats.CacheHits, 100*stats.DupRate)
 }
 
 func indent(s string) string {

@@ -1,0 +1,381 @@
+package pokeholes
+
+// This file implements the open-ended hunting loop: Hunt fuzzes batches
+// of programs on top of Engine.Campaign, buckets every conjecture
+// violation by its stable signature (conjecture, culprit pass, violation
+// shape) into a persistent internal/corpus store, minimizes one exemplar
+// per bucket as background jobs on the worker pool, and adaptively
+// reweights the fuzzer's feature knobs toward assortments that recently
+// opened new buckets. The loop is deterministic at any worker count:
+// programs are generated from a seed cursor, results are aggregated in
+// seed order, weights update only between batches, and each bucket's
+// exemplar is minimized from the first (seed-ordered) violation that
+// opened it — so a fixed (seed, budget) hunt produces a byte-identical
+// corpus serially and in parallel, and a resumed hunt never re-reports a
+// bucket already in its corpus.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/corpus"
+	"repro/internal/fuzzgen"
+	"repro/internal/minic"
+)
+
+// Re-exported corpus types, so Hunt callers need not import the internal
+// package.
+type (
+	// Corpus is the persistent deduplicated bug store of a hunt.
+	Corpus = corpus.Corpus
+	// Bucket is one unique bug of a corpus: signature, provenance, and
+	// a minimized exemplar program.
+	Bucket = corpus.Bucket
+	// BucketSignature identifies a bucket: (conjecture, culprit pass,
+	// violation shape).
+	BucketSignature = corpus.Signature
+)
+
+// LoadCorpus reads a corpus checkpoint from disk (see Corpus.Save).
+func LoadCorpus(path string) (*Corpus, error) { return corpus.Load(path) }
+
+// DefaultHuntBatch is the number of programs Hunt fuzzes per batch unless
+// HuntSpec.BatchSize overrides it. Batch boundaries are where the
+// adaptive weights update, so the batch size is part of the hunt's
+// deterministic identity — it deliberately does NOT default from the
+// worker count.
+const DefaultHuntBatch = 32
+
+// HuntSpec describes one budgeted hunting run.
+type HuntSpec struct {
+	// Family and Version select the compiler under test; Levels are the
+	// optimization levels to check (default: OptLevels).
+	Family  Family
+	Version string
+	Levels  []string
+	// Matrix switches the hunt to matrix mode: every program is swept
+	// across the version × level grid and Family/Version/Levels above
+	// are ignored (the CampaignSpec.Matrix contract).
+	Matrix *Matrix
+	// Budget is the number of fuzzed programs this run consumes.
+	Budget int
+	// Seed0 seeds a fresh hunt. A resumed hunt (Corpus non-nil) ignores
+	// it and continues from the corpus's own seed cursor.
+	Seed0 int64
+	// BatchSize is the number of programs per fuzz batch (default
+	// DefaultHuntBatch). The adaptive weights update between batches.
+	BatchSize int
+	// Corpus, when non-nil, resumes an earlier hunt: its buckets
+	// deduplicate this run's findings and its cursor supplies the next
+	// seeds. Nil starts a fresh corpus at Seed0.
+	Corpus *corpus.Corpus
+	// CorpusPath, when non-empty, checkpoints the corpus there
+	// (atomically) after every batch and once more on return.
+	CorpusPath string
+	// NoMinimize keeps each bucket's exemplar as the original fuzzed
+	// program instead of reducing it (useful for fast discovery-only
+	// runs; the corpus marks exemplars via Bucket.Minimized).
+	NoMinimize bool
+	// Progress, when non-nil, is called after every batch from the
+	// hunt's own goroutine (serially).
+	Progress func(HuntProgress)
+}
+
+// HuntProgress is one batch's progress snapshot (lifetime corpus values).
+type HuntProgress struct {
+	Batch      int // batches completed this run
+	Programs   int // lifetime programs hunted
+	Buckets    int // lifetime unique buckets
+	Violations int // lifetime violations (unique + duplicate)
+	Dups       int // lifetime duplicates
+	NewInBatch int // buckets opened by this batch
+}
+
+// CurvePoint is one point of the unique-bugs-over-time curve.
+type CurvePoint struct {
+	Programs int `json:"programs"`
+	Buckets  int `json:"buckets"`
+}
+
+// HuntReport is the outcome of one Hunt run.
+type HuntReport struct {
+	// Corpus is the (possibly resumed) corpus after this run.
+	Corpus *corpus.Corpus
+	// Programs, Violations and Dups count THIS run's work; the corpus
+	// carries the lifetime totals.
+	Programs   int
+	Violations int
+	Dups       int
+	// NewBuckets are the buckets this run opened, in discovery order. A
+	// resumed run never lists a bucket its input corpus already had.
+	NewBuckets []*corpus.Bucket
+	// Curve has one point per program processed this run, in lifetime
+	// coordinates — the paper-style unique-bugs-over-time curve.
+	Curve []CurvePoint
+}
+
+// sourceLines counts the lines of a rendered program.
+func sourceLines(src string) int {
+	return strings.Count(src, "\n")
+}
+
+// minimizeJob is one background exemplar reduction.
+type minimizeJob struct {
+	bucket  *corpus.Bucket
+	prog    *minic.Program
+	cfg     Config
+	v       Violation
+	culprit string
+}
+
+// Hunt runs an open-ended, budgeted, deduplicated bug hunt and returns
+// the (new or extended) corpus with this run's report. On an error or
+// cancellation mid-run the corpus is checkpointed and the partial report
+// is returned alongside the error; resuming with the same corpus
+// continues exactly where the hunt stopped.
+func (e *Engine) Hunt(ctx context.Context, spec HuntSpec) (*HuntReport, error) {
+	if spec.Budget <= 0 {
+		return nil, fmt.Errorf("pokeholes: hunt budget must be positive")
+	}
+	batch := spec.BatchSize
+	if batch <= 0 {
+		batch = DefaultHuntBatch
+	}
+	c := spec.Corpus
+	if c == nil {
+		c = corpus.New()
+		c.NextSeed = spec.Seed0
+	}
+	rep := &HuntReport{Corpus: c}
+	checkpoint := func() error {
+		// Nothing to persist before the hunt has consumed anything: in
+		// particular, a spec error on the very first batch must not
+		// drop an empty store onto CorpusPath (it would block a
+		// corrected fresh re-run behind clobber guards).
+		if spec.CorpusPath == "" || (c.Programs == 0 && c.Len() == 0) {
+			return nil
+		}
+		return c.Save(spec.CorpusPath)
+	}
+	// fail returns err after a final checkpoint attempt. A checkpoint
+	// failure takes over as the primary error: callers treat a clean
+	// cancellation as benign, which a lost corpus is not.
+	fail := func(err error) error {
+		if cpErr := checkpoint(); cpErr != nil {
+			return fmt.Errorf("corpus checkpoint failed: %w (while handling: %v)", cpErr, err)
+		}
+		return err
+	}
+
+	// Backfill pass: re-minimize exemplars an earlier run left
+	// unreduced (a NoMinimize hunt, or a reduction skipped by a
+	// mid-batch interrupt), so corpora upgrade incrementally. The jobs
+	// depend only on stored bucket state, so they are as deterministic
+	// as discovery-time minimization.
+	if !spec.NoMinimize {
+		var backfill []minimizeJob
+		for _, b := range c.Buckets() {
+			if b.Minimized || b.Family == "" {
+				continue // nothing to do, or a pre-structured-config bucket
+			}
+			prog, err := ParseProgram(b.Exemplar)
+			if err != nil {
+				continue
+			}
+			culprit := b.Culprit
+			if culprit == "untriaged" {
+				culprit = ""
+			}
+			backfill = append(backfill, minimizeJob{b, prog,
+				Config{Family: Family(b.Family), Version: b.Version, Level: b.Level},
+				Violation{Conjecture: b.Conjecture, Var: b.Var}, culprit})
+		}
+		if len(backfill) > 0 {
+			e.minimizeExemplars(ctx, backfill)
+			if err := checkpoint(); err != nil {
+				return rep, err
+			}
+		}
+	}
+
+	batches := 0
+	for remaining := spec.Budget; remaining > 0; remaining -= batch {
+		if err := ctx.Err(); err != nil {
+			return rep, fail(err)
+		}
+		n := batch
+		if n > remaining {
+			n = remaining
+		}
+		// Generate the batch under the weights of everything hunted so
+		// far. Seeds advance with the corpus cursor, so resumed hunts
+		// never replay a program they already consumed.
+		weights := c.Weights()
+		seed0 := c.NextSeed
+		progs := make([]*minic.Program, n)
+		feats := make([]map[string]bool, n)
+		for i := 0; i < n; i++ {
+			o := fuzzgen.WeightedOptions(seed0+int64(i), weights)
+			progs[i] = fuzzgen.Generate(o)
+			feats[i] = o.Features()
+		}
+
+		// The campaign runs under a per-batch child context so that an
+		// early exit from the result loop (a failed program) can release
+		// the worker pool per the Campaign cancel contract.
+		bctx, bcancel := context.WithCancel(ctx)
+		results, err := e.Campaign(bctx, CampaignSpec{
+			Family: spec.Family, Version: spec.Version, Levels: spec.Levels,
+			Matrix: spec.Matrix, Programs: progs, Triage: true})
+		if err != nil {
+			bcancel()
+			return rep, fail(err)
+		}
+
+		var jobs []minimizeJob
+		newInBatch := 0
+		var resErr error
+		for res := range results {
+			if res.Err != nil {
+				// The stream is seed-ordered and contiguous, so
+				// everything before this program is fully aggregated;
+				// the cursor stays on the failed program for resume.
+				resErr = res.Err
+				break
+			}
+			seed := seed0 + int64(res.Index)
+			producedNew := false
+			bucketViolation := func(cfg Config, v Violation, culprit string) {
+				rep.Violations++
+				sig := corpus.SignatureOf(v, culprit)
+				if b, ok := c.Bucket(sig); ok {
+					b.Count++
+					c.Dups++
+					rep.Dups++
+					e.dupViolations.Add(1)
+					return
+				}
+				src := Render(res.Prog)
+				b := &corpus.Bucket{
+					Sig: sig, Conjecture: v.Conjecture,
+					Culprit: culpritName(culprit), Shape: corpus.Shape(v),
+					Seed: seed, Config: cfg.String(),
+					Family: string(cfg.Family), Version: cfg.Version, Level: cfg.Level,
+					Var: v.Var, Line: v.Line,
+					Exemplar: src, ExemplarLines: sourceLines(src),
+					Count: 1, FoundAfter: c.Programs + 1,
+				}
+				// §4.2 cross-validation, once per bucket: a violation
+				// that disappears under the other debugger engine points
+				// at the checking debugger rather than the compiler. It
+				// runs outside the hunt's cancellation (one bounded
+				// compile + trace) so a bucket persisted by a mid-batch
+				// interrupt carries the same verdict as in an
+				// uninterrupted hunt.
+				if also, cvErr := e.CrossValidate(context.WithoutCancel(ctx), res.Prog, cfg, v); cvErr == nil && !also {
+					b.DebuggerSuspect = true
+				}
+				if err := c.Add(b); err != nil {
+					panic("pokeholes: hunt bucketed one signature twice: " + err.Error())
+				}
+				rep.NewBuckets = append(rep.NewBuckets, b)
+				e.bucketsFound.Add(1)
+				producedNew = true
+				newInBatch++
+				if !spec.NoMinimize {
+					jobs = append(jobs, minimizeJob{b, res.Prog, cfg, v, culprit})
+				}
+			}
+			if spec.Matrix != nil {
+				for i, rp := range res.Sweep.Reports {
+					cfg := res.Sweep.Configs[i]
+					for _, v := range rp.Violations {
+						culprit, _ := res.CulpritAt(cfg, v)
+						bucketViolation(cfg, v, culprit)
+					}
+				}
+			} else {
+				levels := spec.Levels
+				if len(levels) == 0 {
+					levels = OptLevels(spec.Family)
+				}
+				for _, level := range levels {
+					cfg := Config{Family: spec.Family, Version: spec.Version, Level: level}
+					for _, v := range res.Violations[level] {
+						culprit, _ := res.Culprit(level, v)
+						bucketViolation(cfg, v, culprit)
+					}
+				}
+			}
+			c.RecordProgram(feats[res.Index], producedNew)
+			c.Programs++
+			c.NextSeed = seed + 1
+			rep.Programs++
+			rep.Curve = append(rep.Curve, CurvePoint{Programs: c.Programs, Buckets: c.Len()})
+		}
+		bcancel()
+
+		// Minimize this batch's new exemplars as background jobs fanned
+		// out over the engine's worker budget. Each job depends only on
+		// the (deterministic) first violation of its bucket, so the
+		// minimized exemplars are identical at any parallelism; waiting
+		// here keeps every checkpoint internally consistent.
+		e.minimizeExemplars(ctx, jobs)
+
+		if resErr != nil {
+			return rep, fail(resErr)
+		}
+		batches++
+		if err := checkpoint(); err != nil {
+			return rep, err
+		}
+		if spec.Progress != nil {
+			spec.Progress(HuntProgress{Batch: batches, Programs: c.Programs,
+				Buckets: c.Len(), Violations: c.Violations(), Dups: c.Dups,
+				NewInBatch: newInBatch})
+		}
+	}
+	return rep, nil
+}
+
+// minimizeExemplars reduces each new bucket's exemplar, at most
+// e.workers jobs at a time, and waits for all of them.
+func (e *Engine) minimizeExemplars(ctx context.Context, jobs []minimizeJob) {
+	if len(jobs) == 0 {
+		return
+	}
+	sem := make(chan struct{}, e.workers)
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		j := j
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			small := e.Minimize(ctx, j.prog, j.cfg, j.v, j.culprit)
+			if ctx.Err() != nil {
+				// A cancelled reduction returns its best-so-far, which
+				// is not deterministic; keep the unminimized exemplar
+				// so an interrupted checkpoint stays reproducible.
+				return
+			}
+			src := Render(small)
+			j.bucket.Exemplar = src
+			j.bucket.ExemplarLines = sourceLines(src)
+			j.bucket.Minimized = true
+		}()
+	}
+	wg.Wait()
+}
+
+// culpritName normalizes the empty (not single-knob controllable) culprit
+// the way corpus signatures do.
+func culpritName(culprit string) string {
+	if culprit == "" {
+		return "untriaged"
+	}
+	return culprit
+}

@@ -1,0 +1,260 @@
+package pokeholes_test
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro"
+	"repro/internal/corpus"
+)
+
+// encodeCorpus reduces a corpus to its canonical JSONL bytes.
+func encodeCorpus(t *testing.T, c *corpus.Corpus) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := c.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// huntSpec is the spec the determinism tests share: big enough to span
+// several batches (so the adaptive reweighting path runs) yet cheap.
+func huntSpec() pokeholes.HuntSpec {
+	return pokeholes.HuntSpec{
+		Family: pokeholes.GC, Version: "trunk", Levels: []string{"O2"},
+		Budget: 40, Seed0: 900, BatchSize: 8,
+	}
+}
+
+// TestHuntDeterministicAcrossWorkers pins the acceptance criterion: a
+// hunt with a fixed seed and budget produces a byte-identical corpus —
+// same bucket signatures, same counts, same minimized exemplars, same
+// feature stats — at 1 worker and at GOMAXPROCS workers.
+func TestHuntDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) []byte {
+		eng := pokeholes.NewEngine(pokeholes.WithWorkers(workers))
+		rep, err := eng.Hunt(context.Background(), huntSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Corpus.Len() == 0 {
+			t.Fatal("hunt found no buckets; the comparison is vacuous")
+		}
+		for _, b := range rep.Corpus.Buckets() {
+			if !b.Minimized {
+				t.Errorf("bucket %s exemplar not minimized", b.Sig)
+			}
+		}
+		return encodeCorpus(t, rep.Corpus)
+	}
+	serial := run(1)
+	parallel := run(runtime.GOMAXPROCS(0))
+	if !bytes.Equal(serial, parallel) {
+		t.Errorf("corpus differs across worker counts:\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
+}
+
+// TestHuntResumeMatchesOneShot pins the resume semantics: hunting 40
+// programs in one run is byte-identical to hunting 16 then resuming the
+// checkpointed corpus for the remaining 24 — and the resumed run never
+// re-reports a bucket the corpus already had.
+func TestHuntResumeMatchesOneShot(t *testing.T) {
+	eng := pokeholes.NewEngine()
+	ctx := context.Background()
+
+	oneShot, err := eng.Hunt(ctx, huntSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "corpus.jsonl")
+	spec := huntSpec()
+	spec.Budget = 16
+	spec.CorpusPath = path
+	first, err := pokeholes.NewEngine().Hunt(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := corpus.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeCorpus(t, first.Corpus), encodeCorpus(t, loaded)) {
+		t.Fatal("checkpoint does not round-trip the in-memory corpus")
+	}
+
+	had := map[corpus.Signature]bool{}
+	for _, b := range loaded.Buckets() {
+		had[b.Sig] = true
+	}
+	resumeSpec := huntSpec()
+	resumeSpec.Budget = 24
+	resumeSpec.Corpus = loaded
+	resumeSpec.CorpusPath = path
+	resumeSpec.Seed0 = 12345 // must be ignored: the corpus carries the cursor
+	second, err := pokeholes.NewEngine().Hunt(ctx, resumeSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range second.NewBuckets {
+		if had[b.Sig] {
+			t.Errorf("resumed hunt re-reported bucket %s", b.Sig)
+		}
+	}
+	if got, want := encodeCorpus(t, second.Corpus), encodeCorpus(t, oneShot.Corpus); !bytes.Equal(got, want) {
+		t.Errorf("resumed corpus differs from one-shot corpus:\nresumed:\n%s\none-shot:\n%s", got, want)
+	}
+}
+
+// TestHuntStatsAndCurve checks the engine counters and the
+// unique-bugs-over-time curve bookkeeping.
+func TestHuntStatsAndCurve(t *testing.T) {
+	eng := pokeholes.NewEngine()
+	spec := huntSpec()
+	spec.NoMinimize = true
+	var progress []pokeholes.HuntProgress
+	spec.Progress = func(p pokeholes.HuntProgress) { progress = append(progress, p) }
+	rep, err := eng.Hunt(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := eng.Stats()
+	if stats.Buckets != int64(rep.Corpus.Len()) {
+		t.Errorf("stats.Buckets = %d, want %d", stats.Buckets, rep.Corpus.Len())
+	}
+	if stats.DupViolations != int64(rep.Dups) {
+		t.Errorf("stats.DupViolations = %d, want %d", stats.DupViolations, rep.Dups)
+	}
+	if rep.Violations != rep.Dups+len(rep.NewBuckets) {
+		t.Errorf("violations %d != dups %d + new buckets %d",
+			rep.Violations, rep.Dups, len(rep.NewBuckets))
+	}
+	if stats.DupViolations > 0 && stats.DupRate <= 0 {
+		t.Error("dup rate not computed")
+	}
+	if len(rep.Curve) != spec.Budget {
+		t.Fatalf("curve has %d points, want one per program (%d)", len(rep.Curve), spec.Budget)
+	}
+	last := 0
+	for _, p := range rep.Curve {
+		if p.Buckets < last {
+			t.Fatal("unique-bugs curve decreased")
+		}
+		last = p.Buckets
+	}
+	if last != rep.Corpus.Len() {
+		t.Errorf("curve ends at %d buckets, corpus has %d", last, rep.Corpus.Len())
+	}
+	if want := spec.Budget / spec.BatchSize; len(progress) != want {
+		t.Errorf("progress called %d times, want %d", len(progress), want)
+	}
+	for _, b := range rep.Corpus.Buckets() {
+		if b.Minimized {
+			t.Error("NoMinimize hunt marked an exemplar minimized")
+		}
+	}
+}
+
+// TestHuntCancelCheckpointsAndResumes: cancelling a hunt mid-run returns
+// the partial corpus (and checkpoints it), and resuming it converges to
+// the same corpus as an uninterrupted hunt.
+func TestHuntCancelCheckpointsAndResumes(t *testing.T) {
+	full, err := pokeholes.NewEngine().Hunt(context.Background(), huntSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	path := filepath.Join(t.TempDir(), "corpus.jsonl")
+	spec := huntSpec()
+	spec.CorpusPath = path
+	spec.Progress = func(p pokeholes.HuntProgress) {
+		if p.Batch == 2 {
+			cancel()
+		}
+	}
+	rep, err := pokeholes.NewEngine().Hunt(ctx, spec)
+	if err == nil {
+		t.Fatal("cancelled hunt returned no error")
+	}
+	if rep == nil || rep.Programs == 0 {
+		t.Fatal("cancelled hunt returned no partial report")
+	}
+	if rep.Programs >= spec.Budget {
+		t.Skip("hunt finished before cancellation took effect")
+	}
+
+	loaded, err := corpus.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resume := huntSpec()
+	resume.Budget = spec.Budget - loaded.Programs
+	resume.Corpus = loaded
+	resumed, err := pokeholes.NewEngine().Hunt(context.Background(), resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := encodeCorpus(t, resumed.Corpus), encodeCorpus(t, full.Corpus); !bytes.Equal(got, want) {
+		t.Errorf("corpus after cancel+resume differs from uninterrupted hunt:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestHuntBackfillMinimizesExistingBuckets: a minimizing hunt that
+// resumes a NoMinimize corpus reduces the unminimized exemplars it
+// inherited before fuzzing anything new.
+func TestHuntBackfillMinimizesExistingBuckets(t *testing.T) {
+	ctx := context.Background()
+	spec := huntSpec()
+	spec.Budget = 16
+	spec.NoMinimize = true
+	first, err := pokeholes.NewEngine().Hunt(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Corpus.Len() == 0 {
+		t.Skip("no buckets to backfill")
+	}
+	inherited := map[corpus.Signature]int{}
+	for _, b := range first.Corpus.Buckets() {
+		inherited[b.Sig] = b.ExemplarLines
+	}
+	resume := huntSpec()
+	resume.Budget = 8
+	resume.Corpus = first.Corpus
+	if _, err := pokeholes.NewEngine().Hunt(ctx, resume); err != nil {
+		t.Fatal(err)
+	}
+	shrunk := false
+	for sig, lines := range inherited {
+		b, ok := first.Corpus.Bucket(sig)
+		if !ok {
+			t.Fatalf("bucket %s vanished", sig)
+		}
+		if !b.Minimized {
+			t.Errorf("inherited bucket %s not backfilled", sig)
+		}
+		if b.ExemplarLines < lines {
+			shrunk = true
+		}
+	}
+	if !shrunk {
+		t.Log("backfill minimized nothing smaller (possible but unusual)")
+	}
+}
+
+// TestHuntSpecValidation covers the error paths.
+func TestHuntSpecValidation(t *testing.T) {
+	eng := pokeholes.NewEngine()
+	ctx := context.Background()
+	if _, err := eng.Hunt(ctx, pokeholes.HuntSpec{Family: pokeholes.GC, Version: "trunk"}); err == nil {
+		t.Error("zero budget must fail")
+	}
+	if _, err := eng.Hunt(ctx, pokeholes.HuntSpec{Family: "frobnicator", Version: "trunk", Budget: 1}); err == nil {
+		t.Error("unknown family must fail")
+	}
+}

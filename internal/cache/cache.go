@@ -8,6 +8,7 @@ package cache
 
 import (
 	"container/list"
+	"context"
 	"sync"
 )
 
@@ -65,6 +66,20 @@ func (c *Cache[K, V]) Get(key K) (V, bool) {
 // fn, the rest block and share its result. Errors are returned to every
 // waiter and are not cached.
 func (c *Cache[K, V]) GetOrCompute(key K, fn func() (V, error)) (V, error) {
+	return c.GetOrComputeCtx(context.Background(), key, fn)
+}
+
+// GetOrComputeCtx is GetOrCompute honoring context cancellation while
+// waiting on a coalesced computation: a waiter whose ctx is cancelled
+// unblocks immediately with ctx.Err() instead of hanging until the
+// leader's compute returns. The leader itself always runs fn to
+// completion — other waiters may still need the result — so a compute
+// that should stop early must check ctx inside fn.
+func (c *Cache[K, V]) GetOrComputeCtx(ctx context.Context, key K, fn func() (V, error)) (V, error) {
+	var zero V
+	if err := ctx.Err(); err != nil {
+		return zero, err
+	}
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
@@ -77,8 +92,12 @@ func (c *Cache[K, V]) GetOrCompute(key K, fn func() (V, error)) (V, error) {
 		// is shared, not repeated.
 		c.hits++
 		c.mu.Unlock()
-		<-fl.done
-		return fl.val, fl.err
+		select {
+		case <-fl.done:
+			return fl.val, fl.err
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		}
 	}
 	c.misses++
 	fl := &flight[V]{done: make(chan struct{})}

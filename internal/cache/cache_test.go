@@ -1,10 +1,12 @@
 package cache
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestLRUEviction(t *testing.T) {
@@ -64,6 +66,69 @@ func TestErrorsNotCached(t *testing.T) {
 	}
 	if c.Len() != 1 {
 		t.Errorf("len = %d, want 1", c.Len())
+	}
+}
+
+// TestGetOrComputeCtxCancelledWaiter pins the cancellation contract: a
+// coalesced waiter whose context is cancelled unblocks with ctx.Err()
+// while the leader's compute is still running, and the leader still
+// completes and caches its result.
+func TestGetOrComputeCtxCancelledWaiter(t *testing.T) {
+	c := New[string, int](0)
+	leaderIn := make(chan struct{})
+	leaderGo := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		v, err := c.GetOrCompute("k", func() (int, error) {
+			close(leaderIn)
+			<-leaderGo
+			return 42, nil
+		})
+		if err != nil || v != 42 {
+			t.Errorf("leader got %v, %v", v, err)
+		}
+	}()
+	<-leaderIn // the computation is in flight
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, err := c.GetOrComputeCtx(ctx, "k", func() (int, error) {
+			t.Error("waiter must coalesce, not compute")
+			return 0, nil
+		})
+		waiterErr <- err
+	}()
+	cancel()
+	select {
+	case err := <-waiterErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("waiter err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter still blocked on the in-flight compute")
+	}
+
+	close(leaderGo)
+	<-leaderDone
+	if v, ok := c.Get("k"); !ok || v != 42 {
+		t.Errorf("leader result not cached: %v %v", v, ok)
+	}
+}
+
+// TestGetOrComputeCtxPreCancelled: a call with an already-cancelled
+// context returns immediately without computing.
+func TestGetOrComputeCtxPreCancelled(t *testing.T) {
+	c := New[string, int](0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := c.GetOrComputeCtx(ctx, "k", func() (int, error) {
+		t.Error("compute ran under a cancelled context")
+		return 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
 	}
 }
 

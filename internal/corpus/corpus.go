@@ -1,0 +1,359 @@
+// Package corpus is the persistent bug corpus of the hunting loop: every
+// conjecture violation an open-ended hunt finds is bucketed by a stable
+// signature — (conjecture, culprit pass, violation shape) — and each
+// bucket keeps exactly one minimized exemplar program. The corpus also
+// carries the hunt's cursor (next fuzzer seed), its duplicate counter,
+// and per-feature-knob yield statistics that steer the fuzzer toward
+// assortments that recently produced new buckets.
+//
+// The store is a JSONL file: a single header record (kind "hunt-corpus")
+// with the cursor, counters and feature stats, followed by one record per
+// bucket (kind "bucket") in discovery order. Serialization is
+// deterministic — same corpus state, same bytes — so resumed or
+// differently-parallel hunts can be compared byte for byte.
+package corpus
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/conjecture"
+)
+
+// Signature identifies a bug bucket: conjecture, culprit pass, and the
+// violation's shape. Violations of the same signature are treated as the
+// same underlying compiler (or debugger) bug regardless of which fuzzed
+// program, variable or line exposed them.
+type Signature string
+
+// SignatureOf buckets a violation under its triaged culprit. An empty
+// culprit (not single-knob controllable, §4.3) buckets as "untriaged".
+func SignatureOf(v conjecture.Violation, culprit string) Signature {
+	if culprit == "" {
+		culprit = "untriaged"
+	}
+	return Signature(fmt.Sprintf("C%d|%s|%s", v.Conjecture, culprit, Shape(v)))
+}
+
+// Shape is the program-independent part of a violation: its structural
+// class (which kind of program point the conjecture fired on) plus the
+// variable's presentation state. Variable names, line numbers and seeds
+// are deliberately excluded — they vary per fuzzed program and would
+// spread one bug over thousands of buckets.
+func Shape(v conjecture.Violation) string {
+	class := "unknown"
+	switch v.Conjecture {
+	case 1:
+		class = "opaque-arg"
+	case 2:
+		if strings.HasPrefix(v.Detail, "constant") {
+			class = "constant-constituent"
+		} else {
+			class = "live-constituent"
+		}
+	case 3:
+		class = "availability-regrew"
+	}
+	return class + ":" + v.State.String()
+}
+
+// Bucket is one unique bug: its signature, the provenance of the first
+// violation that opened it, and a minimized exemplar program.
+type Bucket struct {
+	Sig        Signature `json:"sig"`
+	Conjecture int       `json:"conjecture"`
+	Culprit    string    `json:"culprit"`
+	Shape      string    `json:"shape"`
+	// Seed, Config, Var and Line are the provenance of the first
+	// violation bucketed here: the fuzzer seed that produced the
+	// exemplar, the configuration it reproduced under, and where.
+	// Family/Version/Level carry the configuration structurally (Config
+	// is its display form) so a later hunt can rebuild it — e.g. to
+	// minimize an exemplar a NoMinimize run left unreduced.
+	Seed    int64  `json:"seed"`
+	Config  string `json:"config"`
+	Family  string `json:"family"`
+	Version string `json:"version"`
+	Level   string `json:"level"`
+	Var     string `json:"var"`
+	Line    int    `json:"line"`
+	// Exemplar is the bucket's canonical MiniC source: the original
+	// fuzzed program until minimization finishes, the reduced program
+	// after (Minimized reports which).
+	Exemplar      string `json:"exemplar"`
+	ExemplarLines int    `json:"exemplar_lines"`
+	Minimized     bool   `json:"minimized"`
+	// DebuggerSuspect marks a bucket whose opening violation did not
+	// reproduce under the other debugger engine (§4.2 cross-
+	// validation): the defect likely sits in the checking debugger, not
+	// the compiler.
+	DebuggerSuspect bool `json:"debugger_suspect,omitempty"`
+	// Count is the total number of violations bucketed here, the first
+	// one included.
+	Count int `json:"count"`
+	// FoundAfter is the hunt's lifetime program counter when the bucket
+	// was opened (programs fully processed, the discovering one
+	// included) — the x-coordinate of the unique-bugs-over-time curve.
+	FoundAfter int `json:"found_after"`
+}
+
+// FeatureStat is the yield bookkeeping of one fuzzer feature knob:
+// how many hunted programs had it on/off, and how many of those opened
+// at least one new bucket.
+type FeatureStat struct {
+	OnTrials  int `json:"on_trials"`
+	OnNew     int `json:"on_new"`
+	OffTrials int `json:"off_trials"`
+	OffNew    int `json:"off_new"`
+}
+
+// Corpus is the deduplicated bug store of a hunt. It is not safe for
+// concurrent use: the hunting loop mutates it only from its (seed-
+// ordered) aggregation goroutine.
+type Corpus struct {
+	buckets map[Signature]*Bucket
+	order   []Signature // discovery order, the serialization order
+
+	// Programs counts fuzzed programs consumed over the corpus's
+	// lifetime; NextSeed is the hunt cursor a resumed hunt continues
+	// from; Dups counts violations that landed in an existing bucket.
+	Programs int
+	NextSeed int64
+	Dups     int
+
+	features map[string]*FeatureStat
+}
+
+// New returns an empty corpus.
+func New() *Corpus {
+	return &Corpus{
+		buckets:  map[Signature]*Bucket{},
+		features: map[string]*FeatureStat{},
+	}
+}
+
+// Len returns the number of buckets (unique bugs).
+func (c *Corpus) Len() int { return len(c.order) }
+
+// Bucket returns the bucket of a signature, if present.
+func (c *Corpus) Bucket(sig Signature) (*Bucket, bool) {
+	b, ok := c.buckets[sig]
+	return b, ok
+}
+
+// Buckets returns every bucket in discovery order. The slice is fresh;
+// the bucket pointers are the corpus's own.
+func (c *Corpus) Buckets() []*Bucket {
+	out := make([]*Bucket, 0, len(c.order))
+	for _, sig := range c.order {
+		out = append(out, c.buckets[sig])
+	}
+	return out
+}
+
+// Add opens a new bucket. It fails if the signature is already present —
+// dedup decisions belong to the caller, via Bucket.
+func (c *Corpus) Add(b *Bucket) error {
+	if _, ok := c.buckets[b.Sig]; ok {
+		return fmt.Errorf("corpus: bucket %q already present", b.Sig)
+	}
+	c.buckets[b.Sig] = b
+	c.order = append(c.order, b.Sig)
+	return nil
+}
+
+// Violations returns the lifetime violation total (unique + duplicate).
+func (c *Corpus) Violations() int {
+	n := 0
+	for _, b := range c.buckets {
+		n += b.Count
+	}
+	return n
+}
+
+// RecordProgram feeds one hunted program's feature assortment and outcome
+// (did it open at least one new bucket?) into the per-feature stats.
+func (c *Corpus) RecordProgram(features map[string]bool, producedNew bool) {
+	for name, on := range features {
+		st := c.features[name]
+		if st == nil {
+			st = &FeatureStat{}
+			c.features[name] = st
+		}
+		if on {
+			st.OnTrials++
+			if producedNew {
+				st.OnNew++
+			}
+		} else {
+			st.OffTrials++
+			if producedNew {
+				st.OffNew++
+			}
+		}
+	}
+}
+
+// FeatureStats returns the per-feature yield bookkeeping (the corpus's
+// own mutable values, keyed by fuzzgen feature name).
+func (c *Corpus) FeatureStats() map[string]*FeatureStat {
+	return c.features
+}
+
+// weightWarmup is the minimum number of recorded programs before a
+// feature's weight is emitted: below it the hunt sticks to the fuzzer's
+// default assortments and just explores.
+const weightWarmup = 32
+
+// Weights derives fuzzer feature weights from the yield stats: the
+// Laplace-smoothed probability that a program with the feature on opens a
+// new bucket, normalized against the feature-off probability and clamped
+// to [0.1, 0.9] so no knob is ever pinned. Features still in warmup — or
+// with no new-bucket signal at all — are omitted, which keeps the
+// fuzzer's default assortment for them.
+func (c *Corpus) Weights() map[string]float64 {
+	out := map[string]float64{}
+	for name, st := range c.features {
+		if st.OnTrials+st.OffTrials < weightWarmup || st.OnNew+st.OffNew == 0 {
+			continue
+		}
+		pOn := (float64(st.OnNew) + 1) / (float64(st.OnTrials) + 2)
+		pOff := (float64(st.OffNew) + 1) / (float64(st.OffTrials) + 2)
+		w := pOn / (pOn + pOff)
+		if w < 0.1 {
+			w = 0.1
+		} else if w > 0.9 {
+			w = 0.9
+		}
+		out[name] = w
+	}
+	return out
+}
+
+// header is the JSONL file's first record.
+type header struct {
+	Kind     string                  `json:"kind"`
+	Version  int                     `json:"version"`
+	Programs int                     `json:"programs"`
+	NextSeed int64                   `json:"next_seed"`
+	Dups     int                     `json:"dups"`
+	Features map[string]*FeatureStat `json:"features"`
+}
+
+// bucketRec wraps a bucket with its record kind for the JSONL store.
+type bucketRec struct {
+	Kind string `json:"kind"`
+	*Bucket
+}
+
+// Encode writes the corpus as JSONL: the header record, then one bucket
+// record per line in discovery order. Output is deterministic (Go's JSON
+// encoder sorts map keys).
+func (c *Corpus) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(header{Kind: "hunt-corpus", Version: 1,
+		Programs: c.Programs, NextSeed: c.NextSeed, Dups: c.Dups,
+		Features: c.features}); err != nil {
+		return err
+	}
+	for _, sig := range c.order {
+		if err := enc.Encode(bucketRec{Kind: "bucket", Bucket: c.buckets[sig]}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Decode reads a corpus previously written by Encode.
+func Decode(r io.Reader) (*Corpus, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26) // exemplar sources can be long
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("corpus: empty store")
+	}
+	var h header
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+		return nil, fmt.Errorf("corpus: bad header: %w", err)
+	}
+	if h.Kind != "hunt-corpus" {
+		return nil, fmt.Errorf("corpus: not a hunt corpus (kind %q)", h.Kind)
+	}
+	if h.Version != 1 {
+		return nil, fmt.Errorf("corpus: unsupported version %d", h.Version)
+	}
+	c := New()
+	c.Programs, c.NextSeed, c.Dups = h.Programs, h.NextSeed, h.Dups
+	if h.Features != nil {
+		for name, st := range h.Features {
+			// A null entry would make every later stats reader (e.g.
+			// Weights) nil-dereference; reject it like any other
+			// malformed record.
+			if st == nil {
+				return nil, fmt.Errorf("corpus: null feature stats for %q", name)
+			}
+		}
+		c.features = h.Features
+	}
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec bucketRec
+		rec.Bucket = &Bucket{}
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("corpus: bad record %d: %w", c.Len()+2, err)
+		}
+		if rec.Kind != "bucket" {
+			return nil, fmt.Errorf("corpus: unexpected record kind %q", rec.Kind)
+		}
+		if err := c.Add(rec.Bucket); err != nil {
+			return nil, err
+		}
+	}
+	return c, sc.Err()
+}
+
+// Save checkpoints the corpus to path atomically: it writes a temporary
+// file in the same directory and renames it over the target, so a crash
+// mid-checkpoint never corrupts an existing store.
+func (c *Corpus) Save(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".corpus-*.jsonl")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := c.Encode(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	// CreateTemp makes the file 0600; widen to the conventional 0644 so
+	// the checkpoint that lands at path is readable like any other
+	// artifact (CI uploads, analysis tooling run as another user).
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Load reads a corpus checkpoint from disk.
+func Load(path string) (*Corpus, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}

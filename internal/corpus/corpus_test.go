@@ -1,0 +1,151 @@
+package corpus
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/conjecture"
+	"repro/internal/debugger"
+)
+
+func TestSignatureIgnoresProgramIdentifiers(t *testing.T) {
+	a := conjecture.Violation{Conjecture: 1, Line: 10, Func: "main", Var: "v3",
+		State: debugger.OptimizedOut, Detail: "argument to opaque opaque3"}
+	b := conjecture.Violation{Conjecture: 1, Line: 99, Func: "main", Var: "v7",
+		State: debugger.OptimizedOut, Detail: "argument to opaque opaque3"}
+	if SignatureOf(a, "lsr") != SignatureOf(b, "lsr") {
+		t.Errorf("same-shape violations bucketed apart: %q vs %q",
+			SignatureOf(a, "lsr"), SignatureOf(b, "lsr"))
+	}
+	if SignatureOf(a, "lsr") == SignatureOf(a, "constprop") {
+		t.Error("culprit not part of the signature")
+	}
+	c := a
+	c.State = debugger.NotVisible
+	if SignatureOf(a, "lsr") == SignatureOf(c, "lsr") {
+		t.Error("presentation state not part of the signature")
+	}
+	if SignatureOf(a, "") != SignatureOf(a, "untriaged") {
+		t.Error("empty culprit must normalize to untriaged")
+	}
+}
+
+func TestShapeClassifiesC2Constituents(t *testing.T) {
+	con := conjecture.Violation{Conjecture: 2, State: debugger.OptimizedOut,
+		Detail: "constant constituent of store to g2"}
+	live := conjecture.Violation{Conjecture: 2, State: debugger.OptimizedOut,
+		Detail: "unalterable live constituent of store to g2"}
+	if Shape(con) == Shape(live) {
+		t.Error("constant and live constituents must shape differently")
+	}
+}
+
+func testCorpus() *Corpus {
+	c := New()
+	c.NextSeed = 42
+	c.Programs = 7
+	c.Dups = 3
+	c.Add(&Bucket{Sig: "C1|lsr|opaque-arg:optimized-out", Conjecture: 1,
+		Culprit: "lsr", Shape: "opaque-arg:optimized-out", Seed: 5,
+		Config: "gc-trunk-O2", Var: "v1", Line: 9, Exemplar: "int main(void) {\n}\n",
+		ExemplarLines: 2, Minimized: true, Count: 4, FoundAfter: 5})
+	c.Add(&Bucket{Sig: "C3|constprop|availability-regrew:available", Conjecture: 3,
+		Culprit: "constprop", Shape: "availability-regrew:available", Seed: 6,
+		Config: "gc-trunk-O3", Var: "v2", Line: 3, Exemplar: "int g;\n",
+		ExemplarLines: 1, Count: 1, FoundAfter: 6})
+	c.RecordProgram(map[string]bool{"volatile": true, "gotos": false}, true)
+	c.RecordProgram(map[string]bool{"volatile": false, "gotos": false}, false)
+	return c
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	c := testCorpus()
+	var buf bytes.Buffer
+	if err := c.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := got.Encode(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Errorf("round trip not byte-identical:\nfirst:\n%s\nsecond:\n%s", buf.String(), buf2.String())
+	}
+	if got.Len() != 2 || got.NextSeed != 42 || got.Programs != 7 || got.Dups != 3 {
+		t.Errorf("state lost: %+v", got)
+	}
+	if b, ok := got.Bucket("C1|lsr|opaque-arg:optimized-out"); !ok || b.Count != 4 || !b.Minimized {
+		t.Errorf("bucket lost: %+v ok=%v", b, ok)
+	}
+	if got.Violations() != 5 {
+		t.Errorf("violations = %d, want 5", got.Violations())
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	c := testCorpus()
+	path := filepath.Join(t.TempDir(), "corpus.jsonl")
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	c.Encode(&a)
+	got.Encode(&b)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("loaded corpus differs from saved corpus")
+	}
+	// Overwriting checkpoint (the per-batch path) must succeed too.
+	if err := got.Save(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsNullFeatureStats(t *testing.T) {
+	store := `{"kind":"hunt-corpus","version":1,"programs":1,"next_seed":2,"dups":0,"features":{"volatile":null}}` + "\n"
+	if _, err := Decode(bytes.NewReader([]byte(store))); err == nil {
+		t.Error("null feature stats must be rejected, not deferred to a Weights panic")
+	}
+}
+
+func TestAddRejectsDuplicateSignature(t *testing.T) {
+	c := New()
+	if err := c.Add(&Bucket{Sig: "s"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(&Bucket{Sig: "s"}); err == nil {
+		t.Error("duplicate Add must fail")
+	}
+}
+
+func TestWeightsWarmupAndDirection(t *testing.T) {
+	c := New()
+	if len(c.Weights()) != 0 {
+		t.Error("fresh corpus must emit no weights")
+	}
+	// Below warmup: still nothing.
+	for i := 0; i < weightWarmup-1; i++ {
+		c.RecordProgram(map[string]bool{"volatile": i%2 == 0}, i%2 == 0)
+	}
+	if len(c.Weights()) != 0 {
+		t.Error("weights emitted during warmup")
+	}
+	c.RecordProgram(map[string]bool{"volatile": false}, false)
+	w := c.Weights()
+	// Every new bucket came from volatile-on programs: the weight must
+	// steer on-ward.
+	if w["volatile"] <= 0.5 {
+		t.Errorf("volatile weight = %v, want > 0.5", w["volatile"])
+	}
+	if w["volatile"] > 0.9 {
+		t.Errorf("volatile weight = %v, beyond clamp", w["volatile"])
+	}
+}

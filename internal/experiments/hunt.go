@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"repro"
+)
+
+// HuntCurve runs a budgeted deduplicated hunt (Engine.Hunt) under the
+// given spec and prints the unique-bugs-over-time curve: how many
+// distinct bug buckets — violations grouped by (conjecture, culprit
+// pass, violation shape) — the fuzzing campaign has accumulated after
+// each slice of its program budget, the shape of the paper's open-ended
+// campaign rolled up into a small set of unique culprit-attributed bugs.
+// Exemplar minimization is forced off: the curve is about discovery, and
+// a full hunt over the same corpus can minimize later.
+func (r *Runner) HuntCurve(ctx context.Context, spec pokeholes.HuntSpec, w io.Writer) (*pokeholes.HuntReport, error) {
+	spec.NoMinimize = true
+	rep, err := r.E.Hunt(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	what := fmt.Sprintf("%s %s", spec.Family, spec.Version)
+	if spec.Matrix != nil {
+		what = fmt.Sprintf("%s matrix", spec.Matrix.Family)
+	}
+	fmt.Fprintf(w, "Hunt curve (%s, %d programs): unique bug buckets over time\n",
+		what, spec.Budget)
+	fmt.Fprintf(w, "%-10s %-8s\n", "programs", "buckets")
+	// Ten evenly spaced samples plus the endpoint keep the curve
+	// readable at any budget.
+	step := len(rep.Curve) / 10
+	if step < 1 {
+		step = 1
+	}
+	for i := step - 1; i < len(rep.Curve); i += step {
+		p := rep.Curve[i]
+		fmt.Fprintf(w, "%-10d %-8d\n", p.Programs, p.Buckets)
+	}
+	if n := len(rep.Curve); n > 0 && n%step != 0 {
+		p := rep.Curve[n-1]
+		fmt.Fprintf(w, "%-10d %-8d\n", p.Programs, p.Buckets)
+	}
+	total := rep.Dups + len(rep.NewBuckets)
+	dupRate := 0.0
+	if total > 0 {
+		dupRate = float64(rep.Dups) / float64(total)
+	}
+	fmt.Fprintf(w, "%d violations -> %d unique buckets (dup rate %.1f%%)\n",
+		total, rep.Corpus.Len(), 100*dupRate)
+	for _, b := range rep.Corpus.Buckets() {
+		fmt.Fprintf(w, "  %-55s x%-5d first seed %d (%s)\n", b.Sig, b.Count, b.Seed, b.Config)
+	}
+	return rep, nil
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/compiler"
+)
+
+// TestHuntCurveDeterministicAcrossWorkers: the printed curve (and the
+// bucket rollup under it) is byte-identical between a serial and a
+// parallel hunt — the experiments-level face of the corpus determinism
+// contract.
+func TestHuntCurveDeterministicAcrossWorkers(t *testing.T) {
+	spec := pokeholes.HuntSpec{
+		Family: compiler.GC, Version: "trunk", Levels: []string{"O2"},
+		Budget: testN, Seed0: testSeed, BatchSize: 6,
+	}
+	render := func(workers int) string {
+		var buf bytes.Buffer
+		r := NewRunner(pokeholes.NewEngine(pokeholes.WithWorkers(workers)))
+		rep, err := r.HuntCurve(context.Background(), spec, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Corpus.Len() == 0 {
+			t.Fatal("hunt found no buckets; the comparison is vacuous")
+		}
+		return buf.String()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Errorf("hunt curve differs across worker counts:\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
+	if !strings.Contains(serial, "unique buckets") {
+		t.Errorf("missing rollup line:\n%s", serial)
+	}
+}

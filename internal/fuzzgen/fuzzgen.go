@@ -91,6 +91,107 @@ func GenerateSeed(seed int64) *minic.Program {
 	return Generate(DefaultOptions(seed))
 }
 
+// featureNames lists the boolean feature knobs in their fixed canonical
+// order; every weighted draw walks this slice, so a given (seed, weights)
+// pair always produces the same assortment.
+var featureNames = []string{
+	"volatile", "pointers", "opaque_calls", "helpers", "assign_exprs",
+	"nested_scopes", "gotos", "short_circuit", "unsigned", "narrow_types",
+	"index_arith", "const_fold_bait",
+}
+
+// FeatureNames returns the boolean feature knobs in canonical order.
+func FeatureNames() []string {
+	return append([]string(nil), featureNames...)
+}
+
+// Features returns the assortment's boolean knobs as a name → enabled map
+// (keys are FeatureNames), the form the hunting loop's per-feature
+// statistics consume.
+func (o Options) Features() map[string]bool {
+	return map[string]bool{
+		"volatile":        o.Volatile,
+		"pointers":        o.Pointers,
+		"opaque_calls":    o.OpaqueCalls,
+		"helpers":         o.Helpers,
+		"assign_exprs":    o.AssignExprs,
+		"nested_scopes":   o.NestedScopes,
+		"gotos":           o.Gotos,
+		"short_circuit":   o.ShortCircuit,
+		"unsigned":        o.Unsigned,
+		"narrow_types":    o.NarrowTypes,
+		"index_arith":     o.IndexArith,
+		"const_fold_bait": o.ConstFoldBait,
+	}
+}
+
+// setFeature flips one boolean knob by canonical name.
+func (o *Options) setFeature(name string, on bool) {
+	switch name {
+	case "volatile":
+		o.Volatile = on
+	case "pointers":
+		o.Pointers = on
+	case "opaque_calls":
+		o.OpaqueCalls = on
+	case "helpers":
+		o.Helpers = on
+	case "assign_exprs":
+		o.AssignExprs = on
+	case "nested_scopes":
+		o.NestedScopes = on
+	case "gotos":
+		o.Gotos = on
+	case "short_circuit":
+		o.ShortCircuit = on
+	case "unsigned":
+		o.Unsigned = on
+	case "narrow_types":
+		o.NarrowTypes = on
+	case "index_arith":
+		o.IndexArith = on
+	case "const_fold_bait":
+		o.ConstFoldBait = on
+	default:
+		// setFeature is only reached through featureNames; an unknown
+		// name means the three feature tables (featureNames, Features,
+		// this switch) drifted apart.
+		panic("fuzzgen: unknown feature knob " + name)
+	}
+}
+
+// WeightedOptions draws an assortment like DefaultOptions, then redraws
+// each boolean feature named in weights with the given enable probability
+// (clamped to [0,1]); features absent from the map keep their default
+// draw. The redraw stream is independent of DefaultOptions' stream and is
+// consumed one value per feature in canonical order, so adding a weight
+// for one feature never perturbs another's draw. The result is a
+// deterministic function of (seed, weights) — the hunting loop relies on
+// that to stay reproducible at any worker count.
+func WeightedOptions(seed int64, weights map[string]float64) Options {
+	o := DefaultOptions(seed)
+	if len(weights) == 0 {
+		return o
+	}
+	// A distinct stream (seed xor a golden-ratio constant) so the biased
+	// draws don't correlate with the numeric knobs drawn above.
+	r := rand.New(rand.NewSource(int64(uint64(seed) ^ 0x9E3779B97F4A7C15)))
+	for _, name := range featureNames {
+		p := r.Float64()
+		w, ok := weights[name]
+		if !ok {
+			continue
+		}
+		if w < 0 {
+			w = 0
+		} else if w > 1 {
+			w = 1
+		}
+		o.setFeature(name, p < w)
+	}
+	return o
+}
+
 type scalarVar struct {
 	name string
 	typ  minic.Type

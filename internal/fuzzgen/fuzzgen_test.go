@@ -88,6 +88,31 @@ func TestOptionVariety(t *testing.T) {
 	}
 }
 
+// TestFeatureTablesInSync pins the three hand-maintained feature tables
+// (FeatureNames, Options.Features, setFeature) to each other: every
+// canonical name must appear in the Features map, and a weight of 1 / 0
+// must actually flip that knob on / off through WeightedOptions.
+func TestFeatureTablesInSync(t *testing.T) {
+	names := FeatureNames()
+	feats := DefaultOptions(1).Features()
+	if len(names) != len(feats) {
+		t.Errorf("FeatureNames has %d entries, Features map has %d", len(names), len(feats))
+	}
+	for _, name := range names {
+		if _, ok := feats[name]; !ok {
+			t.Errorf("feature %q missing from Options.Features", name)
+		}
+		for seed := int64(1); seed <= 3; seed++ {
+			if got := WeightedOptions(seed, map[string]float64{name: 1}).Features()[name]; !got {
+				t.Errorf("weight 1 did not enable %q (seed %d)", name, seed)
+			}
+			if got := WeightedOptions(seed, map[string]float64{name: 0}).Features()[name]; got {
+				t.Errorf("weight 0 did not disable %q (seed %d)", name, seed)
+			}
+		}
+	}
+}
+
 func containsStr(s, sub string) bool {
 	for i := 0; i+len(sub) <= len(s); i++ {
 		if s[i:i+len(sub)] == sub {

@@ -18,23 +18,48 @@ type Predicate func(*minic.Program) bool
 // Reduce repeatedly applies shrinking transformations, keeping those that
 // preserve the predicate, until a fixpoint. The input program is not
 // modified.
+//
+// The scan resumes from the last accepted transformation instead of
+// restarting at candidate 0 after every accepted shrink: candidates are
+// generated in a stable structural order, so the prefix before the
+// accepted index was just rejected against a strictly larger program and
+// is very unlikely to pass now. Earlier candidates that a shrink newly
+// enables are caught by the wrap-around pass, which rescans from 0 until
+// one full scan accepts nothing — the same fixpoint guarantee as the
+// restart-from-scratch strategy, without its quadratic rescan cost.
 func Reduce(prog *minic.Program, keep Predicate) *minic.Program {
 	cur := minic.Clone(prog)
+	start := 0
 	for {
-		improved := false
-		for _, attempt := range candidates(cur) {
+		cands := candidates(cur)
+		if start > len(cands) {
+			start = len(cands)
+		}
+		accepted := -1
+		for i := start; i < len(cands); i++ {
+			attempt := cands[i]
 			minic.AssignLines(attempt)
 			if minic.Check(attempt) != nil {
 				continue
 			}
 			if keep(attempt) {
 				cur = attempt
-				improved = true
+				accepted = i
 				break
 			}
 		}
-		if !improved {
+		switch {
+		case accepted >= 0:
+			// Continue from the accepted position on the regenerated
+			// candidate list of the smaller program.
+			start = accepted
+		case start == 0:
+			// A full scan accepted nothing: fixpoint.
 			return cur
+		default:
+			// The tail is exhausted; wrap around for the earlier
+			// candidates the shrinks may have enabled.
+			start = 0
 		}
 	}
 }

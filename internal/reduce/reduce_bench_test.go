@@ -1,0 +1,132 @@
+package reduce
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fuzzgen"
+	"repro/internal/minic"
+)
+
+// countStmts counts every statement in the program, recursing into nested
+// blocks, so the benchmark below can insist on a genuinely large input.
+func countStmts(prog *minic.Program) int {
+	var blk func(b *minic.Block) int
+	var one func(s minic.Stmt) int
+	one = func(s minic.Stmt) int {
+		n := 1
+		switch x := s.(type) {
+		case *minic.IfStmt:
+			n += blk(x.Then)
+			if x.Else != nil {
+				n += blk(x.Else)
+			}
+		case *minic.ForStmt:
+			n += blk(x.Body)
+		case *minic.WhileStmt:
+			n += blk(x.Body)
+		case *minic.Block:
+			n += blk(x) - 1 // the block itself was already counted
+		case *minic.LabeledStmt:
+			n += one(x.Stmt) - 1
+		}
+		return n
+	}
+	blk = func(b *minic.Block) int {
+		n := 0
+		for _, s := range b.Stmts {
+			n += one(s)
+		}
+		return n
+	}
+	total := 0
+	for _, f := range prog.Funcs {
+		if f.Body != nil {
+			total += blk(f.Body)
+		}
+	}
+	return total
+}
+
+// largeFuzzedProgram returns a fuzzed program of at least 200 statements —
+// the scale at which the old restart-from-candidate-0 reduction loop went
+// visibly quadratic.
+func largeFuzzedProgram(tb testing.TB) *minic.Program {
+	tb.Helper()
+	for seed := int64(1); seed < 200; seed++ {
+		o := fuzzgen.Options{
+			Seed:       seed,
+			MaxGlobals: 4, MaxArrays: 2, MaxHelpers: 3,
+			MaxStmts: 8, MaxDepth: 2, MaxLoopNest: 2,
+			MaxLoopBound: 4, MaxExprDepth: 2,
+			Volatile: true, Pointers: true, OpaqueCalls: true,
+			Helpers: true, AssignExprs: true, NestedScopes: true,
+			Gotos: true, ShortCircuit: true, Unsigned: true,
+			NarrowTypes: true, IndexArith: true, ConstFoldBait: true,
+		}
+		prog := fuzzgen.Generate(o)
+		if n := countStmts(prog); n >= 200 && n <= 300 {
+			return prog
+		}
+	}
+	tb.Fatal("no seed produced a 200-statement program")
+	return nil
+}
+
+// keepAllG1Stores builds a cheap structural predicate that pins every
+// store to g1 scattered through the program. Many candidates fail it, so
+// the reduction repeatedly pays for the failing prefix — the access
+// pattern where the old restart-from-candidate-0 loop went quadratic.
+func keepAllG1Stores(prog *minic.Program) (Predicate, bool) {
+	want := strings.Count(minic.Render(prog), "g1 =")
+	return func(p *minic.Program) bool {
+		return strings.Count(minic.Render(p), "g1 =") >= want
+	}, want > 0
+}
+
+// BenchmarkReduce200Stmts measures a full reduction of a ~200-statement
+// fuzzed program under a cheap structural predicate, so the timing is
+// dominated by the reducer's own candidate generation and scan order
+// rather than by compilations.
+func BenchmarkReduce200Stmts(b *testing.B) {
+	prog := largeFuzzedProgram(b)
+	b.Logf("input: %d statements", countStmts(prog))
+	pred, ok := keepAllG1Stores(prog)
+	if !ok {
+		b.Skip("probe program has no store to g1")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		small := Reduce(prog, pred)
+		if !pred(small) {
+			b.Fatal("reduction lost the property")
+		}
+	}
+}
+
+// TestReduceReachesFixpoint pins the resumable scan's contract: the result
+// of Reduce is a true fixpoint — no single candidate transformation of it
+// still satisfies the predicate — exactly as the restart-from-scratch
+// strategy guaranteed.
+func TestReduceReachesFixpoint(t *testing.T) {
+	prog := largeFuzzedProgram(t)
+	pred, ok := keepAllG1Stores(prog)
+	if !ok {
+		t.Skip("probe program has no store to g1")
+	}
+	small := Reduce(prog, pred)
+	if !pred(small) {
+		t.Fatal("reduction lost the property")
+	}
+	for _, attempt := range candidates(small) {
+		minic.AssignLines(attempt)
+		if minic.Check(attempt) != nil {
+			continue
+		}
+		if pred(attempt) {
+			t.Fatalf("not a fixpoint: a candidate still satisfies the predicate:\n%s",
+				minic.Render(attempt))
+		}
+	}
+	t.Logf("reduced %d -> %d statements", countStmts(prog), countStmts(small))
+}

@@ -1,0 +1,104 @@
+package pokeholes_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// waitGoroutinesDrained polls until the process goroutine count is back
+// at (or below) the bracket taken before the test body ran.
+func waitGoroutinesDrained(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC() // nudge finalizers; cheap compared to the poll loop
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCampaignCancelDrainsGoroutines pins the cancel contract of the
+// worker pool: a consumer that cancels ctx and then ABANDONS the results
+// channel (without draining it) must not leak the feeder, the workers or
+// the reorder goroutine.
+func TestCampaignCancelDrainsGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	eng := pokeholes.NewEngine(pokeholes.WithWorkers(8))
+	results, err := eng.Campaign(ctx, pokeholes.CampaignSpec{
+		Family: pokeholes.GC, Version: "trunk", N: 256, Seed0: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consume a couple of results so the pool is genuinely mid-flight,
+	// then cancel and walk away without draining.
+	for i := 0; i < 2; i++ {
+		if _, ok := <-results; !ok {
+			t.Fatal("campaign ended after 2 of 256 results")
+		}
+	}
+	cancel()
+	waitGoroutinesDrained(t, before)
+}
+
+// TestSweepCancelDrainsGoroutines cancels a mid-flight Sweep and asserts
+// it returns the cancellation error with no goroutine left behind.
+func TestSweepCancelDrainsGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	eng := pokeholes.NewEngine(pokeholes.WithWorkers(8))
+	prog := pokeholes.GenerateProgram(11)
+	done := make(chan error, 1)
+	go func() {
+		_, err := eng.Sweep(ctx, prog, pokeholes.FullMatrix(pokeholes.GC))
+		done <- err
+	}()
+	// Let the sweep get going, then cancel it mid-flight.
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("sweep returned %v, want nil or context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled sweep did not return")
+	}
+	waitGoroutinesDrained(t, before)
+}
+
+// TestHuntCancelDrainsGoroutines cancels a mid-flight Hunt (campaign and
+// background minimizers included) and asserts everything drains.
+func TestHuntCancelDrainsGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	eng := pokeholes.NewEngine(pokeholes.WithWorkers(4))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		eng.Hunt(ctx, pokeholes.HuntSpec{
+			Family: pokeholes.GC, Version: "trunk", Levels: []string{"O2"},
+			Budget: 512, Seed0: 300, BatchSize: 16})
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("cancelled hunt did not return")
+	}
+	waitGoroutinesDrained(t, before)
+}

@@ -230,11 +230,14 @@ func (e *Engine) sweep(ctx context.Context, prog *minic.Program, mx Matrix, work
 	// Stage 1, once per program: frontend and facts. The module is passed
 	// down to every per-config job, so the sharing holds even when the
 	// engine cache is disabled.
-	mod, err := e.frontend(prog)
+	mod, err := e.frontend(ctx, prog)
 	if err != nil {
 		return nil, err
 	}
-	facts := e.Facts(prog)
+	facts, err := e.facts(ctx, prog)
+	if err != nil {
+		return nil, err
+	}
 	// Computed once, before the fan-out: sourceKey renders the program,
 	// which assigns line numbers into the AST and must not race.
 	srcKey := sourceKey(prog)
