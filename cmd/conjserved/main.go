@@ -1,0 +1,93 @@
+// Command conjserved serves a shared checking engine over HTTP/JSON: the
+// paper's whole pipeline — check, matrix sweep, triage, minimization and
+// fuzzing campaigns — behind /check, /sweep, /triage, /minimize and
+// /campaign, with request batching (identical concurrent submissions
+// coalesce onto one cache-backed computation), bounded admission control
+// (429 past the queue limit, 503 past the per-request deadline, both with
+// Retry-After), and byte-deterministic response bodies so replicas can be
+// load-balanced and replayed. /stats surfaces the engine's cache and
+// hunting counters; with -hunt-budget a background Engine.Hunt runs for
+// the server's lifetime and /hunt/status reports its progress.
+//
+// Usage:
+//
+//	conjserved [-addr :8080] [-workers 0] [-cache 4096] [-respcache 1024]
+//	           [-timeout 30s] [-inflight 0] [-queue 0]
+//	           [-hunt-budget 0] [-hunt-family gc] [-hunt-version trunk]
+//	           [-hunt-seed 1] [-corpus hunt.jsonl]
+//
+// SIGINT/SIGTERM drain in-flight requests (and checkpoint the hunt's
+// corpus) before exiting.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/compiler"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "TCP listen address")
+	workers := flag.Int("workers", 0, "engine worker-pool size (0: GOMAXPROCS)")
+	cacheSize := flag.Int("cache", 0, "engine cache entries (0: the default, negative: unbounded)")
+	respCache := flag.Int("respcache", 0, "response-body cache entries (0: the default, negative: disabled)")
+	timeout := flag.Duration("timeout", 0, "per-request deadline (0: the default, negative: none)")
+	inflight := flag.Int("inflight", 0, "max concurrently processed requests (0: worker count)")
+	queue := flag.Int("queue", 0, "admission queue depth beyond -inflight (0: the default, negative: no queue)")
+	huntBudget := flag.Int("hunt-budget", 0, "run a background hunt of this many fuzzed programs (0: no hunt)")
+	huntFamily := flag.String("hunt-family", "gc", "background hunt compiler family")
+	huntVersion := flag.String("hunt-version", "trunk", "background hunt compiler version")
+	huntSeed := flag.Int64("hunt-seed", 1, "background hunt first fuzzer seed")
+	corpusPath := flag.String("corpus", "", "background hunt corpus checkpoint path (JSONL)")
+	flag.Parse()
+
+	var opts []pokeholes.Option
+	if *workers > 0 {
+		opts = append(opts, pokeholes.WithWorkers(*workers))
+	}
+	if *cacheSize != 0 {
+		opts = append(opts, pokeholes.WithCompileCache(*cacheSize))
+	}
+	eng := pokeholes.NewEngine(opts...)
+
+	spec := pokeholes.ServeSpec{
+		Addr:           *addr,
+		MaxInflight:    *inflight,
+		MaxQueue:       *queue,
+		RequestTimeout: *timeout,
+		ResponseCache:  *respCache,
+	}
+	if *huntBudget > 0 {
+		spec.Hunt = &pokeholes.HuntSpec{
+			Family:     compiler.Family(*huntFamily),
+			Version:    *huntVersion,
+			Budget:     *huntBudget,
+			Seed0:      *huntSeed,
+			CorpusPath: *corpusPath,
+			Progress: func(p pokeholes.HuntProgress) {
+				log.Printf("hunt: batch %d, %d programs, %d buckets (%d new)",
+					p.Batch, p.Programs, p.Buckets, p.NewInBatch)
+			},
+		}
+	}
+
+	// SIGINT/SIGTERM start the graceful drain: Serve stops accepting,
+	// waits for in-flight requests, and joins the background hunt (which
+	// checkpoints its corpus on cancellation).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("conjserved: listening on %s", *addr)
+	start := time.Now()
+	if err := eng.Serve(ctx, spec); err != nil {
+		log.Fatalf("conjserved: %v", err)
+	}
+	log.Printf("conjserved: drained cleanly after %s", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,143 @@
+// Serveclient exercises a running conjserved instance end to end: it
+// checks a small program, streams a matrix sweep as NDJSON, triages the
+// violations, and prints the engine's cache counters from /stats. Any
+// non-2xx response (or transport failure) exits non-zero, so CI can use
+// it as a service smoke test.
+//
+// Start a server first:
+//
+//	go run ./cmd/conjserved -addr :8080
+//	go run ./examples/serveclient -addr http://127.0.0.1:8080
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+
+	"repro"
+)
+
+const src = `
+int g;
+extern void opaque(int x);
+int main(void) {
+  int a = 6 * 7;
+  int b = a + 1;
+  g = a * b;
+  opaque(b);
+  opaque(a);
+  return 0;
+}
+`
+
+// post sends a JSON body and fails the run on any non-2xx status.
+func post(base, path string, req any) []byte {
+	body, err := json.Marshal(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatalf("POST %s: read: %v", path, err)
+	}
+	if resp.StatusCode/100 != 2 {
+		log.Fatalf("POST %s: %s: %s", path, resp.Status, out)
+	}
+	return out
+}
+
+func get(base, path string) []byte {
+	resp, err := http.Get(base + path)
+	if err != nil {
+		log.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatalf("GET %s: read: %v", path, err)
+	}
+	if resp.StatusCode/100 != 2 {
+		log.Fatalf("GET %s: %s: %s", path, resp.Status, out)
+	}
+	return out
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "conjserved base URL")
+	flag.Parse()
+	base := *addr
+
+	// One configuration's report.
+	var check pokeholes.CheckResponse
+	body := post(base, "/check", pokeholes.CheckRequest{
+		Source: src, Family: "gc", Version: "trunk", Level: "O2"})
+	if err := json.Unmarshal(body, &check); err != nil {
+		log.Fatalf("/check: %v", err)
+	}
+	fmt.Printf("check %s (program %s): %d lines hit, %d violations\n",
+		check.Config, check.Fingerprint, check.LinesHit, len(check.Violations))
+	for _, v := range check.Violations {
+		fmt.Printf("  %s: %s is %s at line %d (%s)\n", v.Key, v.Var, v.State, v.Line, v.Detail)
+	}
+
+	// The same program across a version × level grid, streamed as NDJSON.
+	body = post(base, "/sweep", pokeholes.SweepRequest{
+		Source: src, Family: "gc", Versions: []string{"v8", "trunk"},
+		Levels: []string{"O1", "O2", "O3"}})
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	reports, summaries := 0, 0
+	for sc.Scan() {
+		var line struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			log.Fatalf("/sweep: bad NDJSON line: %v", err)
+		}
+		switch line.Kind {
+		case "report":
+			reports++
+		case "summary":
+			summaries++
+			fmt.Printf("sweep summary: %s\n", sc.Text())
+		default:
+			log.Fatalf("/sweep: unexpected line kind %q", line.Kind)
+		}
+	}
+	fmt.Printf("sweep: %d report lines, %d summaries\n", reports, summaries)
+
+	// Attribute every violation of the checked configuration to a culprit.
+	var triage pokeholes.TriageResponse
+	body = post(base, "/triage", pokeholes.CheckRequest{
+		Source: src, Family: "gc", Version: "trunk", Level: "O2"})
+	if err := json.Unmarshal(body, &triage); err != nil {
+		log.Fatalf("/triage: %v", err)
+	}
+	for _, c := range triage.Culprits {
+		culprit := c.Culprit
+		if !c.Controllable {
+			culprit = "(not single-knob controllable)"
+		}
+		fmt.Printf("triage %s -> %s\n", c.Violation.Key, culprit)
+	}
+
+	// The shared engine's counters: the sweep re-used the check's
+	// frontend, so frontends stays at 1 however many requests ran.
+	var stats pokeholes.StatsResponse
+	if err := json.Unmarshal(get(base, "/stats"), &stats); err != nil {
+		log.Fatalf("/stats: %v", err)
+	}
+	fmt.Printf("stats: %d frontends, %d compiles, %d/%d cache hits/misses, %d response hits\n",
+		stats.Engine.Frontends, stats.Engine.Compiles,
+		stats.Engine.CacheHits, stats.Engine.CacheMisses, stats.Server.ResponseHits)
+}

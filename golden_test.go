@@ -1,0 +1,164 @@
+package pokeholes_test
+
+// Golden-corpus regression harness: every program under testdata/golden
+// has its Check, Sweep and Triage reports pinned byte-for-byte as the
+// exact HTTP response bodies of the serving layer. Any drift in the
+// report formats — wire field order, violation ordering, summary rollups,
+// float rendering — fails tier-1 until the change is deliberate:
+//
+//	go test -run TestGolden -update
+//
+// regenerates the fixtures from the current implementation.
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+var update = flag.Bool("update", false, "regenerate testdata/golden fixtures")
+
+// goldenConfig is the single-configuration fixture target; goldenSweep is
+// the (deliberately small) matrix fixture target.
+var (
+	goldenCheck = pokeholes.Config{Family: pokeholes.GC, Version: "trunk", Level: "O2"}
+	goldenSweep = pokeholes.SweepRequest{Family: "gc",
+		Versions: []string{"v8", "trunk"}, Levels: []string{"O1", "O2"}}
+)
+
+// goldenPost returns the full response body of one request, requiring 200.
+func goldenPost(t *testing.T, client *http.Client, url string, body string) []byte {
+	t.Helper()
+	resp, err := client.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: status %d: %s", url, resp.StatusCode, out)
+	}
+	return out
+}
+
+// firstDiff locates the first differing byte, for a readable failure.
+func firstDiff(got, want []byte) string {
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	for i := 0; i < n; i++ {
+		if got[i] != want[i] {
+			lo := i - 40
+			if lo < 0 {
+				lo = 0
+			}
+			return fmt.Sprintf("first difference at byte %d:\n got: …%q\nwant: …%q",
+				i, got[lo:min(i+40, len(got))], want[lo:min(i+40, len(want))])
+		}
+	}
+	return fmt.Sprintf("common prefix of %d bytes; lengths %d vs %d", n, len(got), len(want))
+}
+
+// TestGolden pins the serving layer's report bytes for every checked-in
+// program: Check and Triage at gc-trunk -O2, Sweep across a 2×2 matrix.
+func TestGolden(t *testing.T) {
+	srcs, err := filepath.Glob(filepath.Join("testdata", "golden", "*.mc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srcs) < 6 {
+		t.Fatalf("golden corpus has %d programs, want at least 6", len(srcs))
+	}
+
+	eng := pokeholes.NewEngine()
+	ts := httptest.NewServer(eng.NewServer(pokeholes.ServeSpec{}).Handler())
+	defer ts.Close()
+
+	for _, srcPath := range srcs {
+		name := strings.TrimSuffix(filepath.Base(srcPath), ".mc")
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(srcPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Both request bodies derive from the declared fixture configs
+			// above, so widening the golden matrix is a one-line edit.
+			checkReq, err := json.Marshal(pokeholes.CheckRequest{Source: string(src),
+				Family: string(goldenCheck.Family), Version: goldenCheck.Version,
+				Level: goldenCheck.Level})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sweep := goldenSweep
+			sweep.Source = string(src)
+			sweepReq, err := json.Marshal(sweep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, g := range []struct {
+				suffix, path string
+				req          []byte
+			}{
+				{"check.json", "/check", checkReq},
+				{"sweep.ndjson", "/sweep", sweepReq},
+				{"triage.json", "/triage", checkReq},
+			} {
+				got := goldenPost(t, ts.Client(), ts.URL+g.path, string(g.req))
+				goldenPath := filepath.Join("testdata", "golden", name+"."+g.suffix)
+				if *update {
+					if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+						t.Fatal(err)
+					}
+					continue
+				}
+				want, err := os.ReadFile(goldenPath)
+				if err != nil {
+					t.Fatalf("missing fixture %s (regenerate with: go test -run TestGolden -update): %v",
+						goldenPath, err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("%s drifted from its golden fixture.\n%s\nIf the change is deliberate, regenerate with: go test -run TestGolden -update",
+						g.path, firstDiff(got, want))
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenSourcesCanonical pins that the checked-in programs are in
+// canonical form: parse→render must reproduce the file exactly, so the
+// fingerprints inside the fixtures stay meaningful.
+func TestGoldenSourcesCanonical(t *testing.T) {
+	srcs, err := filepath.Glob(filepath.Join("testdata", "golden", "*.mc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, srcPath := range srcs {
+		src, err := os.ReadFile(srcPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := pokeholes.ParseProgram(string(src))
+		if err != nil {
+			t.Errorf("%s: %v", srcPath, err)
+			continue
+		}
+		if rendered := pokeholes.Render(prog); rendered != string(src) {
+			t.Errorf("%s is not canonical: parse→render changed it", srcPath)
+		}
+	}
+}

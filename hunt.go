@@ -84,13 +84,15 @@ type HuntSpec struct {
 }
 
 // HuntProgress is one batch's progress snapshot (lifetime corpus values).
+// It is JSON-serializable so the serving layer's /hunt/status endpoint can
+// surface it verbatim.
 type HuntProgress struct {
-	Batch      int // batches completed this run
-	Programs   int // lifetime programs hunted
-	Buckets    int // lifetime unique buckets
-	Violations int // lifetime violations (unique + duplicate)
-	Dups       int // lifetime duplicates
-	NewInBatch int // buckets opened by this batch
+	Batch      int `json:"batch"`        // batches completed this run
+	Programs   int `json:"programs"`     // lifetime programs hunted
+	Buckets    int `json:"buckets"`      // lifetime unique buckets
+	Violations int `json:"violations"`   // lifetime violations (unique + duplicate)
+	Dups       int `json:"dups"`         // lifetime duplicates
+	NewInBatch int `json:"new_in_batch"` // buckets opened by this batch
 }
 
 // CurvePoint is one point of the unique-bugs-over-time curve.

@@ -34,6 +34,11 @@ type flight[V any] struct {
 	done chan struct{}
 	val  V
 	err  error
+	// abandoned marks a flight whose leader failed because its OWN context
+	// was cancelled: the result says nothing about the computation, so
+	// coalesced waiters with live contexts retry (one of them becomes the
+	// next leader) instead of inheriting a stranger's cancellation.
+	abandoned bool
 }
 
 // New returns an empty cache holding at most capacity entries (unbounded
@@ -75,45 +80,62 @@ func (c *Cache[K, V]) GetOrCompute(key K, fn func() (V, error)) (V, error) {
 // leader's compute returns. The leader itself always runs fn to
 // completion — other waiters may still need the result — so a compute
 // that should stop early must check ctx inside fn.
+//
+// Error semantics: a genuine compute failure is delivered to the leader
+// and to every waiter coalesced onto it, exactly once each, and is never
+// cached — the next caller recomputes. A failure caused by the LEADER'S
+// context being cancelled is different: it says nothing about the key, so
+// waiters with live contexts do not inherit it; one of them takes over
+// and recomputes (per-request deadlines stay per-request even under
+// coalescing).
 func (c *Cache[K, V]) GetOrComputeCtx(ctx context.Context, key K, fn func() (V, error)) (V, error) {
 	var zero V
-	if err := ctx.Err(); err != nil {
-		return zero, err
-	}
-	c.mu.Lock()
-	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
-		c.hits++
-		c.mu.Unlock()
-		return el.Value.(pair[K, V]).val, nil
-	}
-	if fl, ok := c.inflight[key]; ok {
-		// Coalesce onto the running computation. Counts as a hit: the work
-		// is shared, not repeated.
-		c.hits++
-		c.mu.Unlock()
-		select {
-		case <-fl.done:
-			return fl.val, fl.err
-		case <-ctx.Done():
-			return zero, ctx.Err()
+	for {
+		if err := ctx.Err(); err != nil {
+			return zero, err
 		}
-	}
-	c.misses++
-	fl := &flight[V]{done: make(chan struct{})}
-	c.inflight[key] = fl
-	c.mu.Unlock()
+		c.mu.Lock()
+		if el, ok := c.items[key]; ok {
+			c.ll.MoveToFront(el)
+			c.hits++
+			c.mu.Unlock()
+			return el.Value.(pair[K, V]).val, nil
+		}
+		if fl, ok := c.inflight[key]; ok {
+			// Coalesce onto the running computation. Counts as a hit: the
+			// work is shared, not repeated.
+			c.hits++
+			c.mu.Unlock()
+			select {
+			case <-fl.done:
+				if fl.abandoned {
+					continue // leader cancelled, not a real failure: take over
+				}
+				return fl.val, fl.err
+			case <-ctx.Done():
+				return zero, ctx.Err()
+			}
+		}
+		c.misses++
+		fl := &flight[V]{done: make(chan struct{})}
+		c.inflight[key] = fl
+		c.mu.Unlock()
 
-	fl.val, fl.err = fn()
+		fl.val, fl.err = fn()
+		// Only the leader's own cancellation marks the flight abandoned: a
+		// compute that failed for a real reason while the leader stayed
+		// live must propagate, not be retried by every waiter in turn.
+		fl.abandoned = fl.err != nil && ctx.Err() != nil
 
-	c.mu.Lock()
-	delete(c.inflight, key)
-	if fl.err == nil {
-		c.store(key, fl.val)
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if fl.err == nil {
+			c.store(key, fl.val)
+		}
+		c.mu.Unlock()
+		close(fl.done)
+		return fl.val, fl.err
 	}
-	c.mu.Unlock()
-	close(fl.done)
-	return fl.val, fl.err
 }
 
 // Add stores a value, evicting the least recently used entry if needed.

@@ -132,6 +132,135 @@ func TestGetOrComputeCtxPreCancelled(t *testing.T) {
 	}
 }
 
+// TestLeaderErrorPropagatesToWaiters pins the failure contract of
+// coalescing: every waiter coalesced onto a failing leader receives the
+// leader's error — the same value, delivered exactly once per waiter —
+// the failure is not cached, and the next caller recomputes fresh.
+func TestLeaderErrorPropagatesToWaiters(t *testing.T) {
+	c := New[string, int](0)
+	boom := errors.New("boom")
+	leaderIn := make(chan struct{})
+	leaderGo := make(chan struct{})
+	var computes atomic.Int64
+
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := c.GetOrCompute("k", func() (int, error) {
+			computes.Add(1)
+			close(leaderIn)
+			<-leaderGo
+			return 0, boom
+		})
+		leaderErr <- err
+	}()
+	<-leaderIn // the failing computation is in flight
+
+	const waiters = 8
+	errs := make(chan error, waiters)
+	var joined sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		joined.Add(1)
+		go func() {
+			joined.Done()
+			_, err := c.GetOrCompute("k", func() (int, error) {
+				t.Error("waiter must coalesce onto the failing leader, not compute")
+				return 0, nil
+			})
+			errs <- err
+		}()
+	}
+	joined.Wait()
+	// The waiters are launched; give them a beat to reach the coalesce
+	// path before the leader fails. A waiter that misses the flight would
+	// compute (and trip the t.Error above), so the assertion stands
+	// regardless of scheduling.
+	time.Sleep(10 * time.Millisecond)
+	close(leaderGo)
+
+	if err := <-leaderErr; err != boom {
+		t.Errorf("leader err = %v, want boom", err)
+	}
+	for i := 0; i < waiters; i++ {
+		select {
+		case err := <-errs:
+			if err != boom {
+				t.Errorf("waiter err = %v, want the leader's error", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("waiter never unblocked after the leader failed")
+		}
+	}
+	if c.Len() != 0 {
+		t.Errorf("failed computation was cached: len = %d, want 0", c.Len())
+	}
+	// The failure was not cached: the next caller computes fresh.
+	v, err := c.GetOrCompute("k", func() (int, error) {
+		computes.Add(1)
+		return 9, nil
+	})
+	if err != nil || v != 9 {
+		t.Errorf("recompute after failure: %v %v", v, err)
+	}
+	if n := computes.Load(); n != 2 {
+		t.Errorf("computed %d times, want 2 (failed once, recomputed once)", n)
+	}
+}
+
+// TestLeaderCancellationDoesNotPoisonWaiters: when the leader's own
+// context is cancelled mid-compute, its failure is an artifact of THAT
+// request's deadline, not of the key — a coalesced waiter with a live
+// context must take over and compute instead of inheriting the
+// cancellation (the per-request-deadline contract the serving layer's
+// request batching depends on).
+func TestLeaderCancellationDoesNotPoisonWaiters(t *testing.T) {
+	c := New[string, int](0)
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderIn := make(chan struct{})
+	var computes atomic.Int64
+
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := c.GetOrComputeCtx(leaderCtx, "k", func() (int, error) {
+			computes.Add(1)
+			close(leaderIn)
+			<-leaderCtx.Done() // a well-behaved compute observes its ctx
+			return 0, leaderCtx.Err()
+		})
+		leaderErr <- err
+	}()
+	<-leaderIn
+
+	waiterVal := make(chan int, 1)
+	go func() {
+		v, err := c.GetOrComputeCtx(context.Background(), "k", func() (int, error) {
+			computes.Add(1)
+			return 42, nil
+		})
+		if err != nil {
+			t.Errorf("live waiter inherited the leader's cancellation: %v", err)
+		}
+		waiterVal <- v
+	}()
+	// Let the waiter coalesce onto the doomed flight, then kill the leader.
+	time.Sleep(10 * time.Millisecond)
+	cancelLeader()
+
+	if err := <-leaderErr; !errors.Is(err, context.Canceled) {
+		t.Errorf("leader err = %v, want context.Canceled", err)
+	}
+	select {
+	case v := <-waiterVal:
+		if v != 42 {
+			t.Errorf("waiter got %d, want 42 from its own takeover compute", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never took over after the leader was cancelled")
+	}
+	if v, ok := c.Get("k"); !ok || v != 42 {
+		t.Errorf("takeover result not cached: %v %v", v, ok)
+	}
+}
+
 func TestUnboundedCapacity(t *testing.T) {
 	c := New[int, int](0)
 	for i := 0; i < 100; i++ {

@@ -1,0 +1,89 @@
+package corpus
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fuzzSeedCorpus builds a representative store for the decode fuzzer's
+// seed corpus: header with feature stats, two buckets, one minimized.
+func fuzzSeedCorpus() []byte {
+	c := New()
+	c.Programs = 41
+	c.NextSeed = 42
+	c.Dups = 3
+	c.RecordProgram(map[string]bool{"loops": true, "pointers": false}, true)
+	c.Add(&Bucket{Sig: "C1|ccp|opaque-arg:optimized-out", Conjecture: 1,
+		Culprit: "ccp", Shape: "opaque-arg:optimized-out", Seed: 7,
+		Config: "gc-trunk -O2", Family: "gc", Version: "trunk", Level: "O2",
+		Var: "v3", Line: 16, Exemplar: "int main(void) {\n  return 0;\n}\n",
+		ExemplarLines: 3, Minimized: true, Count: 4, FoundAfter: 7})
+	c.Add(&Bucket{Sig: "C3|untriaged|availability-regrew:not-visible", Conjecture: 3,
+		Culprit: "untriaged", Shape: "availability-regrew:not-visible", Seed: 9,
+		Config: "cl-trunk -O3", Family: "cl", Version: "trunk", Level: "O3",
+		Var: "i", Line: 4, Exemplar: "int main(void) {\n  return 1;\n}\n",
+		ExemplarLines: 3, Count: 1, FoundAfter: 30, DebuggerSuspect: true})
+	var buf bytes.Buffer
+	c.Encode(&buf)
+	return buf.Bytes()
+}
+
+// FuzzDecode asserts the JSONL store's robustness contract on arbitrary
+// bytes: Decode never panics — it returns a corpus or an error — and any
+// store it accepts is internally consistent and encodes back to a stable
+// fixpoint (decode→encode→decode→encode yields identical bytes), the
+// property resumed hunts and byte-for-byte corpus comparisons rest on.
+func FuzzDecode(f *testing.F) {
+	valid := fuzzSeedCorpus()
+	f.Add(valid)
+	// Header only.
+	f.Add([]byte(bytes.NewBufferString(`{"kind":"hunt-corpus","version":1,"programs":0,"next_seed":5,"dups":0,"features":{}}` + "\n").String()))
+	// Mutations a crash or fuzzer is likely to produce.
+	f.Add([]byte(""))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte("{"))
+	f.Add([]byte(`{"kind":"hunt-corpus","version":2}` + "\n"))
+	f.Add([]byte(`{"kind":"hunt-corpus","version":1,"features":{"loops":null}}` + "\n"))
+	f.Add(bytes.Replace(valid, []byte(`"bucket"`), []byte(`"bucket "`), 1))
+	f.Add(valid[:len(valid)/2]) // truncated mid-record
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Decode(bytes.NewReader(data)) // must not panic on any input
+		if err != nil {
+			return
+		}
+		// Whatever decoded must be safe to use...
+		_ = c.Weights()
+		_ = c.Violations()
+		for _, b := range c.Buckets() {
+			if b == nil {
+				t.Fatal("Buckets returned a nil bucket")
+			}
+		}
+		// ...and must round-trip to a byte-stable encoding.
+		var first bytes.Buffer
+		if err := c.Encode(&first); err != nil {
+			t.Fatalf("accepted store failed to encode: %v", err)
+		}
+		c2, err := Decode(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("own encoding failed to decode: %v\n%s", err, truncate(first.String()))
+		}
+		var second bytes.Buffer
+		if err := c2.Encode(&second); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("encode is not a fixpoint:\nfirst:\n%s\nsecond:\n%s",
+				truncate(first.String()), truncate(second.String()))
+		}
+	})
+}
+
+// truncate bounds failure-message payloads.
+func truncate(s string) string {
+	if len(s) > 2048 {
+		return s[:2048] + "…"
+	}
+	return strings.TrimRight(s, "\n")
+}

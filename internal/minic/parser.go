@@ -42,6 +42,15 @@ func (p *Parser) next() Token {
 	return t
 }
 
+// peek returns the token n positions ahead of the current one (peek(0) ==
+// cur), or an EOF token past the end of input.
+func (p *Parser) peek(n int) Token {
+	if p.pos+n >= len(p.toks) {
+		return Token{Kind: TokEOF}
+	}
+	return p.toks[p.pos+n]
+}
+
 func (p *Parser) is(text string) bool { return p.cur().Text == text && p.cur().Kind != TokEOF }
 
 func (p *Parser) accept(text string) bool {
@@ -162,7 +171,7 @@ func (p *Parser) parseFuncRest(prog *Program, ret Type, name Token, extern bool)
 	}
 	fd := &FuncDecl{Name: name.Text, Ret: ret, Line: name.Line, Opaque: extern}
 	if !p.is(")") {
-		if p.is("void") && p.toks[p.pos+1].Text == ")" {
+		if p.is("void") && p.peek(1).Text == ")" {
 			p.next()
 		} else {
 			for {
@@ -283,7 +292,7 @@ func (p *Parser) parseBlock() (*Block, error) {
 func (p *Parser) parseStmt() (Stmt, error) {
 	t := p.cur()
 	// Label: identifier followed by ':'.
-	if t.Kind == TokIdent && p.pos+1 < len(p.toks) && p.toks[p.pos+1].Text == ":" {
+	if t.Kind == TokIdent && p.peek(1).Text == ":" {
 		p.next()
 		p.next()
 		inner, err := p.parseStmt()

@@ -75,6 +75,13 @@ func GenerateProgram(seed int64) *minic.Program {
 // Render returns the canonical source of a program.
 func Render(prog *minic.Program) string { return minic.Render(prog) }
 
+// Fingerprint returns the canonical-source fingerprint of a program as a
+// fixed-width hex string — the identity the serving layer batches
+// requests on and stamps into every response.
+func Fingerprint(prog *minic.Program) string {
+	return fmt.Sprintf("%016x", minic.Fingerprint(prog))
+}
+
 // NativeDebugger returns the reference debugger of a family, configured
 // with the catalogued defects of its latest release.
 func NativeDebugger(f compiler.Family) debugger.Debugger {
