@@ -8,8 +8,10 @@ import (
 
 	"repro"
 	"repro/internal/compiler"
+	"repro/internal/conjecture"
 	"repro/internal/experiments"
 	"repro/internal/fuzzgen"
+	"repro/internal/minic"
 )
 
 // The benchmark harness regenerates every table and figure of the paper's
@@ -23,6 +25,10 @@ const (
 	benchTriagePrograms = 6
 	benchSeed           = 42
 )
+
+// crossValidateMatches sinks the legacy-baseline revalidation result of
+// BenchmarkCrossValidate so the comparison loop cannot be elided.
+var crossValidateMatches int
 
 func benchRunner() *experiments.Runner {
 	return experiments.NewRunner(pokeholes.NewEngine())
@@ -235,6 +241,95 @@ func BenchmarkSweepVsIndependentChecks(b *testing.B) {
 				}
 			}
 		}
+	})
+}
+
+// findViolatingSeed scans fuzzed programs for one whose check reports at
+// least one violation, so the cross-validation test and benchmark have
+// real work. Shared by TestCrossValidateSharesExecution and
+// BenchmarkCrossValidate so both probe the same corpus the same way.
+func findViolatingSeed(tb testing.TB, cfg pokeholes.Config) (*minic.Program, *pokeholes.Report) {
+	tb.Helper()
+	eng := pokeholes.NewEngine()
+	for seed := int64(1); seed < 200; seed++ {
+		prog := pokeholes.GenerateProgram(seed)
+		r, err := eng.Check(context.Background(), prog, cfg)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if len(r.Violations) > 0 {
+			return prog, r
+		}
+	}
+	tb.Fatal("no violating program in the probe seed range")
+	return nil, nil
+}
+
+// BenchmarkCrossValidate pins the tentpole claim end to end: the paper's
+// §4.2 pipeline checks a binary and cross-validates its violations in the
+// other debugger engine. The single-pass session layer records both engine
+// views from ONE VM execution; the legacy shape — still measurable through
+// the public facade — re-executes the binary under the second engine.
+// Both sub-benchmarks run on a fresh engine per iteration (cold caches)
+// and report their measured vm-executions/op: 1 vs 2 per binary.
+func BenchmarkCrossValidate(b *testing.B) {
+	cfg := pokeholes.Config{Family: pokeholes.GC, Version: "trunk", Level: "O2"}
+	prog, report := findViolatingSeed(b, cfg)
+	violations := report.Violations
+	ctx := context.Background()
+
+	b.Run("single-pass", func(b *testing.B) {
+		var executions int64
+		for i := 0; i < b.N; i++ {
+			eng := pokeholes.NewEngine()
+			if _, err := eng.Check(ctx, prog, cfg); err != nil {
+				b.Fatal(err)
+			}
+			for _, v := range violations {
+				if _, err := eng.CrossValidate(ctx, prog, cfg, v); err != nil {
+					b.Fatal(err)
+				}
+			}
+			executions += eng.Stats().Traces
+		}
+		b.ReportMetric(float64(executions)/float64(b.N), "vm-executions/op")
+	})
+	b.Run("two-pass-legacy", func(b *testing.B) {
+		// The pre-Recorder shape: one recorded execution for the check,
+		// then a second full execution under the other debugger engine.
+		other, err := pokeholes.DebuggerByName("lldb")
+		if err != nil {
+			b.Fatal(err)
+		}
+		var executions int64
+		for i := 0; i < b.N; i++ {
+			eng := pokeholes.NewEngine()
+			if _, err := eng.Check(ctx, prog, cfg); err != nil {
+				b.Fatal(err)
+			}
+			exe, err := eng.Compile(ctx, prog, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tr, err := pokeholes.RecordTrace(exe, other)
+			if err != nil {
+				b.Fatal(err)
+			}
+			facts := eng.Facts(prog)
+			revalidated := conjecture.CheckAll(facts, tr)
+			matched := 0
+			for _, v := range violations {
+				for _, got := range revalidated {
+					if got.Key() == v.Key() {
+						matched++
+						break
+					}
+				}
+			}
+			crossValidateMatches += matched
+			executions += eng.Stats().Traces + 1 // + the manual second pass
+		}
+		b.ReportMetric(float64(executions)/float64(b.N), "vm-executions/op")
 	})
 }
 

@@ -7,11 +7,19 @@
 //
 //	paperbench [-exp all|fig1|tab1|fig23|tab2|tab3|tab4|fig4|regress|matrix|hunt]
 //	           [-matrix] [-n 200] [-seed 1] [-workers 0] [-cache 4096] [-json]
+//	           [-bench-json BENCH_trace.json]
 //
 // -matrix (or -exp matrix) runs the full version × level grid of both
 // families as one Engine.Sweep matrix campaign per family: every program
 // is lowered exactly once for its whole grid. -exp hunt runs a budgeted
 // deduplicated Engine.Hunt and prints the unique-bugs-over-time curve.
+//
+// -bench-json FILE times the hot tracing paths — check, full-matrix sweep,
+// and check + cross-validate — on cold engine sessions and writes their
+// ns-per-op (plus the measured VM executions per cross-validated binary)
+// as JSON; CI runs it every push and uploads the file as the benchmark
+// trajectory artifact. Alone it runs only the benchmarks; combined with
+// -exp or -matrix it runs both.
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"testing"
 	"time"
 
 	"repro"
@@ -53,6 +62,7 @@ func main() {
 	workers := flag.Int("workers", 0, "campaign worker-pool size (0: GOMAXPROCS)")
 	cacheSize := flag.Int("cache", pokeholes.DefaultCacheSize, "compile-cache entries (0 disables)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable per-experiment results on stdout")
+	benchJSON := flag.String("bench-json", "", "write check/sweep/cross-validate ns-per-op to this file (alone: benchmarks only)")
 	flag.Parse()
 	// A bare -matrix means "just the matrix", not "everything plus the
 	// matrix"; an explicitly passed -exp selection (including "all") keeps
@@ -65,6 +75,16 @@ func main() {
 	})
 	if *matrix && !expSet {
 		*exp = "matrix"
+	}
+	if *benchJSON != "" {
+		if err := writeBenchTrace(*benchJSON); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "paperbench: wrote", *benchJSON)
+		// A bare -bench-json means "just the trajectory".
+		if !expSet && !*matrix {
+			return
+		}
 	}
 
 	var opts []pokeholes.Option
@@ -223,6 +243,110 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// benchRecordJSON is one timed probe of the tracing hot path.
+type benchRecordJSON struct {
+	Name    string `json:"name"`
+	NsPerOp int64  `json:"ns_per_op"`
+	Ops     int    `json:"ops"`
+	// VMExecutionsPerOp is the recorded executions one operation costs
+	// (cross_validate pins the single-pass contract: 1 per binary).
+	VMExecutionsPerOp float64 `json:"vm_executions_per_op,omitempty"`
+}
+
+// benchTraceJSON is the BENCH_trace.json schema CI uploads as the
+// benchmark trajectory artifact.
+type benchTraceJSON struct {
+	Benchmarks  []benchRecordJSON `json:"benchmarks"`
+	GeneratedAt string            `json:"generated_at"`
+}
+
+// writeBenchTrace times the tracing hot paths on cold engine sessions —
+// the seed of the benchmark trajectory (check, full-matrix sweep, and the
+// single-pass check + cross-validate) — and writes them as JSON.
+func writeBenchTrace(path string) error {
+	ctx := context.Background()
+	cfg := pokeholes.Config{Family: pokeholes.GC, Version: "trunk", Level: "O2"}
+	prog := pokeholes.GenerateProgram(7)
+	mx := pokeholes.FullMatrix(pokeholes.GC)
+
+	// A violating program gives cross-validation real work.
+	vProg := prog
+	var violations []pokeholes.Violation
+	for seed := int64(1); seed < 200 && len(violations) == 0; seed++ {
+		p := pokeholes.GenerateProgram(seed)
+		r, err := pokeholes.NewEngine().Check(ctx, p, cfg)
+		if err != nil {
+			return err
+		}
+		if len(r.Violations) > 0 {
+			vProg, violations = p, r.Violations
+		}
+	}
+	crossValidate := func(eng *pokeholes.Engine) error {
+		if _, err := eng.Check(ctx, vProg, cfg); err != nil {
+			return err
+		}
+		for _, v := range violations {
+			if _, err := eng.CrossValidate(ctx, vProg, cfg, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// The executions-per-binary metric, measured outside the timing loop
+	// (it is deterministic).
+	probe := pokeholes.NewEngine()
+	if err := crossValidate(probe); err != nil {
+		return err
+	}
+	executionsPerOp := float64(probe.Stats().Traces)
+
+	probes := []struct {
+		name  string
+		perOp float64
+		run   func(b *testing.B)
+	}{
+		{"check", 0, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := pokeholes.NewEngine().Check(ctx, prog, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"sweep", 0, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := pokeholes.NewEngine().Sweep(ctx, prog, mx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"cross_validate", executionsPerOp, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := crossValidate(pokeholes.NewEngine()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+	out := benchTraceJSON{GeneratedAt: time.Now().UTC().Format(time.RFC3339)}
+	for _, p := range probes {
+		r := testing.Benchmark(p.run)
+		out.Benchmarks = append(out.Benchmarks, benchRecordJSON{
+			Name: p.name, NsPerOp: r.NsPerOp(), Ops: r.N, VMExecutionsPerOp: p.perOp})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

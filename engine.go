@@ -49,6 +49,10 @@ type Engine struct {
 	stepBudget int                       // VM steps per recorded execution; 0 = vm.DefaultMaxStep
 	cache      *cache.Cache[string, any] // nil when caching is disabled
 	debuggers  map[Family]Debugger
+	// crossdbg holds, per family, the §4.2 cross-validation counterpart of
+	// the configured debugger. Every trace records both engines' views in
+	// one VM execution, so CrossValidate never re-executes the binary.
+	crossdbg map[Family]Debugger
 
 	frontends atomic.Int64
 	compiles  atomic.Int64
@@ -106,12 +110,25 @@ func NewEngine(opts ...Option) *Engine {
 	if e.cacheSize != 0 {
 		e.cache = cache.New[string, any](e.cacheSize)
 	}
+	e.crossdbg = map[Family]Debugger{}
 	for _, f := range []Family{GC, CL} {
 		if _, ok := e.debuggers[f]; !ok {
 			e.debuggers[f] = NativeDebugger(f)
 		}
+		e.crossdbg[f] = crossEngineOf(e.debuggers[f])
 	}
 	return e
+}
+
+// crossEngineOf returns the other debugger engine relative to d — the one
+// §4.2 cross-validation checks against. "Other" is relative to the
+// engine's configured debugger, so a WithDebugger override flips the
+// comparison too.
+func crossEngineOf(d Debugger) Debugger {
+	if d.Name() == "gdb" {
+		return debugger.NewLLDB(compiler.DebuggerDefects("lldb"))
+	}
+	return debugger.NewGDB(compiler.DebuggerDefects("gdb"))
 }
 
 var (
@@ -135,7 +152,9 @@ type EngineStats struct {
 	// (cache misses and uncacheable builds such as triage's knob-twiddling
 	// variants). The config-invariant frontend is counted separately.
 	Compiles int64 `json:"compiles"`
-	// Traces counts actual debugger sessions recorded.
+	// Traces counts actual recorded VM executions. One execution serves
+	// every engine view of its session (Check and CrossValidate of one
+	// build share a single execution).
 	Traces int64 `json:"traces"`
 	// CacheHits and CacheMisses count lookups across the compile, analysis
 	// and trace caches; CacheEntries is the current resident count.
@@ -280,26 +299,34 @@ func (e *Engine) facts(ctx context.Context, prog *minic.Program) (*analysis.Fact
 	return v.(*analysis.Facts), nil
 }
 
-// record runs one debugger session over exe under the engine's step budget.
-func (e *Engine) record(exe *object.Executable, dbg Debugger) (*Trace, error) {
+// record runs one single-pass debugger session over exe under the
+// engine's step budget: the VM executes once and every given engine
+// builds its view at each stop. Traces counts these executions.
+func (e *Engine) record(exe *object.Executable, dbgs ...Debugger) (*debugger.MultiTrace, error) {
 	e.records.Add(1)
-	return debugger.RecordWith(exe, dbg, debugger.RecordOpts{StepBudget: e.stepBudget})
+	rec, err := debugger.NewRecorder(exe, debugger.RecordOpts{StepBudget: e.stepBudget}, dbgs...)
+	if err != nil {
+		return nil, err
+	}
+	return rec.Run()
 }
 
 // traceFrom compiles cfg's build over a lowered module (nil = the cached
-// frontend of prog) and records the debugging session under dbg, cached by
-// (fingerprint, configuration, debugger). srcKey follows the compileFrom
-// convention.
-func (e *Engine) traceFrom(ctx context.Context, mod *ir.Module, srcKey string, prog *minic.Program, cfg Config, dbg Debugger) (*Trace, error) {
+// frontend of prog) and records the debugging session once, cached by
+// (fingerprint, configuration) — no debugger component: the value is a
+// MultiTrace whose view 0 is the family's configured debugger and view 1
+// the §4.2 cross-validation engine, both recorded from the same single VM
+// execution. srcKey follows the compileFrom convention.
+func (e *Engine) traceFrom(ctx context.Context, mod *ir.Module, srcKey string, prog *minic.Program, cfg Config) (*debugger.MultiTrace, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	record := func() (*Trace, error) {
+	record := func() (*debugger.MultiTrace, error) {
 		res, err := e.compileFrom(ctx, mod, srcKey, prog, cfg, compiler.Options{})
 		if err != nil {
 			return nil, err
 		}
-		return e.record(res.Exe, dbg)
+		return e.record(res.Exe, e.debuggers[cfg.Family], e.crossdbg[cfg.Family])
 	}
 	if e.cache == nil {
 		return record()
@@ -307,17 +334,22 @@ func (e *Engine) traceFrom(ctx context.Context, mod *ir.Module, srcKey string, p
 	if srcKey == "" {
 		srcKey = sourceKey(prog)
 	}
-	key := fmt.Sprintf("trace|%s|%s|%s|%s|%s", srcKey, cfg.Family, cfg.Version, cfg.Level, dbg.Name())
+	key := fmt.Sprintf("trace|%s|%s|%s|%s", srcKey, cfg.Family, cfg.Version, cfg.Level)
 	v, err := e.cache.GetOrComputeCtx(ctx, key, func() (any, error) { return record() })
 	if err != nil {
 		return nil, err
 	}
-	return v.(*Trace), nil
+	return v.(*debugger.MultiTrace), nil
 }
 
-// trace is traceFrom on the cached frontend.
-func (e *Engine) trace(ctx context.Context, prog *minic.Program, cfg Config, dbg Debugger) (*Trace, error) {
-	return e.traceFrom(ctx, nil, "", prog, cfg, dbg)
+// trace returns the configured debugger's view of the (cached) single-pass
+// session of prog under cfg.
+func (e *Engine) trace(ctx context.Context, prog *minic.Program, cfg Config) (*Trace, error) {
+	mt, err := e.traceFrom(ctx, nil, "", prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return mt.Views[0], nil
 }
 
 // Compile builds prog under cfg and returns the executable, reusing a
@@ -345,13 +377,20 @@ func (e *Engine) CompileResult(ctx context.Context, prog *minic.Program, cfg Con
 // Trace compiles prog under cfg and records the session under the
 // engine's debugger for the family (the paper's §4.2 trace).
 func (e *Engine) Trace(ctx context.Context, prog *minic.Program, cfg Config) (*Trace, error) {
-	return e.trace(ctx, prog, cfg, e.debuggers[cfg.Family])
+	return e.trace(ctx, prog, cfg)
+}
+
+// TraceAll compiles prog under cfg and returns both engine views — the
+// family's configured debugger and the §4.2 cross-validation engine — of
+// the binary's one recorded execution.
+func (e *Engine) TraceAll(ctx context.Context, prog *minic.Program, cfg Config) (*debugger.MultiTrace, error) {
+	return e.traceFrom(ctx, nil, "", prog, cfg)
 }
 
 // Check runs the full single-configuration pipeline: compile, trace under
 // the family's debugger, and test the three conjectures.
 func (e *Engine) Check(ctx context.Context, prog *minic.Program, cfg Config) (*Report, error) {
-	tr, err := e.trace(ctx, prog, cfg, e.debuggers[cfg.Family])
+	tr, err := e.trace(ctx, prog, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -369,12 +408,11 @@ func (e *Engine) Check(ctx context.Context, prog *minic.Program, cfg Config) (*R
 func (e *Engine) Measure(ctx context.Context, prog *minic.Program, cfg Config) (Metrics, error) {
 	refCfg := cfg
 	refCfg.Level = "O0"
-	dbg := e.debuggers[cfg.Family]
-	ref, err := e.trace(ctx, prog, refCfg, dbg)
+	ref, err := e.trace(ctx, prog, refCfg)
 	if err != nil {
 		return Metrics{}, err
 	}
-	tr, err := e.trace(ctx, prog, cfg, dbg)
+	tr, err := e.trace(ctx, prog, cfg)
 	if err != nil {
 		return Metrics{}, err
 	}
@@ -420,18 +458,15 @@ func (e *Engine) ClassifyDWARF(ctx context.Context, prog *minic.Program, cfg Con
 // (§4.2): a violation that disappears there points at the checking
 // debugger rather than the compiler. "Other" is relative to the engine's
 // configured debugger for the family, so a WithDebugger override flips
-// the comparison too.
+// the comparison too. The other engine's view was recorded alongside the
+// primary one in the binary's single execution, so cross-validating after
+// a Check re-runs nothing — it reads the second view of the same session.
 func (e *Engine) CrossValidate(ctx context.Context, prog *minic.Program, cfg Config, v Violation) (bool, error) {
-	var other Debugger
-	if e.debuggers[cfg.Family].Name() == "gdb" {
-		other = debugger.NewLLDB(compiler.DebuggerDefects("lldb"))
-	} else {
-		other = debugger.NewGDB(compiler.DebuggerDefects("gdb"))
-	}
-	tr, err := e.trace(ctx, prog, cfg, other)
+	mt, err := e.traceFrom(ctx, nil, "", prog, cfg)
 	if err != nil {
 		return false, err
 	}
+	tr := mt.Views[1]
 	facts, err := e.facts(ctx, prog)
 	if err != nil {
 		return false, err

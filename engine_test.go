@@ -224,6 +224,51 @@ func TestCampaignSpecValidation(t *testing.T) {
 	}
 }
 
+// TestCrossValidateSharesExecution pins the single-pass contract of the
+// Recorder refactor: Check records ONE VM execution whose session carries
+// both debugger views, and a subsequent CrossValidate of any violation
+// reads the second view instead of re-executing — the old implementation
+// needed 2 executions per binary, the new one needs 1.
+func TestCrossValidateSharesExecution(t *testing.T) {
+	ctx := context.Background()
+	cfg := pokeholes.Config{Family: pokeholes.GC, Version: "trunk", Level: "O2"}
+	// A program with at least one violation makes the cross-validation
+	// meaningful (probe shared with BenchmarkCrossValidate).
+	prog, report := findViolatingSeed(t, cfg)
+
+	eng := pokeholes.NewEngine()
+	if _, err := eng.Check(ctx, prog, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Stats().Traces; got != 1 {
+		t.Fatalf("Check recorded %d executions, want 1", got)
+	}
+	for _, v := range report.Violations {
+		if _, err := eng.CrossValidate(ctx, prog, cfg, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := eng.Stats().Traces; got != 1 {
+		t.Errorf("Check + CrossValidate recorded %d executions, want 1 (single pass)", got)
+	}
+
+	// Both views are exposed through TraceAll, and the primary view is
+	// exactly what Check reported on.
+	mt, err := eng.TraceAll(ctx, prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mt.Views) != 2 || mt.Views[0] == mt.Views[1] {
+		t.Fatalf("TraceAll: want 2 distinct views, got %v", mt.Engines)
+	}
+	if !reflect.DeepEqual(mt.Views[0], report.Trace) {
+		t.Error("TraceAll primary view differs from the Check trace")
+	}
+	if got := eng.Stats().Traces; got != 1 {
+		t.Errorf("TraceAll re-recorded: %d executions, want 1", got)
+	}
+}
+
 // TestMeasureSharesReference asserts that measuring two levels of one
 // program traces the O0 reference only once.
 func TestMeasureSharesReference(t *testing.T) {

@@ -271,11 +271,14 @@ func (e *Engine) Hunt(ctx context.Context, spec HuntSpec) (*HuntReport, error) {
 				}
 				// §4.2 cross-validation, once per bucket: a violation
 				// that disappears under the other debugger engine points
-				// at the checking debugger rather than the compiler. It
-				// runs outside the hunt's cancellation (one bounded
-				// compile + trace) so a bucket persisted by a mid-batch
-				// interrupt carries the same verdict as in an
-				// uninterrupted hunt.
+				// at the checking debugger rather than the compiler. The
+				// other engine's view was recorded in the same single VM
+				// execution the check traced, so on a caching engine this
+				// reads the cached session's second view — no re-run. It
+				// runs outside the hunt's cancellation (at worst one
+				// bounded compile + trace on a cache-disabled engine) so
+				// a bucket persisted by a mid-batch interrupt carries the
+				// same verdict as in an uninterrupted hunt.
 				if also, cvErr := e.CrossValidate(context.WithoutCancel(ctx), res.Prog, cfg, v); cvErr == nil && !also {
 					b.DebuggerSuspect = true
 				}

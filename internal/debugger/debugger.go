@@ -3,13 +3,17 @@
 // the scope-resolution core but differing in the catalogued quirks the
 // paper exposed (empty location ranges, abstract-origin-only locations, and
 // concrete/abstract structural mismatches for inlined subroutines).
+//
+// Sessions are single-pass: a Recorder executes the VM once per binary and
+// fans every first-hit stop out to all registered engines, inspecting
+// through a StopPlan precompiled at session setup, so per-stop work is
+// register/memory reads rather than DWARF walks.
 package debugger
 
 import (
 	"fmt"
 	"sort"
 
-	"repro/internal/asm"
 	"repro/internal/bugs"
 	"repro/internal/dwarf"
 	"repro/internal/object"
@@ -48,10 +52,35 @@ type Stop struct {
 	// falls inside an inlined subroutine).
 	Frame string
 	Vars  []Variable
+
+	// byName indexes Vars by name on variable-heavy stops (see
+	// varIndexMin); Var falls back to the linear scan when the index is
+	// absent or stale.
+	byName map[string]int
+}
+
+// varIndexMin is the Vars count at which a recorded stop gets a
+// map-backed name index; below it the linear scan wins.
+const varIndexMin = 8
+
+// index builds the name lookup map for variable-heavy stops. Iterating
+// backwards makes the first occurrence of a duplicated name win, matching
+// the linear scan.
+func (s *Stop) index() {
+	if len(s.Vars) < varIndexMin {
+		return
+	}
+	s.byName = make(map[string]int, len(s.Vars))
+	for i := len(s.Vars) - 1; i >= 0; i-- {
+		s.byName[s.Vars[i].Name] = i
+	}
 }
 
 // Var returns the named variable's presentation, defaulting to NotVisible.
 func (s *Stop) Var(name string) Variable {
+	if i, ok := s.byName[name]; ok && i < len(s.Vars) && s.Vars[i].Name == name {
+		return s.Vars[i]
+	}
 	for _, v := range s.Vars {
 		if v.Name == name {
 			return v
@@ -66,6 +95,17 @@ type Debugger interface {
 	Name() string
 	// Inspect builds the stop presentation for the machine's current pc.
 	Inspect(exe *object.Executable, m *vm.Machine) (*Stop, error)
+}
+
+// Inspector is a Debugger that can inspect a stop through a precompiled
+// StopPlan entry instead of walking DWARF. Both built-in engines implement
+// it; the Recorder takes the fast path whenever it is available and falls
+// back to per-stop Inspect for foreign Debugger implementations.
+type Inspector interface {
+	Debugger
+	// InspectAt builds the stop presentation from a precompiled recipe,
+	// performing only register/memory reads against the machine.
+	InspectAt(ps *PlannedStop, m *vm.Machine) *Stop
 }
 
 // engine is the shared implementation; quirks are toggled per debugger.
@@ -91,131 +131,69 @@ func (e *engine) Name() string { return e.name }
 
 func (e *engine) defect(id string) bool { return e.defects[id] }
 
-// Inspect implements Debugger.
+// Inspect implements Debugger. It compiles a one-off plan for the current
+// pc; session code should plan once per executable (PlanStops or a
+// Recorder) so per-stop inspection skips the DWARF walk and the debug-info
+// fetch entirely.
 func (e *engine) Inspect(exe *object.Executable, m *vm.Machine) (*Stop, error) {
 	info, err := exe.DebugInfo()
 	if err != nil {
 		return nil, err
 	}
-	pc := uint32(m.PC)
-	stop := &Stop{PC: pc, Line: info.PCToLine(pc)}
-	sub := info.Subprogram(pc)
-	if sub == nil {
-		return stop, nil
-	}
-	chain := info.InlineChainAt(pc)
-	scope := sub
-	stop.Frame = sub.Name
-	if len(chain) > 0 {
-		scope = chain[len(chain)-1]
-		stop.Frame = scope.Name
-	}
-	// Collect the variables of the innermost frame's scope.
-	dies := e.scopeVariables(info, scope, pc)
-	for _, d := range dies {
-		v := Variable{Name: d.Name}
-		v.State, v.Value = e.resolve(info, d, pc, m)
+	return e.InspectAt(planStop(info, uint32(m.PC)), m), nil
+}
+
+// InspectAt implements Inspector: the engine's quirks are applied as flag
+// checks over the precompiled recipe, and every variable resolves by a
+// direct register/memory read.
+func (e *engine) InspectAt(ps *PlannedStop, m *vm.Machine) *Stop {
+	stop := &Stop{PC: ps.PC, Line: ps.Line, Frame: ps.Frame}
+	for i := range ps.Vars {
+		pv := &ps.Vars[i]
+		if pv.BlockMismatch && e.defect(bugs.GDBConcreteMismatch) {
+			// gdb 29060: the concrete instance nests the variable in a
+			// lexical block the abstract instance lacks; the mismatch makes
+			// gdb drop the variable.
+			continue
+		}
+		v := Variable{Name: pv.Name}
+		v.State, v.Value = e.resolve(pv, m)
 		stop.Vars = append(stop.Vars, v)
 	}
 	sort.Slice(stop.Vars, func(i, j int) bool { return stop.Vars[i].Name < stop.Vars[j].Name })
-	return stop, nil
+	stop.index()
+	return stop
 }
 
-// scopeVariables lists the variable DIEs of a frame scope at pc, descending
-// into lexical blocks that are in scope.
-func (e *engine) scopeVariables(info *dwarf.Info, scope *dwarf.DIE, pc uint32) []*dwarf.DIE {
-	var out []*dwarf.DIE
-	var walk func(d *dwarf.DIE, inBlock bool)
-	walk = func(d *dwarf.DIE, inBlock bool) {
-		for _, c := range d.Children {
-			switch c.Tag {
-			case dwarf.TagVariable, dwarf.TagFormalParameter:
-				if inBlock && e.defect(bugs.GDBConcreteMismatch) && e.mismatched(info, c) {
-					// gdb 29060: the concrete instance nests the variable
-					// in a lexical block the abstract instance lacks; the
-					// mismatch makes gdb drop the variable.
-					continue
-				}
-				out = append(out, c)
-			case dwarf.TagLexicalBlock:
-				if c.CoversPC(pc) || len(c.Ranges) == 0 {
-					walk(c, true)
-				}
-			}
-		}
+// resolve evaluates a planned variable against machine state.
+func (e *engine) resolve(pv *PlannedVar, m *vm.Machine) (VarState, int64) {
+	if pv.Const != nil {
+		return Available, *pv.Const
 	}
-	walk(scope, false)
-	return out
-}
-
-// mismatched reports a concrete/abstract structural asymmetry for a
-// variable: the concrete DIE sits in a lexical block while its abstract
-// origin does not (or vice versa would also qualify; this direction is the
-// one the compiler emits).
-func (e *engine) mismatched(info *dwarf.Info, d *dwarf.DIE) bool {
-	if d.AbstractOrigin == 0 {
-		return false
+	if pv.EmptyDerail && e.defect(bugs.GDBEmptyRange) {
+		// gdb 28987: an empty range derails the location-list scan.
+		return OptimizedOut, 0
 	}
-	org := info.ByID(d.AbstractOrigin)
-	if org == nil {
-		return false
-	}
-	// The abstract variable's parent must be the abstract subprogram, i.e.
-	// flat structure; the concrete one is inside a block, hence mismatch.
-	parent := parentOf(info.CU, org)
-	return parent != nil && parent.Tag == dwarf.TagSubprogram
-}
-
-func parentOf(root, target *dwarf.DIE) *dwarf.DIE {
-	var found *dwarf.DIE
-	var walk func(d *dwarf.DIE)
-	walk = func(d *dwarf.DIE) {
-		for _, c := range d.Children {
-			if c == target {
-				found = d
-				return
-			}
-			walk(c)
-		}
-	}
-	walk(root)
-	return found
-}
-
-// resolve evaluates a variable DIE's value at pc against machine state.
-func (e *engine) resolve(info *dwarf.Info, d *dwarf.DIE, pc uint32, m *vm.Machine) (VarState, int64) {
-	if d.ConstValue != nil {
-		return Available, *d.ConstValue
-	}
-	for _, r := range d.Loc {
-		if r.Lo == r.Hi && e.defect(bugs.GDBEmptyRange) {
-			// gdb 28987: an empty range derails the location-list scan.
-			return OptimizedOut, 0
-		}
-		if !r.Covers(pc) {
-			continue
-		}
-		switch r.Kind {
+	if pv.HasLoc {
+		switch pv.LocKind {
 		case dwarf.LocConst:
-			return Available, r.Value
+			return Available, pv.LocValue
 		case dwarf.LocReg:
-			if v, ok := m.ReadReg(asm.RegOf(int(r.Value))); ok {
+			if v, ok := m.ReadReg(int(pv.LocValue)); ok {
 				return Available, v
 			}
 			return OptimizedOut, 0
 		case dwarf.LocSlot:
-			if v, ok := m.ReadSlot(int(r.Value)); ok {
+			if v, ok := m.ReadSlot(int(pv.LocValue)); ok {
 				return Available, v
 			}
 			return OptimizedOut, 0
 		}
 	}
-	// No covering plain location: consult the abstract origin, whose
-	// constant value is legitimate DWARF that lldb's engine cannot use.
-	if d.AbstractOrigin != 0 && !e.defect(bugs.LLDBAbstractOnly) {
-		if org := info.ByID(d.AbstractOrigin); org != nil && org.ConstValue != nil {
-			return Available, *org.ConstValue
-		}
+	// No covering plain location: the abstract origin's constant value is
+	// legitimate DWARF that lldb's engine cannot use.
+	if pv.AbstractConst != nil && !e.defect(bugs.LLDBAbstractOnly) {
+		return Available, *pv.AbstractConst
 	}
 	return OptimizedOut, 0
 }

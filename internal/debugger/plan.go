@@ -1,0 +1,211 @@
+package debugger
+
+// A StopPlan is the per-executable precompilation of everything a
+// debugging session needs at each breakpoint address. The DWARF walks that
+// the monolithic record loop used to repeat at every stop — subprogram
+// lookup, inline-chain resolution, scope descent, location-list scans,
+// abstract-origin chasing — depend only on the pc, never on machine state,
+// so they are hoisted to session setup: PlanStops runs them once per
+// line-table address and lowers each variable to a direct read recipe.
+// After a breakpoint fires, inspection degrades to register/memory reads
+// plus the per-engine defect toggles.
+
+import (
+	"repro/internal/asm"
+	"repro/internal/dwarf"
+	"repro/internal/object"
+)
+
+// PlannedVar is one potentially visible variable of a planned stop, its
+// DWARF resolution lowered to direct machine reads. The defect surfaces
+// the engines toggle on (empty-range derail, abstract-only fallback,
+// block mismatch) are precomputed as flags; which of them fire is decided
+// per engine at inspection time.
+type PlannedVar struct {
+	Name string
+	// Const is the whole-lifetime DW_AT_const_value (nil when absent);
+	// when set, resolution short-circuits to Available.
+	Const *int64
+	// EmptyDerail records that an empty location range precedes the
+	// covering entry in the location-list scan at this pc — the surface of
+	// gdb 28987 (bugs.GDBEmptyRange).
+	EmptyDerail bool
+	// HasLoc marks a location entry covering the pc; LocKind and LocValue
+	// are its lowered form. For LocReg the value is already mapped through
+	// asm.RegOf, so inspection is a bare register read.
+	HasLoc   bool
+	LocKind  dwarf.LocKind
+	LocValue int64
+	// AbstractConst is the abstract origin's DW_AT_const_value fallback —
+	// legitimate DWARF the lldb engine cannot use (bugs.LLDBAbstractOnly).
+	AbstractConst *int64
+	// BlockMismatch records the concrete/abstract structural asymmetry of
+	// gdb 29060: the concrete DIE sits in a lexical block its abstract
+	// origin lacks (bugs.GDBConcreteMismatch drops such variables).
+	BlockMismatch bool
+}
+
+// PlannedStop is the precompiled inspection recipe for one breakpoint pc:
+// the resolved line, the innermost frame (an inlined callee when the pc
+// falls inside an inlined subroutine), and the visible-variable list in
+// scope-walk order.
+type PlannedStop struct {
+	PC    uint32
+	Line  int
+	Frame string
+	Vars  []PlannedVar
+}
+
+// StopPlan maps every breakpoint address of one executable to its
+// precompiled stop recipe. It is engine-independent — the same plan
+// serves the gdb-like and lldb-like engines, whose catalogued quirks are
+// applied as cheap flag checks during inspection — and read-only after
+// construction, so one plan may back concurrent sessions.
+type StopPlan struct {
+	// Info is the decoded debug information the plan was compiled from.
+	Info *dwarf.Info
+	// Stops keys each line-table address to its recipe.
+	Stops map[uint32]*PlannedStop
+
+	steppable map[int]bool // master copy; each trace view gets a clone
+	nLines    int
+}
+
+// PlanStops returns the stop plan of exe, compiling it on first use: the
+// debug information is decoded once (session setup, not per stop) and
+// every line-table address gets its resolved subprogram, inline chain,
+// variable list, and lowered location steps. The plan is cached on the
+// executable — it is read-only and engine-independent — so every later
+// session over the same (possibly engine-cache-shared) binary skips the
+// precompilation entirely.
+func PlanStops(exe *object.Executable) (*StopPlan, error) {
+	v, err := exe.SessionArtifact(func() (any, error) { return compilePlan(exe) })
+	if err != nil {
+		return nil, err
+	}
+	if p, ok := v.(*StopPlan); ok {
+		return p, nil
+	}
+	// Another subsystem claimed the executable's artifact slot first:
+	// fall back to an uncached plan rather than fighting over it.
+	return compilePlan(exe)
+}
+
+func compilePlan(exe *object.Executable) (*StopPlan, error) {
+	info, err := exe.DebugInfo()
+	if err != nil {
+		return nil, err
+	}
+	p := &StopPlan{Info: info, Stops: make(map[uint32]*PlannedStop, len(info.Lines)),
+		steppable: info.SteppableLines(), nLines: info.NLines}
+	for _, e := range info.Lines {
+		if _, ok := p.Stops[e.PC]; ok {
+			continue
+		}
+		p.Stops[e.PC] = planStop(info, e.PC)
+	}
+	return p, nil
+}
+
+// planStop resolves one pc: subprogram, inline chain, and the variables of
+// the innermost frame's scope, descending into lexical blocks that are in
+// scope at the pc.
+func planStop(info *dwarf.Info, pc uint32) *PlannedStop {
+	ps := &PlannedStop{PC: pc, Line: info.PCToLine(pc)}
+	sub := info.Subprogram(pc)
+	if sub == nil {
+		return ps
+	}
+	chain := info.InlineChainAt(pc)
+	scope := sub
+	ps.Frame = sub.Name
+	if len(chain) > 0 {
+		scope = chain[len(chain)-1]
+		ps.Frame = scope.Name
+	}
+	var walk func(d *dwarf.DIE, inBlock bool)
+	walk = func(d *dwarf.DIE, inBlock bool) {
+		for _, c := range d.Children {
+			switch c.Tag {
+			case dwarf.TagVariable, dwarf.TagFormalParameter:
+				ps.Vars = append(ps.Vars, planVar(info, c, pc, inBlock))
+			case dwarf.TagLexicalBlock:
+				if c.CoversPC(pc) || len(c.Ranges) == 0 {
+					walk(c, true)
+				}
+			}
+		}
+	}
+	walk(scope, false)
+	return ps
+}
+
+// planVar lowers one variable DIE's resolution at pc. The location list is
+// scanned in order, mirroring the engines' scan: an empty range seen
+// before the first covering entry is recorded as a derail point (it ends
+// the scan of an engine with the empty-range defect), and the first
+// covering entry wins.
+func planVar(info *dwarf.Info, d *dwarf.DIE, pc uint32, inBlock bool) PlannedVar {
+	v := PlannedVar{Name: d.Name, Const: d.ConstValue}
+	for _, r := range d.Loc {
+		if v.HasLoc {
+			break
+		}
+		if r.Lo == r.Hi {
+			v.EmptyDerail = true
+			continue
+		}
+		if !r.Covers(pc) {
+			continue
+		}
+		v.HasLoc = true
+		v.LocKind = r.Kind
+		v.LocValue = r.Value
+		if r.Kind == dwarf.LocReg {
+			v.LocValue = int64(asm.RegOf(int(r.Value)))
+		}
+	}
+	if d.AbstractOrigin != 0 {
+		if org := info.ByID(d.AbstractOrigin); org != nil {
+			v.AbstractConst = org.ConstValue
+		}
+	}
+	if inBlock {
+		v.BlockMismatch = mismatched(info, d)
+	}
+	return v
+}
+
+// mismatched reports a concrete/abstract structural asymmetry for a
+// variable: the concrete DIE sits in a lexical block while its abstract
+// origin does not (or vice versa would also qualify; this direction is the
+// one the compiler emits).
+func mismatched(info *dwarf.Info, d *dwarf.DIE) bool {
+	if d.AbstractOrigin == 0 {
+		return false
+	}
+	org := info.ByID(d.AbstractOrigin)
+	if org == nil {
+		return false
+	}
+	// The abstract variable's parent must be the abstract subprogram, i.e.
+	// flat structure; the concrete one is inside a block, hence mismatch.
+	parent := parentOf(info.CU, org)
+	return parent != nil && parent.Tag == dwarf.TagSubprogram
+}
+
+func parentOf(root, target *dwarf.DIE) *dwarf.DIE {
+	var found *dwarf.DIE
+	var walk func(d *dwarf.DIE)
+	walk = func(d *dwarf.DIE) {
+		for _, c := range d.Children {
+			if c == target {
+				found = d
+				return
+			}
+			walk(c)
+		}
+	}
+	walk(root)
+	return found
+}

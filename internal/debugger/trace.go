@@ -1,11 +1,9 @@
 package debugger
 
 import (
-	"fmt"
 	"sort"
 
 	"repro/internal/object"
-	"repro/internal/vm"
 )
 
 // Trace is the per-line record of one debugging session: for every source
@@ -24,7 +22,7 @@ type Trace struct {
 
 // HitLines returns the executed lines in ascending order.
 func (t *Trace) HitLines() []int {
-	var out []int
+	out := make([]int, 0, len(t.Stops))
 	for l := range t.Stops {
 		out = append(out, l)
 	}
@@ -41,52 +39,22 @@ type RecordOpts struct {
 // Record runs the executable under the given debugger: it arms one-time
 // breakpoints on every line-table address and records the first stop per
 // source line, exactly like the paper's checking pipeline (§4.2).
+//
+// It is a single-engine Recorder session; to trace several engines from
+// one execution, use NewRecorder directly.
 func Record(exe *object.Executable, dbg Debugger) (*Trace, error) {
 	return RecordWith(exe, dbg, RecordOpts{})
 }
 
 // RecordWith is Record with session options.
 func RecordWith(exe *object.Executable, dbg Debugger, o RecordOpts) (*Trace, error) {
-	info, err := exe.DebugInfo()
+	rec, err := NewRecorder(exe, o, dbg)
 	if err != nil {
 		return nil, err
 	}
-	t := &Trace{Stops: map[int]*Stop{}, Steppable: info.SteppableLines(), NLines: info.NLines}
-	m, err := vm.New(exe.Prog)
+	mt, err := rec.Run()
 	if err != nil {
 		return nil, err
 	}
-	if o.StepBudget > 0 {
-		m.MaxStep = o.StepBudget
-	}
-	for _, e := range info.Lines {
-		m.SetBreak(int(e.PC))
-	}
-	for {
-		hit, err := m.Continue()
-		if err != nil {
-			return nil, fmt.Errorf("debugger: execution failed: %w", err)
-		}
-		if !hit {
-			break
-		}
-		line := info.PCToLine(uint32(m.PC))
-		if line == 0 || t.Stops[line] != nil {
-			// Not the first hit of this line: resume (the breakpoint was
-			// one-shot, so the cost is bounded).
-			if err := m.Step(); err != nil {
-				return nil, err
-			}
-			continue
-		}
-		stop, err := dbg.Inspect(exe, m)
-		if err != nil {
-			return nil, err
-		}
-		t.Stops[line] = stop
-		if err := m.Step(); err != nil {
-			return nil, err
-		}
-	}
-	return t, nil
+	return mt.Views[0], nil
 }

@@ -23,6 +23,10 @@ type Executable struct {
 	once      sync.Once
 	cached    *dwarf.Info
 	cachedErr error
+
+	sessionOnce sync.Once
+	session     any
+	sessionErr  error
 }
 
 // New bundles a program with its debug information.
@@ -36,4 +40,16 @@ func (e *Executable) DebugInfo() (*dwarf.Info, error) {
 		e.cached, e.cachedErr = dwarf.Decode(e.DebugSection)
 	})
 	return e.cached, e.cachedErr
+}
+
+// SessionArtifact caches one lazily built, read-only session artifact
+// alongside the decoded debug information — the debugger's precompiled
+// stop plan. The builder runs at most once per executable (first caller
+// wins; the artifact must not depend on caller state), so repeated
+// sessions over a shared executable pay the precompilation once.
+func (e *Executable) SessionArtifact(build func() (any, error)) (any, error) {
+	e.sessionOnce.Do(func() {
+		e.session, e.sessionErr = build()
+	})
+	return e.session, e.sessionErr
 }

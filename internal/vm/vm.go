@@ -149,6 +149,31 @@ func (m *Machine) Continue() (bool, error) {
 	return false, nil
 }
 
+// ForEachStop is the stop-event hook of a recording session: it drives
+// execution breakpoint to breakpoint, invoking onStop at every armed
+// breakpoint hit (with the machine stopped on the breakpoint pc), then
+// stepping over the stop and resuming, until the program halts. It returns
+// the first error from Continue, Step or onStop. Continue and Step
+// themselves are unchanged; this only packages their loop so sessions
+// observe stops without reimplementing it.
+func (m *Machine) ForEachStop(onStop func() error) error {
+	for {
+		hit, err := m.Continue()
+		if err != nil {
+			return err
+		}
+		if !hit {
+			return nil
+		}
+		if err := onStop(); err != nil {
+			return err
+		}
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+}
+
 // Run executes to completion, ignoring breakpoints.
 func (m *Machine) Run() error {
 	m.ClearBreaks()

@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/codegen"
@@ -161,5 +162,47 @@ int main(void) {
 	}
 	if mach.Exit != 131 {
 		t.Errorf("exit = %d, want 131", mach.Exit)
+	}
+}
+
+func TestForEachStop(t *testing.T) {
+	_, mach := build(t, `
+int main(void) {
+  int x = 1;
+  x = x + 1;
+  x = x + 1;
+  return x;
+}`)
+	// Arm a breakpoint on every instruction; the hook must fire once per
+	// armed pc in execution order, with the machine stopped on that pc.
+	for pc := range mach.Prog.Instrs {
+		mach.SetBreak(pc)
+	}
+	var stops []int
+	if err := mach.ForEachStop(func() error {
+		stops = append(stops, mach.PC)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !mach.Halted || mach.Exit != 3 {
+		t.Fatalf("halted=%v exit=%d, want halted with exit 3", mach.Halted, mach.Exit)
+	}
+	if len(stops) == 0 {
+		t.Fatal("no stops observed")
+	}
+	for i := 1; i < len(stops); i++ {
+		if stops[i] == stops[i-1] {
+			t.Fatalf("stop %d repeated pc %d (one-shot breakpoints must not re-fire)", i, stops[i])
+		}
+	}
+	// An onStop error aborts the session and surfaces unchanged.
+	_, mach2 := build(t, `int main(void) { return 7; }`)
+	for pc := range mach2.Prog.Instrs {
+		mach2.SetBreak(pc)
+	}
+	sentinel := fmt.Errorf("sentinel")
+	if err := mach2.ForEachStop(func() error { return sentinel }); err != sentinel {
+		t.Errorf("err = %v, want the sentinel error", err)
 	}
 }

@@ -41,6 +41,9 @@ type (
 	Violation = conjecture.Violation
 	// Trace is a recorded debugging session.
 	Trace = debugger.Trace
+	// MultiTrace is one single-pass recording seen through several
+	// debugger engines (one independent Trace view per engine).
+	MultiTrace = debugger.MultiTrace
 	// Metrics are the paper's §2 quantitative measures.
 	Metrics = metrics.Metrics
 )
@@ -95,6 +98,17 @@ func NativeDebugger(f compiler.Family) debugger.Debugger {
 // steppable line, as the paper's checking pipeline does (§4.2).
 func RecordTrace(exe *object.Executable, dbg debugger.Debugger) (*Trace, error) {
 	return debugger.Record(exe, dbg)
+}
+
+// RecordMultiTrace executes exe once and records every given debugger
+// engine's view of the same session — the single-pass fan-out behind the
+// engine's cross-validation (§4.2).
+func RecordMultiTrace(exe *object.Executable, dbgs ...debugger.Debugger) (*MultiTrace, error) {
+	rec, err := debugger.NewRecorder(exe, debugger.RecordOpts{}, dbgs...)
+	if err != nil {
+		return nil, err
+	}
+	return rec.Run()
 }
 
 // Report is the result of checking one program under one configuration.

@@ -241,20 +241,21 @@ func (e *Engine) sweep(ctx context.Context, prog *minic.Program, mx Matrix, work
 	// Computed once, before the fan-out: sourceKey renders the program,
 	// which assigns line numbers into the AST and must not race.
 	srcKey := sourceKey(prog)
-	dbg := e.debuggers[mx.Family]
 
 	// O0 reference traces, one per version, recorded before the fan-out so
-	// level workers of the same version share rather than race.
+	// level workers of the same version share rather than race. Each
+	// trace is the family debugger's view of the config's single-pass
+	// session (view 0 of its MultiTrace).
 	var refs map[string]*Trace
 	if mx.Measure {
 		refs = make(map[string]*Trace, len(mx.Versions))
 		for _, ver := range mx.Versions {
 			refCfg := Config{Family: mx.Family, Version: ver, Level: "O0"}
-			ref, err := e.traceFrom(ctx, mod, srcKey, prog, refCfg, dbg)
+			ref, err := e.traceFrom(ctx, mod, srcKey, prog, refCfg)
 			if err != nil {
 				return nil, err
 			}
-			refs[ver] = ref
+			refs[ver] = ref.Views[0]
 		}
 	}
 
@@ -284,10 +285,11 @@ func (e *Engine) sweep(ctx context.Context, prog *minic.Program, mx Matrix, work
 						return err
 					}
 					cfg := configs[i]
-					tr, err := e.traceFrom(ctx, mod, srcKey, prog, cfg, dbg)
+					mt, err := e.traceFrom(ctx, mod, srcKey, prog, cfg)
 					if err != nil {
 						return err
 					}
+					tr := mt.Views[0]
 					res.Reports[i] = &Report{Config: cfg, Trace: tr,
 						Violations: conjecture.CheckAll(facts, tr)}
 					if mx.Measure {
