@@ -12,9 +12,16 @@
 // Usage:
 //
 //	conjserved [-addr :8080] [-workers 0] [-cache 4096] [-respcache 1024]
-//	           [-timeout 30s] [-inflight 0] [-queue 0]
+//	           [-timeout 30s] [-inflight 0] [-queue 0] [-store artifacts/]
 //	           [-hunt-budget 0] [-hunt-family gc] [-hunt-version trunk]
 //	           [-hunt-seed 1] [-corpus hunt.jsonl]
+//
+// -store points the engine at a persistent artifact directory (the
+// content-addressed .mcx store of internal/store): plain builds are served
+// from disk when present and written through when not, so a restarted —
+// or second — replica pointed at the same directory warm-starts off
+// earlier compilations. The flag is strict: a store that cannot be opened
+// is fatal, not silently degraded.
 //
 // SIGINT/SIGTERM drain in-flight requests (and checkpoint the hunt's
 // corpus) before exiting.
@@ -46,6 +53,7 @@ func main() {
 	huntVersion := flag.String("hunt-version", "trunk", "background hunt compiler version")
 	huntSeed := flag.Int64("hunt-seed", 1, "background hunt first fuzzer seed")
 	corpusPath := flag.String("corpus", "", "background hunt corpus checkpoint path (JSONL)")
+	storeDir := flag.String("store", "", "persistent artifact store directory (.mcx containers, shareable between replicas)")
 	flag.Parse()
 
 	var opts []pokeholes.Option
@@ -55,7 +63,15 @@ func main() {
 	if *cacheSize != 0 {
 		opts = append(opts, pokeholes.WithCompileCache(*cacheSize))
 	}
+	if *storeDir != "" {
+		opts = append(opts, pokeholes.WithArtifactStore(*storeDir))
+	}
 	eng := pokeholes.NewEngine(opts...)
+	// An engine whose store failed to open silently degrades to memory-only
+	// caching; a server explicitly asked to persist must not.
+	if serr := eng.Stats().StoreError; serr != "" {
+		log.Fatalf("conjserved: -store %s: %s", *storeDir, serr)
+	}
 
 	spec := pokeholes.ServeSpec{
 		Addr:           *addr,

@@ -2,9 +2,17 @@
 // and dumps the generated virtual assembly and (optionally) the debug
 // information tree, like a cross of cc -S and readelf --debug-dump.
 //
+// With -o it instead emits the build as a .mcx artifact container (the
+// format of internal/container, the same one the engine's artifact store
+// persists), and a .mcx file is accepted back in place of a source file:
+// minicc then skips the compiler entirely and inspects or runs the
+// contained executable.
+//
 // Usage:
 //
 //	minicc [-family gc|cl] [-version trunk] [-O2] [-dwarf] [-run] file.c
+//	minicc [flags] -o prog.mcx file.c
+//	minicc [-dwarf] [-run] prog.mcx
 package main
 
 import (
@@ -16,7 +24,10 @@ import (
 
 	"repro"
 	"repro/internal/compiler"
+	"repro/internal/container"
 	"repro/internal/dwarf"
+	"repro/internal/minic"
+	"repro/internal/store/atomicfile"
 	"repro/internal/vm"
 )
 
@@ -26,33 +37,67 @@ func main() {
 	level := flag.String("O", "O2", "optimization level (O0, Og, O1, O2, O3, Os, Oz)")
 	dumpDwarf := flag.Bool("dwarf", false, "dump the debug information tree")
 	run := flag.Bool("run", false, "execute the program and print its exit value")
+	out := flag.String("o", "", "write the build as an artifact container (.mcx) instead of dumping assembly")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: minicc [flags] file.c")
+		fmt.Fprintln(os.Stderr, "usage: minicc [flags] file.c|file.mcx")
 		os.Exit(2)
 	}
-	src, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		fatal(err)
+	input := flag.Arg(0)
+
+	var art *container.Artifact
+	if strings.HasSuffix(input, ".mcx") {
+		data, err := os.ReadFile(input)
+		if err != nil {
+			fatal(err)
+		}
+		if art, err = container.Decode(data); err != nil {
+			fatal(fmt.Errorf("%s: %w", input, err))
+		}
+	} else {
+		src, err := os.ReadFile(input)
+		if err != nil {
+			fatal(err)
+		}
+		prog, err := pokeholes.ParseProgram(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		lvl := *level
+		if !strings.HasPrefix(lvl, "O") {
+			lvl = "O" + lvl
+		}
+		eng := pokeholes.NewEngine()
+		cfg := pokeholes.Config{Family: compiler.Family(*family), Version: *version, Level: lvl}
+		res, err := eng.CompileResult(context.Background(), prog, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		canonical := pokeholes.Render(prog)
+		art = &container.Artifact{
+			Exe: res.Exe,
+			Prov: container.Provenance{
+				Family: string(cfg.Family), Version: cfg.Version, Level: cfg.Level,
+				Fingerprint: minic.FingerprintSource(canonical), SourceLen: len(canonical),
+			},
+			PipelineExecutions: res.PipelineExecutions,
+			Applied:            res.Applied,
+		}
 	}
-	prog, err := pokeholes.ParseProgram(string(src))
-	if err != nil {
-		fatal(err)
+
+	if *out != "" {
+		if err := atomicfile.WriteBytes(*out, container.Encode(art)); err != nil {
+			fatal(err)
+		}
+		return
 	}
-	lvl := *level
-	if !strings.HasPrefix(lvl, "O") {
-		lvl = "O" + lvl
-	}
-	eng := pokeholes.NewEngine()
-	cfg := pokeholes.Config{Family: compiler.Family(*family), Version: *version, Level: lvl}
-	res, err := eng.CompileResult(context.Background(), prog, cfg)
-	if err != nil {
-		fatal(err)
-	}
+
+	cfg := pokeholes.Config{Family: compiler.Family(art.Prov.Family),
+		Version: art.Prov.Version, Level: art.Prov.Level}
 	fmt.Printf("; %s\n", cfg)
-	fmt.Print(res.Exe.Prog)
+	fmt.Print(art.Exe.Prog)
 	if *dumpDwarf {
-		info, err := res.Exe.DebugInfo()
+		info, err := art.Exe.DebugInfo()
 		if err != nil {
 			fatal(err)
 		}
@@ -64,7 +109,7 @@ func main() {
 		dumpDIE(info.CU, 0)
 	}
 	if *run {
-		obs, err := vm.Observe(res.Exe.Prog)
+		obs, err := vm.Observe(art.Exe.Prog)
 		if err != nil {
 			fatal(err)
 		}

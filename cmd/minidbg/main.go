@@ -2,9 +2,16 @@
 // debugging session over it: one-shot breakpoints on every steppable line,
 // printing the frame variables at each first hit — the paper's §4.2 trace.
 //
+// A .mcx artifact container (minicc -o, or a file from an engine's
+// artifact store) is accepted in place of a source file: the session then
+// runs directly over the contained executable — no compiler involved —
+// under the container's recorded family/version/level. The source column
+// is omitted (a container does not carry source).
+//
 // Usage:
 //
 //	minidbg [-family gc|cl] [-version trunk] [-O Og] [-debugger gdb|lldb] file.c
+//	minidbg [-debugger gdb|lldb] prog.mcx
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 
 	"repro"
 	"repro/internal/compiler"
+	"repro/internal/container"
 	"repro/internal/debugger"
 )
 
@@ -26,10 +34,41 @@ func main() {
 	dbgName := flag.String("debugger", "", "debugger engine (gdb or lldb; default: the family's native one)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: minidbg [flags] file.c")
+		fmt.Fprintln(os.Stderr, "usage: minidbg [flags] file.c|file.mcx")
 		os.Exit(2)
 	}
-	src, err := os.ReadFile(flag.Arg(0))
+	input := flag.Arg(0)
+
+	if strings.HasSuffix(input, ".mcx") {
+		data, err := os.ReadFile(input)
+		if err != nil {
+			fatal(err)
+		}
+		art, err := container.Decode(data)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", input, err))
+		}
+		fam := compiler.Family(art.Prov.Family)
+		dbg := pokeholes.NativeDebugger(fam)
+		if *dbgName != "" {
+			if dbg, err = pokeholes.DebuggerByName(*dbgName); err != nil {
+				fatal(err)
+			}
+		}
+		cfg := pokeholes.Config{Family: fam, Version: art.Prov.Version, Level: art.Prov.Level}
+		trace, err := pokeholes.RecordTrace(art.Exe, dbg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s under %s (from %s): %d steppable lines, %d stepped\n",
+			cfg, dbg.Name(), input, len(trace.Steppable), len(trace.Stops))
+		for _, l := range trace.HitLines() {
+			fmt.Printf("%3d  | %s\n", l, varsOf(trace.Stops[l]))
+		}
+		return
+	}
+
+	src, err := os.ReadFile(input)
 	if err != nil {
 		fatal(err)
 	}

@@ -18,8 +18,10 @@
 // and check + cross-validate — on cold engine sessions and writes their
 // ns-per-op (plus the measured VM executions per cross-validated binary)
 // as JSON; CI runs it every push and uploads the file as the benchmark
-// trajectory artifact. Alone it runs only the benchmarks; combined with
-// -exp or -matrix it runs both.
+// trajectory artifact. It also writes BENCH_store.json next to FILE,
+// timing a cold compilation against a disk load of the same build from a
+// pre-warmed artifact store. Alone it runs only the benchmarks; combined
+// with -exp or -matrix it runs both.
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -81,6 +84,11 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintln(os.Stderr, "paperbench: wrote", *benchJSON)
+		storeJSON := filepath.Join(filepath.Dir(*benchJSON), "BENCH_store.json")
+		if err := writeBenchStore(storeJSON); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "paperbench: wrote", storeJSON)
 		// A bare -bench-json means "just the trajectory".
 		if !expSet && !*matrix {
 			return
@@ -335,6 +343,74 @@ func writeBenchTrace(path string) error {
 		r := testing.Benchmark(p.run)
 		out.Benchmarks = append(out.Benchmarks, benchRecordJSON{
 			Name: p.name, NsPerOp: r.NsPerOp(), Ops: r.N, VMExecutionsPerOp: p.perOp})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeBenchStore times the artifact-store trade: a cold compilation
+// (frontend + backend on a fresh engine) against a disk load of the same
+// build (container decode from a pre-warmed store on a fresh engine). The
+// two run over identical programs, so their ns/op ratio is the store's
+// speedup on a warm start. Written next to BENCH_trace.json as
+// BENCH_store.json and uploaded by CI alongside it.
+func writeBenchStore(path string) error {
+	ctx := context.Background()
+	cfg := pokeholes.Config{Family: pokeholes.GC, Version: "trunk", Level: "O2"}
+	prog := pokeholes.GenerateProgram(7)
+
+	dir, err := os.MkdirTemp("", "paperbench-store-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	warm := pokeholes.NewEngine(pokeholes.WithArtifactStore(dir))
+	if serr := warm.Stats().StoreError; serr != "" {
+		return fmt.Errorf("bench store: %s", serr)
+	}
+	if _, err := warm.Compile(ctx, prog, cfg); err != nil {
+		return err
+	}
+
+	probes := []struct {
+		name string
+		run  func(b *testing.B)
+	}{
+		// Fresh engines per iteration keep the memory cache out of both
+		// measurements; the only difference is where the build comes from.
+		{"cold_compile", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := pokeholes.NewEngine().Compile(ctx, prog, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"disk_load", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng := pokeholes.NewEngine(pokeholes.WithArtifactStore(dir))
+				if _, err := eng.Compile(ctx, prog, cfg); err != nil {
+					b.Fatal(err)
+				}
+				if st := eng.Stats(); st.Compiles != 0 {
+					b.Fatalf("disk_load iteration compiled %d times, want 0", st.Compiles)
+				}
+			}
+		}},
+	}
+	out := benchTraceJSON{GeneratedAt: time.Now().UTC().Format(time.RFC3339)}
+	for _, p := range probes {
+		r := testing.Benchmark(p.run)
+		out.Benchmarks = append(out.Benchmarks, benchRecordJSON{
+			Name: p.name, NsPerOp: r.NsPerOp(), Ops: r.N})
 	}
 	f, err := os.Create(path)
 	if err != nil {

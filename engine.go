@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -19,6 +20,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/compiler"
 	"repro/internal/conjecture"
+	"repro/internal/container"
 	"repro/internal/debugger"
 	"repro/internal/dwarf"
 	"repro/internal/ir"
@@ -26,6 +28,7 @@ import (
 	"repro/internal/minic"
 	"repro/internal/object"
 	"repro/internal/reduce"
+	"repro/internal/store"
 	"repro/internal/triage"
 )
 
@@ -48,6 +51,9 @@ type Engine struct {
 	cacheSize  int
 	stepBudget int                       // VM steps per recorded execution; 0 = vm.DefaultMaxStep
 	cache      *cache.Cache[string, any] // nil when caching is disabled
+	storeDir   string                    // artifact-store directory ("" = no disk tier)
+	store      *store.Store              // nil when no artifact store is configured
+	storeErr   error                     // why the configured store is disabled, if it is
 	debuggers  map[Family]Debugger
 	// crossdbg holds, per family, the §4.2 cross-validation counterpart of
 	// the configured debugger. Every trace records both engines' views in
@@ -91,6 +97,19 @@ func WithStepBudget(n int) Option {
 	return func(e *Engine) { e.stepBudget = n }
 }
 
+// WithArtifactStore adds a persistent disk tier under the compile cache: a
+// content-addressed directory of .mcx containers (internal/store) that
+// plain builds fall through to — memory hit, then disk hit (decode and
+// re-cache), then compute plus write-through. The directory is created if
+// needed and may be shared by any number of engines and processes; replicas
+// pointed at one directory warm-start off each other's compiles. If the
+// store cannot be opened the engine runs memory-only and reports why in
+// Stats().StoreError — callers that must not degrade silently (conjserved
+// -store) check it right after NewEngine.
+func WithArtifactStore(dir string) Option {
+	return func(e *Engine) { e.storeDir = dir }
+}
+
 // NewEngine returns a session with the given options applied.
 func NewEngine(opts ...Option) *Engine {
 	e := &Engine{
@@ -109,6 +128,9 @@ func NewEngine(opts ...Option) *Engine {
 	}
 	if e.cacheSize != 0 {
 		e.cache = cache.New[string, any](e.cacheSize)
+	}
+	if e.storeDir != "" {
+		e.store, e.storeErr = store.Open(e.storeDir)
 	}
 	e.crossdbg = map[Family]Debugger{}
 	for _, f := range []Family{GC, CL} {
@@ -168,6 +190,13 @@ type EngineStats struct {
 	Buckets       int64   `json:"buckets"`
 	DupViolations int64   `json:"dup_violations"`
 	DupRate       float64 `json:"dup_rate"`
+	// Store carries the disk artifact tier's counters — hits, misses,
+	// writes, bytes moved, quarantined entries — all zero when no
+	// WithArtifactStore directory is configured. StoreError is non-empty
+	// when a configured store failed to open and the engine degraded to
+	// memory-only caching.
+	Store      store.Stats `json:"store"`
+	StoreError string      `json:"store_error,omitempty"`
 }
 
 // Stats returns the engine's work counters so far.
@@ -180,6 +209,12 @@ func (e *Engine) Stats() EngineStats {
 	if e.cache != nil {
 		s.CacheHits, s.CacheMisses = e.cache.Stats()
 		s.CacheEntries = e.cache.Len()
+	}
+	if e.store != nil {
+		s.Store = e.store.Stats()
+	}
+	if e.storeErr != nil {
+		s.StoreError = e.storeErr.Error()
 	}
 	return s
 }
@@ -232,10 +267,16 @@ func (e *Engine) frontend(ctx context.Context, prog *minic.Program) (*ir.Module,
 }
 
 // compileFrom builds cfg's backend (optimize + codegen) over a lowered
-// module, serving plain builds from the cache. A nil mod falls back to the
+// module, serving plain builds from the cache tiers: memory hit, then —
+// when WithArtifactStore configured a disk tier — store hit (decode and
+// re-cache), then compute plus write-through. A nil mod falls back to the
 // (cached) frontend of prog; Sweep passes its shared module explicitly so
 // the sharing holds even on cache-disabled engines. An empty srcKey is
 // computed from prog (single-caller paths); concurrent paths precompute it.
+//
+// A store-served Result carries the executable and the pipeline metadata
+// triage needs (Applied, PipelineExecutions) but a nil Mod: the optimized
+// IR is a compile-time intermediate and is not persisted.
 func (e *Engine) compileFrom(ctx context.Context, mod *ir.Module, srcKey string, prog *minic.Program, cfg Config, o compiler.Options) (*compiler.Result, error) {
 	build := func() (*compiler.Result, error) {
 		m := mod
@@ -248,18 +289,65 @@ func (e *Engine) compileFrom(ctx context.Context, mod *ir.Module, srcKey string,
 		e.compiles.Add(1)
 		return compiler.CompileFrom(m, cfg, o)
 	}
-	if e.cache == nil || !cacheableOptions(o) {
+	if !cacheableOptions(o) || (e.cache == nil && e.store == nil) {
 		return build()
 	}
 	if srcKey == "" {
 		srcKey = sourceKey(prog)
 	}
+	fetch := build
+	if e.store != nil {
+		fetch = func() (*compiler.Result, error) { return e.storeFetch(srcKey, cfg, build) }
+	}
+	if e.cache == nil {
+		return fetch()
+	}
 	key := fmt.Sprintf("compile|%s|%s|%s|%s", srcKey, cfg.Family, cfg.Version, cfg.Level)
-	v, err := e.cache.GetOrComputeCtx(ctx, key, func() (any, error) { return build() })
+	v, err := e.cache.GetOrComputeCtx(ctx, key, func() (any, error) { return fetch() })
 	if err != nil {
 		return nil, err
 	}
 	return v.(*compiler.Result), nil
+}
+
+// storeKeyOf derives the disk tier's content address from a sourceKey
+// ("%016x|<canonical source>") and a configuration.
+func storeKeyOf(srcKey string, cfg Config) store.Key {
+	fp, _ := strconv.ParseUint(srcKey[:16], 16, 64)
+	return store.Key{
+		Fingerprint: fp,
+		SourceLen:   len(srcKey) - 17,
+		Family:      string(cfg.Family),
+		Version:     cfg.Version,
+		Level:       cfg.Level,
+	}
+}
+
+// storeFetch is the disk tier of a plain build: serve the artifact from
+// the store if an intact one exists, else run the build and write the
+// result through. A failed write-through never fails the compilation —
+// the store counts it (Stats().Store.WriteErrors) and the result is
+// served from memory as usual.
+func (e *Engine) storeFetch(srcKey string, cfg Config, build func() (*compiler.Result, error)) (*compiler.Result, error) {
+	key := storeKeyOf(srcKey, cfg)
+	if art, ok := e.store.Get(key); ok {
+		return &compiler.Result{Exe: art.Exe,
+			PipelineExecutions: art.PipelineExecutions, Applied: art.Applied}, nil
+	}
+	res, err := build()
+	if err != nil {
+		return nil, err
+	}
+	_ = e.store.Put(key, &container.Artifact{
+		Exe: res.Exe,
+		Prov: container.Provenance{
+			Family: string(cfg.Family), Version: cfg.Version, Level: cfg.Level,
+			Fingerprint: key.Fingerprint, SourceLen: key.SourceLen,
+		},
+		PipelineExecutions: res.PipelineExecutions,
+		Applied:            res.Applied,
+	})
+	return res, nil
 }
 
 // compile builds prog under cfg, serving plain builds from the cache.

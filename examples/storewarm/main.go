@@ -1,0 +1,142 @@
+// Storewarm drives the artifact-store warm-start check against a running
+// conjserved instance: it posts every golden-corpus program to /check and
+// writes each response body to a file, so two runs against two server
+// boots sharing one -store directory can be diffed byte for byte. With
+// -expect-frontends 0 it additionally asserts from /stats that the server
+// answered the whole corpus without a single frontend run or backend
+// compilation — the warm-start contract. Any violation (or non-2xx
+// response) exits non-zero, so CI can use it as the smoke-store probe.
+//
+// Typical CI sequence:
+//
+//	conjserved -addr :8080 -store artifacts/ &     # cold boot
+//	storewarm -addr http://127.0.0.1:8080 -out cold/
+//	# stop, reboot on the same directory
+//	conjserved -addr :8080 -store artifacts/ &     # warm boot
+//	storewarm -addr http://127.0.0.1:8080 -out warm/ -expect-frontends 0
+//	diff -r cold/ warm/
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "conjserved base URL")
+	outDir := flag.String("out", "", "directory to write one <program>.<config>.check.json per response into")
+	corpus := flag.String("corpus", "testdata/golden", "directory of *.mc golden programs")
+	expectFrontends := flag.Int("expect-frontends", -1, "fail unless /stats reports exactly this many frontends and zero compiles (-1: don't check)")
+	flag.Parse()
+
+	srcs, err := filepath.Glob(filepath.Join(*corpus, "*.mc"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(srcs) == 0 {
+		log.Fatalf("storewarm: no *.mc programs under %s", *corpus)
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	configs := []pokeholes.Config{
+		{Family: pokeholes.GC, Version: "trunk", Level: "O0"},
+		{Family: pokeholes.GC, Version: "trunk", Level: "O2"},
+		{Family: pokeholes.CL, Version: "trunk", Level: "O0"},
+		{Family: pokeholes.CL, Version: "trunk", Level: "O2"},
+	}
+	checks := 0
+	for _, srcPath := range srcs {
+		src, err := os.ReadFile(srcPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		name := strings.TrimSuffix(filepath.Base(srcPath), ".mc")
+		for _, cfg := range configs {
+			body := post(*addr, "/check", pokeholes.CheckRequest{
+				Source: string(src), Family: string(cfg.Family),
+				Version: cfg.Version, Level: cfg.Level})
+			checks++
+			if *outDir != "" {
+				out := filepath.Join(*outDir, fmt.Sprintf("%s.%s-%s-%s.check.json",
+					name, cfg.Family, cfg.Version, cfg.Level))
+				if err := os.WriteFile(out, body, 0o644); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	}
+	fmt.Printf("storewarm: %d /check responses over %d programs\n", checks, len(srcs))
+
+	var stats pokeholes.StatsResponse
+	if err := json.Unmarshal(get(*addr, "/stats"), &stats); err != nil {
+		log.Fatalf("/stats: %v", err)
+	}
+	e := stats.Engine
+	fmt.Printf("stats: %d frontends, %d compiles, store %d hits / %d misses / %d writes (%d entries)\n",
+		e.Frontends, e.Compiles, e.Store.Hits, e.Store.Misses, e.Store.Writes, e.Store.Entries)
+	if e.StoreError != "" {
+		log.Fatalf("storewarm: engine reports store error: %s", e.StoreError)
+	}
+	if *expectFrontends >= 0 {
+		if e.Frontends != int64(*expectFrontends) {
+			log.Fatalf("storewarm: %d frontends, want exactly %d", e.Frontends, *expectFrontends)
+		}
+		if e.Compiles != 0 {
+			log.Fatalf("storewarm: %d backend compilations, want 0 (warm start must serve from the store)", e.Compiles)
+		}
+		if e.Store.Hits == 0 {
+			log.Fatalf("storewarm: zero store hits on a warm start")
+		}
+	}
+}
+
+// post sends a JSON body and fails the run on any non-2xx status.
+func post(base, path string, req any) []byte {
+	body, err := json.Marshal(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatalf("POST %s: read: %v", path, err)
+	}
+	if resp.StatusCode/100 != 2 {
+		log.Fatalf("POST %s: %s: %s", path, resp.Status, out)
+	}
+	return out
+}
+
+func get(base, path string) []byte {
+	resp, err := http.Get(base + path)
+	if err != nil {
+		log.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatalf("GET %s: read: %v", path, err)
+	}
+	if resp.StatusCode/100 != 2 {
+		log.Fatalf("GET %s: %s: %s", path, resp.Status, out)
+	}
+	return out
+}

@@ -1,0 +1,563 @@
+// Package container defines the .mcx artifact format: a versioned,
+// deterministic binary encoding of a compiled object.Executable together
+// with its provenance and pipeline metadata. The layout follows the
+// load-command/section scheme of real object containers (Mach-O is the
+// template): a fixed-width header with a magic, a format version and a
+// payload checksum, then a section table of (type, offset, size) triples,
+// then the section payloads. Readers can seek straight to a section; the
+// section contents themselves use the toolchain's compact varint idiom.
+//
+// The format is canonical: Encode is a pure function of the artifact, and
+// Decode accepts exactly the bytes Encode produces — after parsing it
+// re-encodes the result and rejects any input that does not round-trip
+// byte for byte. Decoding is fully bounds-checked and never panics on
+// corrupt or adversarial input (FuzzContainerDecode pins both properties).
+//
+// Only the compiled image is persisted. Runtime caches — the decoded DWARF
+// tree, the debugger's precompiled stop plan (object.SessionArtifact) —
+// are deliberately absent: a loaded executable rebuilds them lazily, so the
+// on-disk bytes stay independent of whichever debugger engines a process
+// happens to configure.
+package container
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/asm"
+	"repro/internal/minic"
+	"repro/internal/object"
+)
+
+// Magic identifies a MiniC executable container ("MCX1" little-endian).
+const Magic = 0x3158434d
+
+// FormatVersion is the current container format revision. Decode rejects
+// any other value: the format carries compiled artifacts between replicas,
+// so silent cross-version reads would be cache poisoning.
+const FormatVersion = 1
+
+// Section types, in the fixed order Encode emits them.
+const (
+	// SecProg is the asm.Program image (instructions, functions, globals).
+	SecProg = 1
+	// SecDwarf is the executable's debug section, verbatim — the same
+	// bytes dwarf.Encode produced at compile time, so a loaded executable
+	// exercises the identical dwarf.Decode path an in-memory one does.
+	SecDwarf = 2
+	// SecProv is the provenance: family, version, level, and the
+	// canonical-source fingerprint + length the store addresses by.
+	SecProv = 3
+	// SecPipeline is the optimization-pipeline metadata (executed pass
+	// instances and their count) that triage's bisection needs, so a
+	// store-loaded build can back a Triage exactly like a fresh one.
+	SecPipeline = 4
+)
+
+// sectionOrder is the canonical emission order.
+var sectionOrder = [...]uint32{SecProg, SecDwarf, SecProv, SecPipeline}
+
+// headerSize is magic(4) + version(2) + nsections(2) + checksum(8).
+const headerSize = 16
+
+// sectionEntrySize is type(4) + offset(4) + size(4).
+const sectionEntrySize = 12
+
+// Provenance records where an artifact came from: the configuration that
+// built it and the identity of the source it was built from. Fingerprint
+// is the canonical-source hash (minic.FingerprintSource); SourceLen is the
+// canonical source's byte length, a cheap second check so a fingerprint
+// collision between two programs cannot alias their artifacts undetected.
+type Provenance struct {
+	Family      string
+	Version     string
+	Level       string
+	Fingerprint uint64
+	SourceLen   int
+}
+
+// Config renders the provenance's configuration ("gc-trunk-O2"), the form
+// the store embeds in artifact file names.
+func (p Provenance) Config() string {
+	return fmt.Sprintf("%s-%s-%s", p.Family, p.Version, p.Level)
+}
+
+// Artifact is one decoded container: the executable plus everything the
+// engine needs to serve the compilation from disk as if it had just run.
+type Artifact struct {
+	Exe  *object.Executable
+	Prov Provenance
+	// PipelineExecutions and Applied mirror compiler.Result: the pass
+	// executions the build performed, and the executed pass instances in
+	// order (the bisection search space of triage).
+	PipelineExecutions int
+	Applied            []string
+}
+
+// Encode serialises the artifact. The output is deterministic: equal
+// artifacts encode to equal bytes, so golden fixtures and the store's
+// content addressing are stable.
+func Encode(a *Artifact) []byte {
+	payloads := [len(sectionOrder)][]byte{
+		encodeProg(a.Exe.Prog),
+		a.Exe.DebugSection,
+		encodeProv(a.Prov),
+		encodePipeline(a),
+	}
+	total := 0
+	for _, p := range payloads {
+		total += len(p)
+	}
+	h := fnv.New64a()
+	for _, p := range payloads {
+		h.Write(p)
+	}
+
+	out := make([]byte, 0, headerSize+len(sectionOrder)*sectionEntrySize+total)
+	out = binary.LittleEndian.AppendUint32(out, Magic)
+	out = binary.LittleEndian.AppendUint16(out, FormatVersion)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(sectionOrder)))
+	out = binary.LittleEndian.AppendUint64(out, h.Sum64())
+	offset := uint32(headerSize + len(sectionOrder)*sectionEntrySize)
+	for i, typ := range sectionOrder {
+		out = binary.LittleEndian.AppendUint32(out, typ)
+		out = binary.LittleEndian.AppendUint32(out, offset)
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(payloads[i])))
+		offset += uint32(len(payloads[i]))
+	}
+	for _, p := range payloads {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Decode parses a container. It never panics: every length is checked
+// against the remaining input before use, the payload checksum must match,
+// and — the canonicality guarantee — the parsed artifact must re-encode to
+// exactly the input bytes. The returned executable carries no runtime
+// caches: its debug information is decoded (and validated) here once, and
+// debugger stop plans are rebuilt lazily on first session.
+func Decode(data []byte) (*Artifact, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("container: short header (%d bytes)", len(data))
+	}
+	if m := binary.LittleEndian.Uint32(data); m != Magic {
+		return nil, fmt.Errorf("container: bad magic %#x", m)
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != FormatVersion {
+		return nil, fmt.Errorf("container: unsupported format version %d", v)
+	}
+	nsec := int(binary.LittleEndian.Uint16(data[6:]))
+	if nsec != len(sectionOrder) {
+		return nil, fmt.Errorf("container: %d sections, want %d", nsec, len(sectionOrder))
+	}
+	checksum := binary.LittleEndian.Uint64(data[8:])
+	tableEnd := headerSize + nsec*sectionEntrySize
+	if len(data) < tableEnd {
+		return nil, fmt.Errorf("container: truncated section table")
+	}
+
+	// Sections must appear in canonical order, contiguous, starting right
+	// after the table and ending at the input's last byte.
+	wantOffset := uint32(tableEnd)
+	var secs [len(sectionOrder)][]byte
+	for i := 0; i < nsec; i++ {
+		entry := data[headerSize+i*sectionEntrySize:]
+		typ := binary.LittleEndian.Uint32(entry)
+		off := binary.LittleEndian.Uint32(entry[4:])
+		size := binary.LittleEndian.Uint32(entry[8:])
+		if typ != sectionOrder[i] {
+			return nil, fmt.Errorf("container: section %d has type %d, want %d", i, typ, sectionOrder[i])
+		}
+		if off != wantOffset {
+			return nil, fmt.Errorf("container: section %d at offset %d, want %d", i, off, wantOffset)
+		}
+		if uint64(off)+uint64(size) > uint64(len(data)) {
+			return nil, fmt.Errorf("container: section %d overruns input", i)
+		}
+		secs[i] = data[off : off+size]
+		wantOffset = off + size
+	}
+	if int(wantOffset) != len(data) {
+		return nil, fmt.Errorf("container: %d trailing bytes", len(data)-int(wantOffset))
+	}
+	h := fnv.New64a()
+	h.Write(data[tableEnd:])
+	if h.Sum64() != checksum {
+		return nil, fmt.Errorf("container: payload checksum mismatch")
+	}
+
+	prog, err := decodeProg(secs[0])
+	if err != nil {
+		return nil, err
+	}
+	prov, err := decodeProv(secs[2])
+	if err != nil {
+		return nil, err
+	}
+	a := &Artifact{Exe: object.FromParts(prog, append([]byte(nil), secs[1]...)), Prov: prov}
+	if a.PipelineExecutions, a.Applied, err = decodePipeline(secs[3]); err != nil {
+		return nil, err
+	}
+	// Validate the debug section now rather than at first use; the decoded
+	// tree stays cached on the executable, so this costs nothing extra.
+	if _, err := a.Exe.DebugInfo(); err != nil {
+		return nil, fmt.Errorf("container: debug section: %w", err)
+	}
+	// Canonicality: accepted inputs must be exactly what Encode would
+	// produce, so every accepted container re-encodes byte-stably and a
+	// corrupt-but-parseable variant (non-minimal varints, reordered
+	// fields) can never enter the store's content addressing.
+	if reenc := Encode(a); !bytesEqual(reenc, data) {
+		return nil, fmt.Errorf("container: non-canonical encoding")
+	}
+	return a, nil
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// --- section payloads -------------------------------------------------
+
+// writer accumulates a section payload in the toolchain's varint idiom.
+type writer struct{ buf []byte }
+
+func (w *writer) uvarint(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+func (w *writer) varint(v int64)   { w.buf = binary.AppendVarint(w.buf, v) }
+func (w *writer) str(s string) {
+	w.uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+func (w *writer) bool(b bool) {
+	if b {
+		w.buf = append(w.buf, 1)
+	} else {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+// reader is the bounds-checked counterpart of writer. Every method checks
+// the remaining input and returns an error instead of slicing past the
+// end, so decoding cannot panic whatever the input.
+type reader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("container: "+format, args...)
+	}
+}
+
+func (r *reader) remaining() int { return len(r.data) - r.pos }
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		r.fail("truncated uvarint at %d", r.pos)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.data[r.pos:])
+	if n <= 0 {
+		r.fail("truncated varint at %d", r.pos)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+// count reads a length prefix and rejects values that could not possibly
+// fit in the remaining input (each counted element costs at least one
+// byte), so corrupt counts cannot drive huge allocations.
+func (r *reader) count() int {
+	v := r.uvarint()
+	if r.err == nil && v > uint64(r.remaining()) {
+		r.fail("count %d exceeds remaining %d bytes", v, r.remaining())
+		return 0
+	}
+	return int(v)
+}
+
+func (r *reader) str() string {
+	n := r.count()
+	if r.err != nil {
+		return ""
+	}
+	s := string(r.data[r.pos : r.pos+n])
+	r.pos += n
+	return s
+}
+
+func (r *reader) bool() bool {
+	if r.err != nil {
+		return false
+	}
+	if r.remaining() < 1 {
+		r.fail("truncated bool at %d", r.pos)
+		return false
+	}
+	b := r.data[r.pos]
+	r.pos++
+	if b > 1 {
+		r.fail("bad bool byte %#x at %d", b, r.pos-1)
+		return false
+	}
+	return b == 1
+}
+
+// done requires the payload to be fully consumed.
+func (r *reader) done(section string) error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.remaining() != 0 {
+		return fmt.Errorf("container: %d trailing bytes in %s section", r.remaining(), section)
+	}
+	return nil
+}
+
+func encodeProv(p Provenance) []byte {
+	w := &writer{}
+	w.str(p.Family)
+	w.str(p.Version)
+	w.str(p.Level)
+	w.uvarint(p.Fingerprint)
+	w.uvarint(uint64(p.SourceLen))
+	return w.buf
+}
+
+func decodeProv(data []byte) (Provenance, error) {
+	r := &reader{data: data}
+	p := Provenance{
+		Family:  r.str(),
+		Version: r.str(),
+		Level:   r.str(),
+	}
+	p.Fingerprint = r.uvarint()
+	p.SourceLen = int(r.uvarint())
+	return p, r.done("provenance")
+}
+
+func encodePipeline(a *Artifact) []byte {
+	w := &writer{}
+	w.varint(int64(a.PipelineExecutions))
+	w.uvarint(uint64(len(a.Applied)))
+	for _, s := range a.Applied {
+		w.str(s)
+	}
+	return w.buf
+}
+
+func decodePipeline(data []byte) (int, []string, error) {
+	r := &reader{data: data}
+	execs := int(r.varint())
+	n := r.count()
+	var applied []string
+	for i := 0; i < n && r.err == nil; i++ {
+		applied = append(applied, r.str())
+	}
+	return execs, applied, r.done("pipeline")
+}
+
+// encodeProg serialises an asm.Program losslessly: every field of every
+// instruction is written unconditionally, so the encoding is a pure
+// function of the value and round-trips exactly.
+func encodeProg(p *asm.Program) []byte {
+	w := &writer{}
+	w.uvarint(uint64(len(p.Instrs)))
+	for _, in := range p.Instrs {
+		encodeInstr(w, in)
+	}
+	w.uvarint(uint64(len(p.Funcs)))
+	for _, f := range p.Funcs {
+		w.str(f.Name)
+		w.varint(int64(f.Entry))
+		w.varint(int64(f.End))
+		w.varint(int64(f.NTemp))
+		w.uvarint(uint64(len(f.Slots)))
+		for _, s := range f.Slots {
+			w.varint(int64(s))
+		}
+		w.bool(f.HasRet)
+	}
+	w.uvarint(uint64(len(p.Globals)))
+	for _, g := range p.Globals {
+		w.str(g.Name)
+		w.varint(int64(g.Size))
+		w.uvarint(uint64(len(g.Init)))
+		for _, v := range g.Init {
+			w.varint(v)
+		}
+		w.bool(g.Volatile)
+	}
+	return w.buf
+}
+
+func encodeInstr(w *writer, in *asm.Instr) {
+	w.uvarint(uint64(in.Op))
+	w.varint(int64(in.Rd))
+	encodeOperand(w, in.Src)
+	encodeOperand(w, in.Src2)
+	w.uvarint(uint64(len(in.Args)))
+	for _, a := range in.Args {
+		encodeOperand(w, a)
+	}
+	w.varint(int64(in.UnOp))
+	w.varint(int64(in.BinOp))
+	encodeWidth(w, in.Width)
+	w.str(in.Global)
+	w.varint(int64(in.Slot))
+	w.str(in.Callee)
+	w.varint(int64(in.Target))
+	w.varint(int64(in.Line))
+	w.varint(int64(in.InlineID))
+}
+
+func encodeOperand(w *writer, o asm.Operand) {
+	w.bool(o.IsConst)
+	w.varint(o.C)
+	w.varint(int64(o.Temp))
+}
+
+// encodeWidth writes a *minic.IntType as 0 (nil) or (width<<1 | unsigned)
+// + 1; decode maps the pair back onto the canonical type pointers, so
+// identity comparison of scalar types keeps working on loaded executables.
+func encodeWidth(w *writer, t *minic.IntType) {
+	if t == nil {
+		w.uvarint(0)
+		return
+	}
+	v := uint64(t.Width) << 1
+	if t.Unsigned {
+		v |= 1
+	}
+	w.uvarint(v + 1)
+}
+
+// canonicalInt maps (width, unsigned) back to the parser's canonical type
+// pointers. The toolchain guarantees scalar types are canonical, so a
+// decoded executable must restore that invariant, not allocate lookalikes.
+func canonicalInt(width int, unsigned bool) *minic.IntType {
+	for _, t := range []*minic.IntType{
+		minic.Int8, minic.Int16, minic.Int32, minic.Int64,
+		minic.Uint8, minic.Uint16, minic.Uint32, minic.Uint64,
+	} {
+		if t.Width == width && t.Unsigned == unsigned {
+			return t
+		}
+	}
+	return &minic.IntType{Width: width, Unsigned: unsigned}
+}
+
+func decodeProg(data []byte) (*asm.Program, error) {
+	r := &reader{data: data}
+	p := &asm.Program{}
+	nInstr := r.count()
+	for i := 0; i < nInstr && r.err == nil; i++ {
+		p.Instrs = append(p.Instrs, decodeInstr(r))
+	}
+	nFunc := r.count()
+	for i := 0; i < nFunc && r.err == nil; i++ {
+		f := &asm.Func{
+			Name:  r.str(),
+			Entry: int(r.varint()),
+			End:   int(r.varint()),
+			NTemp: int(r.varint()),
+		}
+		nSlots := r.count()
+		for k := 0; k < nSlots && r.err == nil; k++ {
+			f.Slots = append(f.Slots, int(r.varint()))
+		}
+		f.HasRet = r.bool()
+		p.Funcs = append(p.Funcs, f)
+	}
+	nGlob := r.count()
+	for i := 0; i < nGlob && r.err == nil; i++ {
+		g := &asm.Global{
+			Name: r.str(),
+			Size: int(r.varint()),
+		}
+		nInit := r.count()
+		for k := 0; k < nInit && r.err == nil; k++ {
+			g.Init = append(g.Init, r.varint())
+		}
+		g.Volatile = r.bool()
+		p.Globals = append(p.Globals, g)
+	}
+	if err := r.done("program"); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func decodeInstr(r *reader) *asm.Instr {
+	in := &asm.Instr{}
+	in.Op = asm.Op(r.uvarint())
+	if r.err == nil && (in.Op < 0 || in.Op > asm.OpNop) {
+		r.fail("unknown opcode %d", in.Op)
+		return in
+	}
+	in.Rd = int(r.varint())
+	in.Src = decodeOperand(r)
+	in.Src2 = decodeOperand(r)
+	nArgs := r.count()
+	for i := 0; i < nArgs && r.err == nil; i++ {
+		in.Args = append(in.Args, decodeOperand(r))
+	}
+	// Operator enums are bounds-checked so a decoded instruction can never
+	// index-panic an operator name table or evaluator downstream.
+	in.UnOp = minic.UnaryOp(r.varint())
+	if r.err == nil && (in.UnOp < minic.Neg || in.UnOp > minic.Deref) {
+		r.fail("unknown unary op %d", in.UnOp)
+		return in
+	}
+	in.BinOp = minic.BinOp(r.varint())
+	if r.err == nil && (in.BinOp < minic.Add || in.BinOp > minic.LogOr) {
+		r.fail("unknown binary op %d", in.BinOp)
+		return in
+	}
+	in.Width = decodeWidth(r)
+	in.Global = r.str()
+	in.Slot = int(r.varint())
+	in.Callee = r.str()
+	in.Target = int(r.varint())
+	in.Line = int(r.varint())
+	in.InlineID = int(r.varint())
+	return in
+}
+
+func decodeOperand(r *reader) asm.Operand {
+	return asm.Operand{IsConst: r.bool(), C: r.varint(), Temp: int(r.varint())}
+}
+
+func decodeWidth(r *reader) *minic.IntType {
+	v := r.uvarint()
+	if v == 0 || r.err != nil {
+		return nil
+	}
+	v--
+	return canonicalInt(int(v>>1), v&1 == 1)
+}

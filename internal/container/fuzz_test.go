@@ -1,0 +1,61 @@
+package container_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/container"
+	"repro/internal/fuzzgen"
+)
+
+// FuzzContainerDecode pins the decoder's two safety properties: it never
+// panics on arbitrary bytes, and anything it accepts re-encodes to the
+// exact input (canonical form), so a decoded artifact can always be
+// re-addressed by the bytes it came from.
+func FuzzContainerDecode(f *testing.F) {
+	// Seed with real containers across configs, plus truncated and
+	// bit-flipped variants so the fuzzer starts deep inside the format
+	// instead of rediscovering the magic number.
+	for _, seed := range []int64{7, 42} {
+		prog := fuzzgen.GenerateSeed(seed)
+		for _, cfg := range []compiler.Config{
+			{Family: compiler.GC, Version: "trunk", Level: "O0"},
+			{Family: compiler.CL, Version: "trunk", Level: "O2"},
+		} {
+			res, err := compiler.Compile(prog, cfg, compiler.Options{})
+			if err != nil {
+				f.Fatal(err)
+			}
+			enc := container.Encode(&container.Artifact{
+				Exe: res.Exe,
+				Prov: container.Provenance{
+					Family: string(cfg.Family), Version: cfg.Version, Level: cfg.Level,
+					Fingerprint: uint64(seed), SourceLen: 100,
+				},
+				PipelineExecutions: res.PipelineExecutions,
+				Applied:            res.Applied,
+			})
+			f.Add(enc)
+			f.Add(enc[:len(enc)/2])
+			f.Add(enc[:16])
+			for _, i := range []int{0, 5, 9, len(enc) / 2, len(enc) - 1} {
+				mut := append([]byte(nil), enc...)
+				mut[i] ^= 0x40
+				f.Add(mut)
+			}
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte("MCX1"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		art, err := container.Decode(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(container.Encode(art), data) {
+			t.Fatalf("accepted input does not re-encode byte-stably")
+		}
+	})
+}

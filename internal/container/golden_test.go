@@ -1,0 +1,116 @@
+package container_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/container"
+	"repro/internal/minic"
+	"repro/internal/vm"
+)
+
+var update = flag.Bool("update", false, "regenerate the golden container fixture")
+
+// goldenSource is frozen: changing it (or the compiler's output for it)
+// invalidates testdata/golden/container.mcx and with it the pinned format
+// bytes. Regenerate deliberately with -update.
+const goldenSource = `
+int counter = 0;
+volatile int vflag = 1;
+extern void sink(int v);
+int twice(int n) {
+  return n + n;
+}
+int main(void) {
+  int total = 0;
+  int i = 0;
+  while (i < 4) {
+    total = total + twice(i) + counter;
+    i = i + 1;
+  }
+  total = total + vflag;
+  sink(total);
+  return total;
+}
+`
+
+const goldenPath = "testdata/golden/container.mcx"
+
+func goldenArtifact(t *testing.T) *container.Artifact {
+	t.Helper()
+	cfg := compiler.Config{Family: compiler.GC, Version: "trunk", Level: "O2"}
+	return artifactFor(t, parse(t, goldenSource), cfg)
+}
+
+// TestGoldenContainer pins the on-disk format: the committed fixture must
+// decode, re-encode byte-identically, carry the expected provenance, and
+// byte-match a fresh encode of the same source. Any format or compiler
+// change that shifts the bytes fails here first, forcing a deliberate
+// FormatVersion decision.
+func TestGoldenContainer(t *testing.T) {
+	fresh := container.Encode(goldenArtifact(t))
+
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, fresh, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(data, fresh) {
+		t.Fatalf("fixture (%d bytes) differs from a fresh encode (%d bytes); "+
+			"if the format or compiler changed deliberately, bump FormatVersion "+
+			"and regenerate with -update", len(data), len(fresh))
+	}
+
+	// Pin the fixed-width header fields by raw byte inspection, not via the
+	// decoder — the fixture is the ground truth for external readers.
+	if len(data) < 16 {
+		t.Fatalf("fixture too short: %d bytes", len(data))
+	}
+	if m := binary.LittleEndian.Uint32(data[0:4]); m != container.Magic {
+		t.Fatalf("fixture magic %#x, want %#x", m, container.Magic)
+	}
+	if !bytes.Equal(data[0:4], []byte("MCX1")) {
+		t.Fatalf("fixture does not start with the literal bytes MCX1: % x", data[0:4])
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != container.FormatVersion {
+		t.Fatalf("fixture format version %d, want %d", v, container.FormatVersion)
+	}
+	if n := binary.LittleEndian.Uint16(data[6:8]); n != 4 {
+		t.Fatalf("fixture section count %d, want 4", n)
+	}
+
+	art, err := container.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := container.Provenance{
+		Family: "gc", Version: "trunk", Level: "O2",
+		Fingerprint: minic.FingerprintSource(minic.Render(parse(t, goldenSource))),
+		SourceLen:   len(minic.Render(parse(t, goldenSource))),
+	}
+	if art.Prov != want {
+		t.Fatalf("fixture provenance %+v, want %+v", art.Prov, want)
+	}
+
+	// The fixture must still be a runnable executable: pin its VM exit.
+	obs, err := vm.Observe(art.Exe.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.Ret != 13 {
+		t.Fatalf("fixture executable returned %d, want 13", obs.Ret)
+	}
+}

@@ -19,10 +19,10 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 	"strings"
 
 	"repro/internal/conjecture"
+	"repro/internal/store/atomicfile"
 )
 
 // Signature identifies a bug bucket: conjecture, culprit pass, and the
@@ -322,30 +322,12 @@ func Decode(r io.Reader) (*Corpus, error) {
 	return c, sc.Err()
 }
 
-// Save checkpoints the corpus to path atomically: it writes a temporary
-// file in the same directory and renames it over the target, so a crash
-// mid-checkpoint never corrupts an existing store.
+// Save checkpoints the corpus to path atomically and durably via the
+// toolchain-wide atomicfile helper (tmp in the same directory, fsync,
+// 0644, rename): a crash mid-checkpoint never corrupts an existing store,
+// and a checkpoint that is visible is also on disk.
 func (c *Corpus) Save(path string) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".corpus-*.jsonl")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if err := c.Encode(tmp); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	// CreateTemp makes the file 0600; widen to the conventional 0644 so
-	// the checkpoint that lands at path is readable like any other
-	// artifact (CI uploads, analysis tooling run as another user).
-	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return atomicfile.Write(path, c.Encode)
 }
 
 // Load reads a corpus checkpoint from disk.

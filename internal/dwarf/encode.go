@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"io"
 )
 
 // Binary serialization of Info. The format is a compact tag-length-value
@@ -59,7 +60,7 @@ func Decode(data []byte) (*Info, error) {
 		}
 		info.Lines = append(info.Lines, LineEntry{PC: uint32(pc), Line: int(line)})
 	}
-	cu, maxID, err := decodeDIE(b)
+	cu, maxID, err := decodeDIE(b, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -125,7 +126,15 @@ func encodeDIE(b *bytes.Buffer, d *DIE) {
 	}
 }
 
-func decodeDIE(b *bytes.Reader) (*DIE, int, error) {
+// maxDIEDepth bounds the decoder's recursion so a corrupt child-count
+// chain cannot grow the stack without limit; real DIE trees are a handful
+// of levels deep (CU → subprogram → block → inlined subroutine …).
+const maxDIEDepth = 1000
+
+func decodeDIE(b *bytes.Reader, depth int) (*DIE, int, error) {
+	if depth > maxDIEDepth {
+		return nil, 0, fmt.Errorf("dwarf: DIE tree deeper than %d", maxDIEDepth)
+	}
 	d := &DIE{}
 	id, err := binary.ReadUvarint(b)
 	if err != nil {
@@ -138,12 +147,20 @@ func decodeDIE(b *bytes.Reader) (*DIE, int, error) {
 		return nil, 0, err
 	}
 	d.Tag = Tag(tag)
+	if d.Tag < TagCompileUnit || d.Tag > TagLexicalBlock {
+		return nil, 0, fmt.Errorf("dwarf: unknown tag %d", d.Tag)
+	}
 	n, err := binary.ReadUvarint(b)
 	if err != nil {
 		return nil, 0, err
 	}
+	// Bound the allocation by what the input could actually hold: a
+	// corrupt length must fail cleanly, not drive make() into a panic.
+	if n > uint64(b.Len()) {
+		return nil, 0, fmt.Errorf("dwarf: name length %d exceeds remaining %d bytes", n, b.Len())
+	}
 	name := make([]byte, n)
-	if _, err := b.Read(name); err != nil {
+	if _, err := io.ReadFull(b, name); err != nil {
 		return nil, 0, err
 	}
 	d.Name = string(name)
@@ -197,6 +214,9 @@ func decodeDIE(b *bytes.Reader) (*DIE, int, error) {
 			return nil, 0, err
 		}
 		r.Lo, r.Hi, r.Kind, r.Value = uint32(lo), uint32(hi), LocKind(kind), v
+		if r.Kind < LocReg || r.Kind > LocConst {
+			return nil, 0, fmt.Errorf("dwarf: unknown location kind %d", r.Kind)
+		}
 		d.Loc = append(d.Loc, r)
 	}
 	nrng, err := binary.ReadUvarint(b)
@@ -219,7 +239,7 @@ func decodeDIE(b *bytes.Reader) (*DIE, int, error) {
 		return nil, 0, err
 	}
 	for k := uint64(0); k < nch; k++ {
-		c, cmax, err := decodeDIE(b)
+		c, cmax, err := decodeDIE(b, depth+1)
 		if err != nil {
 			return nil, 0, err
 		}

@@ -34,6 +34,15 @@ func New(prog *asm.Program, info *dwarf.Info) *Executable {
 	return &Executable{Prog: prog, DebugSection: dwarf.Encode(info)}
 }
 
+// FromParts reassembles an executable from a program and an already-encoded
+// debug section — the load path of the .mcx container format. The returned
+// executable carries no runtime caches: debug information decodes on first
+// use and the debugger's session artifact (stop plan) is rebuilt lazily,
+// exactly as for a freshly linked executable.
+func FromParts(prog *asm.Program, debugSection []byte) *Executable {
+	return &Executable{Prog: prog, DebugSection: debugSection}
+}
+
 // DebugInfo decodes (and caches) the debug section.
 func (e *Executable) DebugInfo() (*dwarf.Info, error) {
 	e.once.Do(func() {

@@ -1,0 +1,51 @@
+// Package atomicfile writes files atomically and durably: content goes to
+// a temporary file in the destination directory, is fsynced, widened to the
+// conventional 0644, and renamed over the target in one step. A crash at
+// any point leaves either the old file or the new one, never a torn mix —
+// the contract both the hunt-corpus checkpoints and the artifact store
+// depend on.
+package atomicfile
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Write atomically replaces path with whatever the callback writes. The
+// temporary file lives in path's directory so the final rename never
+// crosses a filesystem boundary; it is fsynced before the rename so the
+// content is durable by the time the new name is visible, and chmodded to
+// 0644 so the artifact is readable like any other checked-in file (CI
+// uploads, analysis tooling running as another user).
+func Write(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".atomic-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// WriteBytes is Write for callers that already hold the full content.
+func WriteBytes(path string, data []byte) error {
+	return Write(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}

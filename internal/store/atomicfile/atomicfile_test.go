@@ -1,0 +1,68 @@
+package atomicfile
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteBytesCreatesReadableFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.bin")
+	if err := WriteBytes(path, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("content = %q, want %q", got, "hello")
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Mode().Perm() != 0o644 {
+		t.Fatalf("mode = %v, want 0644", fi.Mode().Perm())
+	}
+}
+
+func TestWriteReplacesExistingAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.bin")
+	if err := WriteBytes(path, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBytes(path, []byte("new content")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "new content" {
+		t.Fatalf("content = %q after replace", got)
+	}
+}
+
+func TestWriteErrorLeavesTargetUntouched(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	if err := WriteBytes(path, []byte("keep me")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	if err := Write(path, func(io.Writer) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the callback's error", err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "keep me" {
+		t.Fatalf("failed write clobbered the target: %q", got)
+	}
+	// The temporary file must not linger either.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries after failed write, want 1", len(entries))
+	}
+}

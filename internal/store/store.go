@@ -1,0 +1,211 @@
+// Package store is the persistent artifact tier of the compile cache: a
+// content-addressed directory of .mcx containers, one per compiled
+// (source fingerprint, configuration) pair. File names carry the address —
+// <fingerprint>-<family>-<version>-<level>.mcx — so any number of replica
+// processes can share one directory with no coordination beyond the
+// filesystem: writes are atomic tmp+fsync+rename (internal/store/atomicfile),
+// and readers decode whatever complete file the last rename published.
+//
+// The store is forgiving by design. Open scans the directory and
+// quarantines entries whose header is not a valid container (renamed to
+// <name>.quarantined, never deleted); a Get that finds a corrupt or
+// mismatched entry quarantines it and reports a miss, so one torn file can
+// cost a recompile but never a failure or a wrong artifact.
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/container"
+	"repro/internal/store/atomicfile"
+)
+
+// Stats are a store's lifetime counters.
+type Stats struct {
+	// Hits and Misses count Get outcomes; Writes counts artifacts put.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Writes int64 `json:"writes"`
+	// BytesRead and BytesWritten total the container payloads moved.
+	BytesRead    int64 `json:"bytes_read"`
+	BytesWritten int64 `json:"bytes_written"`
+	// Quarantined counts entries set aside as corrupt (at open or on Get);
+	// WriteErrors counts failed Puts (the compile still succeeds).
+	Quarantined int64 `json:"quarantined"`
+	WriteErrors int64 `json:"write_errors"`
+	// Entries is the current number of readable artifacts known to the
+	// store (scanned at open, plus this process's writes).
+	Entries int `json:"entries"`
+}
+
+// Store is an open artifact directory. It is safe for concurrent use by
+// one process's workers; cross-process safety comes from atomic renames.
+type Store struct {
+	root string
+
+	mu    sync.Mutex
+	index map[string]bool // file base name -> known readable
+	stats Stats
+}
+
+// Key addresses one artifact: the canonical-source fingerprint (and its
+// length, a cheap anti-collision check) plus the configuration.
+type Key struct {
+	Fingerprint uint64
+	SourceLen   int
+	Family      string
+	Version     string
+	Level       string
+}
+
+// filename renders the content address: <fingerprint>-<config>.mcx.
+func (k Key) filename() string {
+	return fmt.Sprintf("%016x-%s-%s-%s.mcx", k.Fingerprint, k.Family, k.Version, k.Level)
+}
+
+// matches reports whether an artifact's provenance is the one the key
+// asked for — the integrity check that makes a renamed or fingerprint-
+// colliding file a miss instead of a wrong answer.
+func (k Key) matches(p container.Provenance) bool {
+	return p.Fingerprint == k.Fingerprint && p.SourceLen == k.SourceLen &&
+		p.Family == k.Family && p.Version == k.Version && p.Level == k.Level
+}
+
+// Open creates (if needed) and scans an artifact directory. Entries whose
+// header is not a readable container header are quarantined, not fatal;
+// files that are not .mcx at all are ignored (they are not ours to touch).
+func Open(root string) (*Store, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{root: root, index: map[string]bool{}}
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".mcx") {
+			continue
+		}
+		if !headerOK(filepath.Join(root, name)) {
+			s.quarantineLocked(name)
+			continue
+		}
+		s.index[name] = true
+	}
+	s.stats.Entries = len(s.index)
+	return s, nil
+}
+
+// Root returns the store's directory.
+func (s *Store) Root() string { return s.root }
+
+// headerOK cheaply checks the fixed-width container header (magic and
+// format version) without reading the whole file.
+func headerOK(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var hdr [6]byte
+	if _, err := f.Read(hdr[:]); err != nil {
+		return false
+	}
+	magic := uint32(hdr[0]) | uint32(hdr[1])<<8 | uint32(hdr[2])<<16 | uint32(hdr[3])<<24
+	version := uint16(hdr[4]) | uint16(hdr[5])<<8
+	return magic == container.Magic && version == container.FormatVersion
+}
+
+// quarantineLocked renames a bad entry aside. Callers hold s.mu (or are
+// still single-threaded in Open).
+func (s *Store) quarantineLocked(name string) {
+	// Best-effort: if the rename fails the entry simply stays out of the
+	// index and keeps reporting misses.
+	_ = os.Rename(filepath.Join(s.root, name), filepath.Join(s.root, name+".quarantined"))
+	delete(s.index, name)
+	s.stats.Quarantined++
+}
+
+// Get loads the artifact for key, if present and intact. A corrupt,
+// truncated or provenance-mismatched entry is quarantined and reported as
+// a miss. The read goes to disk even when the open-time index did not see
+// the file, so artifacts written by a concurrently running replica are
+// picked up live.
+func (s *Store) Get(key Key) (*container.Artifact, bool) {
+	name := key.filename()
+	data, err := os.ReadFile(filepath.Join(s.root, name))
+	if err != nil {
+		s.mu.Lock()
+		s.stats.Misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	art, err := container.Decode(data)
+	if err != nil || !key.matches(art.Prov) {
+		s.mu.Lock()
+		s.quarantineLocked(name)
+		s.stats.Misses++
+		s.stats.Entries = len(s.index)
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.mu.Lock()
+	if !s.index[name] {
+		s.index[name] = true
+		s.stats.Entries = len(s.index)
+	}
+	s.stats.Hits++
+	s.stats.BytesRead += int64(len(data))
+	s.mu.Unlock()
+	return art, true
+}
+
+// Put writes an artifact under its provenance-derived address, atomically
+// and durably. A concurrent Put of the same artifact (another worker,
+// another replica) is harmless: both renames publish identical bytes.
+func (s *Store) Put(key Key, art *container.Artifact) error {
+	if !key.matches(art.Prov) {
+		err := fmt.Errorf("store: artifact provenance %+v does not match key %+v", art.Prov, key)
+		s.mu.Lock()
+		s.stats.WriteErrors++
+		s.mu.Unlock()
+		return err
+	}
+	name := key.filename()
+	data := container.Encode(art)
+	if err := atomicfile.WriteBytes(filepath.Join(s.root, name), data); err != nil {
+		s.mu.Lock()
+		s.stats.WriteErrors++
+		s.mu.Unlock()
+		return fmt.Errorf("store: %w", err)
+	}
+	s.mu.Lock()
+	if !s.index[name] {
+		s.index[name] = true
+		s.stats.Entries = len(s.index)
+	}
+	s.stats.Writes++
+	s.stats.BytesWritten += int64(len(data))
+	s.mu.Unlock()
+	return nil
+}
+
+// Len returns the number of readable artifacts the store knows about.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}

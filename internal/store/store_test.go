@@ -1,0 +1,261 @@
+package store_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/container"
+	"repro/internal/fuzzgen"
+	"repro/internal/minic"
+	"repro/internal/store"
+)
+
+func testArtifact(t *testing.T, seed int64, cfg compiler.Config) (store.Key, *container.Artifact) {
+	t.Helper()
+	prog := fuzzgen.GenerateSeed(seed)
+	res, err := compiler.Compile(prog, cfg, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := minic.Render(prog)
+	key := store.Key{
+		Fingerprint: minic.FingerprintSource(src), SourceLen: len(src),
+		Family: string(cfg.Family), Version: cfg.Version, Level: cfg.Level,
+	}
+	return key, &container.Artifact{
+		Exe: res.Exe,
+		Prov: container.Provenance{
+			Family: key.Family, Version: key.Version, Level: key.Level,
+			Fingerprint: key.Fingerprint, SourceLen: key.SourceLen,
+		},
+		PipelineExecutions: res.PipelineExecutions,
+		Applied:            res.Applied,
+	}
+}
+
+var gcO2 = compiler.Config{Family: compiler.GC, Version: "trunk", Level: "O2"}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, art := testArtifact(t, 3, gcO2)
+
+	if _, ok := s.Get(key); ok {
+		t.Fatal("Get hit on an empty store")
+	}
+	if err := s.Put(key, art); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok {
+		t.Fatal("Get missed a just-put artifact")
+	}
+	if !bytes.Equal(container.Encode(got), container.Encode(art)) {
+		t.Fatal("loaded artifact re-encodes differently from the stored one")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Writes != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v, want 1 hit, 1 miss, 1 write, 1 entry", st)
+	}
+	if st.BytesWritten == 0 || st.BytesRead != st.BytesWritten {
+		t.Fatalf("stats %+v: bytes read should equal bytes written", st)
+	}
+}
+
+func TestOpenScansExistingEntries(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, art := testArtifact(t, 5, gcO2)
+	if err := s1.Put(key, art); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("reopened store Len = %d, want 1", s2.Len())
+	}
+	if _, ok := s2.Get(key); !ok {
+		t.Fatal("reopened store missed the persisted artifact")
+	}
+}
+
+func TestOpenQuarantinesGarbageEntries(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "deadbeef-gc-trunk-O2.mcx"), []byte("not a container"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Non-.mcx files are not ours; they must be left alone.
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d, want 0 after quarantine", s.Len())
+	}
+	if st := s.Stats(); st.Quarantined != 1 {
+		t.Fatalf("Quarantined = %d, want 1", st.Quarantined)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "deadbeef-gc-trunk-O2.mcx.quarantined")); err != nil {
+		t.Fatalf("quarantined file not set aside: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "README.txt")); err != nil {
+		t.Fatalf("unrelated file was touched: %v", err)
+	}
+}
+
+func TestGetQuarantinesCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, art := testArtifact(t, 7, gcO2)
+	if err := s.Put(key, art); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the payload behind the store's back (header stays valid, so
+	// only the full decode catches it).
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var name string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".mcx") {
+			name = e.Name()
+		}
+	}
+	path := filepath.Join(dir, name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := s.Get(key); ok {
+		t.Fatal("Get returned a corrupt artifact")
+	}
+	if _, err := os.Stat(path + ".quarantined"); err != nil {
+		t.Fatalf("corrupt entry not quarantined: %v", err)
+	}
+	// Quarantine removed it from the index; a fresh Get is a plain miss.
+	if _, ok := s.Get(key); ok {
+		t.Fatal("Get hit after quarantine")
+	}
+	if st := s.Stats(); st.Quarantined != 1 || st.Hits != 0 {
+		t.Fatalf("stats %+v, want 1 quarantined and 0 hits", st)
+	}
+}
+
+// TestGetQuarantinesRenamedEntry pins the provenance check: a valid
+// container filed under the wrong address must miss, not serve a wrong
+// artifact.
+func TestGetQuarantinesRenamedEntry(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, art := testArtifact(t, 9, gcO2)
+	other, _ := testArtifact(t, 11, gcO2)
+	if err := s.Put(key, art); err != nil {
+		t.Fatal(err)
+	}
+
+	// Move the artifact to the other key's address, simulating a renamed or
+	// fingerprint-colliding file.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldPath := filepath.Join(dir, entries[0].Name())
+	data, err := os.ReadFile(oldPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrongKey := other
+	wrongPath := filepath.Join(dir, wrongKeyFilename(wrongKey))
+	if err := os.WriteFile(wrongPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := s.Get(wrongKey); ok {
+		t.Fatal("Get served an artifact whose provenance does not match the key")
+	}
+	if _, err := os.Stat(wrongPath + ".quarantined"); err != nil {
+		t.Fatalf("mismatched entry not quarantined: %v", err)
+	}
+}
+
+// wrongKeyFilename mirrors the store's address scheme for test setup.
+func wrongKeyFilename(k store.Key) string {
+	b := make([]byte, 0, 64)
+	const hexdigits = "0123456789abcdef"
+	for i := 60; i >= 0; i -= 4 {
+		b = append(b, hexdigits[(k.Fingerprint>>uint(i))&0xf])
+	}
+	return string(b) + "-" + k.Family + "-" + k.Version + "-" + k.Level + ".mcx"
+}
+
+// TestCrossStoreSharing pins the replica-sharing contract: a Get reads
+// disk even when the file appeared after this store's open-time scan.
+func TestCrossStoreSharing(t *testing.T) {
+	dir := t.TempDir()
+	a, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := store.Open(dir) // opened before the write, index is empty
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, art := testArtifact(t, 13, gcO2)
+	if err := a.Put(key, art); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.Get(key); !ok {
+		t.Fatal("replica store missed an artifact written after its open")
+	}
+	if b.Len() != 1 {
+		t.Fatalf("replica Len = %d, want 1 after live pickup", b.Len())
+	}
+}
+
+func TestPutRejectsProvenanceMismatch(t *testing.T) {
+	s, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, art := testArtifact(t, 15, gcO2)
+	key.Level = "O0" // address disagrees with the artifact's provenance
+	if err := s.Put(key, art); err == nil {
+		t.Fatal("Put accepted an artifact under a mismatched address")
+	}
+	if st := s.Stats(); st.WriteErrors != 1 || st.Writes != 0 {
+		t.Fatalf("stats %+v, want 1 write error and 0 writes", st)
+	}
+}

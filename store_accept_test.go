@@ -1,0 +1,215 @@
+package pokeholes_test
+
+// Acceptance tests of the persistent artifact tier: the container
+// round-trip contract (a decoded executable is observationally identical
+// to the one that was encoded, across the golden corpus and both compiler
+// families) and the warm-start contract (a second engine pointed at a
+// pre-warmed store directory serves the full golden corpus byte-for-byte
+// with zero frontend and zero backend computations).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/container"
+	"repro/internal/minic"
+)
+
+// storeConfigs is the acceptance matrix: both families at O0 and O2.
+func storeConfigs() []pokeholes.Config {
+	return []pokeholes.Config{
+		{Family: pokeholes.GC, Version: "trunk", Level: "O0"},
+		{Family: pokeholes.GC, Version: "trunk", Level: "O2"},
+		{Family: pokeholes.CL, Version: "trunk", Level: "O0"},
+		{Family: pokeholes.CL, Version: "trunk", Level: "O2"},
+	}
+}
+
+func goldenSources(t *testing.T) map[string]string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("testdata", "golden", "*.mc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 6 {
+		t.Fatalf("golden corpus has %d programs, want at least 6", len(paths))
+	}
+	srcs := map[string]string{}
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcs[strings.TrimSuffix(filepath.Base(p), ".mc")] = string(src)
+	}
+	return srcs
+}
+
+// traceProjection renders a trace deterministically for comparison (Stop
+// holds an unexported lazy index, so struct equality is not usable).
+func traceProjection(tr *pokeholes.Trace) string {
+	var b strings.Builder
+	for line := 1; line <= tr.NLines; line++ {
+		s, ok := tr.Stops[line]
+		if !ok {
+			continue
+		}
+		b.WriteString(s.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestStoreRoundTripContract pins that for every golden program × family ×
+// level, Decode(Encode(exe)) yields an executable with a byte-identical
+// debug section, an identical recorded trace, and identical DWARF
+// classifications for every violation the check finds.
+func TestStoreRoundTripContract(t *testing.T) {
+	ctx := context.Background()
+	eng := pokeholes.NewEngine()
+	for name, src := range goldenSources(t) {
+		prog, err := pokeholes.ParseProgram(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, cfg := range storeConfigs() {
+			res, err := eng.CompileResult(ctx, prog, cfg)
+			if err != nil {
+				t.Fatalf("%s %s: %v", name, cfg, err)
+			}
+			canonical := pokeholes.Render(prog)
+			art := &container.Artifact{
+				Exe: res.Exe,
+				Prov: container.Provenance{
+					Family: string(cfg.Family), Version: cfg.Version, Level: cfg.Level,
+					Fingerprint: minic.FingerprintSource(canonical), SourceLen: len(canonical),
+				},
+				PipelineExecutions: res.PipelineExecutions,
+				Applied:            res.Applied,
+			}
+			dec, err := container.Decode(container.Encode(art))
+			if err != nil {
+				t.Fatalf("%s %s: %v", name, cfg, err)
+			}
+			if !bytes.Equal(dec.Exe.DebugSection, res.Exe.DebugSection) {
+				t.Fatalf("%s %s: decoded debug section differs", name, cfg)
+			}
+
+			dbg := pokeholes.NativeDebugger(cfg.Family)
+			tr1, err := pokeholes.RecordTrace(res.Exe, dbg)
+			if err != nil {
+				t.Fatalf("%s %s: %v", name, cfg, err)
+			}
+			tr2, err := pokeholes.RecordTrace(dec.Exe, dbg)
+			if err != nil {
+				t.Fatalf("%s %s: %v", name, cfg, err)
+			}
+			if p1, p2 := traceProjection(tr1), traceProjection(tr2); p1 != p2 {
+				t.Fatalf("%s %s: decoded executable traces differently:\n%s\nvs\n%s", name, cfg, p1, p2)
+			}
+
+			rep, err := eng.Check(ctx, prog, cfg)
+			if err != nil {
+				t.Fatalf("%s %s: %v", name, cfg, err)
+			}
+			for _, v := range rep.Violations {
+				c1, err1 := pokeholes.ClassifyDWARF(res.Exe, v)
+				c2, err2 := pokeholes.ClassifyDWARF(dec.Exe, v)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("%s %s: classify %s: %v / %v", name, cfg, v.Var, err1, err2)
+				}
+				if c1 != c2 {
+					t.Fatalf("%s %s: violation %s classifies %q on the compiled exe but %q on the decoded one",
+						name, cfg, v.Var, c1, c2)
+				}
+			}
+		}
+	}
+}
+
+// TestStoreWarmStart pins the warm-start contract end to end through the
+// serving layer: engine A fills a store directory by answering the golden
+// corpus; a fresh engine B on the same directory answers the identical
+// requests byte-for-byte from disk, with zero frontend runs and zero
+// backend compilations.
+func TestStoreWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	srcs := goldenSources(t)
+
+	post := func(t *testing.T, ts *httptest.Server, src string, cfg pokeholes.Config) []byte {
+		t.Helper()
+		body, err := json.Marshal(pokeholes.CheckRequest{Source: src,
+			Family: string(cfg.Family), Version: cfg.Version, Level: cfg.Level})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return goldenPost(t, ts.Client(), ts.URL+"/check", string(body))
+	}
+
+	engA := pokeholes.NewEngine(pokeholes.WithArtifactStore(dir))
+	if serr := engA.Stats().StoreError; serr != "" {
+		t.Fatalf("store failed to open: %s", serr)
+	}
+	tsA := httptest.NewServer(engA.NewServer(pokeholes.ServeSpec{}).Handler())
+	cold := map[string][]byte{}
+	for name, src := range srcs {
+		for _, cfg := range storeConfigs() {
+			cold[name+"|"+cfg.String()] = post(t, tsA, src, cfg)
+		}
+	}
+	tsA.Close()
+	if st := engA.Stats(); st.Store.Writes == 0 {
+		t.Fatalf("cold engine wrote nothing through to the store: %+v", st.Store)
+	}
+
+	engB := pokeholes.NewEngine(pokeholes.WithArtifactStore(dir))
+	if serr := engB.Stats().StoreError; serr != "" {
+		t.Fatalf("store failed to reopen: %s", serr)
+	}
+	tsB := httptest.NewServer(engB.NewServer(pokeholes.ServeSpec{}).Handler())
+	defer tsB.Close()
+	for name, src := range srcs {
+		for _, cfg := range storeConfigs() {
+			warm := post(t, tsB, src, cfg)
+			if !bytes.Equal(warm, cold[name+"|"+cfg.String()]) {
+				t.Errorf("%s %s: warm-start body differs from the cold one.\n%s",
+					name, cfg, firstDiff(warm, cold[name+"|"+cfg.String()]))
+			}
+		}
+	}
+
+	st := engB.Stats()
+	if st.Frontends != 0 {
+		t.Errorf("warm engine ran %d frontends, want 0", st.Frontends)
+	}
+	if st.Compiles != 0 {
+		t.Errorf("warm engine ran %d backend compilations, want 0", st.Compiles)
+	}
+	if st.Store.Hits == 0 {
+		t.Errorf("warm engine hit the store 0 times: %+v", st.Store)
+	}
+	if st.Store.Quarantined != 0 {
+		t.Errorf("warm engine quarantined %d entries on a healthy store", st.Store.Quarantined)
+	}
+
+	// The gc-trunk-O2 warm bodies must also match the committed golden
+	// fixtures: disk-served artifacts reproduce the pinned corpus bytes.
+	for name, src := range srcs {
+		warm := post(t, tsB, src, pokeholes.Config{Family: pokeholes.GC, Version: "trunk", Level: "O2"})
+		want, err := os.ReadFile(filepath.Join("testdata", "golden", name+".check.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(warm, want) {
+			t.Errorf("%s: warm-start /check drifted from the golden fixture.\n%s",
+				name, firstDiff(warm, want))
+		}
+	}
+}
