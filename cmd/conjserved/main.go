@@ -105,5 +105,8 @@ func main() {
 	if err := eng.Serve(ctx, spec); err != nil {
 		log.Fatalf("conjserved: %v", err)
 	}
+	st := eng.Stats()
+	log.Printf("conjserved: frontend fn-cache: %d lookups, %d hits, %d functions relowered",
+		st.FnFrontends, st.FnFrontendHits, st.FnRelowered)
 	log.Printf("conjserved: drained cleanly after %s", time.Since(start).Round(time.Millisecond))
 }

@@ -20,8 +20,11 @@
 // as JSON; CI runs it every push and uploads the file as the benchmark
 // trajectory artifact. It also writes BENCH_store.json next to FILE,
 // timing a cold compilation against a disk load of the same build from a
-// pre-warmed artifact store. Alone it runs only the benchmarks; combined
-// with -exp or -matrix it runs both.
+// pre-warmed artifact store, and BENCH_frontend.json, timing the
+// function-granular incremental frontend (cold, one-function-changed,
+// one-statement-deleted, unchanged, with functions-relowered-per-op)
+// against the whole-program frontend. Alone it runs only the benchmarks;
+// combined with -exp or -matrix it runs both.
 package main
 
 import (
@@ -35,8 +38,12 @@ import (
 	"testing"
 	"time"
 
+	"strings"
+
 	"repro"
+	"repro/internal/compiler"
 	"repro/internal/experiments"
+	"repro/internal/minic"
 )
 
 // experimentJSON is one -json record: identity, wall time, and the
@@ -89,6 +96,11 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintln(os.Stderr, "paperbench: wrote", storeJSON)
+		frontendJSON := filepath.Join(filepath.Dir(*benchJSON), "BENCH_frontend.json")
+		if err := writeBenchFrontend(frontendJSON); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "paperbench: wrote", frontendJSON)
 		// A bare -bench-json means "just the trajectory".
 		if !expSet && !*matrix {
 			return
@@ -411,6 +423,167 @@ func writeBenchStore(path string) error {
 		r := testing.Benchmark(p.run)
 		out.Benchmarks = append(out.Benchmarks, benchRecordJSON{
 			Name: p.name, NsPerOp: r.NsPerOp(), Ops: r.N})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// benchFrontendRecordJSON is one timed probe of the frontend stage: ns/op
+// plus the functions re-lowered per operation (the incremental frontend's
+// figure of merit — a one-function edit should re-lower exactly one).
+type benchFrontendRecordJSON struct {
+	Name             string  `json:"name"`
+	NsPerOp          int64   `json:"ns_per_op"`
+	Ops              int     `json:"ops"`
+	FnReloweredPerOp float64 `json:"fn_relowered_per_op"`
+}
+
+// benchFrontendJSON is the BENCH_frontend.json schema CI uploads next to
+// the benchmark trajectory artifact.
+type benchFrontendJSON struct {
+	Benchmarks  []benchFrontendRecordJSON `json:"benchmarks"`
+	GeneratedAt string                    `json:"generated_at"`
+}
+
+// frozenBenchFnCache serves reads from the wrapped cache but drops writes,
+// so a probe can replay "this exact delta arrives cold" every iteration.
+type frozenBenchFnCache struct{ compiler.FnCache }
+
+func (frozenBenchFnCache) AddFunc(string, *compiler.FnArtifact)      {}
+func (frozenBenchFnCache) AddGlobals(string, *compiler.GlobalsTable) {}
+
+// writeBenchFrontend times the function-granular incremental frontend's
+// three cache states — cold (every function lowers), a warm cache seeing a
+// one-function edit or a one-statement deletion (the fuzz-mutant and
+// reduction-candidate hot paths), and a warm cache seeing the identical
+// program (pure assembly) — against the whole-program frontend on the same
+// many-function input. Written next to BENCH_trace.json as
+// BENCH_frontend.json and uploaded by CI alongside it.
+func writeBenchFrontend(path string) error {
+	const nfuncs = 10
+	var sb strings.Builder
+	sb.WriteString("int g1 = 1;\nvolatile int g2;\nint a[8] = {1, 2, 3, 4, 5, 6, 7, 8};\n")
+	for i := 0; i < nfuncs; i++ {
+		fmt.Fprintf(&sb, `int fn%d(int x) {
+  int acc = %d;
+  int i = 0;
+  for (; i < 8; i = i + 1) {
+    acc = acc + a[i] * x;
+    if (acc > 100) {
+      acc = acc - g1;
+    }
+  }
+  g2 = acc;
+  return acc;
+}
+`, i, i)
+	}
+	sb.WriteString("int main(void) {\n  int s = 0;\n")
+	for i := 0; i < nfuncs; i++ {
+		fmt.Fprintf(&sb, "  s = s + fn%d(s);\n", i)
+	}
+	sb.WriteString("  return s;\n}\n")
+	parse := func(src string) (*minic.Program, string, error) {
+		p, err := minic.Parse(src)
+		if err != nil {
+			return nil, "", err
+		}
+		minic.AssignLines(p)
+		if err := minic.Check(p); err != nil {
+			return nil, "", err
+		}
+		return p, minic.Render(p), nil
+	}
+	prog, progSrc, err := parse(sb.String())
+	if err != nil {
+		return err
+	}
+	// The changed mutant flips an operator inside fn4 (a same-shape edit,
+	// the typical fuzz mutation); the deleted mutant removes one statement
+	// from fn4 (the typical reduction candidate, shifting every function
+	// below it).
+	changed, changedSrc, err := parse(strings.Replace(progSrc,
+		"      acc = acc - g1;\n    }\n  }\n  g2 = acc;\n  return acc;\n}\nint fn5",
+		"      acc = acc + g1;\n    }\n  }\n  g2 = acc;\n  return acc;\n}\nint fn5", 1))
+	if err != nil {
+		return err
+	}
+	deleted, deletedSrc, err := parse(strings.Replace(progSrc,
+		"  g2 = acc;\n  return acc;\n}\nint fn5", "  return acc;\n}\nint fn5", 1))
+	if err != nil {
+		return err
+	}
+	warm := func() (compiler.FnCache, error) {
+		c := compiler.NewMemFnCache()
+		if _, _, err := compiler.FrontendIncrementalSrc(prog, progSrc, c); err != nil {
+			return nil, err
+		}
+		return frozenBenchFnCache{c}, nil
+	}
+
+	probes := []struct {
+		name string
+		p    *minic.Program
+		src  string
+		want int // functions re-lowered per op, -1 for "all, whole-program"
+	}{
+		{"whole", prog, progSrc, -1},
+		{"cold", prog, progSrc, len(prog.Funcs)},
+		{"one_changed", changed, changedSrc, 1},
+		{"one_deleted", deleted, deletedSrc, 1},
+		{"unchanged", prog, progSrc, 0},
+	}
+	out := benchFrontendJSON{GeneratedAt: time.Now().UTC().Format(time.RFC3339)}
+	for _, p := range probes {
+		var relowered int
+		var r testing.BenchmarkResult
+		if p.want < 0 {
+			relowered = len(prog.Funcs)
+			r = testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := compiler.Frontend(p.p); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		} else {
+			cold := p.want == len(prog.Funcs)
+			var cache compiler.FnCache
+			if !cold {
+				if cache, err = warm(); err != nil {
+					return err
+				}
+			}
+			r = testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					c := cache
+					if cold {
+						c = compiler.NewMemFnCache()
+					}
+					_, n, err := compiler.FrontendIncrementalSrc(p.p, p.src, c)
+					if err != nil {
+						b.Fatal(err)
+					}
+					relowered = n
+				}
+			})
+			if relowered != p.want {
+				return fmt.Errorf("bench frontend: %s relowered %d functions, want %d",
+					p.name, relowered, p.want)
+			}
+		}
+		out.Benchmarks = append(out.Benchmarks, benchFrontendRecordJSON{
+			Name: p.name, NsPerOp: r.NsPerOp(), Ops: r.N,
+			FnReloweredPerOp: float64(relowered)})
 	}
 	f, err := os.Create(path)
 	if err != nil {

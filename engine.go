@@ -5,8 +5,10 @@ package pokeholes
 // frontend/compile/analysis/trace cache, and the debugger engines — and
 // exposes context-aware versions of the paper's pipeline stages. The
 // compilation is staged (see internal/compiler): the config-invariant
-// frontend is cached once per program, so matrix sweeps and campaigns
-// never re-lower a program they have already seen.
+// frontend is cached once per program — and assembled function by function
+// from a per-function cache tier, so matrix sweeps never re-lower a
+// program they have already seen, and near-identical programs (reduction
+// candidates, fuzz mutants) re-lower only the functions that changed.
 
 import (
 	"context"
@@ -63,6 +65,13 @@ type Engine struct {
 	frontends atomic.Int64
 	compiles  atomic.Int64
 	records   atomic.Int64
+
+	// Function-granular frontend counters: per-function cache lookups made
+	// while assembling modules, the lookups served from cache, and the
+	// functions that had to be lowered fresh.
+	fnFrontends    atomic.Int64
+	fnFrontendHits atomic.Int64
+	fnRelowered    atomic.Int64
 
 	// Hunting-loop counters (see hunt.go): unique bug buckets opened,
 	// and violations deduplicated into an existing bucket.
@@ -167,9 +176,19 @@ func Default() *Engine {
 
 // EngineStats are an engine's lifetime work counters.
 type EngineStats struct {
-	// Frontends counts actual frontend runs (parse/check/lower to IR).
-	// One program checked across a whole configuration matrix lowers once.
+	// Frontends counts actual frontend runs (module assemblies of lowered
+	// IR). One program checked across a whole configuration matrix lowers
+	// once.
 	Frontends int64 `json:"frontends"`
+	// FnFrontends counts per-function frontend cache lookups — one per
+	// function of every module assembly. FnFrontendHits is the subset
+	// served from cache (cloned or shared instead of lowered), and
+	// FnRelowered the functions lowered fresh. A one-function edit to an
+	// already-seen program costs exactly one re-lower: hits == len(funcs)-1
+	// and relowered == 1.
+	FnFrontends    int64 `json:"fn_frontends"`
+	FnFrontendHits int64 `json:"fn_frontend_hits"`
+	FnRelowered    int64 `json:"fn_relowered"`
 	// Compiles counts actual backend compilations — optimize + codegen —
 	// (cache misses and uncacheable builds such as triage's knob-twiddling
 	// variants). The config-invariant frontend is counted separately.
@@ -202,7 +221,9 @@ type EngineStats struct {
 // Stats returns the engine's work counters so far.
 func (e *Engine) Stats() EngineStats {
 	s := EngineStats{Frontends: e.frontends.Load(), Compiles: e.compiles.Load(), Traces: e.records.Load(),
-		Buckets: e.bucketsFound.Load(), DupViolations: e.dupViolations.Load()}
+		FnFrontends: e.fnFrontends.Load(), FnFrontendHits: e.fnFrontendHits.Load(),
+		FnRelowered: e.fnRelowered.Load(),
+		Buckets:     e.bucketsFound.Load(), DupViolations: e.dupViolations.Load()}
 	if total := s.Buckets + s.DupViolations; total > 0 {
 		s.DupRate = float64(s.DupViolations) / float64(total)
 	}
@@ -234,32 +255,76 @@ func cacheableOptions(o compiler.Options) bool {
 // sourceKey identifies a program for caching: its canonical source,
 // prefixed by the cheap fingerprint so key comparisons usually fail fast.
 // Keying on the full source (not the 64-bit hash alone) means a hash
-// collision can never serve another program's artifacts.
-//
-// Render assigns line numbers into the AST as a (deterministic) side
-// effect, so sourceKey must not run concurrently on one program. Paths
-// that fan a single program out over goroutines — Sweep — compute the key
-// once up front and thread it through srcKey parameters.
+// collision can never serve another program's artifacts. Render is
+// side-effect-free, so sourceKey can run from any goroutine; fan-out paths
+// like Sweep still compute it once up front and thread it through srcKey
+// parameters purely to avoid re-rendering per configuration.
 func sourceKey(prog *minic.Program) string {
 	src := minic.Render(prog)
 	return fmt.Sprintf("%016x|%s", minic.FingerprintSource(src), src)
 }
 
+// engineFnCache adapts the engine's shared LRU to the incremental
+// frontend's per-function cache. Values live in the same cache as the
+// module/compile/trace tiers, under their own key prefixes. Lookup and hit
+// counters are derived from the assembly result in frontend() rather than
+// counted here, because the assembler may probe more than one key per
+// function (canonical plus rebased-variant).
+type engineFnCache struct{ e *Engine }
+
+func (c engineFnCache) GetFunc(key string) (*compiler.FnArtifact, bool) {
+	v, ok := c.e.cache.Get("fnfront|" + key)
+	if !ok {
+		return nil, false
+	}
+	return v.(*compiler.FnArtifact), true
+}
+
+func (c engineFnCache) AddFunc(key string, a *compiler.FnArtifact) {
+	c.e.cache.Add("fnfront|"+key, a)
+}
+
+func (c engineFnCache) GetGlobals(key string) (*compiler.GlobalsTable, bool) {
+	v, ok := c.e.cache.Get("fnglobals|" + key)
+	if !ok {
+		return nil, false
+	}
+	return v.(*compiler.GlobalsTable), true
+}
+
+func (c engineFnCache) AddGlobals(key string, t *compiler.GlobalsTable) {
+	c.e.cache.Add("fnglobals|"+key, t)
+}
+
 // frontend returns the config-invariant lowered IR of prog, computed once
-// per canonical-source fingerprint. The cached module is never mutated:
-// every backend compilation clones it (compiler.CompileFrom). A waiter
-// coalesced onto another goroutine's in-flight lowering unblocks with
-// ctx.Err() when ctx is cancelled.
+// per canonical-source fingerprint. A module-cache miss does not re-lower
+// the whole program: the module is assembled function by function from the
+// per-function tier (compiler.FrontendIncremental), so reduction
+// candidates and fuzz mutants re-lower only the functions they changed.
+// The cached module is never mutated: every backend compilation clones it
+// (compiler.CompileFrom). A waiter coalesced onto another goroutine's
+// in-flight lowering unblocks with ctx.Err() when ctx is cancelled.
 func (e *Engine) frontend(ctx context.Context, prog *minic.Program) (*ir.Module, error) {
-	lower := func() (*ir.Module, error) {
+	if e.cache == nil {
 		e.frontends.Add(1)
 		return compiler.Frontend(prog)
 	}
-	if e.cache == nil {
-		return lower()
-	}
-	key := "frontend|" + sourceKey(prog)
-	v, err := e.cache.GetOrComputeCtx(ctx, key, func() (any, error) { return lower() })
+	skey := sourceKey(prog)
+	key := "frontend|" + skey
+	v, err := e.cache.GetOrComputeCtx(ctx, key, func() (any, error) {
+		e.frontends.Add(1)
+		// skey carries the canonical rendering after its 17-byte hash
+		// prefix; hand it to the assembler so the per-function body texts
+		// are slices of the string this lookup already paid for.
+		mod, relowered, err := compiler.FrontendIncrementalSrc(prog, skey[17:], engineFnCache{e})
+		if err != nil {
+			return nil, err
+		}
+		e.fnFrontends.Add(int64(len(prog.Funcs)))
+		e.fnFrontendHits.Add(int64(len(prog.Funcs) - relowered))
+		e.fnRelowered.Add(int64(relowered))
+		return mod, nil
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,143 @@
+package pokeholes_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/compiler"
+)
+
+const incrBaseSrc = `int g1 = 7;
+volatile int g2;
+int helper(int x) {
+  g1 = g1 + x;
+  return g1;
+}
+int twice(int x) {
+  return helper(x) + helper(x);
+}
+int main(void) {
+  int i = 0;
+  for (; i < 4; i = i + 1) {
+    g2 = twice(i);
+  }
+  return g1;
+}
+`
+
+// TestEngineFnFrontendCounters pins the engine-level accounting of the
+// function-granular frontend: a first Check lowers every function fresh; a
+// one-function edit re-lowers exactly one and serves the rest from the
+// per-function cache; an exact repeat assembles nothing at all (served by
+// the module tier).
+func TestEngineFnFrontendCounters(t *testing.T) {
+	ctx := context.Background()
+	eng := pokeholes.NewEngine(pokeholes.WithWorkers(1))
+	cfg := pokeholes.Config{Family: pokeholes.GC, Version: "trunk", Level: "O2"}
+
+	base, err := pokeholes.ParseProgram(incrBaseSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Check(ctx, base, cfg); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.Frontends != 1 || st.FnFrontends != 3 || st.FnFrontendHits != 0 || st.FnRelowered != 3 {
+		t.Fatalf("after cold check: %+v", st)
+	}
+
+	edited, err := pokeholes.ParseProgram(strings.Replace(incrBaseSrc,
+		"return helper(x) + helper(x);", "return helper(x) + helper(x + 1);", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Check(ctx, edited, cfg); err != nil {
+		t.Fatal(err)
+	}
+	st = eng.Stats()
+	if st.Frontends != 2 || st.FnFrontends != 6 || st.FnFrontendHits != 2 || st.FnRelowered != 4 {
+		t.Fatalf("after one-function edit: %+v", st)
+	}
+
+	// An exact repeat hits the module tier: no per-function work at all.
+	repeat, err := pokeholes.ParseProgram(incrBaseSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Check(ctx, repeat, cfg); err != nil {
+		t.Fatal(err)
+	}
+	st = eng.Stats()
+	if st.Frontends != 2 || st.FnFrontends != 6 || st.FnRelowered != 4 {
+		t.Fatalf("after exact repeat: %+v", st)
+	}
+}
+
+// TestIncrementalFrontendDWARFClassification pins the last leg of the
+// byte-identity contract over the golden corpus: the DWARF classification
+// of every violation found through the engine (whose frontend assembles
+// modules from the per-function cache) matches classification over a
+// direct whole-program compile of the same program.
+func TestIncrementalFrontendDWARFClassification(t *testing.T) {
+	ctx := context.Background()
+	eng := pokeholes.NewEngine()
+	paths, err := filepath.Glob(filepath.Join("testdata", "golden", "*.mc"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no golden corpus: %v", err)
+	}
+	configs := []pokeholes.Config{
+		{Family: pokeholes.GC, Version: "trunk", Level: "O2"},
+		{Family: pokeholes.CL, Version: "trunk", Level: "Os"},
+	}
+	classified := 0
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Parse twice so the engine path and the direct path cannot share
+		// AST-level state.
+		for _, cfg := range configs {
+			prog, err := pokeholes.ParseProgram(string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := eng.Check(ctx, prog, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			direct, err := pokeholes.ParseProgram(string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := compiler.Compile(direct, cfg, compiler.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range rep.Violations {
+				got, err := eng.ClassifyDWARF(ctx, prog, cfg, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := pokeholes.ClassifyDWARF(res.Exe, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("%s %v %s: engine classified %q, whole-program %q",
+						filepath.Base(p), cfg, v.Key(), got, want)
+				}
+				classified++
+			}
+		}
+	}
+	if classified == 0 {
+		t.Fatal("golden corpus produced no violations to classify")
+	}
+	t.Logf("classified %d violations identically", classified)
+}

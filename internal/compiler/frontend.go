@@ -1,0 +1,210 @@
+package compiler
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/minic"
+)
+
+// Function-granular incremental frontend. The engine's workloads are
+// thousands of near-identical compiles — fuzz mutants, reduction
+// candidates, program deltas — where almost every function body is
+// unchanged between consecutive programs. FrontendIncremental assembles a
+// lowered module from per-function cache entries, re-lowering only the
+// functions whose (body, deps) fingerprint changed and cloning the rest,
+// so a one-function edit pays for one function's lowering instead of the
+// whole program's.
+//
+// Soundness rests on LowerFunc's input contract: a function's IR is
+// determined by its canonical body text, the signature digest of the
+// symbols it references (minic.FnFingerprint covers both), the globals
+// table it resolves against, and its absolute start line. The first two
+// form the cache key; the last two are repaired at assembly time by
+// ir.CloneFuncInto (global remap by name + uniform line shift). When the
+// function sits at the same line and the very same globals table instance,
+// the cached IR is shared without any copy — frontend modules are
+// immutable by convention (Optimize clones before running passes).
+
+// GlobalsTable is a cached lowered globals prologue: the []*ir.Global a
+// set of function lowerings resolve their global operands against. Entries
+// are keyed by GlobalsKey; pointer identity of the table decides whether a
+// cached function can be reused zero-copy.
+type GlobalsTable struct {
+	Globals []*ir.Global
+}
+
+// FnArtifact is one cached function lowering: the IR plus the globals
+// table it was lowered against. Alt holds the most recent rebase of Fn to
+// another start line, if any: reduction scans alternate between a small
+// set of line offsets (each deletion span shifts everything below it), and
+// keeping two positions per function makes the alternation zero-copy in
+// both directions.
+type FnArtifact struct {
+	Fn    *ir.Func
+	Alt   *ir.Func
+	Table *GlobalsTable
+}
+
+// FnCache stores per-function frontend artifacts. Implementations must be
+// safe for the caller's concurrency (the engine adapts its shared LRU; the
+// in-memory MemFnCache is single-goroutine).
+type FnCache interface {
+	GetFunc(key string) (*FnArtifact, bool)
+	AddFunc(key string, a *FnArtifact)
+	GetGlobals(key string) (*GlobalsTable, bool)
+	AddGlobals(key string, t *GlobalsTable)
+}
+
+// FnKey is the cache key for one function's lowering within prog: both
+// fingerprint hashes paired with the full body and deps texts, so a hash
+// collision cannot alias two functions (the same hash-plus-text scheme the
+// engine uses for whole programs).
+func FnKey(prog *minic.Program, fd *minic.FuncDecl) string {
+	return fnKeyFromParts(minic.FnSource(fd), minic.FnDepsSource(prog, fd))
+}
+
+// fnKeyFromParts builds FnKey's "%016x|%016x|body\x00deps" layout without
+// going through fmt: key construction sits on the assembly hot path, once
+// per function per program.
+func fnKeyFromParts(body, deps string) string {
+	var b strings.Builder
+	b.Grow(34 + len(body) + 1 + len(deps))
+	writeHex16(&b, minic.FingerprintSource(body))
+	b.WriteByte('|')
+	writeHex16(&b, minic.FingerprintSource(deps))
+	b.WriteByte('|')
+	b.WriteString(body)
+	b.WriteByte(0)
+	b.WriteString(deps)
+	return b.String()
+}
+
+// writeHex16 writes v as exactly 16 lower-case hex digits ("%016x").
+func writeHex16(b *strings.Builder, v uint64) {
+	var buf [16]byte
+	s := strconv.AppendUint(buf[:0], v, 16)
+	for i := len(s); i < 16; i++ {
+		b.WriteByte('0')
+	}
+	b.Write(s)
+}
+
+// GlobalsKey is the cache key for prog's lowered globals table.
+func GlobalsKey(prog *minic.Program) string {
+	src := minic.GlobalsSource(prog)
+	var b strings.Builder
+	b.Grow(17 + len(src))
+	writeHex16(&b, minic.FingerprintSource(src))
+	b.WriteByte('|')
+	b.WriteString(src)
+	return b.String()
+}
+
+// FrontendIncremental lowers prog like Frontend, but assembles the module
+// from cache: functions whose FnKey is cached are cloned (or shared
+// zero-copy when both their start line and globals table are unchanged),
+// and only the rest are lowered fresh. It returns the assembled module and
+// the number of functions that had to be re-lowered. A nil cache degrades
+// to a throwaway in-memory cache (every function lowers fresh).
+//
+// The assembled module is byte-identical — rendered IR, traces, DWARF
+// classification — to Frontend(prog)'s result.
+func FrontendIncremental(prog *minic.Program, cache FnCache) (*ir.Module, int, error) {
+	return FrontendIncrementalSrc(prog, minic.Render(prog), cache)
+}
+
+// FrontendIncrementalSrc is FrontendIncremental for a caller that already
+// holds prog's canonical rendering (the engine renders every program once
+// for its module-level cache key, so the per-function body texts are
+// slices of a string it has anyway); src must equal minic.Render(prog).
+func FrontendIncrementalSrc(prog *minic.Program, src string, cache FnCache) (*ir.Module, int, error) {
+	if cache == nil {
+		cache = NewMemFnCache()
+	}
+	gkey := GlobalsKey(prog)
+	table, ok := cache.GetGlobals(gkey)
+	var m *ir.Module
+	if ok {
+		// Globals occupy lines 1..N of the canonical layout, so a table
+		// cached under the same rendered prologue carries the right
+		// DeclLines already.
+		m = &ir.Module{Globals: table.Globals, NLines: ir.ProgramLines(prog)}
+	} else {
+		m = ir.LowerGlobals(prog)
+		table = &GlobalsTable{Globals: m.Globals}
+		cache.AddGlobals(gkey, table)
+	}
+	relowered := 0
+	// All function body texts are slices of the one whole-program render,
+	// and the dependency digests share one signature index, instead of a
+	// per-function render and declaration scan each.
+	bodies := minic.FnSourcesFromRender(prog, src)
+	deps := minic.NewFnDepsIndex(prog)
+	for i, fd := range prog.Funcs {
+		key := fnKeyFromParts(bodies[i], deps.Source(fd))
+		if art, ok := cache.GetFunc(key); ok {
+			if art.Table == table {
+				if fd.Line == art.Fn.Line {
+					m.Funcs = append(m.Funcs, art.Fn)
+					continue
+				}
+				if art.Alt != nil && fd.Line == art.Alt.Line {
+					m.Funcs = append(m.Funcs, art.Alt)
+					continue
+				}
+				// Same globals, new position: shift lines, skip the remap,
+				// and rebase the cache entry to the position just produced
+				// (the key is position-independent, so any line is a valid
+				// entry). A reduction scan shifts the same functions to the
+				// same few lines candidate after candidate; with the
+				// previous position retained as Alt, every repeat of either
+				// is shared zero-copy instead of cloned again.
+				nf := ir.CloneFuncShift(art.Fn, fd.Line-art.Fn.Line)
+				m.Funcs = append(m.Funcs, nf)
+				cache.AddFunc(key, &FnArtifact{Fn: nf, Alt: art.Fn, Table: table})
+				continue
+			}
+			nf := ir.CloneFuncInto(art.Fn, m, fd.Line-art.Fn.Line)
+			m.Funcs = append(m.Funcs, nf)
+			cache.AddFunc(key, &FnArtifact{Fn: nf, Table: table})
+			continue
+		}
+		lf, err := ir.LowerFunc(prog, m, fd)
+		if err != nil {
+			return nil, relowered, err
+		}
+		relowered++
+		m.Funcs = append(m.Funcs, lf)
+		cache.AddFunc(key, &FnArtifact{Fn: lf, Table: table})
+	}
+	return m, relowered, nil
+}
+
+// MemFnCache is an unbounded in-memory FnCache for tests, benchmarks and
+// one-shot tools. It is not safe for concurrent use; the engine backs
+// FnCache with its shared LRU instead.
+type MemFnCache struct {
+	funcs   map[string]*FnArtifact
+	globals map[string]*GlobalsTable
+}
+
+// NewMemFnCache returns an empty MemFnCache.
+func NewMemFnCache() *MemFnCache {
+	return &MemFnCache{funcs: map[string]*FnArtifact{}, globals: map[string]*GlobalsTable{}}
+}
+
+func (c *MemFnCache) GetFunc(key string) (*FnArtifact, bool) {
+	a, ok := c.funcs[key]
+	return a, ok
+}
+
+func (c *MemFnCache) AddFunc(key string, a *FnArtifact) { c.funcs[key] = a }
+
+func (c *MemFnCache) GetGlobals(key string) (*GlobalsTable, bool) {
+	t, ok := c.globals[key]
+	return t, ok
+}
+
+func (c *MemFnCache) AddGlobals(key string, t *GlobalsTable) { c.globals[key] = t }

@@ -1,0 +1,168 @@
+package compiler
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/minic"
+)
+
+// benchFrontendProgram builds a program of nfuncs non-trivial helpers plus
+// main, the shape the incremental frontend is for: many functions, of
+// which a mutation or reduction step touches one.
+func benchFrontendProgram(tb testing.TB, nfuncs int) *minic.Program {
+	var sb strings.Builder
+	sb.WriteString("int g1 = 1;\nvolatile int g2;\nint a[8] = {1, 2, 3, 4, 5, 6, 7, 8};\n")
+	for i := 0; i < nfuncs; i++ {
+		fmt.Fprintf(&sb, `int fn%d(int x) {
+  int acc = %d;
+  int i = 0;
+  for (; i < 8; i = i + 1) {
+    acc = acc + a[i] * x;
+    if (acc > 100) {
+      acc = acc - g1;
+    }
+  }
+  g2 = acc;
+  return acc;
+}
+`, i, i)
+	}
+	sb.WriteString("int main(void) {\n  int s = 0;\n")
+	for i := 0; i < nfuncs; i++ {
+		fmt.Fprintf(&sb, "  s = s + fn%d(s);\n", i)
+	}
+	sb.WriteString("  return s;\n}\n")
+	prog, err := minic.Parse(sb.String())
+	if err != nil {
+		tb.Fatalf("parse: %v", err)
+	}
+	minic.AssignLines(prog)
+	if err := minic.Check(prog); err != nil {
+		tb.Fatalf("check: %v", err)
+	}
+	return prog
+}
+
+// frozenFnCache serves reads from the wrapped cache but drops writes, so a
+// benchmark can replay "this exact delta arrives cold" forever.
+type frozenFnCache struct{ FnCache }
+
+func (frozenFnCache) AddFunc(string, *FnArtifact)      {}
+func (frozenFnCache) AddGlobals(string, *GlobalsTable) {}
+
+// warmFnCache returns a cache pre-populated with prog's lowering.
+func warmFnCache(tb testing.TB, prog *minic.Program) FnCache {
+	cache := NewMemFnCache()
+	if _, _, err := FrontendIncremental(prog, cache); err != nil {
+		tb.Fatal(err)
+	}
+	return cache
+}
+
+func BenchmarkFrontendWhole(b *testing.B) {
+	prog := benchFrontendProgram(b, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Frontend(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFrontendIncremental measures the three states of the
+// per-function tier: a cold cache (every function lowers, the overhead
+// bound), a warm cache seeing a one-function edit (the fuzz-mutant /
+// reduction-candidate hot path), and a warm cache seeing the identical
+// program again (pure assembly). The benchmarks call the Src entrypoint
+// with a pre-computed rendering, as the engine does: the render is paid
+// once per program by the module-level cache key on the whole-program and
+// incremental paths alike, so it is excluded from the stage comparison
+// (Frontend does not render either).
+func BenchmarkFrontendIncremental(b *testing.B) {
+	prog := benchFrontendProgram(b, 10)
+	progSrc := minic.Render(prog)
+	parseMutant := func(src string) (*minic.Program, string) {
+		m, err := minic.Parse(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		minic.AssignLines(m)
+		if err := minic.Check(m); err != nil {
+			b.Fatal(err)
+		}
+		return m, minic.Render(m)
+	}
+	// The changed mutant flips an operator inside fn4 — a same-shape body
+	// edit, the typical fuzz mutation: every other function keeps its line
+	// and is shared zero-copy.
+	changed, changedSrc := parseMutant(strings.Replace(progSrc,
+		"      acc = acc - g1;\n    }\n  }\n  g2 = acc;\n  return acc;\n}\nint fn5",
+		"      acc = acc + g1;\n    }\n  }\n  g2 = acc;\n  return acc;\n}\nint fn5", 1))
+	// The deleted mutant removes one statement from fn4 — the typical
+	// reduction candidate: every function below it shifts lines and is
+	// rebased by clone.
+	deleted, deletedSrc := parseMutant(strings.Replace(progSrc,
+		"  g2 = acc;\n  return acc;\n}\nint fn5", "  return acc;\n}\nint fn5", 1))
+
+	b.Run("cold", func(b *testing.B) {
+		relowered := 0
+		for i := 0; i < b.N; i++ {
+			_, n, err := FrontendIncrementalSrc(prog, progSrc, NewMemFnCache())
+			if err != nil {
+				b.Fatal(err)
+			}
+			relowered = n
+		}
+		b.ReportMetric(float64(relowered), "relowered/op")
+	})
+	b.Run("one_changed", func(b *testing.B) {
+		cache := frozenFnCache{warmFnCache(b, prog)}
+		relowered := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, n, err := FrontendIncrementalSrc(changed, changedSrc, cache)
+			if err != nil {
+				b.Fatal(err)
+			}
+			relowered = n
+		}
+		if relowered != 1 {
+			b.Fatalf("one-function edit relowered %d functions, want 1", relowered)
+		}
+		b.ReportMetric(float64(relowered), "relowered/op")
+	})
+	b.Run("one_deleted", func(b *testing.B) {
+		cache := frozenFnCache{warmFnCache(b, prog)}
+		relowered := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, n, err := FrontendIncrementalSrc(deleted, deletedSrc, cache)
+			if err != nil {
+				b.Fatal(err)
+			}
+			relowered = n
+		}
+		if relowered != 1 {
+			b.Fatalf("one-statement deletion relowered %d functions, want 1", relowered)
+		}
+		b.ReportMetric(float64(relowered), "relowered/op")
+	})
+	b.Run("unchanged", func(b *testing.B) {
+		cache := frozenFnCache{warmFnCache(b, prog)}
+		relowered := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, n, err := FrontendIncrementalSrc(prog, progSrc, cache)
+			if err != nil {
+				b.Fatal(err)
+			}
+			relowered = n
+		}
+		if relowered != 0 {
+			b.Fatalf("unchanged program relowered %d functions, want 0", relowered)
+		}
+		b.ReportMetric(float64(relowered), "relowered/op")
+	})
+}

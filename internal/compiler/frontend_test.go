@@ -1,0 +1,208 @@
+package compiler
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/debugger"
+	"repro/internal/minic"
+)
+
+func parseChecked(t *testing.T, src string) *minic.Program {
+	t.Helper()
+	prog, err := minic.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	minic.AssignLines(prog)
+	if err := minic.Check(prog); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return prog
+}
+
+// goldenPrograms loads the repo's golden corpus (testdata/golden/*.mc).
+func goldenPrograms(t *testing.T) map[string]*minic.Program {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "golden", "*.mc"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no golden corpus found: %v", err)
+	}
+	out := map[string]*minic.Program{}
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[strings.TrimSuffix(filepath.Base(p), ".mc")] = parseChecked(t, string(src))
+	}
+	return out
+}
+
+// gridConfigs is the full version × level matrix of both families.
+func gridConfigs() []Config {
+	var out []Config
+	for _, v := range GCVersions {
+		for _, l := range GCLevels {
+			out = append(out, Config{Family: GC, Version: v, Level: l})
+		}
+	}
+	for _, v := range CLVersions {
+		for _, l := range CLLevels {
+			out = append(out, Config{Family: CL, Version: v, Level: l})
+		}
+	}
+	return out
+}
+
+func familyDebugger(f Family) debugger.Debugger {
+	if f == CL {
+		return debugger.NewLLDB(DebuggerDefects("lldb"))
+	}
+	return debugger.NewGDB(DebuggerDefects("gdb"))
+}
+
+// TestFrontendIncrementalEquivalence pins the assembled-from-parts module
+// against the whole-program frontend over the golden corpus: identical
+// structure (deep equality and rendered IR) both on a cold cache and on a
+// warm reassembly, and identical downstream artifacts — applied-pass log
+// and full debugger trace — across the whole version × level grid.
+func TestFrontendIncrementalEquivalence(t *testing.T) {
+	grid := gridConfigs()
+	for name, prog := range goldenPrograms(t) {
+		t.Run(name, func(t *testing.T) {
+			whole, err := Frontend(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cache := NewMemFnCache()
+			cold, n, err := FrontendIncremental(prog, cache)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != len(prog.Funcs) {
+				t.Fatalf("cold assembly relowered %d functions, want all %d", n, len(prog.Funcs))
+			}
+			if !reflect.DeepEqual(cold, whole) {
+				t.Fatalf("cold assembly differs from whole-program frontend")
+			}
+			warm, n, err := FrontendIncremental(prog, cache)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != 0 {
+				t.Fatalf("warm assembly relowered %d functions, want 0", n)
+			}
+			if !reflect.DeepEqual(warm, whole) {
+				t.Fatalf("warm assembly differs from whole-program frontend")
+			}
+			if warm.String() != whole.String() {
+				t.Fatalf("warm assembly renders differently:\n%s\nvs\n%s", warm, whole)
+			}
+			// An unchanged program reassembles zero-copy: the very same
+			// function instances, not equal clones.
+			for i := range warm.Funcs {
+				if warm.Funcs[i] != cold.Funcs[i] {
+					t.Fatalf("warm assembly cloned unchanged function %s", warm.Funcs[i].Name)
+				}
+			}
+			for _, cfg := range grid {
+				resW, err := CompileFrom(whole, cfg, Options{})
+				if err != nil {
+					t.Fatalf("%v: whole compile: %v", cfg, err)
+				}
+				resI, err := CompileFrom(warm, cfg, Options{})
+				if err != nil {
+					t.Fatalf("%v: incremental compile: %v", cfg, err)
+				}
+				if !reflect.DeepEqual(resW.Applied, resI.Applied) {
+					t.Fatalf("%v: applied-pass logs differ:\n%v\nvs\n%v", cfg, resW.Applied, resI.Applied)
+				}
+				dbg := familyDebugger(cfg.Family)
+				trW, err := debugger.Record(resW.Exe, dbg)
+				if err != nil {
+					t.Fatalf("%v: whole trace: %v", cfg, err)
+				}
+				trI, err := debugger.Record(resI.Exe, dbg)
+				if err != nil {
+					t.Fatalf("%v: incremental trace: %v", cfg, err)
+				}
+				if !reflect.DeepEqual(trW, trI) {
+					t.Fatalf("%v: traces differ between whole and incremental frontends", cfg)
+				}
+			}
+		})
+	}
+}
+
+const mutationBase = `int g1 = 7;
+volatile int g2;
+int helper(int x) {
+  g1 = g1 + x;
+  return g1;
+}
+int twice(int x) {
+  return helper(x) + helper(x);
+}
+int main(void) {
+  int i = 0;
+  for (; i < 4; i = i + 1) {
+    g2 = twice(i);
+  }
+  return g1;
+}
+`
+
+// mutate asserts the exact re-lower count of assembling the mutated
+// program against a cache warmed on the base, and that the assembled
+// module still matches the whole-program frontend of the mutant.
+func assertMutation(t *testing.T, cache FnCache, src string, wantRelowered int) {
+	t.Helper()
+	prog := parseChecked(t, src)
+	whole, err := Frontend(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, n, err := FrontendIncremental(prog, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != wantRelowered {
+		t.Fatalf("relowered %d functions, want %d", n, wantRelowered)
+	}
+	if !reflect.DeepEqual(inc, whole) {
+		t.Fatalf("assembled module differs from whole-program frontend:\n%s\nvs\n%s", inc, whole)
+	}
+}
+
+// TestFrontendIncrementalMutation is the one-edit contract: editing one
+// function re-lowers exactly that function, whatever the edit does to the
+// line positions of everything below it.
+func TestFrontendIncrementalMutation(t *testing.T) {
+	cache := NewMemFnCache()
+	assertMutation(t, cache, mutationBase, 3) // cold: every function lowers
+
+	// Edit the body of the middle function without changing its length:
+	// unchanged functions reuse at delta 0.
+	assertMutation(t, cache, strings.Replace(mutationBase,
+		"return helper(x) + helper(x);", "return helper(x) + helper(x + 1);", 1), 1)
+
+	// Delete a statement from the first function: everything below shifts,
+	// so unchanged functions are reused via clone + line rebase.
+	assertMutation(t, cache, strings.Replace(mutationBase,
+		"  g1 = g1 + x;\n", "", 1), 1)
+
+	// Change a global initialiser: no function body or deps change — zero
+	// re-lowers against a fresh globals table.
+	assertMutation(t, cache, strings.Replace(mutationBase,
+		"int g1 = 7;", "int g1 = 9;", 1), 0)
+
+	// Change a referenced global's type: every function touching it (all
+	// three reference g1 or call someone who does? — only the functions
+	// whose own bodies name g1) re-lowers; here helper and main do.
+	assertMutation(t, cache, strings.Replace(mutationBase,
+		"int g1 = 7;", "unsigned int g1 = 7;", 1), 2)
+}

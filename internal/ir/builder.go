@@ -12,8 +12,23 @@ import (
 // the slot as its lifetime location. mem2reg (an optimization pass) later
 // promotes eligible slots to registers and rewrites the debug intrinsics.
 func Lower(prog *minic.Program) (*Module, error) {
-	m := &Module{}
-	nlines := 0
+	m := LowerGlobals(prog)
+	for _, f := range prog.Funcs {
+		lf, err := LowerFunc(prog, m, f)
+		if err != nil {
+			return nil, err
+		}
+		m.Funcs = append(m.Funcs, lf)
+	}
+	return m, nil
+}
+
+// LowerGlobals lowers just the global declarations of prog into a module
+// with no functions, with NLines already set for the whole program. It is
+// the first stage of Lower, exported so the incremental frontend can build
+// (or reuse) the globals table independently of the function bodies.
+func LowerGlobals(prog *minic.Program) *Module {
+	m := &Module{NLines: ProgramLines(prog)}
 	for _, g := range prog.Globals {
 		mg := &Global{
 			Name:     g.Name,
@@ -25,16 +40,21 @@ func Lower(prog *minic.Program) (*Module, error) {
 		mg.Init = make([]int64, mg.Size)
 		flattenInit(g.Type, g.Init, mg.Init, 0)
 		m.Globals = append(m.Globals, mg)
+	}
+	return m
+}
+
+// ProgramLines returns the module line count Lower records as NLines: the
+// maximum over global declaration lines and, per function, the deepest
+// statement line plus the closing-brace line.
+func ProgramLines(prog *minic.Program) int {
+	nlines := 0
+	for _, g := range prog.Globals {
 		if g.Line > nlines {
 			nlines = g.Line
 		}
 	}
 	for _, f := range prog.Funcs {
-		lf, err := lowerFunc(prog, m, f)
-		if err != nil {
-			return nil, err
-		}
-		m.Funcs = append(m.Funcs, lf)
 		maxLine := f.Line
 		if f.Body != nil {
 			minic.WalkStmt(f.Body, func(s minic.Stmt) bool {
@@ -48,8 +68,7 @@ func Lower(prog *minic.Program) (*Module, error) {
 			nlines = maxLine + 1
 		}
 	}
-	m.NLines = nlines
-	return m, nil
+	return nlines
 }
 
 // flattenInit fills out[] with the flattened initialiser of t at offset off
@@ -96,7 +115,12 @@ type builder struct {
 	nestedDepth int
 }
 
-func lowerFunc(prog *minic.Program, m *Module, fd *minic.FuncDecl) (*Func, error) {
+// LowerFunc lowers a single function declaration against module m's globals
+// table. Apart from global resolution (by name, into m.Globals) and its own
+// absolute source lines, the produced IR depends only on fd's body and the
+// signatures of the functions it calls — the contract minic.FnFingerprint
+// digests, and what makes per-function caching sound.
+func LowerFunc(prog *minic.Program, m *Module, fd *minic.FuncDecl) (*Func, error) {
 	f := &Func{
 		Name:   fd.Name,
 		HasRet: !minic.Equal(fd.Ret, minic.Void),

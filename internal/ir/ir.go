@@ -460,17 +460,47 @@ func (m *Module) Clone() *Module {
 		out.Globals = append(out.Globals, ng)
 	}
 	for _, f := range m.Funcs {
-		out.Funcs = append(out.Funcs, cloneFunc(f, gmap))
+		out.Funcs = append(out.Funcs, cloneFunc(f, func(g *Global) *Global { return gmap[g] }, 0))
 	}
 	return out
 }
 
-func cloneFunc(f *Func, gmap map[*Global]*Global) *Func {
+// CloneFuncInto deep-copies f for assembly into module m: global operands
+// are re-resolved by name against m's globals, and every positive source
+// line is shifted by delta (line 0 marks compiler-artificial positions and
+// is preserved). This is how the incremental frontend rebases a cached
+// function lowering onto a new position in a new program.
+func CloneFuncInto(f *Func, m *Module, delta int) *Func {
+	memo := map[*Global]*Global{}
+	return cloneFunc(f, func(g *Global) *Global {
+		ng, ok := memo[g]
+		if !ok {
+			ng = m.Global(g.Name)
+			memo[g] = ng
+		}
+		return ng
+	}, delta)
+}
+
+// CloneFuncShift deep-copies f with every positive source line shifted by
+// delta, keeping global operands as they are. It is CloneFuncInto for the
+// assembly case where the destination module shares the very globals f was
+// lowered against and only the function's position moved.
+func CloneFuncShift(f *Func, delta int) *Func {
+	return cloneFunc(f, nil, delta)
+}
+
+func cloneFunc(f *Func, remapG func(*Global) *Global, lineDelta int) *Func {
+	shift := func(line int) int {
+		if line > 0 {
+			return line + lineDelta
+		}
+		return line
+	}
 	nf := &Func{Name: f.Name, HasRet: f.HasRet, NTemp: f.NTemp, NSlot: f.NSlot,
-		Slots: append([]int(nil), f.Slots...), Line: f.Line, Opaque: f.Opaque,
+		Slots: append([]int(nil), f.Slots...), Line: shift(f.Line), Opaque: f.Opaque,
 		Pure: f.Pure, nextBID: f.nextBID, nextIID: f.nextIID}
-	vmap := map[*Var]*Var{}
-	smap := map[*InlineSite]*InlineSite{}
+	var smap map[*InlineSite]*InlineSite
 	var cloneSite func(s *InlineSite) *InlineSite
 	cloneSite = func(s *InlineSite) *InlineSite {
 		if s == nil {
@@ -479,41 +509,105 @@ func cloneFunc(f *Func, gmap map[*Global]*Global) *Func {
 		if ns, ok := smap[s]; ok {
 			return ns
 		}
-		ns := &InlineSite{Callee: s.Callee, CallLine: s.CallLine, ID: s.ID, Parent: cloneSite(s.Parent)}
+		if smap == nil {
+			smap = map[*InlineSite]*InlineSite{}
+		}
+		ns := &InlineSite{Callee: s.Callee, CallLine: shift(s.CallLine), ID: s.ID, Parent: cloneSite(s.Parent)}
 		smap[s] = ns
 		return ns
 	}
-	for _, v := range f.Vars {
-		nv := &Var{Name: v.Name, Type: v.Type, DeclLine: v.DeclLine, Slot: v.Slot,
-			AddrTaken: v.AddrTaken, IsParam: v.IsParam, Inlined: cloneSite(v.Inlined),
-			SuppressDIE: v.SuppressDIE, InNestedScope: v.InNestedScope}
-		vmap[v] = nv
-		nf.Vars = append(nf.Vars, nv)
+	// The copies are arena-allocated — one backing array each for vars,
+	// blocks, instructions and operands — instead of one allocation per
+	// node: this clone is the incremental frontend's rebase path and
+	// Optimize's per-configuration module copy.
+	var vmap map[*Var]*Var
+	if len(f.Vars) > 0 {
+		vmap = make(map[*Var]*Var, len(f.Vars))
+		arena := make([]Var, len(f.Vars))
+		nf.Vars = make([]*Var, len(f.Vars))
+		for i, v := range f.Vars {
+			nv := &arena[i]
+			*nv = Var{Name: v.Name, Type: v.Type, DeclLine: shift(v.DeclLine), Slot: v.Slot,
+				AddrTaken: v.AddrTaken, IsParam: v.IsParam, Inlined: cloneSite(v.Inlined),
+				SuppressDIE: v.SuppressDIE, InNestedScope: v.InNestedScope}
+			vmap[v] = nv
+			nf.Vars[i] = nv
+		}
 	}
-	for _, p := range f.Params {
-		nf.Params = append(nf.Params, vmap[p])
+	if len(f.Params) > 0 {
+		nf.Params = make([]*Var, len(f.Params))
+		for i, p := range f.Params {
+			nf.Params[i] = vmap[p]
+		}
 	}
-	bmap := map[*Block]*Block{}
+	bmap := make(map[*Block]*Block, len(f.Blocks))
+	if len(f.Blocks) > 0 {
+		arena := make([]Block, len(f.Blocks))
+		nf.Blocks = make([]*Block, len(f.Blocks))
+		for i, b := range f.Blocks {
+			nb := &arena[i]
+			nb.ID = b.ID
+			bmap[b] = nb
+			nf.Blocks[i] = nb
+		}
+	}
+	nInstr, nargs, ntgts := 0, 0, 0
 	for _, b := range f.Blocks {
-		nb := &Block{ID: b.ID}
-		bmap[b] = nb
-		nf.Blocks = append(nf.Blocks, nb)
-	}
-	for _, b := range f.Blocks {
-		nb := bmap[b]
+		nInstr += len(b.Instrs)
 		for _, in := range b.Instrs {
-			ni := in.Clone()
-			if ni.G != nil {
-				ni.G = gmap[ni.G]
+			nargs += len(in.Args)
+			ntgts += len(in.Tgts)
+		}
+	}
+	if nInstr > 0 {
+		// One arena per function, shared by every block, rather than one
+		// per block: a clone is a handful of allocations regardless of the
+		// block count.
+		arena := make([]Instr, nInstr)
+		ptrs := make([]*Instr, nInstr)
+		argArena := make([]Value, 0, nargs)
+		tgtArena := make([]*Block, 0, ntgts)
+		k := 0
+		for bi, b := range f.Blocks {
+			if len(b.Instrs) == 0 {
+				continue
 			}
-			if ni.V != nil {
-				ni.V = vmap[ni.V]
+			nb := nf.Blocks[bi]
+			blockStart := k
+			for _, in := range b.Instrs {
+				ni := &arena[k]
+				*ni = *in
+				// Full-capacity sub-slices: a later append on one
+				// instruction's operands (or one block's instruction list)
+				// reallocates instead of clobbering its neighbour's.
+				if len(in.Args) > 0 {
+					start := len(argArena)
+					argArena = append(argArena, in.Args...)
+					ni.Args = argArena[start:len(argArena):len(argArena)]
+				} else {
+					ni.Args = nil
+				}
+				if len(in.Tgts) > 0 {
+					start := len(tgtArena)
+					for _, t := range in.Tgts {
+						tgtArena = append(tgtArena, bmap[t])
+					}
+					ni.Tgts = tgtArena[start:len(tgtArena):len(tgtArena)]
+				} else {
+					ni.Tgts = nil
+				}
+				if ni.G != nil && remapG != nil {
+					ni.G = remapG(ni.G)
+				}
+				if ni.V != nil {
+					ni.V = vmap[ni.V]
+				}
+				ni.At = cloneSite(in.At)
+				ni.Line = shift(ni.Line)
+				ptrs[k] = ni
+				k++
 			}
-			ni.At = cloneSite(in.At)
-			for i, t := range ni.Tgts {
-				ni.Tgts[i] = bmap[t]
-			}
-			nb.Instrs = append(nb.Instrs, ni)
+			nb.Instrs = ptrs[blockStart:k:k]
 		}
 	}
 	return nf

@@ -1,0 +1,287 @@
+package minic
+
+import "strings"
+
+// Function-granular fingerprinting. The frontend lowers each function from
+// exactly two inputs: the function's own canonical text, and the
+// signatures/shapes of the symbols the body can resolve outside itself —
+// the return type and opaqueness of every called function, and the type
+// (hence size and array/pointer shape) of every referenced global. FnID
+// captures both, so a cached lowering may be reused whenever the pair
+// matches, regardless of what the rest of the program looks like.
+
+// FnID identifies one function's config-invariant lowering: a hash of the
+// function's canonical body text and a digest of the external declarations
+// it references. Consumers pair the hashes with the full source texts in
+// cache keys (as the engine does for whole programs), so a hash collision
+// cannot alias two functions.
+type FnID struct {
+	Body uint64 // FingerprintSource over FnSource
+	Deps uint64 // FingerprintSource over FnDepsSource
+}
+
+// FnFingerprint fingerprints f's lowering within prog.
+func FnFingerprint(prog *Program, f *FuncDecl) FnID {
+	return FnID{
+		Body: FingerprintSource(FnSource(f)),
+		Deps: FingerprintSource(FnDepsSource(prog, f)),
+	}
+}
+
+// FnSources returns the canonical rendering of every function of prog —
+// element i equals FnSource(prog.Funcs[i]) — from a single whole-program
+// render: in the canonical layout each function is a contiguous chunk of
+// the program text, so the per-function texts are slices of one rendering
+// instead of len(Funcs) separate ones. prog must be canonically laid out
+// (AssignLines) so the stored function start lines match the rendering;
+// if they do not, the per-function renderer is used as a fallback.
+func FnSources(prog *Program) []string {
+	return FnSourcesFromRender(prog, Render(prog))
+}
+
+// FnSourcesFromRender is FnSources for a caller that already holds the
+// canonical rendering of prog (the engine renders every program once for
+// its module-level cache key); src must equal Render(prog).
+func FnSourcesFromRender(prog *Program, src string) []string {
+	out := make([]string, len(prog.Funcs))
+	if len(prog.Funcs) == 0 {
+		return out
+	}
+	starts := make([]int, len(prog.Funcs))
+	line, off, fi := 1, 0, 0
+	for fi < len(prog.Funcs) {
+		if line == prog.Funcs[fi].Line {
+			starts[fi] = off
+			fi++
+			if fi == len(prog.Funcs) {
+				break
+			}
+			continue
+		}
+		nl := strings.IndexByte(src[off:], '\n')
+		if nl < 0 {
+			break
+		}
+		off += nl + 1
+		line++
+	}
+	if fi < len(prog.Funcs) {
+		// Stored lines do not match the canonical layout: render each
+		// function on its own.
+		for i, fd := range prog.Funcs {
+			out[i] = FnSource(fd)
+		}
+		return out
+	}
+	for i := range prog.Funcs {
+		end := len(src)
+		if i+1 < len(prog.Funcs) {
+			end = starts[i+1]
+		}
+		out[i] = src[starts[i]:end]
+	}
+	return out
+}
+
+// FnDepsSource renders the external declarations f's body can reference:
+// one line per referenced global ("[volatile ]<type> <name>") and one per
+// called function ("[extern ]<ret> <name>(<params>)"), in program order.
+// Global initialisers are omitted — a function's lowering does not depend
+// on them. Name references are over-approximated (a local shadowing a
+// global still counts the global), which can only cause a spurious cache
+// miss, never a wrong hit.
+func FnDepsSource(prog *Program, f *FuncDecl) string {
+	vars := map[string]bool{}
+	calls := map[string]bool{}
+	if f.Body != nil {
+		for _, s := range f.Body.Stmts {
+			collectStmtRefs(s, vars, calls)
+		}
+	}
+	var b strings.Builder
+	for _, g := range prog.Globals {
+		if vars[g.Name] {
+			writeGlobalSig(&b, g)
+		}
+	}
+	for _, fd := range prog.Funcs {
+		if calls[fd.Name] {
+			writeFuncSig(&b, fd)
+		}
+	}
+	return b.String()
+}
+
+// writeGlobalSig writes g's FnDepsSource line: "[volatile ]<type> <name>\n".
+func writeGlobalSig(b *strings.Builder, g *GlobalDecl) {
+	if g.Volatile {
+		b.WriteString("volatile ")
+	}
+	b.WriteString(g.Type.String())
+	b.WriteByte(' ')
+	b.WriteString(g.Name)
+	b.WriteByte('\n')
+}
+
+// writeFuncSig writes f's FnDepsSource line: "[extern ]<ret> <name>(<params>)\n".
+func writeFuncSig(b *strings.Builder, f *FuncDecl) {
+	if f.Opaque {
+		b.WriteString("extern ")
+	}
+	b.WriteString(f.Ret.String())
+	b.WriteByte(' ')
+	b.WriteString(f.Name)
+	b.WriteByte('(')
+	b.WriteString(paramsText(f.Params))
+	b.WriteString(")\n")
+}
+
+// FnDepsIndex amortizes FnDepsSource over all the functions of one
+// program: every declaration's signature line is rendered once up front,
+// and the reference-collection maps are reused between functions. Source
+// returns exactly FnDepsSource(prog, f).
+type FnDepsIndex struct {
+	prog  *Program
+	gsigs []string
+	fsigs []string
+	vars  map[string]bool
+	calls map[string]bool
+}
+
+// NewFnDepsIndex builds the signature-line index for prog.
+func NewFnDepsIndex(prog *Program) *FnDepsIndex {
+	ix := &FnDepsIndex{
+		prog:  prog,
+		gsigs: make([]string, len(prog.Globals)),
+		fsigs: make([]string, len(prog.Funcs)),
+		vars:  map[string]bool{},
+		calls: map[string]bool{},
+	}
+	var b strings.Builder
+	for i, g := range prog.Globals {
+		b.Reset()
+		writeGlobalSig(&b, g)
+		ix.gsigs[i] = b.String()
+	}
+	for i, fd := range prog.Funcs {
+		b.Reset()
+		writeFuncSig(&b, fd)
+		ix.fsigs[i] = b.String()
+	}
+	return ix
+}
+
+// Source returns FnDepsSource(prog, f) using the precomputed index.
+func (ix *FnDepsIndex) Source(f *FuncDecl) string {
+	clear(ix.vars)
+	clear(ix.calls)
+	if f.Body != nil {
+		for _, s := range f.Body.Stmts {
+			collectStmtRefs(s, ix.vars, ix.calls)
+		}
+	}
+	n := 0
+	for i, g := range ix.prog.Globals {
+		if ix.vars[g.Name] {
+			n += len(ix.gsigs[i])
+		}
+	}
+	for i, fd := range ix.prog.Funcs {
+		if ix.calls[fd.Name] {
+			n += len(ix.fsigs[i])
+		}
+	}
+	var b strings.Builder
+	b.Grow(n)
+	for i, g := range ix.prog.Globals {
+		if ix.vars[g.Name] {
+			b.WriteString(ix.gsigs[i])
+		}
+	}
+	for i, fd := range ix.prog.Funcs {
+		if ix.calls[fd.Name] {
+			b.WriteString(ix.fsigs[i])
+		}
+	}
+	return b.String()
+}
+
+// collectStmtRefs records every variable name and every callee name that
+// appears anywhere under s. It visits the same nodes as WalkStmt + Exprs +
+// WalkExpr but with direct recursion, keeping the per-function dependency
+// digest off the allocator on the incremental frontend's hot path.
+func collectStmtRefs(s Stmt, vars, calls map[string]bool) {
+	switch x := s.(type) {
+	case *Block:
+		for _, st := range x.Stmts {
+			collectStmtRefs(st, vars, calls)
+		}
+	case *DeclStmt:
+		for _, v := range x.Vars {
+			collectExprRefs(v.Init, vars, calls)
+		}
+	case *AssignStmt:
+		collectExprRefs(x.LHS, vars, calls)
+		collectExprRefs(x.RHS, vars, calls)
+	case *IfStmt:
+		collectExprRefs(x.Cond, vars, calls)
+		collectStmtRefs(x.Then, vars, calls)
+		if x.Else != nil {
+			collectStmtRefs(x.Else, vars, calls)
+		}
+	case *ForStmt:
+		collectExprRefs(x.Cond, vars, calls)
+		if x.Init != nil {
+			collectStmtRefs(x.Init, vars, calls)
+		}
+		if x.Post != nil {
+			collectStmtRefs(x.Post, vars, calls)
+		}
+		collectStmtRefs(x.Body, vars, calls)
+	case *WhileStmt:
+		collectExprRefs(x.Cond, vars, calls)
+		collectStmtRefs(x.Body, vars, calls)
+	case *LabeledStmt:
+		collectStmtRefs(x.Stmt, vars, calls)
+	case *ExprStmt:
+		collectExprRefs(x.X, vars, calls)
+	case *ReturnStmt:
+		collectExprRefs(x.X, vars, calls)
+	}
+}
+
+func collectExprRefs(e Expr, vars, calls map[string]bool) {
+	switch x := e.(type) {
+	case *VarRef:
+		vars[x.Name] = true
+	case *IndexExpr:
+		collectExprRefs(x.Base, vars, calls)
+		collectExprRefs(x.Index, vars, calls)
+	case *UnaryExpr:
+		collectExprRefs(x.X, vars, calls)
+	case *BinaryExpr:
+		collectExprRefs(x.X, vars, calls)
+		collectExprRefs(x.Y, vars, calls)
+	case *AssignExpr:
+		collectExprRefs(x.LHS, vars, calls)
+		collectExprRefs(x.RHS, vars, calls)
+	case *CallExpr:
+		calls[x.Name] = true
+		for _, a := range x.Args {
+			collectExprRefs(a, vars, calls)
+		}
+	}
+}
+
+// GlobalsSource returns the canonical rendering of the program's global
+// declaration prologue — the first len(prog.Globals) lines of Render. In
+// the canonical layout globals always occupy lines 1..N, so this text
+// fully determines the lowered globals table including declaration lines.
+func GlobalsSource(prog *Program) string {
+	var b strings.Builder
+	for _, g := range prog.Globals {
+		b.WriteString(globalText(g))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,174 @@
+package minic_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/fuzzgen"
+	"repro/internal/minic"
+)
+
+const fpTestSrc = `int g1 = 7;
+volatile int g2;
+int a[3] = {1, 2, 3};
+extern void opaque(int x);
+int helper(int x) {
+  g1 = g1 + x;
+  return g1;
+}
+int main(void) {
+  int i = 0;
+  for (; i < 3; i = i + 1) {
+    g1 = helper(a[i]);
+    opaque(g2);
+  }
+  return g1;
+}
+`
+
+func mustProg(t *testing.T, src string) *minic.Program {
+	t.Helper()
+	prog, err := minic.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	minic.AssignLines(prog)
+	if err := minic.Check(prog); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return prog
+}
+
+// TestRenderIsPure pins the printer contract the concurrent cache paths
+// rely on: Render never writes line numbers (or anything else) back into
+// the AST, and its output does not depend on the lines currently stored on
+// the nodes. AssignLines remains the one explicit mutator.
+func TestRenderIsPure(t *testing.T) {
+	prog := mustProg(t, fpTestSrc)
+	want := minic.Render(prog)
+
+	main := prog.Func("main")
+	ret := main.Body.Stmts[len(main.Body.Stmts)-1].(*minic.ReturnStmt)
+	main.Line = 9999
+	ret.Line = 8888
+	prog.Globals[0].Line = 7777
+
+	if got := minic.Render(prog); got != want {
+		t.Fatalf("Render reads stored line numbers: output changed after scrambling them")
+	}
+	if main.Line != 9999 || ret.Line != 8888 || prog.Globals[0].Line != 7777 {
+		t.Fatalf("Render mutated the AST: main.Line=%d ret.Line=%d g.Line=%d",
+			main.Line, ret.Line, prog.Globals[0].Line)
+	}
+
+	minic.AssignLines(prog)
+	if main.Line == 9999 || ret.Line == 8888 || prog.Globals[0].Line == 7777 {
+		t.Fatalf("AssignLines left scrambled lines in place")
+	}
+	if got := minic.Render(prog); got != want {
+		t.Fatalf("Render changed after AssignLines")
+	}
+}
+
+// TestFnSourcePositionIndependent: the same function text renders
+// identically no matter where in a program it sits — the property that
+// lets one cached lowering serve every program containing the function.
+func TestFnSourcePositionIndependent(t *testing.T) {
+	a := mustProg(t, fpTestSrc)
+	shifted := "int extra1;\nint extra2;\nvoid pad(void) {\n  extra1 = 1;\n}\n" + fpTestSrc
+	b := mustProg(t, shifted)
+
+	for _, name := range []string{"helper", "main", "opaque"} {
+		fa, fb := a.Func(name), b.Func(name)
+		if fa.Line == fb.Line {
+			t.Fatalf("test setup: %s not shifted", name)
+		}
+		if minic.FnSource(fa) != minic.FnSource(fb) {
+			t.Fatalf("FnSource of %s depends on position:\n%q\nvs\n%q",
+				name, minic.FnSource(fa), minic.FnSource(fb))
+		}
+		if minic.FnFingerprint(a, fa) != minic.FnFingerprint(b, fb) {
+			t.Fatalf("FnFingerprint of %s depends on position", name)
+		}
+	}
+}
+
+func TestFnDepsSource(t *testing.T) {
+	prog := mustProg(t, fpTestSrc)
+	deps := minic.FnDepsSource(prog, prog.Func("main"))
+
+	for _, want := range []string{"int g1\n", "volatile int g2\n", "int[3] a\n",
+		"extern void opaque(int x)\n", "int helper(int x)\n"} {
+		if !strings.Contains(deps, want) {
+			t.Errorf("main deps missing %q:\n%s", want, deps)
+		}
+	}
+	// helper touches only g1: no other symbol may leak into its digest.
+	hdeps := minic.FnDepsSource(prog, prog.Func("helper"))
+	if hdeps != "int g1\n" {
+		t.Errorf("helper deps = %q, want just g1", hdeps)
+	}
+
+	// Global initialisers do not affect lowering and must not affect deps.
+	changed := mustProg(t, strings.Replace(fpTestSrc, "int g1 = 7;", "int g1 = 8;", 1))
+	if minic.FnDepsSource(changed, changed.Func("main")) != deps {
+		t.Errorf("deps digest depends on a global initialiser")
+	}
+	if minic.GlobalsSource(changed) == minic.GlobalsSource(prog) {
+		t.Errorf("GlobalsSource must cover initialisers")
+	}
+
+	// Changing a referenced global's type must change the digest.
+	retyped := mustProg(t, strings.Replace(fpTestSrc, "int g1 = 7;", "unsigned char g1 = 7;", 1))
+	if minic.FnDepsSource(retyped, retyped.Func("helper")) == hdeps {
+		t.Errorf("deps digest ignores a referenced global's type")
+	}
+}
+
+// TestFnSourcesMatchesFnSource pins the slicing fast path: FnSources must
+// return, for every function, exactly the text the standalone renderer
+// produces — the incremental frontend's cache keys depend on it.
+func TestFnSourcesMatchesFnSource(t *testing.T) {
+	progs := map[string]*minic.Program{"base": mustProg(t, fpTestSrc)}
+	for seed := int64(1); seed <= 8; seed++ {
+		p := fuzzgen.GenerateSeed(seed)
+		minic.AssignLines(p)
+		progs[fmt.Sprintf("fuzz%d", seed)] = p
+	}
+	for name, prog := range progs {
+		got := minic.FnSources(prog)
+		if len(got) != len(prog.Funcs) {
+			t.Fatalf("%s: FnSources returned %d texts for %d functions", name, len(got), len(prog.Funcs))
+		}
+		for i, fd := range prog.Funcs {
+			if want := minic.FnSource(fd); got[i] != want {
+				t.Fatalf("%s: FnSources[%d] (%s) = %q, want %q", name, i, fd.Name, got[i], want)
+			}
+		}
+	}
+	// A program whose stored lines are stale must still come out right via
+	// the per-function fallback path.
+	stale := mustProg(t, fpTestSrc)
+	for _, fd := range stale.Funcs {
+		fd.Line += 1000
+	}
+	got := minic.FnSources(stale)
+	for i, fd := range stale.Funcs {
+		if want := minic.FnSource(fd); got[i] != want {
+			t.Fatalf("stale-lines fallback: FnSources[%d] (%s) = %q, want %q", i, fd.Name, got[i], want)
+		}
+	}
+}
+
+func TestGlobalsSourceIsRenderPrefix(t *testing.T) {
+	prog := mustProg(t, fpTestSrc)
+	full := minic.Render(prog)
+	gsrc := minic.GlobalsSource(prog)
+	if !strings.HasPrefix(full, gsrc) {
+		t.Fatalf("GlobalsSource is not the rendered prologue:\n%q\nvs program:\n%q", gsrc, full)
+	}
+	if strings.Count(gsrc, "\n") != len(prog.Globals) {
+		t.Fatalf("GlobalsSource has %d lines, want %d", strings.Count(gsrc, "\n"), len(prog.Globals))
+	}
+}

@@ -52,3 +52,54 @@ func FuzzParseRenderParse(f *testing.F) {
 		}
 	})
 }
+
+// FuzzFnFingerprint asserts the per-function cache-key contract on
+// arbitrary checked programs: FnFingerprint is stable under
+// parse→render→parse (a reduction clone keys like its original), and two
+// functions with different canonical bodies never collide on the
+// (body fingerprint, deps digest) pair.
+func FuzzFnFingerprint(f *testing.F) {
+	for seed := int64(1); seed <= 12; seed++ {
+		f.Add(minic.Render(fuzzgen.GenerateSeed(seed)))
+	}
+	f.Add("int g;\nint h(void) {\n  return g;\n}\nint main(void) {\n  return h();\n}\n")
+	f.Add("int main(void) {\n  return 0;\n}\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := minic.Parse(src)
+		if err != nil {
+			return
+		}
+		minic.AssignLines(prog)
+		if minic.Check(prog) != nil {
+			return
+		}
+		prog2, err := minic.Parse(minic.Render(prog))
+		if err != nil {
+			t.Fatalf("rendering is not reparseable: %v", err)
+		}
+		minic.AssignLines(prog2)
+		if len(prog2.Funcs) != len(prog.Funcs) {
+			t.Fatalf("reparse changed the function count: %d vs %d", len(prog.Funcs), len(prog2.Funcs))
+		}
+		for i, fd := range prog.Funcs {
+			id1 := minic.FnFingerprint(prog, fd)
+			id2 := minic.FnFingerprint(prog2, prog2.Funcs[i])
+			if id1 != id2 {
+				t.Fatalf("fingerprint of %s unstable under parse→render→parse: %+v vs %+v",
+					fd.Name, id1, id2)
+			}
+		}
+		for i := range prog.Funcs {
+			for j := i + 1; j < len(prog.Funcs); j++ {
+				fi, fj := prog.Funcs[i], prog.Funcs[j]
+				if minic.FnSource(fi) == minic.FnSource(fj) {
+					continue
+				}
+				if minic.FnFingerprint(prog, fi) == minic.FnFingerprint(prog, fj) {
+					t.Fatalf("distinct canonical bodies collide on (fingerprint, deps digest): %s vs %s",
+						fi.Name, fj.Name)
+				}
+			}
+		}
+	})
+}

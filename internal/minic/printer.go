@@ -13,8 +13,8 @@ import (
 // identical line numbers. Line identity is load-bearing: the debugger's
 // line table, the conjecture checkers, and the reducer all key on it.
 
-// Render returns the canonical source text of prog and assigns line numbers
-// to all nodes as a side effect.
+// Render returns the canonical source text of prog. It does not mutate the
+// AST; use AssignLines to stamp canonical line numbers onto the nodes.
 func Render(prog *Program) string {
 	var w layoutWriter
 	w.program(prog)
@@ -24,16 +24,26 @@ func Render(prog *Program) string {
 // AssignLines assigns canonical line numbers to every node of prog without
 // building the source text (it still walks the full layout).
 func AssignLines(prog *Program) {
-	var w layoutWriter
-	w.discard = true
+	w := layoutWriter{discard: true, assign: true}
 	w.program(prog)
+}
+
+// FnSource returns the canonical rendering of a single function declaration
+// in isolation, laid out as if it started at line 1. The text is
+// position-independent: two functions with equal FnSource lower to
+// identical IR up to a uniform line shift and global-pointer identity.
+func FnSource(f *FuncDecl) string {
+	var w layoutWriter
+	w.funcDecl(f)
+	return w.b.String()
 }
 
 type layoutWriter struct {
 	b       strings.Builder
 	line    int
 	indent  int
-	discard bool
+	discard bool // skip text construction: only the line counter is needed
+	assign  bool // write computed line numbers back into the AST nodes
 }
 
 // emit writes one full source line and returns its line number.
@@ -49,22 +59,46 @@ func (w *layoutWriter) emit(text string) int {
 	return w.line
 }
 
+// set stores line into dst only when the writer is in assigning mode.
+func (w *layoutWriter) set(dst *int, line int) {
+	if w.assign {
+		*dst = line
+	}
+}
+
+func (w *layoutWriter) exprLine(e Expr, line int) {
+	if w.assign {
+		setExprLine(e, line)
+	}
+}
+
+func (w *layoutWriter) stmtLine(s Stmt, line int) {
+	if w.assign {
+		setStmtLine(s, line)
+	}
+}
+
 func (w *layoutWriter) program(p *Program) {
 	for _, g := range p.Globals {
-		g.Line = w.emit(globalText(g))
+		w.set(&g.Line, w.emit(globalText(g)))
 	}
 	for _, f := range p.Funcs {
-		if f.Opaque {
-			f.Line = w.emit(fmt.Sprintf("extern %s %s(%s);", f.Ret, f.Name, paramsText(f.Params)))
-			continue
-		}
-		f.Line = w.emit(fmt.Sprintf("%s %s(%s) {", f.Ret, f.Name, paramsText(f.Params)))
-		f.Body.Line = f.Line
-		w.indent++
-		w.stmts(f.Body.Stmts)
-		w.indent--
-		w.emit("}")
+		w.funcDecl(f)
 	}
+}
+
+func (w *layoutWriter) funcDecl(f *FuncDecl) {
+	if f.Opaque {
+		w.set(&f.Line, w.emit(fmt.Sprintf("extern %s %s(%s);", f.Ret, f.Name, paramsText(f.Params))))
+		return
+	}
+	ln := w.emit(fmt.Sprintf("%s %s(%s) {", f.Ret, f.Name, paramsText(f.Params)))
+	w.set(&f.Line, ln)
+	w.set(&f.Body.Line, ln)
+	w.indent++
+	w.stmts(f.Body.Stmts)
+	w.indent--
+	w.emit("}")
 }
 
 func globalText(g *GlobalDecl) string {
@@ -132,38 +166,43 @@ func (w *layoutWriter) stmt(s Stmt) {
 	switch x := s.(type) {
 	case *Block:
 		if len(x.Stmts) == 0 {
-			x.Line = w.emit(";")
+			w.set(&x.Line, w.emit(";"))
 			return
 		}
-		x.Line = w.emit("{")
+		w.set(&x.Line, w.emit("{"))
 		w.indent++
 		w.stmts(x.Stmts)
 		w.indent--
 		w.emit("}")
 	case *DeclStmt:
-		x.Line = w.emit(declText(x))
-		for _, v := range x.Vars {
-			v.Line = x.Line
-			if v.Init != nil {
-				setExprLine(v.Init, x.Line)
+		ln := w.emit(declText(x))
+		w.set(&x.Line, ln)
+		if w.assign {
+			for _, v := range x.Vars {
+				v.Line = ln
+				if v.Init != nil {
+					setExprLine(v.Init, ln)
+				}
 			}
 		}
 	case *AssignStmt:
-		x.Line = w.emit(exprText(x.LHS) + " = " + exprText(x.RHS) + ";")
-		setExprLine(x.LHS, x.Line)
-		setExprLine(x.RHS, x.Line)
+		ln := w.emit(exprText(x.LHS) + " = " + exprText(x.RHS) + ";")
+		w.set(&x.Line, ln)
+		w.exprLine(x.LHS, ln)
+		w.exprLine(x.RHS, ln)
 	case *IfStmt:
-		x.Line = w.emit("if (" + exprText(x.Cond) + ") {")
-		setExprLine(x.Cond, x.Line)
+		ln := w.emit("if (" + exprText(x.Cond) + ") {")
+		w.set(&x.Line, ln)
+		w.exprLine(x.Cond, ln)
 		w.indent++
 		w.stmts(x.Then.Stmts)
-		x.Then.Line = x.Line
+		w.set(&x.Then.Line, ln)
 		w.indent--
 		if x.Else != nil {
 			w.emit("} else {")
 			w.indent++
 			w.stmts(x.Else.Stmts)
-			x.Else.Line = x.Line
+			w.set(&x.Else.Line, ln)
 			w.indent--
 		}
 		w.emit("}")
@@ -181,58 +220,52 @@ func (w *layoutWriter) stmt(s Stmt) {
 			hdr += simpleStmtText(x.Post)
 		}
 		hdr += ") {"
-		x.Line = w.emit(hdr)
+		ln := w.emit(hdr)
+		w.set(&x.Line, ln)
 		if x.Init != nil {
-			setStmtLine(x.Init, x.Line)
+			w.stmtLine(x.Init, ln)
 		}
 		if x.Cond != nil {
-			setExprLine(x.Cond, x.Line)
+			w.exprLine(x.Cond, ln)
 		}
 		if x.Post != nil {
-			setStmtLine(x.Post, x.Line)
+			w.stmtLine(x.Post, ln)
 		}
 		w.indent++
 		w.stmts(x.Body.Stmts)
-		x.Body.Line = x.Line
+		w.set(&x.Body.Line, ln)
 		w.indent--
 		w.emit("}")
 	case *WhileStmt:
-		x.Line = w.emit("while (" + exprText(x.Cond) + ") {")
-		setExprLine(x.Cond, x.Line)
+		ln := w.emit("while (" + exprText(x.Cond) + ") {")
+		w.set(&x.Line, ln)
+		w.exprLine(x.Cond, ln)
 		w.indent++
 		w.stmts(x.Body.Stmts)
-		x.Body.Line = x.Line
+		w.set(&x.Body.Line, ln)
 		w.indent--
 		w.emit("}")
 	case *ExprStmt:
-		x.Line = w.emit(exprText(x.X) + ";")
-		setExprLine(x.X, x.Line)
+		ln := w.emit(exprText(x.X) + ";")
+		w.set(&x.Line, ln)
+		w.exprLine(x.X, ln)
 	case *ReturnStmt:
 		if x.X != nil {
-			x.Line = w.emit("return " + exprText(x.X) + ";")
-			setExprLine(x.X, x.Line)
+			ln := w.emit("return " + exprText(x.X) + ";")
+			w.set(&x.Line, ln)
+			w.exprLine(x.X, ln)
 		} else {
-			x.Line = w.emit("return;")
+			w.set(&x.Line, w.emit("return;"))
 		}
 	case *GotoStmt:
-		x.Line = w.emit("goto " + x.Label + ";")
+		w.set(&x.Line, w.emit("goto "+x.Label+";"))
 	case *LabeledStmt:
 		// The label shares the line of its statement, as with "f: if (a)".
-		save := w.line
-		if !w.discard {
-			// Emit label prefix inline with the inner statement by
-			// temporarily rendering the inner statement's first line with
-			// the label prepended. Simple statements only: compound inner
-			// statements get the label on their header line.
-			w.emitLabeled(x)
-			return
-		}
-		_ = save
 		w.emitLabeled(x)
 	case *BreakStmt:
-		x.Line = w.emit("break;")
+		w.set(&x.Line, w.emit("break;"))
 	case *ContinueStmt:
-		x.Line = w.emit("continue;")
+		w.set(&x.Line, w.emit("continue;"))
 	default:
 		panic(fmt.Sprintf("minic: unknown statement %T", s))
 	}
@@ -246,25 +279,20 @@ func (w *layoutWriter) emitLabeled(x *LabeledStmt) {
 	// discard and render modes we lay out the inner statement normally and
 	// prepend the label text to the first emitted line.
 	if w.discard {
-		x.Line = w.line + 1
+		w.set(&x.Line, w.line+1)
 		w.stmt(x.Stmt)
 		return
 	}
-	var sub layoutWriter
-	sub.line = w.line
-	sub.indent = w.indent
+	sub := layoutWriter{line: w.line, indent: w.indent, assign: w.assign}
 	sub.stmt(x.Stmt)
 	rendered := sub.b.String()
 	lines := strings.SplitN(rendered, "\n", 2)
 	first := strings.TrimLeft(lines[0], " ")
-	x.Line = w.emit(x.Label + ": " + first)
+	w.set(&x.Line, w.emit(x.Label+": "+first))
 	if len(lines) > 1 && lines[1] != "" {
 		w.b.WriteString(lines[1])
 		w.line = sub.line
 	}
-	// Fix the inner statement's recorded lines: they were assigned by sub
-	// starting from the same base line, so they are already correct.
-	_ = first
 }
 
 func declText(d *DeclStmt) string {

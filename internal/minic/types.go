@@ -64,10 +64,32 @@ var (
 )
 
 func (t *IntType) String() string {
-	name := map[int]string{8: "char", 16: "short", 32: "int", 64: "long"}[t.Width]
-	if name == "" {
-		name = fmt.Sprintf("int%d", t.Width)
+	// Allocation-free for the canonical widths: type names appear in every
+	// rendered declaration and every per-function dependency digest, so
+	// this is one of the frontend's hottest string paths.
+	switch t.Width {
+	case 8:
+		if t.Unsigned {
+			return "unsigned char"
+		}
+		return "char"
+	case 16:
+		if t.Unsigned {
+			return "unsigned short"
+		}
+		return "short"
+	case 32:
+		if t.Unsigned {
+			return "unsigned int"
+		}
+		return "int"
+	case 64:
+		if t.Unsigned {
+			return "unsigned long"
+		}
+		return "long"
 	}
+	name := fmt.Sprintf("int%d", t.Width)
 	if t.Unsigned {
 		return "unsigned " + name
 	}

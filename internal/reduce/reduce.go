@@ -31,13 +31,20 @@ func Reduce(prog *minic.Program, keep Predicate) *minic.Program {
 	cur := minic.Clone(prog)
 	start := 0
 	for {
-		cands := candidates(cur)
-		if start > len(cands) {
-			start = len(cands)
+		// Candidates are enumerated as cheap edit descriptors and only
+		// materialized (cloned + transformed) when actually tried: a scan
+		// costs one program clone per tried candidate, not per possible
+		// candidate.
+		edits := candidateEdits(cur)
+		if start > len(edits) {
+			start = len(edits)
 		}
 		accepted := -1
-		for i := start; i < len(cands); i++ {
-			attempt := cands[i]
+		for i := start; i < len(edits); i++ {
+			attempt := applyEdit(cur, edits[i])
+			if attempt == nil {
+				continue
+			}
 			minic.AssignLines(attempt)
 			if minic.Check(attempt) != nil {
 				continue
@@ -94,19 +101,32 @@ func ViolationPredicateWith(cfg compiler.Config, conj int, varName, culprit stri
 	}
 }
 
-// candidates generates one-step shrinks of prog, cheapest first.
-func candidates(prog *minic.Program) []*minic.Program {
-	var out []*minic.Program
+// edit is one shrinking transformation described without materializing the
+// candidate program: the kind of shrink plus the block path / index it
+// applies at.
+type edit struct {
+	kind editKind
+	path string // block path for statement-level edits
+	idx  int    // statement / function / global index
+}
+
+type editKind int
+
+const (
+	editDelStmt    editKind = iota // remove one statement
+	editDropFunc                   // drop a whole function (not main)
+	editDropGlobal                 // drop a global
+	editUnwrap                     // replace a control structure by its body
+)
+
+// candidateEdits enumerates one-step shrinks of prog, cheapest first, in
+// the same stable structural order the reducer's resumable scan relies on.
+func candidateEdits(prog *minic.Program) []edit {
+	var out []edit
 	// Remove one statement anywhere.
-	forEachBlock(prog, func(clone *minic.Program, b *minic.Block, path string) {
+	forEachBlock(prog, func(_ *minic.Program, b *minic.Block, path string) {
 		for i := range b.Stmts {
-			c := minic.Clone(clone)
-			cb := resolveBlock(c, path)
-			if cb == nil || i >= len(cb.Stmts) {
-				continue
-			}
-			cb.Stmts = append(cb.Stmts[:i:i], cb.Stmts[i+1:]...)
-			out = append(out, c)
+			out = append(out, edit{kind: editDelStmt, path: path, idx: i})
 		}
 	})
 	// Drop a whole function (not main).
@@ -114,48 +134,83 @@ func candidates(prog *minic.Program) []*minic.Program {
 		if f.Name == "main" {
 			continue
 		}
-		c := minic.Clone(prog)
-		c.Funcs = append(c.Funcs[:fi:fi], c.Funcs[fi+1:]...)
-		out = append(out, c)
+		out = append(out, edit{kind: editDropFunc, idx: fi})
 	}
 	// Drop a global.
 	for gi := range prog.Globals {
-		c := minic.Clone(prog)
-		c.Globals = append(c.Globals[:gi:gi], c.Globals[gi+1:]...)
-		out = append(out, c)
+		out = append(out, edit{kind: editDropGlobal, idx: gi})
 	}
 	// Unwrap control structures: replace if/for/while bodies at top level.
-	forEachBlock(prog, func(clone *minic.Program, b *minic.Block, path string) {
+	forEachBlock(prog, func(_ *minic.Program, b *minic.Block, path string) {
 		for i, s := range b.Stmts {
-			var repl []minic.Stmt
-			switch x := s.(type) {
-			case *minic.IfStmt:
-				repl = x.Then.Stmts
-			case *minic.ForStmt:
-				repl = x.Body.Stmts
-			case *minic.WhileStmt:
-				repl = x.Body.Stmts
-			case *minic.Block:
-				repl = x.Stmts
-			case *minic.LabeledStmt:
-				repl = []minic.Stmt{x.Stmt}
-			default:
-				continue
+			switch s.(type) {
+			case *minic.IfStmt, *minic.ForStmt, *minic.WhileStmt, *minic.Block, *minic.LabeledStmt:
+				out = append(out, edit{kind: editUnwrap, path: path, idx: i})
 			}
-			c := minic.Clone(clone)
-			cb := resolveBlock(c, path)
-			if cb == nil || i >= len(cb.Stmts) {
-				continue
-			}
-			var cloned []minic.Stmt
-			for _, rs := range repl {
-				cloned = append(cloned, minic.CloneStmt(rs))
-			}
-			rest := append([]minic.Stmt{}, cb.Stmts[i+1:]...)
-			cb.Stmts = append(append(cb.Stmts[:i:i], cloned...), rest...)
-			out = append(out, c)
 		}
 	})
+	return out
+}
+
+// applyEdit materializes one candidate: a clone of prog with e applied.
+// It returns nil when the edit no longer resolves (it never does for edits
+// enumerated from prog itself).
+func applyEdit(prog *minic.Program, e edit) *minic.Program {
+	c := minic.Clone(prog)
+	switch e.kind {
+	case editDelStmt:
+		cb := resolveBlock(c, e.path)
+		if cb == nil || e.idx >= len(cb.Stmts) {
+			return nil
+		}
+		cb.Stmts = append(cb.Stmts[:e.idx:e.idx], cb.Stmts[e.idx+1:]...)
+	case editDropFunc:
+		if e.idx >= len(c.Funcs) {
+			return nil
+		}
+		c.Funcs = append(c.Funcs[:e.idx:e.idx], c.Funcs[e.idx+1:]...)
+	case editDropGlobal:
+		if e.idx >= len(c.Globals) {
+			return nil
+		}
+		c.Globals = append(c.Globals[:e.idx:e.idx], c.Globals[e.idx+1:]...)
+	case editUnwrap:
+		cb := resolveBlock(c, e.path)
+		if cb == nil || e.idx >= len(cb.Stmts) {
+			return nil
+		}
+		// The replacement statements already belong to the clone, so they
+		// splice in directly without another copy.
+		var repl []minic.Stmt
+		switch x := cb.Stmts[e.idx].(type) {
+		case *minic.IfStmt:
+			repl = x.Then.Stmts
+		case *minic.ForStmt:
+			repl = x.Body.Stmts
+		case *minic.WhileStmt:
+			repl = x.Body.Stmts
+		case *minic.Block:
+			repl = x.Stmts
+		case *minic.LabeledStmt:
+			repl = []minic.Stmt{x.Stmt}
+		default:
+			return nil
+		}
+		rest := append([]minic.Stmt{}, cb.Stmts[e.idx+1:]...)
+		cb.Stmts = append(append(cb.Stmts[:e.idx:e.idx], repl...), rest...)
+	}
+	return c
+}
+
+// candidates materializes every one-step shrink of prog, cheapest first.
+// Reduce itself applies edits lazily; this is for fixpoint verification.
+func candidates(prog *minic.Program) []*minic.Program {
+	var out []*minic.Program
+	for _, e := range candidateEdits(prog) {
+		if c := applyEdit(prog, e); c != nil {
+			out = append(out, c)
+		}
+	}
 	return out
 }
 

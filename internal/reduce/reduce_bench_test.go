@@ -1,10 +1,14 @@
 package reduce
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
+	"repro/internal/cache"
+	"repro/internal/compiler"
 	"repro/internal/fuzzgen"
+	"repro/internal/ir"
 	"repro/internal/minic"
 )
 
@@ -102,6 +106,155 @@ func BenchmarkReduce200Stmts(b *testing.B) {
 			b.Fatal("reduction lost the property")
 		}
 	}
+}
+
+// countG1StoresIR counts stores to the global g1 in lowered IR — the
+// frontend-level analogue of keepAllG1Stores, forcing every reduction
+// candidate through the frontend.
+func countG1StoresIR(m *ir.Module) int {
+	n := 0
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpStoreG && in.G != nil && in.G.Name == "g1" {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// manyFunctionProgram builds a ~200-statement program spread over many
+// mid-sized functions — the corpus shape the function-granular frontend
+// targets: fuzz and hunt corpora carry helpers, and a reduction candidate
+// edits exactly one of them while every other body stays byte-identical.
+func manyFunctionProgram(tb testing.TB) *minic.Program {
+	tb.Helper()
+	var sb strings.Builder
+	sb.WriteString("int g1 = 1;\nvolatile int g2;\nint a[8] = {1, 2, 3, 4, 5, 6, 7, 8};\n")
+	for i := 0; i < 16; i++ {
+		fmt.Fprintf(&sb, "int fn%d(int x) {\n  int acc = %d;\n  int t = x + %d;\n  int i = 0;\n  g1 = g1 + t;\n", i, i, i)
+		for r := 0; r < 4; r++ {
+			fmt.Fprintf(&sb, `  for (i = 0; i < 8; i = i + 1) {
+    acc = acc + a[i] * x;
+    t = t + acc - %d;
+    if (acc > 100) {
+      acc = acc - g1;
+      g2 = t;
+    }
+  }
+`, r)
+		}
+		sb.WriteString("  g1 = g1 + acc;\n  g2 = acc;\n  return acc;\n}\n")
+	}
+	sb.WriteString("int main(void) {\n  int s = 0;\n")
+	for i := 0; i < 16; i++ {
+		fmt.Fprintf(&sb, "  s = s + fn%d(s);\n", i)
+	}
+	sb.WriteString("  g1 = s;\n  return s;\n}\n")
+	prog, err := minic.Parse(sb.String())
+	if err != nil {
+		tb.Fatalf("parse: %v", err)
+	}
+	minic.AssignLines(prog)
+	if err := minic.Check(prog); err != nil {
+		tb.Fatalf("check: %v", err)
+	}
+	return prog
+}
+
+// BenchmarkReduceFrontendPredicate measures a full reduction under a
+// frontend-backed predicate — every candidate is lowered to IR and the
+// property checked there — comparing the whole-program frontend against
+// the function-granular incremental frontend sharing one per-function
+// cache across the whole reduction. With nothing but lowering in the
+// predicate this is the incremental tier's worst case: candidate cloning,
+// layout and rendering dominate the loop, and the per-function savings
+// roughly cancel against assembly overhead (the tier's win shows at the
+// frontend stage itself — BenchmarkFrontendIncremental — and in engine
+// workloads where the lowered module feeds optimize/codegen/trace work).
+func BenchmarkReduceFrontendPredicate(b *testing.B) {
+	prog := manyFunctionProgram(b)
+	b.Logf("input: %d statements across %d functions", countStmts(prog), len(prog.Funcs))
+	base, err := compiler.Frontend(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	want := countG1StoresIR(base)
+	if want == 0 {
+		b.Skip("probe program has no IR store to g1")
+	}
+	// Both predicates render the candidate first, as the engine does for
+	// every program it touches (the module-level cache key is the rendered
+	// source), so the comparison isolates the lowering stage the way the
+	// real pipeline sees it. The incremental side shares a bounded LRU
+	// across the reduction, mirroring the engine's shared cache.
+	wholePred := func(p *minic.Program) bool {
+		_ = minic.Render(p)
+		m, err := compiler.Frontend(p)
+		return err == nil && countG1StoresIR(m) >= want
+	}
+	incrementalReduce := func() *minic.Program {
+		fnc := lruFnCache{c: cache.New[string, any](4096)}
+		return Reduce(prog, func(p *minic.Program) bool {
+			m, _, err := compiler.FrontendIncrementalSrc(p, minic.Render(p), fnc)
+			return err == nil && countG1StoresIR(m) >= want
+		})
+	}
+	// Both predicates must drive the reduction to the same fixpoint.
+	if w, i := minic.Render(Reduce(prog, wholePred)), minic.Render(incrementalReduce()); w != i {
+		b.Fatalf("whole and incremental predicates reduced differently:\n%s\nvs\n%s", w, i)
+	}
+	b.Run("whole", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			small := Reduce(prog, wholePred)
+			if !wholePred(small) {
+				b.Fatal("reduction lost the property")
+			}
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			small := incrementalReduce()
+			if countG1StoresIR(mustFrontend(b, small)) < want {
+				b.Fatal("reduction lost the property")
+			}
+		}
+	})
+}
+
+// lruFnCache backs the incremental frontend with a bounded LRU, the same
+// shape the engine uses, so a long reduction cannot grow the per-function
+// tier without bound.
+type lruFnCache struct{ c *cache.Cache[string, any] }
+
+func (l lruFnCache) GetFunc(key string) (*compiler.FnArtifact, bool) {
+	v, ok := l.c.Get("fn|" + key)
+	if !ok {
+		return nil, false
+	}
+	return v.(*compiler.FnArtifact), true
+}
+
+func (l lruFnCache) AddFunc(key string, a *compiler.FnArtifact) { l.c.Add("fn|"+key, a) }
+
+func (l lruFnCache) GetGlobals(key string) (*compiler.GlobalsTable, bool) {
+	v, ok := l.c.Get("g|" + key)
+	if !ok {
+		return nil, false
+	}
+	return v.(*compiler.GlobalsTable), true
+}
+
+func (l lruFnCache) AddGlobals(key string, t *compiler.GlobalsTable) { l.c.Add("g|"+key, t) }
+
+func mustFrontend(tb testing.TB, p *minic.Program) *ir.Module {
+	m, err := compiler.Frontend(p)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
 }
 
 // TestReduceReachesFixpoint pins the resumable scan's contract: the result

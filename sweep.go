@@ -238,8 +238,8 @@ func (e *Engine) sweep(ctx context.Context, prog *minic.Program, mx Matrix, work
 	if err != nil {
 		return nil, err
 	}
-	// Computed once, before the fan-out: sourceKey renders the program,
-	// which assigns line numbers into the AST and must not race.
+	// Computed once, before the fan-out, so the per-configuration workers
+	// share one rendering instead of each re-rendering the program.
 	srcKey := sourceKey(prog)
 
 	// O0 reference traces, one per version, recorded before the fan-out so
