@@ -56,6 +56,11 @@ type CampaignSpec struct {
 	Measure bool
 	// Triage also attributes every violation to a culprit optimization.
 	Triage bool
+	// ReduceSchedules additionally delta-debugs every violation's pass
+	// schedule to its minimal reproducing subsequence
+	// (Engine.ScheduleReduce) and reports it in Result.Schedules. It
+	// requires Triage: the hunt enriches bucket signatures with both.
+	ReduceSchedules bool
 }
 
 // Result is one program's campaign outcome. Results arrive in seed order.
@@ -78,6 +83,11 @@ type Result struct {
 	// string + "|" + key) to the triaged culprit pass (when spec.Triage);
 	// empty string means not single-knob controllable.
 	Culprits map[string]string
+	// Schedules maps the same keys as Culprits to the canonical string of
+	// the violation's minimal reproducing pass schedule (when
+	// spec.ReduceSchedules); empty string means the reduction failed or
+	// the violation pre-dates the optimizer.
+	Schedules map[string]string
 	// Err is the first error this program's checks hit, if any.
 	Err error
 }
@@ -93,6 +103,20 @@ func (r *Result) Culprit(level string, v Violation) (string, bool) {
 func (r *Result) CulpritAt(cfg Config, v Violation) (string, bool) {
 	c, ok := r.Culprits[cfg.String()+"|"+v.Key()]
 	return c, ok
+}
+
+// Schedule returns the minimal reproducing pass schedule of a violation
+// at a level (canonical string form; ReduceSchedules campaigns).
+func (r *Result) Schedule(level string, v Violation) (string, bool) {
+	s, ok := r.Schedules[level+"|"+v.Key()]
+	return s, ok
+}
+
+// ScheduleAt returns the minimal reproducing pass schedule of a violation
+// at a matrix configuration (ReduceSchedules matrix campaigns).
+func (r *Result) ScheduleAt(cfg Config, v Violation) (string, bool) {
+	s, ok := r.Schedules[cfg.String()+"|"+v.Key()]
+	return s, ok
 }
 
 // Campaign runs the spec over the engine's worker pool and returns a
@@ -121,6 +145,9 @@ func (e *Engine) Campaign(ctx context.Context, spec CampaignSpec) (<-chan Result
 		if (Config{Family: spec.Family, Version: spec.Version}).VersionIndex() < 0 {
 			return nil, fmt.Errorf("pokeholes: unknown version %q for family %s", spec.Version, spec.Family)
 		}
+	}
+	if spec.ReduceSchedules && !spec.Triage {
+		return nil, fmt.Errorf("pokeholes: ReduceSchedules requires Triage")
 	}
 	jobs := spec.N
 	if len(spec.Programs) > 0 {
@@ -243,6 +270,9 @@ func (e *Engine) campaignJob(ctx context.Context, spec CampaignSpec, idx int, le
 	if spec.Triage {
 		r.Culprits = map[string]string{}
 	}
+	if spec.ReduceSchedules {
+		r.Schedules = map[string]string{}
+	}
 	if spec.Matrix != nil {
 		mx := *spec.Matrix
 		if spec.Measure {
@@ -265,6 +295,10 @@ func (e *Engine) campaignJob(ctx context.Context, spec CampaignSpec, idx int, le
 						culprit = "" // not controllable by a single knob (§4.3)
 					}
 					r.Culprits[sr.Configs[i].String()+"|"+v.Key()] = culprit
+					if spec.ReduceSchedules {
+						r.Schedules[sr.Configs[i].String()+"|"+v.Key()] =
+							e.reduceScheduleStr(ctx, r.Prog, sr.Configs[i], v)
+					}
 				}
 			}
 		}
@@ -301,8 +335,23 @@ func (e *Engine) campaignJob(ctx context.Context, spec CampaignSpec, idx int, le
 					culprit = "" // not controllable by a single knob (§4.3)
 				}
 				r.Culprits[level+"|"+v.Key()] = culprit
+				if spec.ReduceSchedules {
+					r.Schedules[level+"|"+v.Key()] = e.reduceScheduleStr(ctx, r.Prog, cfg, v)
+				}
 			}
 		}
 	}
 	return r
+}
+
+// reduceScheduleStr flattens Engine.ScheduleReduce to the canonical
+// schedule string Result.Schedules and corpus signatures carry; a failed
+// reduction (or one finding the violation pre-dates the optimizer) is the
+// empty string, which signatures treat as "no schedule component".
+func (e *Engine) reduceScheduleStr(ctx context.Context, prog *minic.Program, cfg Config, v Violation) string {
+	red, err := e.ScheduleReduce(ctx, prog, cfg, v)
+	if err != nil {
+		return ""
+	}
+	return red.Schedule.String()
 }

@@ -1,8 +1,9 @@
 // Command conjhunt runs the paper's bug-hunting pipeline as an
 // open-ended, deduplicated hunt (Engine.Hunt): fuzzed programs stream
 // through the campaign worker pool, every conjecture violation is triaged
-// to a culprit optimization and bucketed by its stable signature
-// (conjecture, culprit pass, violation shape), and each bucket keeps one
+// to a culprit optimization, delta-debugged to a minimal reproducing pass
+// schedule, and bucketed by its stable signature (conjecture, culprit
+// pass, violation shape, minimal schedule), and each bucket keeps one
 // minimized exemplar program. The corpus persists as a JSONL store, so
 // hunts are incremental: re-running with -resume continues from the saved
 // seed cursor and only ever reports buckets the corpus has not seen.
@@ -137,13 +138,14 @@ func report(rep *pokeholes.HuntReport, show bool) {
 		rep.Programs, c.Programs, rep.Violations, len(rep.NewBuckets), rep.Dups)
 	fmt.Printf("corpus: %d unique bugs, %d violations total, next seed %d\n\n",
 		c.Len(), c.Violations(), c.NextSeed)
-	fmt.Printf("%-58s %6s %8s %6s %s\n", "signature", "count", "seed", "lines", "found-after")
+	fmt.Printf("%-58s %6s %8s %6s %-11s %s\n", "signature", "count", "seed", "lines", "found-after", "schedule")
 	for _, b := range c.Buckets() {
 		note := ""
 		if b.DebuggerSuspect {
 			note = "  [debugger-side suspect]"
 		}
-		fmt.Printf("%-58s %6d %8d %6d %d%s\n", b.Sig, b.Count, b.Seed, b.ExemplarLines, b.FoundAfter, note)
+		fmt.Printf("%-58s %6d %8d %6d %-11d %s%s\n", b.Sig, b.Count, b.Seed, b.ExemplarLines,
+			b.FoundAfter, scheduleCol(b.Schedule), note)
 	}
 	if show {
 		for _, b := range rep.NewBuckets {
@@ -153,9 +155,20 @@ func report(rep *pokeholes.HuntReport, show bool) {
 			}
 			fmt.Printf("\n%s (%s exemplar, seed %d, %s, var %s line %d):\n",
 				b.Sig, state, b.Seed, b.Config, b.Var, b.Line)
+			fmt.Printf("    minimal schedule: %s\n", scheduleCol(b.Schedule))
 			fmt.Print(indent(b.Exemplar))
 		}
 	}
+}
+
+// scheduleCol renders a bucket's minimal reproducing pass schedule for
+// the report; "-" marks buckets without one (schedule-less hunts and
+// migrated v1 stores, whose signatures stay three-part).
+func scheduleCol(sched string) string {
+	if sched == "" {
+		return "-"
+	}
+	return sched
 }
 
 func indent(s string) string {

@@ -23,8 +23,12 @@
 // pre-warmed artifact store, and BENCH_frontend.json, timing the
 // function-granular incremental frontend (cold, one-function-changed,
 // one-statement-deleted, unchanged, with functions-relowered-per-op)
-// against the whole-program frontend. Alone it runs only the benchmarks;
-// combined with -exp or -matrix it runs both.
+// against the whole-program frontend, and BENCH_schedule.json, timing one
+// ScheduleReduce delta-debugging run on a warm engine (every ddmin probe
+// reuses the cached lowered module) against the same reduction forced to
+// recompile from scratch on every probe, with the probes-per-op count.
+// Alone it runs only the benchmarks; combined with -exp or -matrix it
+// runs both.
 package main
 
 import (
@@ -101,6 +105,11 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintln(os.Stderr, "paperbench: wrote", frontendJSON)
+		scheduleJSON := filepath.Join(filepath.Dir(*benchJSON), "BENCH_schedule.json")
+		if err := writeBenchSchedule(scheduleJSON); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "paperbench: wrote", scheduleJSON)
 		// A bare -bench-json means "just the trajectory".
 		if !expSet && !*matrix {
 			return
@@ -584,6 +593,115 @@ func writeBenchFrontend(path string) error {
 		out.Benchmarks = append(out.Benchmarks, benchFrontendRecordJSON{
 			Name: p.name, NsPerOp: r.NsPerOp(), Ops: r.N,
 			FnReloweredPerOp: float64(relowered)})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// benchScheduleRecordJSON is one timed probe of schedule delta debugging:
+// ns/op plus the ddmin probes one reduction costs (deterministic for a
+// fixed violation, so it is measured once outside the timing loop).
+type benchScheduleRecordJSON struct {
+	Name        string `json:"name"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	Ops         int    `json:"ops"`
+	ProbesPerOp int    `json:"probes_per_op"`
+}
+
+// benchScheduleJSON is the BENCH_schedule.json schema CI uploads next to
+// the benchmark trajectory artifact.
+type benchScheduleJSON struct {
+	Benchmarks []benchScheduleRecordJSON `json:"benchmarks"`
+	// MinimalSchedule is the reduction's answer on the probe violation,
+	// recorded so trajectory diffs notice a behavior change, not just a
+	// speed change.
+	MinimalSchedule string `json:"minimal_schedule"`
+	GeneratedAt     string `json:"generated_at"`
+}
+
+// writeBenchSchedule times one ScheduleReduce delta-debugging run two
+// ways: on a warm engine, where every ddmin probe re-optimizes the cached
+// lowered module (the designed hot path — zero frontend runs), and on an
+// engine with the compile cache disabled, where every probe recompiles
+// from scratch — the cost the schedule-aware cache keys save. The Check
+// that warms each engine runs outside the timer, so the ns/op ratio is
+// purely the per-probe saving. Written next to BENCH_trace.json as
+// BENCH_schedule.json and uploaded by CI alongside it.
+func writeBenchSchedule(path string) error {
+	ctx := context.Background()
+	cfg := pokeholes.Config{Family: pokeholes.GC, Version: "trunk", Level: "O2"}
+
+	// Find a violating program to reduce (same scan as writeBenchTrace).
+	var vProg *minic.Program
+	var v pokeholes.Violation
+	for seed := int64(1); seed < 200; seed++ {
+		p := pokeholes.GenerateProgram(seed)
+		r, err := pokeholes.NewEngine().Check(ctx, p, cfg)
+		if err != nil {
+			return err
+		}
+		if len(r.Violations) > 0 {
+			vProg, v = p, r.Violations[0]
+			break
+		}
+	}
+	if vProg == nil {
+		return fmt.Errorf("bench schedule: no violating program in the seed scan")
+	}
+
+	// Probes/op and the minimal schedule, measured once outside the timing
+	// loop (the reduction is deterministic).
+	probeEng := pokeholes.NewEngine()
+	if _, err := probeEng.Check(ctx, vProg, cfg); err != nil {
+		return err
+	}
+	red, err := probeEng.ScheduleReduce(ctx, vProg, cfg, v)
+	if err != nil {
+		return err
+	}
+
+	// Fresh engine per iteration: a reused engine would answer later
+	// reductions from the schedule-keyed cache entries the first one
+	// populated, which measures the cache, not the reduction.
+	reduce := func(b *testing.B, opts ...pokeholes.Option) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			eng := pokeholes.NewEngine(opts...)
+			if _, err := eng.Check(ctx, vProg, cfg); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, err := eng.ScheduleReduce(ctx, vProg, cfg, v); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	probes := []struct {
+		name string
+		run  func(b *testing.B)
+	}{
+		{"reduce_warm", func(b *testing.B) { reduce(b) }},
+		{"reduce_full_recompile", func(b *testing.B) {
+			reduce(b, pokeholes.WithCompileCache(0))
+		}},
+	}
+	out := benchScheduleJSON{
+		MinimalSchedule: red.Schedule.String(),
+		GeneratedAt:     time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, p := range probes {
+		r := testing.Benchmark(p.run)
+		out.Benchmarks = append(out.Benchmarks, benchScheduleRecordJSON{
+			Name: p.name, NsPerOp: r.NsPerOp(), Ops: r.N, ProbesPerOp: red.Probes})
 	}
 	f, err := os.Create(path)
 	if err != nil {

@@ -247,6 +247,9 @@ func (e *Engine) DebuggerFor(f Family) Debugger { return e.debuggers[f] }
 // cacheableOptions reports whether a compilation can be served from the
 // cache: only plain builds qualify, not triage's disabled-pass or
 // bisect-limited variants, and not builds that export pass statistics.
+// An explicit Schedule stays cacheable — compileFrom keys non-default
+// schedules separately by digest, which is what makes ScheduleReduce's
+// repeated probes cheap.
 func cacheableOptions(o compiler.Options) bool {
 	return len(o.Disabled) == 0 && o.BisectLimit <= 0 &&
 		len(o.ExtraDefects) == 0 && len(o.SuppressDefects) == 0 && o.Stats == nil
@@ -360,14 +363,24 @@ func (e *Engine) compileFrom(ctx context.Context, mod *ir.Module, srcKey string,
 	if srcKey == "" {
 		srcKey = sourceKey(prog)
 	}
+	// An explicit schedule equal to the configuration's canonical one is
+	// the same compilation, so it keys to the same slot — default-schedule
+	// artifacts, golden fixtures and warm stores stay byte-identical. A
+	// genuinely different schedule (a ScheduleReduce probe) gets its digest
+	// appended to the memory key and bypasses the disk tier: the .mcx
+	// provenance has no schedule field, and probe artifacts are transient.
+	schedSuffix := ""
+	if o.Schedule != nil && o.Schedule.String() != compiler.ScheduleFor(cfg).String() {
+		schedSuffix = "|sched:" + o.Schedule.Digest()
+	}
 	fetch := build
-	if e.store != nil {
+	if e.store != nil && schedSuffix == "" {
 		fetch = func() (*compiler.Result, error) { return e.storeFetch(srcKey, cfg, build) }
 	}
 	if e.cache == nil {
 		return fetch()
 	}
-	key := fmt.Sprintf("compile|%s|%s|%s|%s", srcKey, cfg.Family, cfg.Version, cfg.Level)
+	key := fmt.Sprintf("compile|%s|%s|%s|%s%s", srcKey, cfg.Family, cfg.Version, cfg.Level, schedSuffix)
 	v, err := e.cache.GetOrComputeCtx(ctx, key, func() (any, error) { return fetch() })
 	if err != nil {
 		return nil, err
@@ -586,6 +599,28 @@ func (e *Engine) Triage(ctx context.Context, prog *minic.Program, cfg Config, v 
 	tg := triage.Target{Prog: prog, Facts: facts, Cfg: cfg, Key: v.Key(),
 		Compile: e.compileFn(ctx), Debugger: e.debuggers[cfg.Family], StepBudget: e.stepBudget}
 	return triage.Culprit(tg)
+}
+
+// ScheduleReduce delta-debugs cfg's canonical pass schedule down to a
+// minimal subsequence that still reproduces the violation — the
+// schedule-granular deepening of Triage, which stops at one culprit pass.
+// Every probe compiles an explicit candidate schedule through the
+// engine's caching compile, so after any prior build of prog (a Check,
+// say) probes re-run Optimize+Codegen from the cached lowered module and
+// perform zero frontend executions. The reduction is sequential and
+// deterministic: the same (prog, cfg, violation) yields byte-identical
+// results at any worker count.
+func (e *Engine) ScheduleReduce(ctx context.Context, prog *minic.Program, cfg Config, v Violation) (*ScheduleReduction, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	facts, err := e.facts(ctx, prog)
+	if err != nil {
+		return nil, err
+	}
+	tg := triage.Target{Prog: prog, Facts: facts, Cfg: cfg, Key: v.Key(),
+		Compile: e.compileFn(ctx), Debugger: e.debuggers[cfg.Family], StepBudget: e.stepBudget}
+	return triage.ScheduleReduce(tg)
 }
 
 // Minimize shrinks prog while preserving the violation and its culprit

@@ -109,6 +109,15 @@ func TestGolden(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			// The schedule-enriched triage variant has its own fixture;
+			// the default triage body above must stay byte-identical to
+			// the pre-schedule fixtures.
+			schedReq, err := json.Marshal(pokeholes.CheckRequest{Source: string(src),
+				Family: string(goldenCheck.Family), Version: goldenCheck.Version,
+				Level: goldenCheck.Level, Schedules: true})
+			if err != nil {
+				t.Fatal(err)
+			}
 			for _, g := range []struct {
 				suffix, path string
 				req          []byte
@@ -116,6 +125,7 @@ func TestGolden(t *testing.T) {
 				{"check.json", "/check", checkReq},
 				{"sweep.ndjson", "/sweep", sweepReq},
 				{"triage.json", "/triage", checkReq},
+				{"triage-sched.json", "/triage", schedReq},
 			} {
 				got := goldenPost(t, ts.Client(), ts.URL+g.path, string(g.req))
 				goldenPath := filepath.Join("testdata", "golden", name+"."+g.suffix)

@@ -3,7 +3,9 @@ package pokeholes
 // This file implements the open-ended hunting loop: Hunt fuzzes batches
 // of programs on top of Engine.Campaign, buckets every conjecture
 // violation by its stable signature (conjecture, culprit pass, violation
-// shape) into a persistent internal/corpus store, minimizes one exemplar
+// shape, minimal reproducing pass schedule — the last splitting
+// interaction bugs apart) into a persistent internal/corpus store,
+// minimizes one exemplar
 // per bucket as background jobs on the worker pool, and adaptively
 // reweights the fuzzer's feature knobs toward assortments that recently
 // opened new buckets. The loop is deterministic at any worker count:
@@ -34,7 +36,7 @@ type (
 	// a minimized exemplar program.
 	Bucket = corpus.Bucket
 	// BucketSignature identifies a bucket: (conjecture, culprit pass,
-	// violation shape).
+	// violation shape, minimal reproducing pass schedule).
 	BucketSignature = corpus.Signature
 )
 
@@ -230,7 +232,8 @@ func (e *Engine) Hunt(ctx context.Context, spec HuntSpec) (*HuntReport, error) {
 		bctx, bcancel := context.WithCancel(ctx)
 		results, err := e.Campaign(bctx, CampaignSpec{
 			Family: spec.Family, Version: spec.Version, Levels: spec.Levels,
-			Matrix: spec.Matrix, Programs: progs, Triage: true})
+			Matrix: spec.Matrix, Programs: progs, Triage: true,
+			ReduceSchedules: true})
 		if err != nil {
 			bcancel()
 			return rep, fail(err)
@@ -249,9 +252,9 @@ func (e *Engine) Hunt(ctx context.Context, spec HuntSpec) (*HuntReport, error) {
 			}
 			seed := seed0 + int64(res.Index)
 			producedNew := false
-			bucketViolation := func(cfg Config, v Violation, culprit string) {
+			bucketViolation := func(cfg Config, v Violation, culprit, sched string) {
 				rep.Violations++
-				sig := corpus.SignatureOf(v, culprit)
+				sig := corpus.SignatureOf(v, culprit, sched)
 				if b, ok := c.Bucket(sig); ok {
 					b.Count++
 					c.Dups++
@@ -263,7 +266,8 @@ func (e *Engine) Hunt(ctx context.Context, spec HuntSpec) (*HuntReport, error) {
 				b := &corpus.Bucket{
 					Sig: sig, Conjecture: v.Conjecture,
 					Culprit: culpritName(culprit), Shape: corpus.Shape(v),
-					Seed: seed, Config: cfg.String(),
+					Schedule: sched,
+					Seed:     seed, Config: cfg.String(),
 					Family: string(cfg.Family), Version: cfg.Version, Level: cfg.Level,
 					Var: v.Var, Line: v.Line,
 					Exemplar: src, ExemplarLines: sourceLines(src),
@@ -298,7 +302,8 @@ func (e *Engine) Hunt(ctx context.Context, spec HuntSpec) (*HuntReport, error) {
 					cfg := res.Sweep.Configs[i]
 					for _, v := range rp.Violations {
 						culprit, _ := res.CulpritAt(cfg, v)
-						bucketViolation(cfg, v, culprit)
+						sched, _ := res.ScheduleAt(cfg, v)
+						bucketViolation(cfg, v, culprit, sched)
 					}
 				}
 			} else {
@@ -310,7 +315,8 @@ func (e *Engine) Hunt(ctx context.Context, spec HuntSpec) (*HuntReport, error) {
 					cfg := Config{Family: spec.Family, Version: spec.Version, Level: level}
 					for _, v := range res.Violations[level] {
 						culprit, _ := res.Culprit(level, v)
-						bucketViolation(cfg, v, culprit)
+						sched, _ := res.Schedule(level, v)
+						bucketViolation(cfg, v, culprit, sched)
 					}
 				}
 			}

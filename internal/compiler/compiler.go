@@ -80,6 +80,11 @@ type Options struct {
 	SuppressDefects map[string]bool
 	// Stats receives pass and codegen counters when non-nil.
 	Stats map[string]int
+	// Schedule, when non-nil, replaces the configuration's canonical pass
+	// schedule (ScheduleFor) for this compilation — the probe mechanism of
+	// triage's schedule delta debugging. It applies even at O0, and
+	// Disabled/BisectLimit apply on top of it.
+	Schedule *opt.Schedule
 }
 
 // Result is a completed compilation.
@@ -115,27 +120,36 @@ func Frontend(prog *minic.Program) (*ir.Module, error) {
 	return ir.Lower(prog)
 }
 
-// Optimize runs cfg's pass pipeline on a deep clone of m under the
+// Optimize runs cfg's pass schedule — o.Schedule if set, the canonical
+// ScheduleFor(cfg) otherwise — on a deep clone of m under the
 // configuration's active defects (adjusted by o) and returns the optimized
 // clone plus the pipeline statistics. The input module is not modified.
-func Optimize(m *ir.Module, cfg Config, o Options) (*ir.Module, *opt.Result) {
+// It fails only when an explicit schedule names an unregistered pass.
+func Optimize(m *ir.Module, cfg Config, o Options) (*ir.Module, *opt.Result, error) {
 	clone := m.Clone()
-	if cfg.Level == "O0" {
-		return clone, &opt.Result{}
+	if cfg.Level == "O0" && o.Schedule == nil {
+		return clone, &opt.Result{}, nil
 	}
 	if o.BisectLimit == 0 {
 		// The zero value means "no limit", as in Compile; the raw pipeline
 		// knob would read 0 as "stop before the first pass".
 		o.BisectLimit = -1
 	}
-	pr := opt.RunPipeline(clone, Pipeline(cfg), opt.Options{
+	sched := ScheduleFor(cfg)
+	if o.Schedule != nil {
+		sched = *o.Schedule
+	}
+	pr, err := opt.RunSchedule(clone, sched, opt.Options{
 		Disabled:    o.Disabled,
 		BisectLimit: o.BisectLimit,
 		Defects:     activeDefects(cfg, o),
 		Level:       cfg.Level,
 		Stats:       o.Stats,
 	})
-	return clone, pr
+	if err != nil {
+		return nil, nil, err
+	}
+	return clone, pr, nil
 }
 
 // Codegen turns optimized IR into an executable under the configuration's
@@ -177,7 +191,10 @@ func CompileFrom(m *ir.Module, cfg Config, o Options) (*Result, error) {
 	if cfg.VersionIndex() < 0 {
 		return nil, fmt.Errorf("compiler: unknown version %q for family %s", cfg.Version, cfg.Family)
 	}
-	optimized, pr := Optimize(m, cfg, o)
+	optimized, pr, err := Optimize(m, cfg, o)
+	if err != nil {
+		return nil, err
+	}
 	res := &Result{Mod: optimized, PipelineExecutions: pr.Executions, Applied: pr.Applied}
 	exe, err := Codegen(optimized, cfg, o)
 	if err != nil {

@@ -1,9 +1,19 @@
 package compiler
 
-import "repro/internal/opt"
+import (
+	"fmt"
 
-// Pipeline returns the pass sequence for a configuration. The structure
-// mirrors the paper's observations:
+	"repro/internal/opt"
+)
+
+// The per-level pass lists are defined as canonical opt.Schedule values —
+// first-class, serializable descriptions that the engine digests into
+// cache keys and triage's ScheduleReduce delta-debugs. Pipeline
+// materializes a schedule into runnable pass values through the opt
+// registry, so the Schedule is the single source of truth.
+
+// ScheduleFor returns the canonical pass schedule of a configuration. The
+// structure mirrors the paper's observations:
 //
 //   - gc's -Og is genuinely conservative (no inlining, no loop passes, no
 //     scheduler), which is why the paper measures very few gc Conjecture-1
@@ -13,141 +23,167 @@ import "repro/internal/opt"
 //     paper notes for the latest clang.
 //   - -Os avoids unrolling (indirectly preserving more lines), -Oz adds
 //     loop deletion on top.
-func Pipeline(cfg Config) []opt.Pass {
+//
+// Unknown levels (including O0) yield the empty schedule.
+func ScheduleFor(cfg Config) opt.Schedule {
 	vi := cfg.VersionIndex()
 	if cfg.Family == GC {
-		return gcPipeline(cfg.Level, vi)
+		return gcSchedule(cfg.Level, vi)
 	}
-	return clPipeline(cfg.Level, vi)
+	return clSchedule(cfg.Level, vi)
 }
 
-func gcPipeline(level string, vi int) []opt.Pass {
-	base := []opt.Pass{opt.Mem2Reg{}}
+// Pipeline materializes cfg's canonical schedule into pass values.
+func Pipeline(cfg Config) []opt.Pass {
+	s := ScheduleFor(cfg)
+	if s.Len() == 0 {
+		return nil
+	}
+	ps, err := s.Passes()
+	if err != nil {
+		// The canonical schedules name only registered passes; failing to
+		// materialize one is a programming error, not an input error.
+		panic(fmt.Sprintf("compiler: canonical schedule for %s does not materialize: %v", cfg, err))
+	}
+	return ps
+}
+
+// e builds one schedule entry; the optional second argument is the budget
+// of the parameterized passes.
+func e(name string, arg ...int) opt.Entry {
+	en := opt.Entry{Name: name}
+	if len(arg) > 0 {
+		en.Arg = arg[0]
+	}
+	return en
+}
+
+func gcSchedule(level string, vi int) opt.Schedule {
+	base := []opt.Entry{e("mem2reg")}
 	switch level {
 	case "Og":
-		return append(base,
-			opt.CCP{},
-			opt.CopyProp{},
-			opt.SimplifyCFG{},
-			opt.DCE{},
-			opt.IPAReference{},
-			opt.TopLevelReorder{},
-		)
+		return opt.Schedule{Entries: append(base,
+			e("ccp"),
+			e("copyprop"),
+			e("simplifycfg"),
+			e("dce"),
+			e("ipa-reference"),
+			e("toplevel-reorder"),
+		)}
 	case "O1":
-		return append(base,
-			opt.CCP{},
-			opt.VRP{},
-			opt.InstCombine{},
-			opt.CopyProp{},
-			opt.DSE{},
-			opt.DCE{},
-			opt.SimplifyCFG{},
-			opt.TopLevelReorder{},
-			opt.DCE{},
-		)
+		return opt.Schedule{Entries: append(base,
+			e("ccp"),
+			e("vrp"),
+			e("instcombine"),
+			e("copyprop"),
+			e("dse"),
+			e("dce"),
+			e("simplifycfg"),
+			e("toplevel-reorder"),
+			e("dce"),
+		)}
 	case "O2", "O3", "Os", "Oz":
-		ps := append(base,
-			opt.IPAPureConst{},
-			opt.Inline{MaxInstrs: inlineBudget(level)},
-			opt.CCP{},
-			opt.VRP{},
-			opt.InstCombine{},
-			opt.CopyProp{},
-			opt.SROA{},
-			opt.DSE{},
-			opt.SimplifyCFG{},
+		es := append(base,
+			e("ipa-pure-const"),
+			e("inline", inlineBudget(level)),
+			e("ccp"),
+			e("vrp"),
+			e("instcombine"),
+			e("copyprop"),
+			e("sroa"),
+			e("dse"),
+			e("simplifycfg"),
 		)
-		ps = append(ps, opt.IVSimplify{}, opt.LSR{})
+		es = append(es, e("ivsimplify"), e("lsr"))
 		if level == "O3" {
-			ps = append(ps, opt.LoopUnroll{MaxTrip: unrollBudget(vi)})
+			es = append(es, e("loopunroll", unrollBudget(vi)))
 		}
 		if level == "O3" || level == "Oz" {
-			ps = append(ps, opt.LoopDelete{})
+			es = append(es, e("loopdelete"))
 		}
 		if level == "O2" || level == "O3" {
-			ps = append(ps, opt.LoopRotate{})
+			es = append(es, e("looprotate"))
 		}
-		ps = append(ps,
-			opt.CCP{},
-			opt.DCE{},
-			opt.Sched{},
-			opt.SimplifyCFG{},
-			opt.TopLevelReorder{},
-			opt.DCE{},
+		es = append(es,
+			e("ccp"),
+			e("dce"),
+			e("sched"),
+			e("simplifycfg"),
+			e("toplevel-reorder"),
+			e("dce"),
 		)
-		return ps
+		return opt.Schedule{Entries: es}
 	}
-	return nil
+	return opt.Schedule{}
 }
 
-func clPipeline(level string, vi int) []opt.Pass {
-	base := []opt.Pass{opt.Mem2Reg{}}
+func clSchedule(level string, vi int) opt.Schedule {
+	base := []opt.Entry{e("mem2reg")}
 	switch level {
 	case "Og", "O1":
-		ps := append(base,
-			opt.Inline{MaxInstrs: inlineBudget(level)},
-			opt.SimplifyCFG{},
-			opt.InstCombine{},
-			opt.CCP{},
-			opt.CopyProp{},
-			opt.LSR{},
-			opt.LoopRotate{},
-			opt.DCE{},
+		es := append(base,
+			e("inline", inlineBudget(level)),
+			e("simplifycfg"),
+			e("instcombine"),
+			e("ccp"),
+			e("copyprop"),
+			e("lsr"),
+			e("looprotate"),
+			e("dce"),
 		)
 		if vi >= 4 {
 			// Recent releases remove dead loops already at -Og.
-			ps = append(ps, opt.LoopDelete{})
+			es = append(es, e("loopdelete"))
 		}
-		ps = append(ps, opt.SimplifyCFG{})
-		return ps
+		es = append(es, e("simplifycfg"))
+		return opt.Schedule{Entries: es}
 	case "O2", "O3":
-		ps := append(base,
-			opt.IPAPureConst{},
-			opt.Inline{MaxInstrs: inlineBudget(level)},
-			opt.SimplifyCFG{},
-			opt.InstCombine{},
-			opt.CCP{},
-			opt.VRP{},
-			opt.CopyProp{},
-			opt.SROA{},
-			opt.IVSimplify{},
-			opt.LSR{},
-			opt.LoopUnroll{MaxTrip: unrollBudget(vi) + b2i(level == "O3")},
-			opt.LoopDelete{},
-			opt.LoopRotate{},
-			opt.DSE{},
-			opt.CCP{},
-			opt.DCE{},
-			opt.Sched{},
-			opt.SimplifyCFG{},
-		)
-		return ps
+		return opt.Schedule{Entries: append(base,
+			e("ipa-pure-const"),
+			e("inline", inlineBudget(level)),
+			e("simplifycfg"),
+			e("instcombine"),
+			e("ccp"),
+			e("vrp"),
+			e("copyprop"),
+			e("sroa"),
+			e("ivsimplify"),
+			e("lsr"),
+			e("loopunroll", unrollBudget(vi)+b2i(level == "O3")),
+			e("loopdelete"),
+			e("looprotate"),
+			e("dse"),
+			e("ccp"),
+			e("dce"),
+			e("sched"),
+			e("simplifycfg"),
+		)}
 	case "Os", "Oz":
-		ps := append(base,
-			opt.IPAPureConst{},
-			opt.Inline{MaxInstrs: inlineBudget(level)},
-			opt.SimplifyCFG{},
-			opt.InstCombine{},
-			opt.CCP{},
-			opt.VRP{},
-			opt.CopyProp{},
-			opt.SROA{},
-			opt.IVSimplify{},
-			opt.LSR{},
+		es := append(base,
+			e("ipa-pure-const"),
+			e("inline", inlineBudget(level)),
+			e("simplifycfg"),
+			e("instcombine"),
+			e("ccp"),
+			e("vrp"),
+			e("copyprop"),
+			e("sroa"),
+			e("ivsimplify"),
+			e("lsr"),
 		)
 		if level == "Oz" {
-			ps = append(ps, opt.LoopDelete{})
+			es = append(es, e("loopdelete"))
 		}
-		ps = append(ps,
-			opt.DSE{},
-			opt.CCP{},
-			opt.DCE{},
-			opt.Sched{},
-			opt.SimplifyCFG{},
+		es = append(es,
+			e("dse"),
+			e("ccp"),
+			e("dce"),
+			e("sched"),
+			e("simplifycfg"),
 		)
-		return ps
+		return opt.Schedule{Entries: es}
 	}
-	return nil
+	return opt.Schedule{}
 }
 
 // inlineBudget returns the callee-size threshold per level; size-optimizing

@@ -1,0 +1,112 @@
+package compiler
+
+import (
+	"testing"
+
+	"repro/internal/minic"
+	"repro/internal/opt"
+)
+
+// TestScheduleRoundTripsGrid pins that for every configuration the
+// canonical schedule (a) materializes through the registry, (b) captures
+// back to itself from the materialized passes, and (c) survives the
+// string form — so schedules really are first-class values equivalent to
+// the pass lists they describe.
+func TestScheduleRoundTripsGrid(t *testing.T) {
+	for _, cfg := range allConfigs() {
+		s := ScheduleFor(cfg)
+		ps := Pipeline(cfg)
+		if got := opt.ScheduleOf(ps); !got.Equal(s) {
+			t.Errorf("%s: ScheduleOf(Pipeline) = %q, want %q", cfg, got, s)
+		}
+		back, err := opt.ParseSchedule(s.String())
+		if err != nil {
+			t.Errorf("%s: ParseSchedule(%q): %v", cfg, s, err)
+			continue
+		}
+		if !back.Equal(s) {
+			t.Errorf("%s: string round trip %q != %q", cfg, back, s)
+		}
+		if cfg.Level == "O0" && s.Len() != 0 {
+			t.Errorf("%s: O0 schedule not empty: %q", cfg, s)
+		}
+	}
+}
+
+// TestExplicitDefaultScheduleMatchesImplicit pins that compiling with
+// Options.Schedule set to the canonical schedule is indistinguishable
+// from the default path — the property that lets the engine key both to
+// the same cache slot.
+func TestExplicitDefaultScheduleMatchesImplicit(t *testing.T) {
+	prog := minic.MustParse(`
+int main(void) {
+  int i = 0;
+  int acc = 1;
+  while (i < 6) {
+    acc = acc + acc;
+    i = i + 1;
+  }
+  return acc;
+}
+`)
+	for _, cfg := range []Config{
+		{Family: GC, Version: "trunk", Level: "O2"},
+		{Family: CL, Version: "trunk", Level: "O3"},
+	} {
+		def, err := Compile(prog, cfg, Options{})
+		if err != nil {
+			t.Fatalf("%s: default compile: %v", cfg, err)
+		}
+		s := ScheduleFor(cfg)
+		exp, err := Compile(prog, cfg, Options{Schedule: &s})
+		if err != nil {
+			t.Fatalf("%s: explicit compile: %v", cfg, err)
+		}
+		if def.Mod.String() != exp.Mod.String() {
+			t.Errorf("%s: explicit canonical schedule produced different IR", cfg)
+		}
+		if def.PipelineExecutions != exp.PipelineExecutions {
+			t.Errorf("%s: executions differ: %d vs %d", cfg, def.PipelineExecutions, exp.PipelineExecutions)
+		}
+	}
+}
+
+// TestScheduleSubsetCompiles pins the probe path of schedule delta
+// debugging: an arbitrary subsequence of the canonical schedule compiles,
+// and the empty schedule behaves like O0 on the optimize stage.
+func TestScheduleSubsetCompiles(t *testing.T) {
+	prog := minic.MustParse(`
+int main(void) {
+  int x = 4;
+  int y = x * 3;
+  return y;
+}
+`)
+	cfg := Config{Family: GC, Version: "trunk", Level: "O2"}
+	full := ScheduleFor(cfg)
+	if full.Len() < 4 {
+		t.Fatalf("unexpectedly short canonical schedule: %q", full)
+	}
+	sub := opt.Schedule{Entries: []opt.Entry{full.Entries[0], full.Entries[2]}}
+	if _, err := Compile(prog, cfg, Options{Schedule: &sub}); err != nil {
+		t.Fatalf("subset schedule compile: %v", err)
+	}
+
+	empty := opt.Schedule{}
+	res, err := Compile(prog, cfg, Options{Schedule: &empty})
+	if err != nil {
+		t.Fatalf("empty schedule compile: %v", err)
+	}
+	o0, err := Compile(prog, Config{Family: GC, Version: "trunk", Level: "O0"}, Options{})
+	if err != nil {
+		t.Fatalf("O0 compile: %v", err)
+	}
+	if res.Mod.String() != o0.Mod.String() {
+		t.Errorf("empty schedule IR differs from O0 IR")
+	}
+
+	bad := opt.Schedule{Entries: []opt.Entry{{Name: "bogus"}}}
+	if _, err := Compile(prog, cfg, Options{Schedule: &bad}); err == nil {
+		t.Fatalf("compile accepted an unregistered pass in an explicit schedule")
+	}
+}

@@ -25,19 +25,31 @@ import (
 	"repro/internal/store/atomicfile"
 )
 
-// Signature identifies a bug bucket: conjecture, culprit pass, and the
-// violation's shape. Violations of the same signature are treated as the
-// same underlying compiler (or debugger) bug regardless of which fuzzed
-// program, variable or line exposed them.
+// Signature identifies a bug bucket: conjecture, culprit pass, the
+// violation's shape, and — in v2 stores, when schedule reduction ran —
+// the minimal pass schedule that still reproduces it. Violations of the
+// same signature are treated as the same underlying compiler (or
+// debugger) bug regardless of which fuzzed program, variable or line
+// exposed them.
 type Signature string
 
-// SignatureOf buckets a violation under its triaged culprit. An empty
-// culprit (not single-knob controllable, §4.3) buckets as "untriaged".
-func SignatureOf(v conjecture.Violation, culprit string) Signature {
+// SignatureOf buckets a violation under its triaged culprit and, when
+// non-empty, the canonical string of its minimal reproducing pass
+// schedule: "C<conj>|<culprit>|<shape>|<sched>". The schedule component
+// splits interaction bugs — two violations with the same culprit and
+// shape but different minimal schedules (say "inline:40,lsr" versus
+// "lsr") are distinct bugs that v1's three-part signatures conflated. An
+// empty culprit (not single-knob controllable, §4.3) buckets as
+// "untriaged"; an empty schedule keeps the v1 three-part form, so
+// schedule-less hunts and migrated v1 stores bucket exactly as before.
+func SignatureOf(v conjecture.Violation, culprit, schedule string) Signature {
 	if culprit == "" {
 		culprit = "untriaged"
 	}
-	return Signature(fmt.Sprintf("C%d|%s|%s", v.Conjecture, culprit, Shape(v)))
+	if schedule == "" {
+		return Signature(fmt.Sprintf("C%d|%s|%s", v.Conjecture, culprit, Shape(v)))
+	}
+	return Signature(fmt.Sprintf("C%d|%s|%s|%s", v.Conjecture, culprit, Shape(v), schedule))
 }
 
 // Shape is the program-independent part of a violation: its structural
@@ -69,6 +81,12 @@ type Bucket struct {
 	Conjecture int       `json:"conjecture"`
 	Culprit    string    `json:"culprit"`
 	Shape      string    `json:"shape"`
+	// Schedule is the canonical string of the minimal pass schedule that
+	// still reproduces the bucket's violation (opt.ParseSchedule inverts
+	// it). Empty for buckets from schedule-less hunts and for v1 stores,
+	// whose signatures then keep the three-part form. Two or more
+	// comma-separated entries mark a pass-interaction bug.
+	Schedule string `json:"schedule,omitempty"`
 	// Seed, Config, Var and Line are the provenance of the first
 	// violation bucketed here: the fuzzer seed that produced the
 	// exemplar, the configuration it reproduced under, and where.
@@ -235,6 +253,17 @@ func (c *Corpus) Weights() map[string]float64 {
 	return out
 }
 
+// Store versions: v1 buckets have three-part signatures and no schedule
+// field; v2 adds the optional minimal-schedule bucket field and signature
+// component. Encode always writes the current version; Decode accepts
+// both — a v1 store loads with every bucket schedule-less, which is also
+// exactly how its signatures parse, so old corpora keep working and
+// simply stay at v1 bucketing granularity until new buckets arrive.
+const (
+	storeVersion   = 2
+	storeVersionV1 = 1
+)
+
 // header is the JSONL file's first record.
 type header struct {
 	Kind     string                  `json:"kind"`
@@ -256,7 +285,7 @@ type bucketRec struct {
 // encoder sorts map keys).
 func (c *Corpus) Encode(w io.Writer) error {
 	enc := json.NewEncoder(w)
-	if err := enc.Encode(header{Kind: "hunt-corpus", Version: 1,
+	if err := enc.Encode(header{Kind: "hunt-corpus", Version: storeVersion,
 		Programs: c.Programs, NextSeed: c.NextSeed, Dups: c.Dups,
 		Features: c.features}); err != nil {
 		return err
@@ -286,7 +315,7 @@ func Decode(r io.Reader) (*Corpus, error) {
 	if h.Kind != "hunt-corpus" {
 		return nil, fmt.Errorf("corpus: not a hunt corpus (kind %q)", h.Kind)
 	}
-	if h.Version != 1 {
+	if h.Version != storeVersionV1 && h.Version != storeVersion {
 		return nil, fmt.Errorf("corpus: unsupported version %d", h.Version)
 	}
 	c := New()

@@ -14,20 +14,38 @@ func TestSignatureIgnoresProgramIdentifiers(t *testing.T) {
 		State: debugger.OptimizedOut, Detail: "argument to opaque opaque3"}
 	b := conjecture.Violation{Conjecture: 1, Line: 99, Func: "main", Var: "v7",
 		State: debugger.OptimizedOut, Detail: "argument to opaque opaque3"}
-	if SignatureOf(a, "lsr") != SignatureOf(b, "lsr") {
+	if SignatureOf(a, "lsr", "") != SignatureOf(b, "lsr", "") {
 		t.Errorf("same-shape violations bucketed apart: %q vs %q",
-			SignatureOf(a, "lsr"), SignatureOf(b, "lsr"))
+			SignatureOf(a, "lsr", ""), SignatureOf(b, "lsr", ""))
 	}
-	if SignatureOf(a, "lsr") == SignatureOf(a, "constprop") {
+	if SignatureOf(a, "lsr", "") == SignatureOf(a, "constprop", "") {
 		t.Error("culprit not part of the signature")
 	}
 	c := a
 	c.State = debugger.NotVisible
-	if SignatureOf(a, "lsr") == SignatureOf(c, "lsr") {
+	if SignatureOf(a, "lsr", "") == SignatureOf(c, "lsr", "") {
 		t.Error("presentation state not part of the signature")
 	}
-	if SignatureOf(a, "") != SignatureOf(a, "untriaged") {
+	if SignatureOf(a, "", "") != SignatureOf(a, "untriaged", "") {
 		t.Error("empty culprit must normalize to untriaged")
+	}
+}
+
+// TestSignatureScheduleComponent pins the v2 signature grammar: an empty
+// schedule keeps the v1 three-part form byte for byte, while distinct
+// minimal schedules split otherwise-identical signatures — the
+// interaction-bug distinction v1 conflated.
+func TestSignatureScheduleComponent(t *testing.T) {
+	a := conjecture.Violation{Conjecture: 1, Line: 10, Func: "main", Var: "v3",
+		State: debugger.OptimizedOut, Detail: "argument to opaque opaque3"}
+	if got := SignatureOf(a, "lsr", ""); got != "C1|lsr|opaque-arg:optimized-out" {
+		t.Errorf("schedule-less signature changed: %q", got)
+	}
+	if got := SignatureOf(a, "lsr", "mem2reg,lsr"); got != "C1|lsr|opaque-arg:optimized-out|mem2reg,lsr" {
+		t.Errorf("v2 signature = %q", got)
+	}
+	if SignatureOf(a, "lsr", "mem2reg,lsr") == SignatureOf(a, "lsr", "mem2reg,inline:40,lsr") {
+		t.Error("minimal schedule not part of the signature")
 	}
 }
 
@@ -147,5 +165,54 @@ func TestWeightsWarmupAndDirection(t *testing.T) {
 	}
 	if w["volatile"] > 0.9 {
 		t.Errorf("volatile weight = %v, beyond clamp", w["volatile"])
+	}
+}
+
+// TestDecodeMigratesV1Store pins the v1→v2 migration: a version-1 store
+// (no schedule fields) loads cleanly, its buckets stay schedule-less with
+// their three-part signatures intact, and the next checkpoint writes the
+// current version.
+func TestDecodeMigratesV1Store(t *testing.T) {
+	store := `{"kind":"hunt-corpus","version":1,"programs":4,"next_seed":9,"dups":1,"features":{}}
+{"kind":"bucket","sig":"C1|lsr|opaque-arg:optimized-out","conjecture":1,"culprit":"lsr","shape":"opaque-arg:optimized-out","seed":5,"config":"gc-trunk -O2","family":"gc","version":"trunk","level":"O2","var":"v1","line":9,"exemplar":"int main(void) {\n}\n","exemplar_lines":2,"minimized":true,"count":4,"found_after":5}
+`
+	c, err := Decode(bytes.NewReader([]byte(store)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := c.Bucket("C1|lsr|opaque-arg:optimized-out")
+	if !ok {
+		t.Fatal("v1 bucket lost in migration")
+	}
+	if b.Schedule != "" {
+		t.Errorf("v1 bucket gained a schedule: %q", b.Schedule)
+	}
+	var buf bytes.Buffer
+	if err := c.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	first, _, _ := bytes.Cut(buf.Bytes(), []byte("\n"))
+	if !bytes.Contains(first, []byte(`"version":2`)) {
+		t.Errorf("re-encoded header not at current version: %s", first)
+	}
+	// A v2 store with schedules round-trips too.
+	c2 := New()
+	if err := c2.Add(&Bucket{Sig: "C1|lsr|opaque-arg:optimized-out|mem2reg,lsr",
+		Schedule: "mem2reg,lsr", Conjecture: 1, Culprit: "lsr", Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var v2buf bytes.Buffer
+	if err := c2.Encode(&v2buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(bytes.NewReader(v2buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2, ok := back.Bucket("C1|lsr|opaque-arg:optimized-out|mem2reg,lsr"); !ok || b2.Schedule != "mem2reg,lsr" {
+		t.Errorf("v2 schedule lost: %+v ok=%v", b2, ok)
+	}
+	if _, err := Decode(bytes.NewReader([]byte(`{"kind":"hunt-corpus","version":3}` + "\n"))); err == nil {
+		t.Error("future store version must be rejected")
 	}
 }

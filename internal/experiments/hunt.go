@@ -11,11 +11,13 @@ import (
 // HuntCurve runs a budgeted deduplicated hunt (Engine.Hunt) under the
 // given spec and prints the unique-bugs-over-time curve: how many
 // distinct bug buckets — violations grouped by (conjecture, culprit
-// pass, violation shape) — the fuzzing campaign has accumulated after
-// each slice of its program budget, the shape of the paper's open-ended
-// campaign rolled up into a small set of unique culprit-attributed bugs.
-// Exemplar minimization is forced off: the curve is about discovery, and
-// a full hunt over the same corpus can minimize later.
+// pass, violation shape, minimal schedule) — the fuzzing campaign has
+// accumulated after each slice of its program budget, the shape of the
+// paper's open-ended campaign rolled up into a small set of unique
+// culprit-attributed bugs, followed by the interaction-bug breakdown
+// (InteractionTable). Exemplar minimization is forced off: the curve is
+// about discovery, and a full hunt over the same corpus can minimize
+// later.
 func (r *Runner) HuntCurve(ctx context.Context, spec pokeholes.HuntSpec, w io.Writer) (*pokeholes.HuntReport, error) {
 	spec.NoMinimize = true
 	rep, err := r.E.Hunt(ctx, spec)
@@ -53,5 +55,7 @@ func (r *Runner) HuntCurve(ctx context.Context, spec pokeholes.HuntSpec, w io.Wr
 	for _, b := range rep.Corpus.Buckets() {
 		fmt.Fprintf(w, "  %-55s x%-5d first seed %d (%s)\n", b.Sig, b.Count, b.Seed, b.Config)
 	}
+	fmt.Fprintln(w)
+	InteractionTable(rep.Corpus, w)
 	return rep, nil
 }

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro"
+)
+
+// InteractionTable classifies a hunt corpus's bug buckets by the length
+// of their minimal reproducing pass schedule and prints the breakdown:
+// interaction bugs need two or more passes run together to reproduce —
+// exactly the class that single-culprit triage (one pass flag flipped at
+// a time, §4.3) cannot isolate — while single-pass bugs reproduce under
+// one pass alone, and unreduced buckets carry no schedule (schedule-less
+// hunts and migrated v1 stores). Every interaction bucket is listed with
+// its minimal schedule next to the single culprit triage settled on, so
+// the table reads as a direct comparison of the two attributions.
+func InteractionTable(c *pokeholes.Corpus, w io.Writer) {
+	var interactions, singles, unreduced int
+	for _, b := range c.Buckets() {
+		switch scheduleLen(b.Schedule) {
+		case 0:
+			unreduced++
+		case 1:
+			singles++
+		default:
+			interactions++
+		}
+	}
+	fmt.Fprintf(w, "Interaction bugs vs single-culprit triage (%d buckets)\n", c.Len())
+	fmt.Fprintf(w, "%-22s %d\n", "interaction (>=2 passes)", interactions)
+	fmt.Fprintf(w, "%-22s %d\n", "single-pass", singles)
+	fmt.Fprintf(w, "%-22s %d\n", "unreduced (no schedule)", unreduced)
+	if interactions == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%-58s %-12s %s\n", "signature", "culprit", "minimal schedule")
+	for _, b := range c.Buckets() {
+		if scheduleLen(b.Schedule) < 2 {
+			continue
+		}
+		culprit := b.Culprit
+		if culprit == "" {
+			culprit = "-"
+		}
+		fmt.Fprintf(w, "%-58s %-12s %s\n", b.Sig, culprit, b.Schedule)
+	}
+}
+
+// scheduleLen counts the entries of a canonical schedule string without
+// parsing it: entries are comma-joined and never empty.
+func scheduleLen(sched string) int {
+	if sched == "" {
+		return 0
+	}
+	return strings.Count(sched, ",") + 1
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+// TestInteractionTable pins the classification: interaction buckets are
+// exactly those whose minimal schedule has two or more entries, and each
+// is listed with its culprit and schedule side by side.
+func TestInteractionTable(t *testing.T) {
+	c := corpus.New()
+	add := func(sig corpus.Signature, culprit, sched string) {
+		t.Helper()
+		if err := c.Add(&corpus.Bucket{Sig: sig, Culprit: culprit, Schedule: sched, Count: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("C1|copyprop|a:optimized-out|mem2reg,copyprop", "copyprop", "mem2reg,copyprop")
+	add("C1|dce|b:optimized-out|dce", "dce", "dce")
+	add("C2|lsr|c:mislocated", "lsr", "") // migrated v1 bucket: no schedule
+	add("C3||d:optimized-out|mem2reg,sroa,inline:40", "", "mem2reg,sroa,inline:40")
+
+	var buf bytes.Buffer
+	InteractionTable(c, &buf)
+	out := buf.String()
+
+	for _, want := range []string{
+		"Interaction bugs vs single-culprit triage (4 buckets)",
+		"interaction (>=2 passes) 2",
+		"single-pass 1",
+		"unreduced (no schedule) 1",
+		"mem2reg,copyprop",
+		"mem2reg,sroa,inline:40",
+	} {
+		if !strings.Contains(normalize(out), normalize(want)) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The schedule-less v1 bucket must not be listed as an interaction.
+	if strings.Contains(out, "C2|lsr|c:mislocated ") {
+		t.Errorf("unreduced bucket listed in the interaction table:\n%s", out)
+	}
+	// The culprit-less interaction bucket renders "-" for its culprit.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "mem2reg,sroa,inline:40") && !strings.Contains(line, " - ") {
+			t.Errorf("culprit-less interaction row should show '-': %q", line)
+		}
+	}
+}
+
+// normalize collapses runs of spaces so the assertions survive column
+// width changes.
+func normalize(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}
+
+func TestScheduleLen(t *testing.T) {
+	for _, tc := range []struct {
+		sched string
+		want  int
+	}{
+		{"", 0},
+		{"dce", 1},
+		{"inline:40", 1},
+		{"mem2reg,copyprop", 2},
+		{"mem2reg,copyprop,sroa", 3},
+	} {
+		if got := scheduleLen(tc.sched); got != tc.want {
+			t.Errorf("scheduleLen(%q) = %d, want %d", tc.sched, got, tc.want)
+		}
+	}
+}

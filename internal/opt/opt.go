@@ -12,8 +12,6 @@
 package opt
 
 import (
-	"fmt"
-
 	"repro/internal/ir"
 )
 
@@ -77,18 +75,24 @@ type Options struct {
 type Result struct {
 	// Executions is the total number of pass executions performed.
 	Executions int
-	// Applied lists the pass names in execution order.
+	// Applied lists the pass executions in order, in a canonical format
+	// that schedule digests and tests rely on: a module pass records its
+	// bare name ("toplevel-reorder"); a function pass records one
+	// "name(fn)" entry per function it ran on ("dce(main)").
 	Applied []string
 }
 
 // RunPipeline applies the pass list to the module under the given options
 // and returns execution statistics. The module is modified in place.
+// One Context is built up front and shared by every pass, and Applied is
+// preallocated from CountExecutions — this is the hot Optimize path, and
+// per-execution slice growth shows up there.
 func RunPipeline(m *ir.Module, passes []Pass, o Options) *Result {
 	ctx := &Context{Mod: m, Defects: o.Defects, Stats: o.Stats, Level: o.Level}
 	if ctx.Defects == nil {
 		ctx.Defects = map[string]bool{}
 	}
-	res := &Result{}
+	res := &Result{Applied: make([]string, 0, CountExecutions(m, passes, o.Disabled))}
 	limit := o.BisectLimit
 	budget := func() bool {
 		if limit < 0 {
@@ -118,7 +122,7 @@ func RunPipeline(m *ir.Module, passes []Pass, o Options) *Result {
 			}
 			p.Run(f, ctx)
 			res.Executions++
-			res.Applied = append(res.Applied, fmt.Sprintf("%s(%s)", p.Name(), f.Name))
+			res.Applied = append(res.Applied, p.Name()+"("+f.Name+")")
 		}
 	}
 	return res

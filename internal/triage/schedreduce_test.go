@@ -1,0 +1,155 @@
+package triage
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/compiler"
+	"repro/internal/minic"
+	"repro/internal/opt"
+)
+
+func TestScheduleReduceFindsMinimalSchedule(t *testing.T) {
+	cfg := compiler.Config{Family: compiler.GC, Version: "trunk", Level: "O2"}
+	tg, ok := findAnyViolation(t, cfg)
+	if !ok {
+		t.Skip("no violation found in the seed range")
+	}
+	red, err := ScheduleReduce(tg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := compiler.ScheduleFor(cfg)
+	if red.Schedule.Len() > full.Len() {
+		t.Fatalf("minimal schedule longer than the canonical one: %q", red.Schedule)
+	}
+	if red.Probes < 2 {
+		t.Fatalf("suspiciously few probes: %d", red.Probes)
+	}
+
+	// The minimal schedule must be a subsequence of the canonical one.
+	j := 0
+	for _, e := range red.Schedule.Entries {
+		for j < full.Len() && full.Entries[j] != e {
+			j++
+		}
+		if j == full.Len() {
+			t.Fatalf("minimal schedule %q is not a subsequence of %q", red.Schedule, full)
+		}
+		j++
+	}
+
+	// Defining property: the minimal schedule reproduces...
+	s := red.Schedule.Clone()
+	occ, err := Occurs(tg, compiler.Options{Schedule: &s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !occ {
+		t.Fatalf("violation does not reproduce under the minimal schedule %q", s)
+	}
+	// ...and it is 1-minimal: dropping any single entry kills it.
+	for i := range s.Entries {
+		sub := opt.Schedule{Entries: append(append([]opt.Entry{}, s.Entries[:i]...), s.Entries[i+1:]...)}
+		occ, err := Occurs(tg, compiler.Options{Schedule: &sub})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if occ {
+			t.Fatalf("schedule not 1-minimal: still reproduces without entry %d (%s)", i, s.Entries[i])
+		}
+	}
+}
+
+// TestScheduleReduceDeterministic pins byte-determinism: repeated
+// reductions of the same target produce the identical schedule and probe
+// count (ddmin is sequential and purely outcome-driven).
+func TestScheduleReduceDeterministic(t *testing.T) {
+	cfg := compiler.Config{Family: compiler.CL, Version: "trunk", Level: "O2"}
+	tg, ok := findAnyViolation(t, cfg)
+	if !ok {
+		t.Skip("no violation found in the seed range")
+	}
+	first, err := ScheduleReduce(tg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		again, err := ScheduleReduce(tg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Schedule.String() != first.Schedule.String() || again.Probes != first.Probes {
+			t.Fatalf("reduction not deterministic: %q/%d vs %q/%d",
+				again.Schedule, again.Probes, first.Schedule, first.Probes)
+		}
+	}
+}
+
+func TestScheduleReduceFailsWithoutReproduction(t *testing.T) {
+	prog := minic.MustParse(`
+int main(void) {
+  int x = 1;
+  return x;
+}`)
+	tg := Target{Prog: prog, Facts: analysis.Analyze(prog),
+		Cfg: compiler.Config{Family: compiler.GC, Version: "patched", Level: "O1"},
+		Key: "C1:main:x:3"}
+	if _, err := ScheduleReduce(tg); err == nil {
+		t.Fatal("ScheduleReduce should fail when the violation does not reproduce")
+	}
+}
+
+func TestChunkHelpers(t *testing.T) {
+	es := []opt.Entry{{Name: "a"}, {Name: "b"}, {Name: "c"}, {Name: "d"}, {Name: "e"}}
+	chunks := chunksOf(es, 2)
+	if len(chunks) != 2 || len(chunks[0]) != 3 || len(chunks[1]) != 2 {
+		t.Fatalf("chunksOf(5, 2) = %v", chunks)
+	}
+	comp := complementOf(es, 5, 2)
+	if len(comp) != 4 {
+		t.Fatalf("complementOf removed wrong count: %v", comp)
+	}
+	for _, e := range comp {
+		if e.Name == "c" {
+			t.Fatalf("complementOf(_, 5, 2) kept the removed entry: %v", comp)
+		}
+	}
+	// n larger than len degrades to one chunk per entry, no empties.
+	chunks = chunksOf(es[:2], 4)
+	if len(chunks) != 2 {
+		t.Fatalf("chunksOf(2, 4) = %v", chunks)
+	}
+}
+
+// TestRankCulprits pins the culprit ranking heuristic (satellite of the
+// schedule work): inlining and register promotion are down-ranked, the
+// earliest other candidate wins, and the pick is a pure deterministic
+// function of the candidate list.
+func TestRankCulprits(t *testing.T) {
+	cases := []struct {
+		cands []string
+		want  string
+	}{
+		{[]string{"lsr"}, "lsr"},
+		{[]string{"inline"}, "inline"},
+		{[]string{"mem2reg"}, "mem2reg"},
+		{[]string{"inline", "lsr"}, "lsr"},
+		{[]string{"mem2reg", "sroa"}, "sroa"},
+		{[]string{"inline", "mem2reg"}, "mem2reg"},
+		{[]string{"lsr", "inline", "dse"}, "lsr"},
+		{[]string{"inline", "lsr", "dse"}, "lsr"},
+		{[]string{"ccp", "copyprop"}, "ccp"},
+	}
+	for _, c := range cases {
+		if got := rankCulprits(c.cands); got != c.want {
+			t.Errorf("rankCulprits(%v) = %q, want %q", c.cands, got, c.want)
+		}
+		// Determinism: the same list always ranks the same.
+		for i := 0; i < 3; i++ {
+			if rankCulprits(c.cands) != rankCulprits(c.cands) {
+				t.Fatalf("rankCulprits(%v) not deterministic", c.cands)
+			}
+		}
+	}
+}

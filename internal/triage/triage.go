@@ -211,11 +211,21 @@ func Culprit(tg Target) (string, error) {
 	if len(cands) == 0 {
 		return "", fmt.Errorf("triage: no single flag controls the violation")
 	}
+	return rankCulprits(cands), nil
+}
+
+// rankCulprits picks the reported culprit from FlagSearch's candidate
+// list. FlagSearch returns candidates in the pipeline's canonical
+// PassNames order, so the pick is a pure function of the set — identical
+// at any worker count. The first candidate wins unless it is inlining or
+// register promotion, which the paper down-ranks because disabling them
+// suppresses many downstream passes: any other candidate beats them.
+func rankCulprits(cands []string) string {
 	best := cands[0]
 	for _, c := range cands {
 		if c != "inline" && (best == "inline" || best == "mem2reg") {
 			best = c
 		}
 	}
-	return best, nil
+	return best
 }

@@ -31,6 +31,8 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/minic"
 	"repro/internal/object"
+	"repro/internal/opt"
+	"repro/internal/triage"
 )
 
 // Re-exported configuration types.
@@ -46,6 +48,14 @@ type (
 	MultiTrace = debugger.MultiTrace
 	// Metrics are the paper's §2 quantitative measures.
 	Metrics = metrics.Metrics
+	// Schedule is a first-class, serializable pass schedule (an ordered
+	// list of registered pass names with per-pass budgets). Configurations
+	// have a canonical schedule (compiler.ScheduleFor); Engine.ScheduleReduce
+	// searches its subsequences.
+	Schedule = opt.Schedule
+	// ScheduleReduction is Engine.ScheduleReduce's outcome: the minimal
+	// reproducing pass schedule plus the probe count.
+	ScheduleReduction = triage.ScheduleReduction
 )
 
 // Compiler families.

@@ -1,0 +1,139 @@
+package pokeholes_test
+
+// Acceptance tests for schedule delta debugging (Engine.ScheduleReduce)
+// at the public API: the reduction is byte-deterministic at any engine
+// worker count, its ddmin probes never re-run the frontend once a Check
+// has warmed the engine, and the schedule component of v2 bucket
+// signatures splits real bugs that v1's (conjecture, culprit, shape)
+// triple conflated.
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// schedSplitSeed is a fuzzer seed whose program, at gc-trunk -O2, yields
+// two violations with the same v1 signature but different minimal
+// schedules ("mem2reg" vs "mem2reg,ccp") — found by scanning seeds and
+// pinned here so the tests below don't pay for the scan.
+const schedSplitSeed = 56
+
+var schedCfg = pokeholes.Config{Family: pokeholes.GC, Version: "trunk", Level: "O2"}
+
+// TestScheduleReduceDeterministicAcrossWorkers: a serial engine and an
+// 8-worker engine reduce every violation of the same program to the
+// identical minimal schedule with the identical probe count.
+func TestScheduleReduceDeterministicAcrossWorkers(t *testing.T) {
+	prog := pokeholes.GenerateProgram(schedSplitSeed)
+	ctx := context.Background()
+	reduceAll := func(workers int) (scheds []string, probes []int) {
+		eng := pokeholes.NewEngine(pokeholes.WithWorkers(workers))
+		rep, err := eng.Check(ctx, prog, schedCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Violations) < 2 {
+			t.Fatalf("seed %d has %d violations, want >= 2", schedSplitSeed, len(rep.Violations))
+		}
+		for _, v := range rep.Violations {
+			red, err := eng.ScheduleReduce(ctx, prog, schedCfg, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scheds = append(scheds, red.Schedule.String())
+			probes = append(probes, red.Probes)
+		}
+		return scheds, probes
+	}
+	serialScheds, serialProbes := reduceAll(1)
+	parallelScheds, parallelProbes := reduceAll(8)
+	for i := range serialScheds {
+		if serialScheds[i] != parallelScheds[i] {
+			t.Errorf("violation %d: schedule differs across worker counts: %q vs %q",
+				i, serialScheds[i], parallelScheds[i])
+		}
+		if serialProbes[i] != parallelProbes[i] {
+			t.Errorf("violation %d: probe count differs across worker counts: %d vs %d",
+				i, serialProbes[i], parallelProbes[i])
+		}
+	}
+}
+
+// TestScheduleReduceZeroFrontendProbes: after the Check has lowered the
+// program once, a reduction's probes all reuse the cached lowered module
+// — the engine's frontend counter must not move.
+func TestScheduleReduceZeroFrontendProbes(t *testing.T) {
+	prog := pokeholes.GenerateProgram(schedSplitSeed)
+	ctx := context.Background()
+	eng := pokeholes.NewEngine()
+	rep, err := eng.Check(ctx, prog, schedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) == 0 {
+		t.Fatalf("seed %d has no violations", schedSplitSeed)
+	}
+	before := eng.Stats().Frontends
+	totalProbes := 0
+	for _, v := range rep.Violations {
+		red, err := eng.ScheduleReduce(ctx, prog, schedCfg, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalProbes += red.Probes
+	}
+	if totalProbes == 0 {
+		t.Fatal("reductions spent zero probes; the frontend assertion is vacuous")
+	}
+	if d := eng.Stats().Frontends - before; d != 0 {
+		t.Errorf("reductions ran the frontend %d times over %d probes, want 0", d, totalProbes)
+	}
+}
+
+// TestHuntSplitsV1ConflatedBuckets: hunting the pinned program yields two
+// distinct buckets whose signatures share the v1 (conjecture, culprit,
+// shape) prefix and differ only in the minimal-schedule component — the
+// bug classes v1 signatures conflated into one bucket.
+func TestHuntSplitsV1ConflatedBuckets(t *testing.T) {
+	eng := pokeholes.NewEngine()
+	rep, err := eng.Hunt(context.Background(), pokeholes.HuntSpec{
+		Family: pokeholes.GC, Version: "trunk", Levels: []string{"O2"},
+		Budget: 1, Seed0: schedSplitSeed, NoMinimize: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group buckets by their v1 prefix (the signature minus the fourth,
+	// schedule component).
+	byV1 := map[string][]string{}
+	for _, b := range rep.Corpus.Buckets() {
+		parts := strings.Split(string(b.Sig), "|")
+		if len(parts) != 4 {
+			t.Errorf("bucket %q: want a four-part v2 signature", b.Sig)
+			continue
+		}
+		v1 := strings.Join(parts[:3], "|")
+		byV1[v1] = append(byV1[v1], parts[3])
+		if b.Schedule != parts[3] {
+			t.Errorf("bucket %q: Schedule field %q != signature component %q",
+				b.Sig, b.Schedule, parts[3])
+		}
+	}
+	split := false
+	for v1, scheds := range byV1 {
+		uniq := map[string]bool{}
+		for _, s := range scheds {
+			uniq[s] = true
+		}
+		if len(uniq) > 1 {
+			split = true
+			t.Logf("v1 signature %q split into schedules %v", v1, scheds)
+		}
+	}
+	if !split {
+		t.Errorf("no v1 signature split into multiple schedule buckets; buckets: %v", byV1)
+	}
+}

@@ -120,6 +120,11 @@ type CheckRequest struct {
 	Family  string `json:"family"`
 	Version string `json:"version"`
 	Level   string `json:"level"`
+	// Schedules, on /triage, additionally delta-debugs every violation's
+	// pass schedule to its minimal reproducing subsequence and reports it
+	// per culprit (ignored by /check). Off by default: default responses
+	// are byte-identical to schedule-less servers.
+	Schedules bool `json:"schedules,omitempty"`
 }
 
 // SweepRequest is the body of POST /sweep.
@@ -214,6 +219,14 @@ type WireCulprit struct {
 	// empty (Controllable false) when no single knob controls it (§4.3).
 	Culprit      string `json:"culprit"`
 	Controllable bool   `json:"controllable"`
+	// MinimalSchedule is the canonical string of the minimal pass
+	// schedule that still reproduces the violation — present only when
+	// the request set "schedules" and the reduction succeeded. Two or
+	// more comma-separated entries mark a pass-interaction bug
+	// (Interaction true); an interaction's constituent passes are beyond
+	// what the single Culprit can express.
+	MinimalSchedule string `json:"minimal_schedule,omitempty"`
+	Interaction     bool   `json:"interaction,omitempty"`
 }
 
 // TriageResponse is the body of POST /triage: the configuration's check
@@ -682,7 +695,12 @@ func (s *Server) handleTriage(w http.ResponseWriter, r *http.Request) {
 		}
 		srcKey := sourceKey(prog)
 		fp := srcKey[:16] // the sourceKey's fingerprint prefix; avoids a second render
+		// Schedule-enriched responses cache under their own key: the same
+		// source must keep serving the byte-identical default body.
 		key := "triage|" + cfg.String() + "|" + srcKey
+		if req.Schedules {
+			key = "triage-sched|" + cfg.String() + "|" + srcKey
+		}
 		s.serveBody(ctx, w, key, "application/json", func(ctx context.Context) ([]byte, error) {
 			rep, err := s.eng.Check(ctx, prog, cfg)
 			if err != nil {
@@ -700,9 +718,19 @@ func (s *Server) handleTriage(w http.ResponseWriter, r *http.Request) {
 				if err != nil {
 					culprit = ""
 				}
-				resp.Culprits = append(resp.Culprits, WireCulprit{
+				wc := WireCulprit{
 					Violation: wireViolations([]Violation{v})[0],
-					Culprit:   culprit, Controllable: culprit != ""})
+					Culprit:   culprit, Controllable: culprit != ""}
+				if req.Schedules {
+					if red, rerr := s.eng.ScheduleReduce(ctx, prog, cfg, v); rerr == nil {
+						wc.MinimalSchedule = red.Schedule.String()
+						wc.Interaction = red.Interaction()
+					}
+					if cerr := ctx.Err(); cerr != nil {
+						return nil, cerr
+					}
+				}
+				resp.Culprits = append(resp.Culprits, wc)
 			}
 			return marshalLine(resp)
 		})
