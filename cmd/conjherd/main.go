@@ -1,0 +1,218 @@
+// Command conjherd coordinates a herd of hunting replicas into one
+// global bug corpus: it periodically pulls each replica's corpus
+// snapshot from GET /hunt/export, unions them locally via corpus.Merge
+// (associative, commutative, idempotent — re-pulling an older or
+// unchanged snapshot never double-counts), checkpoints the merged
+// corpus, and optionally pushes it back to every replica's POST
+// /hunt/merge so the whole fleet shares the global view.
+//
+// The intended deployment is N conjserved replicas started on disjoint
+// shards of the same seed space:
+//
+//	conjserved -addr :8081 -hunt-budget 10000 -hunt-shard 0/2 ...
+//	conjserved -addr :8082 -hunt-budget 10000 -hunt-shard 1/2 ...
+//	conjherd -replicas http://host:8081,http://host:8082 \
+//	         -corpus global.jsonl -interval 30s
+//
+// With -once the coordinator runs a single pull/merge/checkpoint cycle
+// and exits (CI smoke tests); otherwise it loops every -interval until
+// every replica reports its hunt done (or forever with -interval and
+// hunts that never end), and always runs one final cycle on the way
+// out. Exit status is non-zero if any replica was never reached.
+//
+// Usage:
+//
+//	conjherd -replicas url[,url...] [-corpus global.jsonl]
+//	         [-interval 30s] [-once] [-push] [-timeout 10s]
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"io/fs"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/corpus"
+)
+
+func main() {
+	replicas := flag.String("replicas", "", "comma-separated replica base URLs (e.g. http://host:8081,http://host:8082)")
+	corpusPath := flag.String("corpus", "", "merged corpus checkpoint path (JSONL; loaded on start if present)")
+	interval := flag.Duration("interval", 30*time.Second, "delay between merge cycles")
+	once := flag.Bool("once", false, "run a single pull/merge cycle and exit")
+	push := flag.Bool("push", false, "after merging, push the global corpus back to every replica's /hunt/merge")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request HTTP timeout")
+	flag.Parse()
+
+	urls := splitURLs(*replicas)
+	if len(urls) == 0 {
+		fatal(errors.New("-replicas is required (comma-separated base URLs)"))
+	}
+
+	// The global corpus is a pure aggregator: it never hunts, so it keeps
+	// no shard identity and its own counters stay zero — everything lives
+	// in the per-origin merge ledgers.
+	global := corpus.New()
+	if *corpusPath != "" {
+		switch c, err := corpus.Load(*corpusPath); {
+		case err == nil:
+			global = c
+			fmt.Fprintf(os.Stderr, "conjherd: resuming global corpus: %d buckets, %d programs across origins\n",
+				global.Len(), global.TotalPrograms())
+		case errors.Is(err, fs.ErrNotExist):
+			// First run: the checkpoint appears after the first cycle.
+		default:
+			fatal(err)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	client := &http.Client{Timeout: *timeout}
+
+	reached := make([]bool, len(urls))
+	cycle := func() {
+		for i, base := range urls {
+			src, err := pull(ctx, client, base)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "conjherd: pull %s: %v\n", base, err)
+				continue
+			}
+			reached[i] = true
+			st, err := global.Merge(src)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "conjherd: merge %s: %v\n", base, err)
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "conjherd: %s: +%d new, %d reconciled -> %d global buckets\n",
+				base, st.NewBuckets, st.MergedBuckets, global.Len())
+		}
+		if *corpusPath != "" {
+			if err := global.Save(*corpusPath); err != nil {
+				fatal(err)
+			}
+		}
+		if *push {
+			var buf bytes.Buffer
+			if err := global.Encode(&buf); err != nil {
+				fatal(err)
+			}
+			for _, base := range urls {
+				if err := pushTo(ctx, client, base, buf.Bytes()); err != nil {
+					fmt.Fprintf(os.Stderr, "conjherd: push %s: %v\n", base, err)
+				}
+			}
+		}
+	}
+
+	cycle()
+	if !*once {
+		for !allDone(ctx, client, urls) && ctx.Err() == nil {
+			select {
+			case <-time.After(*interval):
+			case <-ctx.Done():
+			}
+			cycle()
+		}
+	}
+
+	fmt.Printf("conjherd: global corpus: %d unique bugs, %d violations, %d programs hunted across origins\n",
+		global.Len(), global.Violations(), global.TotalPrograms())
+	for _, b := range global.Buckets() {
+		fmt.Printf("  %-58s %6d\n", b.Sig, b.Count)
+	}
+	for i, ok := range reached {
+		if !ok {
+			fatal(fmt.Errorf("replica %s was never reached", urls[i]))
+		}
+	}
+}
+
+// pull fetches and decodes one replica's corpus snapshot.
+func pull(ctx context.Context, client *http.Client, base string) (*corpus.Corpus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/hunt/export", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return corpus.Decode(resp.Body)
+}
+
+// pushTo POSTs the merged corpus to one replica's /hunt/merge.
+func pushTo(ctx context.Context, client *http.Client, base string, body []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/hunt/merge",
+		bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	return nil
+}
+
+// allDone reports whether every replica's background hunt has finished
+// (unreachable replicas and replicas with no hunt configured count as
+// not-done, keeping the loop alive for them).
+func allDone(ctx context.Context, client *http.Client, urls []string) bool {
+	for _, base := range urls {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/hunt/status", nil)
+		if err != nil {
+			return false
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return false
+		}
+		var st struct {
+			Configured bool `json:"configured"`
+			Done       bool `json:"done"`
+		}
+		err = json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st)
+		resp.Body.Close()
+		if err != nil || !st.Configured || !st.Done {
+			return false
+		}
+	}
+	return true
+}
+
+func splitURLs(s string) []string {
+	var out []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimRight(strings.TrimSpace(u), "/"); u != "" {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "conjherd:", err)
+	os.Exit(1)
+}

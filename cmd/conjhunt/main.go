@@ -13,9 +13,17 @@
 //
 // Usage:
 //
+// With -shard i/n the hunt covers only shard i's slice of the seed
+// space (seeds seed+i, seed+i+n, …): n replicas on the same -seed hunt
+// disjoint seed ranges whose corpora merge into one global bug set (see
+// corpus.Merge and cmd/conjherd). A sharded corpus records its identity
+// and refuses to resume under a different shard scheme.
+//
+// Usage:
+//
 //	conjhunt [-family gc|cl] [-version trunk] [-matrix] [-budget 200]
-//	         [-seed 1] [-batch 32] [-workers 0] [-corpus hunt.jsonl]
-//	         [-resume] [-nominimize] [-show]
+//	         [-seed 1] [-shard i/n] [-batch 32] [-workers 0]
+//	         [-corpus hunt.jsonl] [-resume] [-nominimize] [-show]
 package main
 
 import (
@@ -38,6 +46,7 @@ func main() {
 	matrix := flag.Bool("matrix", false, "hunt across the family's version × level matrix (all versions unless -version is given explicitly)")
 	budget := flag.Int("budget", 200, "number of fuzzed programs this run")
 	seed := flag.Int64("seed", 1, "first seed of a fresh hunt (a resumed hunt continues from the corpus cursor)")
+	shard := flag.String("shard", "", "hunt only shard i of n disjoint seed slices, as \"i/n\" (empty: unsharded)")
 	batch := flag.Int("batch", 0, "programs per fuzz batch (0: the default; adaptive weights update between batches)")
 	workers := flag.Int("workers", 0, "worker-pool size (0: GOMAXPROCS)")
 	corpusPath := flag.String("corpus", "", "corpus JSONL path: checkpointed after every batch")
@@ -62,6 +71,13 @@ func main() {
 		Family: fam, Version: *version,
 		Budget: *budget, Seed0: *seed, BatchSize: *batch,
 		CorpusPath: *corpusPath, NoMinimize: *noMinimize,
+	}
+	if *shard != "" {
+		idx, cnt, err := parseShard(*shard)
+		if err != nil {
+			fatal(err)
+		}
+		spec.ShardIndex, spec.ShardCount = idx, cnt
 	}
 	if *matrix {
 		mx := &pokeholes.Matrix{Family: fam}
@@ -90,8 +106,12 @@ func main() {
 		switch {
 		case err == nil:
 			spec.Corpus = c
-			fmt.Fprintf(os.Stderr, "resuming: %d buckets, %d programs hunted, next seed %d\n",
-				c.Len(), c.Programs, c.NextSeed)
+			shardNote := ""
+			if c.ShardCount > 1 {
+				shardNote = fmt.Sprintf(" (shard %d/%d)", c.ShardIndex, c.ShardCount)
+			}
+			fmt.Fprintf(os.Stderr, "resuming: %d buckets, %d programs hunted, next seed %d%s\n",
+				c.Len(), c.Programs, c.NextSeed, shardNote)
 		case errors.Is(err, fs.ErrNotExist):
 			// Absent store: a first -resume run legitimately starts
 			// fresh, but say so — a typo'd path would otherwise
@@ -186,6 +206,18 @@ func indent(s string) string {
 		out += "    " + cur + "\n"
 	}
 	return out
+}
+
+// parseShard parses "i/n" into a shard (index, count).
+func parseShard(s string) (int, int, error) {
+	var idx, cnt int
+	if _, err := fmt.Sscanf(s, "%d/%d", &idx, &cnt); err != nil {
+		return 0, 0, fmt.Errorf("-shard %q: want \"i/n\", e.g. 0/4", s)
+	}
+	if cnt < 1 || idx < 0 || idx >= cnt {
+		return 0, 0, fmt.Errorf("-shard %q: index must be in [0,%d)", s, cnt)
+	}
+	return idx, cnt, nil
 }
 
 func fatal(err error) {

@@ -14,7 +14,14 @@
 //	conjserved [-addr :8080] [-workers 0] [-cache 4096] [-respcache 1024]
 //	           [-timeout 30s] [-inflight 0] [-queue 0] [-store artifacts/]
 //	           [-hunt-budget 0] [-hunt-family gc] [-hunt-version trunk]
-//	           [-hunt-seed 1] [-corpus hunt.jsonl]
+//	           [-hunt-seed 1] [-hunt-shard i/n] [-hunt-batch 0]
+//	           [-hunt-nominimize] [-corpus hunt.jsonl]
+//
+// -hunt-shard i/n restricts the background hunt to shard i's slice of
+// the seed space, so a herd of replicas on the same -hunt-seed covers
+// disjoint seed ranges; each replica's findings surface on /hunt/export
+// and any replica (or cmd/conjherd) can union corpora via /hunt/merge
+// into one global bug set.
 //
 // -store points the engine at a persistent artifact directory (the
 // content-addressed .mcx store of internal/store): plain builds are served
@@ -30,6 +37,7 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"os/signal"
@@ -52,6 +60,9 @@ func main() {
 	huntFamily := flag.String("hunt-family", "gc", "background hunt compiler family")
 	huntVersion := flag.String("hunt-version", "trunk", "background hunt compiler version")
 	huntSeed := flag.Int64("hunt-seed", 1, "background hunt first fuzzer seed")
+	huntShard := flag.String("hunt-shard", "", "background hunt seed shard as \"i/n\" (empty: unsharded)")
+	huntBatch := flag.Int("hunt-batch", 0, "background hunt programs per batch (0: the default)")
+	huntNoMinimize := flag.Bool("hunt-nominimize", false, "background hunt keeps original exemplars (faster discovery)")
 	corpusPath := flag.String("corpus", "", "background hunt corpus checkpoint path (JSONL)")
 	storeDir := flag.String("store", "", "persistent artifact store directory (.mcx containers, shareable between replicas)")
 	flag.Parse()
@@ -86,11 +97,20 @@ func main() {
 			Version:    *huntVersion,
 			Budget:     *huntBudget,
 			Seed0:      *huntSeed,
+			BatchSize:  *huntBatch,
+			NoMinimize: *huntNoMinimize,
 			CorpusPath: *corpusPath,
 			Progress: func(p pokeholes.HuntProgress) {
 				log.Printf("hunt: batch %d, %d programs, %d buckets (%d new)",
 					p.Batch, p.Programs, p.Buckets, p.NewInBatch)
 			},
+		}
+		if *huntShard != "" {
+			var idx, cnt int
+			if _, err := fmt.Sscanf(*huntShard, "%d/%d", &idx, &cnt); err != nil || cnt < 1 || idx < 0 || idx >= cnt {
+				log.Fatalf("conjserved: -hunt-shard %q: want \"i/n\" with 0 <= i < n", *huntShard)
+			}
+			spec.Hunt.ShardIndex, spec.Hunt.ShardCount = idx, cnt
 		}
 	}
 

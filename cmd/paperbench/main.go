@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	paperbench [-exp all|fig1|tab1|fig23|tab2|tab3|tab4|fig4|regress|matrix|hunt]
+//	paperbench [-exp all|fig1|tab1|fig23|tab2|tab3|tab4|fig4|regress|matrix|hunt|herd]
 //	           [-matrix] [-n 200] [-seed 1] [-workers 0] [-cache 4096] [-json]
 //	           [-bench-json BENCH_trace.json]
 //
@@ -13,6 +13,10 @@
 // families as one Engine.Sweep matrix campaign per family: every program
 // is lowered exactly once for its whole grid. -exp hunt runs a budgeted
 // deduplicated Engine.Hunt and prints the unique-bugs-over-time curve.
+// -exp herd runs the distributed-hunting scaling experiment
+// (experiments.ScalingCurve): the same total fuzzing budget spent by 1,
+// 4 and 16 sharded replicas, their corpora merged via corpus.Merge, as
+// merged-unique-buckets-over-wall-clock curves.
 //
 // -bench-json FILE times the hot tracing paths — check, full-matrix sweep,
 // and check + cross-validate — on cold engine sessions and writes their
@@ -26,7 +30,10 @@
 // against the whole-program frontend, and BENCH_schedule.json, timing one
 // ScheduleReduce delta-debugging run on a warm engine (every ddmin probe
 // reuses the cached lowered module) against the same reduction forced to
-// recompile from scratch on every probe, with the probes-per-op count.
+// recompile from scratch on every probe, with the probes-per-op count,
+// and BENCH_herd.json, the distributed-hunting scaling curves (1 vs 4 vs
+// 16 sharded replicas at equal total budget, merged via corpus.Merge)
+// with the 4-replica-dominates-solo acceptance check enforced.
 // Alone it runs only the benchmarks; combined with -exp or -matrix it
 // runs both.
 package main
@@ -68,7 +75,7 @@ type reportJSON struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: fig1, tab1, fig23, tab2, tab3, tab4, fig4, regress, matrix, hunt, all")
+	exp := flag.String("exp", "all", "experiment id: fig1, tab1, fig23, tab2, tab3, tab4, fig4, regress, matrix, hunt, herd, all")
 	matrix := flag.Bool("matrix", false, "run the full version × level matrix sweep of both families (alone: only the matrix; with -exp: in addition)")
 	n := flag.Int("n", 200, "number of fuzzed programs (paper: 1000 for tables, 5000 for fig1)")
 	nTriage := flag.Int("ntriage", 10, "programs for the triage table (expensive)")
@@ -110,6 +117,11 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintln(os.Stderr, "paperbench: wrote", scheduleJSON)
+		herdJSON := filepath.Join(filepath.Dir(*benchJSON), "BENCH_herd.json")
+		if err := writeBenchHerd(herdJSON); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "paperbench: wrote", herdJSON)
 		// A bare -bench-json means "just the trajectory".
 		if !expSet && !*matrix {
 			return
@@ -220,6 +232,21 @@ func main() {
 			"curve": rep.Curve, "buckets": rep.Corpus.Len(),
 			"violations": rep.Violations, "dups": rep.Dups,
 		}, start)
+		fmt.Fprintln(w)
+	}
+	if run("herd") {
+		start := time.Now()
+		// A fixed small budget keeps every fleet size under the adaptive-
+		// weight warmup per replica, the regime where the curves are
+		// comparable point-for-point (same program per seed at any fleet
+		// size); it must divide by every fleet size.
+		res, err := runner.ScalingCurve(ctx, pokeholes.HuntSpec{
+			Family: pokeholes.GC, Version: "trunk", Levels: []string{"O2"},
+			Budget: 32, Seed0: *seed, BatchSize: 8}, []int{1, 4, 16}, w)
+		if err != nil {
+			fatal(err)
+		}
+		record("herd", 32*len(res.Series), res, start)
 		fmt.Fprintln(w)
 	}
 	if *matrix || *exp == "matrix" {
@@ -702,6 +729,57 @@ func writeBenchSchedule(path string) error {
 		r := testing.Benchmark(p.run)
 		out.Benchmarks = append(out.Benchmarks, benchScheduleRecordJSON{
 			Name: p.name, NsPerOp: r.NsPerOp(), Ops: r.N, ProbesPerOp: red.Probes})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// benchHerdJSON is the BENCH_herd.json schema CI uploads next to the
+// benchmark trajectory artifact: the distributed-hunting scaling curves
+// (1 vs 4 vs 16 sharded replicas spending the same total budget, merged
+// via corpus.Merge).
+type benchHerdJSON struct {
+	Scaling     *experiments.ScalingResult `json:"scaling"`
+	WallSeconds float64                    `json:"wall_seconds"`
+	GeneratedAt string                     `json:"generated_at"`
+}
+
+// writeBenchHerd runs the distributed-hunting scaling experiment at a
+// fixed small budget (under the adaptive-weight warmup, so every fleet
+// size fuzzes the identical program per seed and the curves compare
+// point-for-point) and enforces the acceptance criterion — the 4-replica
+// fleet strictly dominates the solo hunt at its final wall-clock point —
+// so trajectory diffs notice a semantics regression, not just new
+// numbers. Written next to BENCH_trace.json as BENCH_herd.json.
+func writeBenchHerd(path string) error {
+	spec := pokeholes.HuntSpec{
+		Family: pokeholes.GC, Version: "trunk", Levels: []string{"O2"},
+		Budget: 32, Seed0: 900, BatchSize: 8,
+	}
+	start := time.Now()
+	res, err := experiments.NewRunner(pokeholes.NewEngine()).
+		ScalingCurve(context.Background(), spec, []int{1, 4, 16}, io.Discard)
+	if err != nil {
+		return err
+	}
+	solo, fleet := res.Fleet(1), res.Fleet(4)
+	last := len(fleet.Points) - 1
+	if ft, st := fleet.Points[last].Buckets, solo.Points[last].Buckets; ft <= st {
+		return fmt.Errorf("bench herd: 4-replica fleet has %d buckets at its final point, solo has %d — want strictly more", ft, st)
+	}
+	out := benchHerdJSON{
+		Scaling:     res,
+		WallSeconds: time.Since(start).Seconds(),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 	}
 	f, err := os.Create(path)
 	if err != nil {

@@ -1,0 +1,70 @@
+// Shardmerge: distributed hunting in one process. Four sharded hunts
+// (shard i of 4, stride-partitioned seed space, a quarter of the budget
+// each) run the same campaign a single hunt would, and their corpora are
+// unioned via corpus.Merge into one global bug set — the same
+// signature-keyed, per-origin-ledger merge cmd/conjherd performs over
+// HTTP against a fleet of conjserved replicas. The merge is associative,
+// commutative and idempotent, so re-merging a shard (a coordinator
+// re-pulling an unchanged snapshot) changes nothing, and the merged
+// corpus matches what one unsharded hunt of the full budget finds.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/corpus"
+)
+
+func main() {
+	ctx := context.Background()
+	eng := pokeholes.NewEngine()
+	base := pokeholes.HuntSpec{
+		Family: pokeholes.GC, Version: "trunk", Levels: []string{"O2"},
+		Budget: 32, Seed0: 900, BatchSize: 8, NoMinimize: true,
+	}
+
+	// The aggregator never hunts: no shard identity, counters stay zero,
+	// everything lives in the per-origin merge ledgers.
+	global := corpus.New()
+	const shards = 4
+	for i := 0; i < shards; i++ {
+		spec := base
+		spec.Budget = base.Budget / shards
+		spec.ShardIndex, spec.ShardCount = i, shards
+		rep, err := eng.Hunt(ctx, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, err := global.Merge(rep.Corpus)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("shard %d/%d: %d programs, %d buckets -> merged +%d new, %d reconciled (%d global)\n",
+			i, shards, rep.Programs, rep.Corpus.Len(), st.NewBuckets, st.MergedBuckets, global.Len())
+	}
+
+	// Idempotence: re-merging shard 0's snapshot is a no-op.
+	rep0, err := eng.Hunt(ctx, func() pokeholes.HuntSpec {
+		s := base
+		s.Budget = base.Budget / shards
+		s.ShardCount = shards
+		return s
+	}())
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := global.Merge(rep0.Corpus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("re-merge shard 0/%d: +%d new (idempotent)\n\n", shards, st.NewBuckets)
+
+	fmt.Printf("global: %d unique bugs, %d violations, %d programs across origins\n",
+		global.Len(), global.Violations(), global.TotalPrograms())
+	for _, b := range global.Buckets() {
+		fmt.Printf("  %-58s seed %-6d x%d\n", b.Sig, b.Seed, b.Count)
+	}
+}

@@ -38,6 +38,9 @@ type (
 	// BucketSignature identifies a bucket: (conjecture, culprit pass,
 	// violation shape, minimal reproducing pass schedule).
 	BucketSignature = corpus.Signature
+	// MergeStats summarizes one Corpus.Merge call (distributed
+	// shard-and-merge hunting's bucket union).
+	MergeStats = corpus.MergeStats
 )
 
 // LoadCorpus reads a corpus checkpoint from disk (see Corpus.Save).
@@ -66,6 +69,18 @@ type HuntSpec struct {
 	// Seed0 seeds a fresh hunt. A resumed hunt (Corpus non-nil) ignores
 	// it and continues from the corpus's own seed cursor.
 	Seed0 int64
+	// ShardIndex/ShardCount partition the seed space for distributed
+	// hunting: shard i of n hunts the stride Seed0+i, Seed0+i+n, … so N
+	// replicas on the same Seed0 cover disjoint seed slices whose merged
+	// corpora equal one unsharded hunt over the union. ShardCount 0 (the
+	// zero value) means unsharded — shard 0 of 1 — except on resume,
+	// where it adopts whatever shard identity the corpus records. A
+	// non-zero ShardCount on resume must match the corpus's recorded
+	// identity exactly: resuming under a different shard scheme would
+	// silently re-fuzz or skip seeds that belong to another replica, so
+	// Hunt fails loudly instead.
+	ShardIndex int
+	ShardCount int
 	// BatchSize is the number of programs per fuzz batch (default
 	// DefaultHuntBatch). The adaptive weights update between batches.
 	BatchSize int
@@ -83,6 +98,13 @@ type HuntSpec struct {
 	// Progress, when non-nil, is called after every batch from the
 	// hunt's own goroutine (serially).
 	Progress func(HuntProgress)
+	// Snapshot, when non-nil, is called with the live corpus at every
+	// point it is quiescent and checkpoint-consistent: after each batch
+	// (post-checkpoint), and once more on any exit path. The serving
+	// layer uses it to Merge the hunt's findings into a global corpus
+	// without racing the hunt loop. The callback runs on the hunt's own
+	// goroutine and must not retain the corpus past its return.
+	Snapshot func(*corpus.Corpus)
 }
 
 // HuntProgress is one batch's progress snapshot (lifetime corpus values).
@@ -147,12 +169,51 @@ func (e *Engine) Hunt(ctx context.Context, spec HuntSpec) (*HuntReport, error) {
 	if batch <= 0 {
 		batch = DefaultHuntBatch
 	}
+	idx, cnt := spec.ShardIndex, spec.ShardCount
+	if cnt < 0 || (cnt == 0 && idx != 0) || (cnt > 0 && (idx < 0 || idx >= cnt)) {
+		return nil, fmt.Errorf("pokeholes: invalid hunt shard %d/%d", idx, cnt)
+	}
 	c := spec.Corpus
 	if c == nil {
+		if cnt == 0 {
+			cnt = 1 // unsharded is shard 0 of 1
+		}
 		c = corpus.New()
-		c.NextSeed = spec.Seed0
+		c.Seed0, c.ShardIndex, c.ShardCount = spec.Seed0, idx, cnt
+		c.NextSeed = spec.Seed0 + int64(idx)
+	} else {
+		switch {
+		case c.ShardCount == 0 && cnt > 1:
+			// A legacy (pre-shard) corpus records no identity, so there is
+			// no way to prove its cursor sits on this shard's stride —
+			// resuming it sharded could silently overlap another replica.
+			return nil, fmt.Errorf("pokeholes: cannot resume a corpus with no shard identity as shard %d/%d", idx, cnt)
+		case c.ShardCount == 0:
+			// Legacy corpus, unsharded resume: adopt the 0/1 identity with
+			// the cursor itself as origin so the stride math below holds.
+			c.Seed0, c.ShardIndex, c.ShardCount = c.NextSeed, 0, 1
+		case cnt != 0 && (idx != c.ShardIndex || cnt != c.ShardCount):
+			return nil, fmt.Errorf("pokeholes: corpus was hunted as shard %d/%d; refusing to resume as shard %d/%d (would re-fuzz or skip another replica's seeds)",
+				c.ShardIndex, c.ShardCount, idx, cnt)
+		}
+		idx, cnt = c.ShardIndex, c.ShardCount
+		// The cursor must sit exactly on this shard's stride: NextSeed =
+		// Seed0 + idx + k*cnt for some k ≥ 0. Anything else means the
+		// store was produced under different shard math (or corrupted)
+		// and continuing would leave the residue class.
+		rel := c.NextSeed - c.Seed0 - int64(idx)
+		if rel < 0 || rel%int64(cnt) != 0 {
+			return nil, fmt.Errorf("pokeholes: corpus cursor %d is off the stride of shard %d/%d at seed0 %d; refusing to resume",
+				c.NextSeed, idx, cnt, c.Seed0)
+		}
 	}
+	stride := int64(cnt)
 	rep := &HuntReport{Corpus: c}
+	publish := func() {
+		if spec.Snapshot != nil {
+			spec.Snapshot(c)
+		}
+	}
 	checkpoint := func() error {
 		// Nothing to persist before the hunt has consumed anything: in
 		// particular, a spec error on the very first batch must not
@@ -165,11 +226,13 @@ func (e *Engine) Hunt(ctx context.Context, spec HuntSpec) (*HuntReport, error) {
 	}
 	// fail returns err after a final checkpoint attempt. A checkpoint
 	// failure takes over as the primary error: callers treat a clean
-	// cancellation as benign, which a lost corpus is not.
+	// cancellation as benign, which a lost corpus is not. The corpus is
+	// quiescent here, so interrupted hunts still publish a snapshot.
 	fail := func(err error) error {
 		if cpErr := checkpoint(); cpErr != nil {
 			return fmt.Errorf("corpus checkpoint failed: %w (while handling: %v)", cpErr, err)
 		}
+		publish()
 		return err
 	}
 
@@ -214,14 +277,16 @@ func (e *Engine) Hunt(ctx context.Context, spec HuntSpec) (*HuntReport, error) {
 			n = remaining
 		}
 		// Generate the batch under the weights of everything hunted so
-		// far. Seeds advance with the corpus cursor, so resumed hunts
-		// never replay a program they already consumed.
+		// far. Seeds advance with the corpus cursor by the shard stride
+		// (1 when unsharded), so resumed hunts never replay a program
+		// they already consumed and sharded replicas stay inside their
+		// disjoint residue class.
 		weights := c.Weights()
 		seed0 := c.NextSeed
 		progs := make([]*minic.Program, n)
 		feats := make([]map[string]bool, n)
 		for i := 0; i < n; i++ {
-			o := fuzzgen.WeightedOptions(seed0+int64(i), weights)
+			o := fuzzgen.WeightedOptions(seed0+int64(i)*stride, weights)
 			progs[i] = fuzzgen.Generate(o)
 			feats[i] = o.Features()
 		}
@@ -250,14 +315,13 @@ func (e *Engine) Hunt(ctx context.Context, spec HuntSpec) (*HuntReport, error) {
 				resErr = res.Err
 				break
 			}
-			seed := seed0 + int64(res.Index)
+			seed := seed0 + int64(res.Index)*stride
 			producedNew := false
 			bucketViolation := func(cfg Config, v Violation, culprit, sched string) {
 				rep.Violations++
 				sig := corpus.SignatureOf(v, culprit, sched)
 				if b, ok := c.Bucket(sig); ok {
-					b.Count++
-					c.Dups++
+					c.CountViolation(b)
 					rep.Dups++
 					e.dupViolations.Add(1)
 					return
@@ -322,7 +386,7 @@ func (e *Engine) Hunt(ctx context.Context, spec HuntSpec) (*HuntReport, error) {
 			}
 			c.RecordProgram(feats[res.Index], producedNew)
 			c.Programs++
-			c.NextSeed = seed + 1
+			c.NextSeed = seed + stride
 			rep.Programs++
 			rep.Curve = append(rep.Curve, CurvePoint{Programs: c.Programs, Buckets: c.Len()})
 		}
@@ -342,6 +406,7 @@ func (e *Engine) Hunt(ctx context.Context, spec HuntSpec) (*HuntReport, error) {
 		if err := checkpoint(); err != nil {
 			return rep, err
 		}
+		publish()
 		if spec.Progress != nil {
 			spec.Progress(HuntProgress{Batch: batches, Programs: c.Programs,
 				Buckets: c.Len(), Violations: c.Violations(), Dups: c.Dups,

@@ -112,8 +112,16 @@ type Bucket struct {
 	// the compiler.
 	DebuggerSuspect bool `json:"debugger_suspect,omitempty"`
 	// Count is the total number of violations bucketed here, the first
-	// one included.
+	// one included. In a merged corpus it is the sum of the per-origin
+	// contributions below.
 	Count int `json:"count"`
+	// Origins carries, for buckets that passed through Merge, each
+	// contributing hunt's own violation count keyed by hunt identity
+	// (see OriginLedger). Merging takes the per-origin maximum — a
+	// re-pulled snapshot of the same replica never double-counts — and
+	// recomputes Count as the sum. Nil on buckets a hunt opened locally
+	// and never merged.
+	Origins map[string]int `json:"origins,omitempty"`
 	// FoundAfter is the hunt's lifetime program counter when the bucket
 	// was opened (programs fully processed, the discovering one
 	// included) — the x-coordinate of the unique-bugs-over-time curve.
@@ -135,16 +143,35 @@ type FeatureStat struct {
 // ordered) aggregation goroutine.
 type Corpus struct {
 	buckets map[Signature]*Bucket
-	order   []Signature // discovery order, the serialization order
+	order   []Signature // discovery order (canonical signature order after a Merge)
 
-	// Programs counts fuzzed programs consumed over the corpus's
-	// lifetime; NextSeed is the hunt cursor a resumed hunt continues
-	// from; Dups counts violations that landed in an existing bucket.
+	// Programs counts fuzzed programs consumed over the corpus's OWN
+	// hunting lifetime; NextSeed is the hunt cursor a resumed hunt
+	// continues from; Dups counts violations that landed in an existing
+	// bucket. Merge never touches these three — merged-in work is
+	// tracked per origin instead (see OriginLedger), so a replica that
+	// absorbs global knowledge keeps its own cursor and FoundAfter
+	// coordinates.
 	Programs int
 	NextSeed int64
 	Dups     int
 
+	// Seed0, ShardIndex and ShardCount are the hunt identity this corpus
+	// was created under: shard i of n hunts the seed residue class
+	// Seed0+i, Seed0+i+n, … ShardCount 0 marks a corpus with no recorded
+	// identity — a legacy (pre-v3) store, or an aggregator that only ever
+	// merges. Unsharded hunts record 0/1.
+	Seed0      int64
+	ShardIndex int
+	ShardCount int
+
+	// version is the store version this corpus was decoded at
+	// (storeVersion for fresh corpora). Merge refuses corpora claiming a
+	// future version rather than silently unioning fields it cannot see.
+	version int
+
 	features map[string]*FeatureStat
+	origins  map[string]*OriginStat
 }
 
 // New returns an empty corpus.
@@ -152,6 +179,7 @@ func New() *Corpus {
 	return &Corpus{
 		buckets:  map[Signature]*Bucket{},
 		features: map[string]*FeatureStat{},
+		version:  storeVersion,
 	}
 }
 
@@ -183,6 +211,18 @@ func (c *Corpus) Add(b *Bucket) error {
 	c.buckets[b.Sig] = b
 	c.order = append(c.order, b.Sig)
 	return nil
+}
+
+// CountViolation records one more (duplicate) violation of an existing
+// bucket, attributed to this corpus's own hunt identity: buckets that
+// passed through Merge keep their per-origin ledger in sync with Count,
+// so later merges never lose locally-counted duplicates.
+func (c *Corpus) CountViolation(b *Bucket) {
+	b.Count++
+	if b.Origins != nil {
+		b.Origins[c.selfKey()]++
+	}
+	c.Dups++
 }
 
 // Violations returns the lifetime violation total (unique + duplicate).
@@ -255,23 +295,33 @@ func (c *Corpus) Weights() map[string]float64 {
 
 // Store versions: v1 buckets have three-part signatures and no schedule
 // field; v2 adds the optional minimal-schedule bucket field and signature
-// component. Encode always writes the current version; Decode accepts
-// both — a v1 store loads with every bucket schedule-less, which is also
-// exactly how its signatures parse, so old corpora keep working and
-// simply stay at v1 bucketing granularity until new buckets arrive.
+// component; v3 adds the hunt identity (seed0 + shard) and the per-origin
+// merge ledgers (header origins, bucket origins) of distributed
+// shard-and-merge hunting. Encode always writes the current version;
+// Decode accepts all three — a v1 store loads with every bucket
+// schedule-less (exactly how its signatures parse), and a pre-v3 store
+// loads with no recorded hunt identity, so old corpora keep working.
+// Versions beyond storeVersion are rejected by Decode AND by Merge: a
+// future store may carry merge-relevant state this code cannot see, and
+// silently unioning it would corrupt the global bug set.
 const (
-	storeVersion   = 2
+	storeVersion   = 3
+	storeVersionV2 = 2
 	storeVersionV1 = 1
 )
 
 // header is the JSONL file's first record.
 type header struct {
-	Kind     string                  `json:"kind"`
-	Version  int                     `json:"version"`
-	Programs int                     `json:"programs"`
-	NextSeed int64                   `json:"next_seed"`
-	Dups     int                     `json:"dups"`
-	Features map[string]*FeatureStat `json:"features"`
+	Kind       string                  `json:"kind"`
+	Version    int                     `json:"version"`
+	Programs   int                     `json:"programs"`
+	NextSeed   int64                   `json:"next_seed"`
+	Dups       int                     `json:"dups"`
+	Seed0      int64                   `json:"seed0,omitempty"`
+	ShardIndex int                     `json:"shard_index,omitempty"`
+	ShardCount int                     `json:"shard_count,omitempty"`
+	Features   map[string]*FeatureStat `json:"features"`
+	Origins    map[string]*OriginStat  `json:"origins,omitempty"`
 }
 
 // bucketRec wraps a bucket with its record kind for the JSONL store.
@@ -287,7 +337,8 @@ func (c *Corpus) Encode(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	if err := enc.Encode(header{Kind: "hunt-corpus", Version: storeVersion,
 		Programs: c.Programs, NextSeed: c.NextSeed, Dups: c.Dups,
-		Features: c.features}); err != nil {
+		Seed0: c.Seed0, ShardIndex: c.ShardIndex, ShardCount: c.ShardCount,
+		Features: c.features, Origins: c.origins}); err != nil {
 		return err
 	}
 	for _, sig := range c.order {
@@ -315,11 +366,28 @@ func Decode(r io.Reader) (*Corpus, error) {
 	if h.Kind != "hunt-corpus" {
 		return nil, fmt.Errorf("corpus: not a hunt corpus (kind %q)", h.Kind)
 	}
-	if h.Version != storeVersionV1 && h.Version != storeVersion {
+	if h.Version != storeVersionV1 && h.Version != storeVersionV2 && h.Version != storeVersion {
 		return nil, fmt.Errorf("corpus: unsupported version %d", h.Version)
 	}
 	c := New()
+	c.version = h.Version
 	c.Programs, c.NextSeed, c.Dups = h.Programs, h.NextSeed, h.Dups
+	c.Seed0, c.ShardIndex, c.ShardCount = h.Seed0, h.ShardIndex, h.ShardCount
+	if h.Origins != nil {
+		for key, o := range h.Origins {
+			// A null entry would nil-dereference every later ledger
+			// reader; reject it like a null feature stat.
+			if o == nil {
+				return nil, fmt.Errorf("corpus: null origin entry for %q", key)
+			}
+			for name, st := range o.Features {
+				if st == nil {
+					return nil, fmt.Errorf("corpus: null feature stats for %q in origin %q", name, key)
+				}
+			}
+		}
+		c.origins = h.Origins
+	}
 	if h.Features != nil {
 		for name, st := range h.Features {
 			// A null entry would make every later stats reader (e.g.

@@ -192,7 +192,7 @@ func TestDecodeMigratesV1Store(t *testing.T) {
 		t.Fatal(err)
 	}
 	first, _, _ := bytes.Cut(buf.Bytes(), []byte("\n"))
-	if !bytes.Contains(first, []byte(`"version":2`)) {
+	if !bytes.Contains(first, []byte(`"version":3`)) {
 		t.Errorf("re-encoded header not at current version: %s", first)
 	}
 	// A v2 store with schedules round-trips too.
@@ -212,7 +212,7 @@ func TestDecodeMigratesV1Store(t *testing.T) {
 	if b2, ok := back.Bucket("C1|lsr|opaque-arg:optimized-out|mem2reg,lsr"); !ok || b2.Schedule != "mem2reg,lsr" {
 		t.Errorf("v2 schedule lost: %+v ok=%v", b2, ok)
 	}
-	if _, err := Decode(bytes.NewReader([]byte(`{"kind":"hunt-corpus","version":3}` + "\n"))); err == nil {
+	if _, err := Decode(bytes.NewReader([]byte(`{"kind":"hunt-corpus","version":4}` + "\n"))); err == nil {
 		t.Error("future store version must be rejected")
 	}
 }

@@ -1,0 +1,292 @@
+package corpus
+
+// Merge is the associative, commutative, idempotent bucket union that
+// distributed hunting rests on: a coordinator repeatedly pulls replica
+// corpus snapshots and folds them into one global bug set, and folding
+// the same snapshot twice — or snapshots of the same replica at
+// different ages, in any order or grouping — must converge to the same
+// bytes. The trick is that merged counters are per-origin ledgers keyed
+// by hunt identity (seed0 + shard): merging takes the per-origin MAXIMUM
+// (snapshots of one replica only ever grow, so the max is the newest
+// information), and the displayed totals are the sum across origins (so
+// disjoint replicas' counts genuinely add).
+
+import (
+	"fmt"
+	"sort"
+)
+
+// OriginStat is one hunt origin's contribution to a merged corpus: its
+// own lifetime program/dup counters, its seed cursor, and its
+// feature-yield statistics. Fields only ever grow within one origin, so
+// Merge folds snapshots of the same origin by field-wise maximum.
+type OriginStat struct {
+	Programs int                     `json:"programs"`
+	Dups     int                     `json:"dups"`
+	NextSeed int64                   `json:"next_seed"`
+	Features map[string]*FeatureStat `json:"features,omitempty"`
+}
+
+func (o *OriginStat) clone() *OriginStat {
+	out := &OriginStat{Programs: o.Programs, Dups: o.Dups, NextSeed: o.NextSeed}
+	if o.Features != nil {
+		out.Features = map[string]*FeatureStat{}
+		for name, st := range o.Features {
+			cp := *st
+			out.Features[name] = &cp
+		}
+	}
+	return out
+}
+
+// maxInto raises dst to the field-wise maximum of dst and src.
+func (dst *OriginStat) maxInto(src *OriginStat) {
+	if src.Programs > dst.Programs {
+		dst.Programs = src.Programs
+	}
+	if src.Dups > dst.Dups {
+		dst.Dups = src.Dups
+	}
+	if src.NextSeed > dst.NextSeed {
+		dst.NextSeed = src.NextSeed
+	}
+	for name, st := range src.Features {
+		d := dst.Features[name]
+		if d == nil {
+			if dst.Features == nil {
+				dst.Features = map[string]*FeatureStat{}
+			}
+			cp := *st
+			dst.Features[name] = &cp
+			continue
+		}
+		if st.OnTrials > d.OnTrials {
+			d.OnTrials = st.OnTrials
+		}
+		if st.OnNew > d.OnNew {
+			d.OnNew = st.OnNew
+		}
+		if st.OffTrials > d.OffTrials {
+			d.OffTrials = st.OffTrials
+		}
+		if st.OffNew > d.OffNew {
+			d.OffNew = st.OffNew
+		}
+	}
+}
+
+// selfKey is the corpus's own hunt identity — the origin key its local
+// work folds under when merged. Corpora with no recorded identity
+// (legacy pre-v3 stores, pure aggregators) fold under the anonymous key
+// "": two distinct anonymous corpora merge their counters by maximum
+// rather than sum, the conservative choice when provenance is unknown.
+func (c *Corpus) selfKey() string {
+	if c.ShardCount <= 0 {
+		return ""
+	}
+	return fmt.Sprintf("s%d.%d/%d", c.Seed0, c.ShardIndex, c.ShardCount)
+}
+
+// ledger returns the corpus's full per-origin view — its merged-in
+// origins plus its own live counters raised into its self entry — as
+// fresh copies safe to fold into another corpus.
+func (c *Corpus) ledger() map[string]*OriginStat {
+	out := map[string]*OriginStat{}
+	for key, o := range c.origins {
+		out[key] = o.clone()
+	}
+	if c.Programs > 0 || c.Dups > 0 {
+		self := out[c.selfKey()]
+		if self == nil {
+			self = &OriginStat{}
+			out[c.selfKey()] = self
+		}
+		live := OriginStat{Programs: c.Programs, Dups: c.Dups,
+			NextSeed: c.NextSeed, Features: c.features}
+		self.maxInto(&live)
+	}
+	return out
+}
+
+// OriginLedger returns the per-origin contribution view of the corpus
+// (own live work included), keyed by hunt identity "s<seed0>.<i>/<n>"
+// (the anonymous key "" collects work with no recorded identity). The
+// returned map and its values are fresh copies.
+func (c *Corpus) OriginLedger() map[string]*OriginStat { return c.ledger() }
+
+// TotalPrograms is the number of fuzzed programs consumed across every
+// origin the corpus has seen — its own hunting plus everything merged
+// in. For a never-merged hunt corpus it equals Programs.
+func (c *Corpus) TotalPrograms() int {
+	n := 0
+	for _, o := range c.ledger() {
+		n += o.Programs
+	}
+	return n
+}
+
+// TotalDups is the cross-origin duplicate-violation total (see
+// TotalPrograms).
+func (c *Corpus) TotalDups() int {
+	n := 0
+	for _, o := range c.ledger() {
+		n += o.Dups
+	}
+	return n
+}
+
+// MergedFeatureStats sums the per-feature yield statistics across every
+// origin (own live stats included) — the global view of which fuzzer
+// knobs have been paying off fleet-wide. The result is a fresh copy.
+func (c *Corpus) MergedFeatureStats() map[string]FeatureStat {
+	out := map[string]FeatureStat{}
+	for _, o := range c.ledger() {
+		for name, st := range o.Features {
+			agg := out[name]
+			agg.OnTrials += st.OnTrials
+			agg.OnNew += st.OnNew
+			agg.OffTrials += st.OffTrials
+			agg.OffNew += st.OffNew
+			out[name] = agg
+		}
+	}
+	return out
+}
+
+// MergeStats summarizes one Merge call.
+type MergeStats struct {
+	// NewBuckets is how many buckets the source contributed that the
+	// destination had never seen; MergedBuckets how many existed on both
+	// sides and were reconciled.
+	NewBuckets    int `json:"new_buckets"`
+	MergedBuckets int `json:"merged_buckets"`
+}
+
+// bucketLedger is a bucket's per-origin violation counts: its explicit
+// Origins map if it has been through a merge, else its whole Count
+// attributed to the owning corpus's identity.
+func bucketLedger(c *Corpus, b *Bucket) map[string]int {
+	out := map[string]int{}
+	if b.Origins != nil {
+		for key, n := range b.Origins {
+			out[key] = n
+		}
+		return out
+	}
+	out[c.selfKey()] = b.Count
+	return out
+}
+
+// betterExemplar reports whether a's provenance should represent a
+// merged bucket over b's: minimized exemplars beat unminimized ones,
+// then the earliest (lowest-seed) discovery wins, then the smallest
+// program, with full tie-breaks so the choice is a total order — the
+// winner is the same whatever order corpora merge in. The earliest-seed
+// rule also makes N disjoint sharded hunts merge to exactly the
+// exemplar one unsharded hunt over the same seeds would have kept.
+func betterExemplar(a, b *Bucket) bool {
+	if a.Minimized != b.Minimized {
+		return a.Minimized
+	}
+	if a.Seed != b.Seed {
+		return a.Seed < b.Seed
+	}
+	if a.ExemplarLines != b.ExemplarLines {
+		return a.ExemplarLines < b.ExemplarLines
+	}
+	if a.Exemplar != b.Exemplar {
+		return a.Exemplar < b.Exemplar
+	}
+	if a.Config != b.Config {
+		return a.Config < b.Config
+	}
+	return false
+}
+
+// Merge unions src into c: buckets are keyed by their full signature —
+// so a v1-style schedule-less signature and a schedule-bearing v2
+// signature of the same culprit/shape stay distinct buckets, never
+// conflated — with per-origin counts folded by maximum and summed into
+// Count, the better exemplar (minimized, then earliest, then smallest)
+// kept, FoundAfter taken at its minimum and DebuggerSuspect OR-ed.
+// Corpus-level counters fold into the per-origin ledger; c's own
+// Programs/NextSeed/Dups cursor state is never touched, so a hunting
+// replica can absorb global knowledge without moving its shard cursor.
+// src is never mutated, and none of its buckets are retained.
+//
+// After a Merge the corpus serializes in canonical signature order
+// regardless of merge arrival order, so any fold of the same snapshots
+// is byte-identical. Merge is associative, commutative and idempotent;
+// it refuses corpora whose stores report a future version.
+func (c *Corpus) Merge(src *Corpus) (MergeStats, error) {
+	var st MergeStats
+	if c.version > storeVersion {
+		return st, fmt.Errorf("corpus: merge target reports future store version %d (supported: %d)", c.version, storeVersion)
+	}
+	if src.version > storeVersion {
+		return st, fmt.Errorf("corpus: refusing to merge corpus with future store version %d (supported: %d)", src.version, storeVersion)
+	}
+	for _, sig := range src.order {
+		sb := src.buckets[sig]
+		counts := bucketLedger(src, sb)
+		eb, ok := c.buckets[sig]
+		if !ok {
+			nb := *sb
+			nb.Origins = counts
+			st.NewBuckets++
+			if err := c.Add(&nb); err != nil {
+				return st, err
+			}
+			continue
+		}
+		st.MergedBuckets++
+		own := bucketLedger(c, eb)
+		for key, n := range counts {
+			if n > own[key] {
+				own[key] = n
+			}
+		}
+		if betterExemplar(sb, eb) {
+			eb.Seed = sb.Seed
+			eb.Config = sb.Config
+			eb.Family, eb.Version, eb.Level = sb.Family, sb.Version, sb.Level
+			eb.Var, eb.Line = sb.Var, sb.Line
+			eb.Exemplar, eb.ExemplarLines = sb.Exemplar, sb.ExemplarLines
+			eb.Minimized = sb.Minimized
+		}
+		eb.Origins = own
+		eb.Count = 0
+		for _, n := range own {
+			eb.Count += n
+		}
+		if sb.FoundAfter < eb.FoundAfter {
+			eb.FoundAfter = sb.FoundAfter
+		}
+		eb.DebuggerSuspect = eb.DebuggerSuspect || sb.DebuggerSuspect
+	}
+	// New buckets' Count must also be the ledger sum (for a never-merged
+	// source it already is; a merged source's buckets carry it too).
+	for _, sig := range c.order {
+		if b := c.buckets[sig]; b.Origins != nil {
+			n := 0
+			for _, v := range b.Origins {
+				n += v
+			}
+			b.Count = n
+		}
+	}
+	if c.origins == nil {
+		c.origins = map[string]*OriginStat{}
+	}
+	for key, o := range src.ledger() {
+		if have := c.origins[key]; have != nil {
+			have.maxInto(o)
+		} else {
+			c.origins[key] = o
+		}
+	}
+	// Canonical signature order: the serialization of a merged corpus
+	// must not depend on which replica's snapshot arrived first.
+	sort.Slice(c.order, func(i, j int) bool { return c.order[i] < c.order[j] })
+	return st, nil
+}

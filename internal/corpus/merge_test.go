@@ -1,0 +1,299 @@
+package corpus
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// randCorpus builds a randomized hunt corpus: a shard identity, local
+// counters, feature stats, and a handful of buckets drawn from a small
+// signature pool (so distinct corpora overlap), mixing v1-style
+// schedule-less and v2-style schedule-bearing signatures.
+func randCorpus(rng *rand.Rand) *Corpus {
+	c := New()
+	c.Seed0 = int64(1 + rng.Intn(3)*100)
+	c.ShardCount = 1 + rng.Intn(4)
+	c.ShardIndex = rng.Intn(c.ShardCount)
+	c.Programs = rng.Intn(200)
+	c.NextSeed = c.Seed0 + int64(rng.Intn(100))
+	c.Dups = rng.Intn(50)
+	for _, name := range []string{"loops", "calls", "globals"} {
+		if rng.Intn(2) == 0 {
+			c.features[name] = &FeatureStat{
+				OnTrials: rng.Intn(40), OnNew: rng.Intn(5),
+				OffTrials: rng.Intn(40), OffNew: rng.Intn(5),
+			}
+		}
+	}
+	culprits := []string{"lsr", "gvn", "inline:40"}
+	schedules := []string{"", "lsr", "mem2reg,lsr"}
+	for i, n := 0, rng.Intn(6); i < n; i++ {
+		culprit := culprits[rng.Intn(len(culprits))]
+		sched := schedules[rng.Intn(len(schedules))]
+		conj := 1 + rng.Intn(3)
+		sig := fmt.Sprintf("C%d|%s|opaque-arg:optimized-out", conj, culprit)
+		if sched != "" {
+			sig += "|" + sched
+		}
+		if _, ok := c.buckets[Signature(sig)]; ok {
+			continue
+		}
+		b := &Bucket{
+			Sig: Signature(sig), Conjecture: conj, Culprit: culprit,
+			Shape: "opaque-arg:optimized-out", Schedule: sched,
+			Seed: c.Seed0 + int64(rng.Intn(40)), Config: "gc trunk O2",
+			Family: "gc", Version: "trunk", Level: "O2",
+			Var: "x", Line: 1 + rng.Intn(9),
+			Exemplar:      fmt.Sprintf("int main() { return %d; }", rng.Intn(5)),
+			ExemplarLines: 1 + rng.Intn(4),
+			Minimized:     rng.Intn(2) == 0,
+			Count:         1 + rng.Intn(9),
+			FoundAfter:    1 + rng.Intn(150),
+		}
+		if err := c.Add(b); err != nil {
+			panic(err)
+		}
+	}
+	return c
+}
+
+// encodeString is the canonical-bytes view a merge fold is compared by.
+func encodeString(t *testing.T, c *Corpus) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := c.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// foldFresh merges the given corpora, in order, into a fresh empty
+// aggregator and returns its canonical encoding. Using a fresh
+// aggregator keeps the destination's own local counters out of the
+// comparison — commutativity is a property of the merged-IN state.
+func foldFresh(t *testing.T, cs ...*Corpus) string {
+	t.Helper()
+	agg := New()
+	for _, c := range cs {
+		if _, err := agg.Merge(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return encodeString(t, agg)
+}
+
+func TestMergeCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		a, b := randCorpus(rng), randCorpus(rng)
+		ab, ba := foldFresh(t, a, b), foldFresh(t, b, a)
+		if ab != ba {
+			t.Fatalf("trial %d: merge not commutative:\nA,B:\n%s\nB,A:\n%s", trial, ab, ba)
+		}
+	}
+}
+
+func TestMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 200; trial++ {
+		a, b, c := randCorpus(rng), randCorpus(rng), randCorpus(rng)
+		// (A ∪ B) ∪ C: fold A and B into one aggregator, then fold that
+		// aggregate and C into a second — versus A ∪ (B ∪ C).
+		ab := New()
+		for _, s := range []*Corpus{a, b} {
+			if _, err := ab.Merge(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		bc := New()
+		for _, s := range []*Corpus{b, c} {
+			if _, err := bc.Merge(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		left, right := foldFresh(t, ab, c), foldFresh(t, a, bc)
+		if left != right {
+			t.Fatalf("trial %d: merge not associative:\n(AB)C:\n%s\nA(BC):\n%s", trial, left, right)
+		}
+	}
+}
+
+func TestMergeIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 200; trial++ {
+		a, b := randCorpus(rng), randCorpus(rng)
+		once, twice := foldFresh(t, a, b), foldFresh(t, a, b, a, b, b)
+		if once != twice {
+			t.Fatalf("trial %d: merge not idempotent:\nonce:\n%s\ntwice:\n%s", trial, once, twice)
+		}
+	}
+}
+
+// TestMergeSumsDisjointCounts pins the per-origin ledger semantics:
+// counts from DISTINCT origins sum, re-merges of the SAME origin don't.
+func TestMergeSumsDisjointCounts(t *testing.T) {
+	mk := func(idx int, count, programs int) *Corpus {
+		c := New()
+		c.Seed0, c.ShardIndex, c.ShardCount = 1, idx, 4
+		c.Programs = programs
+		if err := c.Add(&Bucket{Sig: "C1|lsr|opaque-arg:optimized-out",
+			Conjecture: 1, Culprit: "lsr", Shape: "opaque-arg:optimized-out",
+			Seed: int64(1 + idx), Count: count, FoundAfter: 1}); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	agg := New()
+	for _, src := range []*Corpus{mk(0, 3, 10), mk(1, 5, 20), mk(0, 3, 10)} {
+		if _, err := agg.Merge(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b, ok := agg.Bucket("C1|lsr|opaque-arg:optimized-out")
+	if !ok {
+		t.Fatal("bucket lost in merge")
+	}
+	if b.Count != 8 {
+		t.Errorf("disjoint origins must sum (3+5=8), same origin must not double: Count=%d", b.Count)
+	}
+	if b.Seed != 1 {
+		t.Errorf("earliest exemplar must win: Seed=%d", b.Seed)
+	}
+	if got := agg.TotalPrograms(); got != 30 {
+		t.Errorf("TotalPrograms = %d, want 30 (10+20, re-merge not double-counted)", got)
+	}
+	if agg.Programs != 0 {
+		t.Errorf("merge must not touch the aggregator's own Programs counter: %d", agg.Programs)
+	}
+}
+
+// TestMergeKeepsV1V2Distinct pins the no-conflation rule: a v1-style
+// schedule-less signature and a schedule-bearing signature of the same
+// culprit/shape are distinct bugs and stay distinct buckets.
+func TestMergeKeepsV1V2Distinct(t *testing.T) {
+	v1 := New()
+	if err := v1.Add(&Bucket{Sig: "C1|lsr|opaque-arg:optimized-out",
+		Conjecture: 1, Culprit: "lsr", Count: 2, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	v2 := New()
+	if err := v2.Add(&Bucket{Sig: "C1|lsr|opaque-arg:optimized-out|mem2reg,lsr",
+		Conjecture: 1, Culprit: "lsr", Schedule: "mem2reg,lsr", Count: 3, Seed: 9}); err != nil {
+		t.Fatal(err)
+	}
+	agg := New()
+	for _, src := range []*Corpus{v1, v2} {
+		if _, err := agg.Merge(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if agg.Len() != 2 {
+		t.Fatalf("schedule-less and schedule-bearing buckets conflated: %d buckets", agg.Len())
+	}
+	schedLess, _ := agg.Bucket("C1|lsr|opaque-arg:optimized-out")
+	sched, _ := agg.Bucket("C1|lsr|opaque-arg:optimized-out|mem2reg,lsr")
+	if schedLess == nil || sched == nil || schedLess.Count != 2 || sched.Count != 3 {
+		t.Errorf("per-signature counts mixed: %+v / %+v", schedLess, sched)
+	}
+}
+
+// TestMergeMixedVersionStores folds a decoded v1 store and a decoded v2
+// store and checks both survive with their version-appropriate
+// signatures, exercising the legacy anonymous-origin path.
+func TestMergeMixedVersionStores(t *testing.T) {
+	v1Store := `{"kind":"hunt-corpus","version":1,"programs":4,"next_seed":9,"dups":1,"features":{}}
+{"kind":"bucket","sig":"C1|lsr|opaque-arg:optimized-out","conjecture":1,"culprit":"lsr","shape":"opaque-arg:optimized-out","seed":3,"config":"gc trunk O2","family":"gc","version":"trunk","level":"O2","var":"x","line":2,"exemplar":"int main() { return 0; }","exemplar_lines":1,"minimized":true,"count":2,"found_after":3}
+`
+	v2Store := `{"kind":"hunt-corpus","version":2,"programs":6,"next_seed":11,"dups":0,"features":{}}
+{"kind":"bucket","sig":"C1|lsr|opaque-arg:optimized-out|lsr","conjecture":1,"culprit":"lsr","shape":"opaque-arg:optimized-out","schedule":"lsr","seed":5,"config":"gc trunk O2","family":"gc","version":"trunk","level":"O2","var":"x","line":2,"exemplar":"int main() { return 1; }","exemplar_lines":1,"minimized":true,"count":1,"found_after":5}
+`
+	c1, err := Decode(strings.NewReader(v1Store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Decode(strings.NewReader(v2Store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if foldFresh(t, c1, c2) != foldFresh(t, c2, c1) {
+		t.Error("mixed v1/v2 merge not commutative")
+	}
+	agg := New()
+	for _, src := range []*Corpus{c1, c2} {
+		if _, err := agg.Merge(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if agg.Len() != 2 {
+		t.Fatalf("v1 and v2 buckets conflated: %d buckets", agg.Len())
+	}
+	// Both legacy stores are anonymous (origin key ""): their counters
+	// fold by maximum, the conservative choice for unknown provenance.
+	if got := agg.TotalPrograms(); got != 6 {
+		t.Errorf("anonymous origins must fold by max: TotalPrograms=%d, want 6", got)
+	}
+}
+
+// TestMergeRejectsFutureVersion: a corpus whose store claims a version
+// this code does not know may carry merge-relevant state it cannot see.
+func TestMergeRejectsFutureVersion(t *testing.T) {
+	future := New()
+	future.version = storeVersion + 1
+	if _, err := New().Merge(future); err == nil {
+		t.Error("merge must reject a future-version source")
+	}
+	if _, err := future.Merge(New()); err == nil {
+		t.Error("merge must reject a future-version target")
+	}
+}
+
+// TestMergeCanonicalOrder: after a merge the encoded bucket order is
+// canonical signature order, whatever order snapshots arrived in.
+func TestMergeCanonicalOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 50; trial++ {
+		cs := []*Corpus{randCorpus(rng), randCorpus(rng), randCorpus(rng)}
+		agg := New()
+		for _, c := range cs {
+			if _, err := agg.Merge(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var prev Signature
+		for i, b := range agg.Buckets() {
+			if i > 0 && !(prev < b.Sig) {
+				t.Fatalf("trial %d: merged bucket order not canonical: %q after %q", trial, b.Sig, prev)
+			}
+			prev = b.Sig
+		}
+	}
+}
+
+// TestMergedCorpusRoundTrips: a merged corpus (origin ledgers and all)
+// must survive Encode/Decode and keep merging identically afterwards.
+func TestMergedCorpusRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	for trial := 0; trial < 50; trial++ {
+		a, b, c := randCorpus(rng), randCorpus(rng), randCorpus(rng)
+		agg := New()
+		for _, s := range []*Corpus{a, b} {
+			if _, err := agg.Merge(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		enc := encodeString(t, agg)
+		back, err := Decode(strings.NewReader(enc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := encodeString(t, back); got != enc {
+			t.Fatalf("trial %d: merged corpus not a round-trip fixpoint:\n%s\nvs\n%s", trial, enc, got)
+		}
+		if foldFresh(t, agg, c) != foldFresh(t, back, c) {
+			t.Fatalf("trial %d: decoded merged corpus merges differently", trial)
+		}
+	}
+}

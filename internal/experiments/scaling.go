@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro"
+	"repro/internal/corpus"
+)
+
+// ScalingPoint is one wall-clock sample of a replica fleet's merged
+// unique-bugs curve: after each replica has processed PerReplica
+// programs (the wall-clock axis — replicas run concurrently), the fleet
+// as a whole has consumed Total programs and its merged corpus holds
+// Buckets unique bugs.
+type ScalingPoint struct {
+	PerReplica int `json:"per_replica_programs"`
+	Total      int `json:"total_programs"`
+	Buckets    int `json:"buckets"`
+}
+
+// ScalingSeries is the unique-bugs-over-time curve of one fleet size.
+type ScalingSeries struct {
+	Replicas     int            `json:"replicas"`
+	Points       []ScalingPoint `json:"points"`
+	FinalBuckets int            `json:"final_buckets"`
+}
+
+// ScalingResult is the distributed-hunting scaling experiment: the same
+// total fuzzing budget spent by fleets of different sizes, each fleet's
+// sharded corpora merged via corpus.Merge.
+type ScalingResult struct {
+	TotalBudget int             `json:"total_budget"`
+	Series      []ScalingSeries `json:"series"`
+}
+
+// Fleet returns the curve for one fleet size, if present.
+func (r *ScalingResult) Fleet(replicas int) *ScalingSeries {
+	for i := range r.Series {
+		if r.Series[i].Replicas == replicas {
+			return &r.Series[i]
+		}
+	}
+	return nil
+}
+
+// ScalingCurve extends HuntCurve to the distributed shard-and-merge
+// setting: for each fleet size n it runs n sharded hunts (shard i of n,
+// spec.Budget/n programs each — the same total budget at every fleet
+// size), merges the per-shard corpora into one global bug set, and
+// reports unique buckets over wall-clock time. Wall-clock is measured
+// in per-replica programs: n replicas run concurrently, so after t
+// programs per replica the fleet has spent n·t programs total. A bucket
+// exists at wall-clock t if ANY replica had opened it within its first
+// t programs (per-signature minimum FoundAfter across shards).
+//
+// Budgets must stay below the adaptive-weight warmup per replica for
+// the fleet curves to be comparable point-for-point with the solo hunt
+// (identical program per seed); under that regime a fleet of n at
+// wall-clock t has hunted a superset of the solo hunt's first t seeds,
+// so its curve dominates the solo curve structurally — the experiment
+// measures by how much.
+func (r *Runner) ScalingCurve(ctx context.Context, spec pokeholes.HuntSpec, fleets []int, w io.Writer) (*ScalingResult, error) {
+	if len(fleets) == 0 {
+		fleets = []int{1, 4, 16}
+	}
+	spec.NoMinimize = true // discovery curves; a full hunt can minimize later
+	out := &ScalingResult{TotalBudget: spec.Budget}
+	for _, n := range fleets {
+		if n < 1 || spec.Budget%n != 0 {
+			return nil, fmt.Errorf("experiments: fleet size %d must divide the total budget %d", n, spec.Budget)
+		}
+		perBudget := spec.Budget / n
+		merged := corpus.New()
+		// firstAt[sig] is the earliest per-replica time any shard opened
+		// the bucket — the wall-clock discovery coordinate of the fleet.
+		firstAt := map[corpus.Signature]int{}
+		for i := 0; i < n; i++ {
+			shard := spec
+			shard.Budget = perBudget
+			shard.ShardIndex, shard.ShardCount = i, n
+			rep, err := r.E.Hunt(ctx, shard)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: shard %d/%d: %w", i, n, err)
+			}
+			for _, b := range rep.Corpus.Buckets() {
+				if at, ok := firstAt[b.Sig]; !ok || b.FoundAfter < at {
+					firstAt[b.Sig] = b.FoundAfter
+				}
+			}
+			if _, err := merged.Merge(rep.Corpus); err != nil {
+				return nil, fmt.Errorf("experiments: merging shard %d/%d: %w", i, n, err)
+			}
+		}
+		series := ScalingSeries{Replicas: n, FinalBuckets: merged.Len()}
+		times := make([]int, 0, len(firstAt))
+		for _, at := range firstAt {
+			times = append(times, at)
+		}
+		sort.Ints(times)
+		for t := 1; t <= perBudget; t++ {
+			buckets := sort.SearchInts(times, t+1) // discoveries with FoundAfter <= t
+			series.Points = append(series.Points, ScalingPoint{
+				PerReplica: t, Total: n * t, Buckets: buckets})
+		}
+		out.Series = append(out.Series, series)
+	}
+
+	fmt.Fprintf(w, "Scaling curve (%s %s, %d total programs): merged unique buckets over wall-clock\n",
+		spec.Family, spec.Version, spec.Budget)
+	fmt.Fprintf(w, "%-10s", "t (progs)")
+	for _, s := range out.Series {
+		fmt.Fprintf(w, " %10s", fmt.Sprintf("%d-replica", s.Replicas))
+	}
+	fmt.Fprintln(w)
+	// Sample the shortest series' time axis (the largest fleet finishes
+	// its per-replica budget first); longer series keep growing past it,
+	// which the final-buckets row below reports.
+	maxT := out.Series[0].Points[len(out.Series[0].Points)-1].PerReplica
+	for _, s := range out.Series {
+		if last := s.Points[len(s.Points)-1].PerReplica; last < maxT {
+			maxT = last
+		}
+	}
+	step := maxT / 8
+	if step < 1 {
+		step = 1
+	}
+	for t := step; t <= maxT; t += step {
+		fmt.Fprintf(w, "%-10d", t)
+		for _, s := range out.Series {
+			fmt.Fprintf(w, " %10d", s.Points[t-1].Buckets)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-10s", "final")
+	for _, s := range out.Series {
+		fmt.Fprintf(w, " %10d", s.FinalBuckets)
+	}
+	fmt.Fprintln(w)
+	return out, nil
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro"
+	"repro/internal/compiler"
+)
+
+// TestScalingCurveFleetDominatesSolo pins the distributed-hunting
+// acceptance criterion: at equal total budget, the 4-replica fleet's
+// merged unique-buckets-over-wall-clock curve dominates the 1-replica
+// curve everywhere on the shared time axis and strictly at the fleet's
+// final point — and both fleets converge to the same final bucket set
+// (they hunt the same seed universe).
+func TestScalingCurveFleetDominatesSolo(t *testing.T) {
+	spec := pokeholes.HuntSpec{
+		Family: compiler.GC, Version: "trunk", Levels: []string{"O2"},
+		Budget: 32, Seed0: 900, BatchSize: 8,
+	}
+	var buf bytes.Buffer
+	r := NewRunner(pokeholes.NewEngine())
+	res, err := r.ScalingCurve(context.Background(), spec, []int{1, 4}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, fleet := res.Fleet(1), res.Fleet(4)
+	if solo == nil || fleet == nil {
+		t.Fatal("missing series")
+	}
+	if solo.FinalBuckets == 0 {
+		t.Fatal("solo hunt found no buckets; the comparison is vacuous")
+	}
+	// Same seed universe, same total budget -> same final bug set.
+	if fleet.FinalBuckets != solo.FinalBuckets {
+		t.Errorf("fleet final buckets %d != solo final %d (same total budget must converge)",
+			fleet.FinalBuckets, solo.FinalBuckets)
+	}
+	// Domination on the shared wall-clock axis: at every per-replica
+	// time t the fleet has hunted a superset of the solo hunt's seeds.
+	last := len(fleet.Points)
+	for i := 0; i < last; i++ {
+		if fleet.Points[i].Buckets < solo.Points[i].Buckets {
+			t.Errorf("t=%d: fleet has %d buckets < solo's %d — no domination",
+				i+1, fleet.Points[i].Buckets, solo.Points[i].Buckets)
+		}
+	}
+	// Strict domination at the fleet's final point: by the time each
+	// replica has spent budget/4 programs the fleet has covered the
+	// whole seed range, while the solo hunt has only a quarter of it.
+	ft, st := fleet.Points[last-1].Buckets, solo.Points[last-1].Buckets
+	if ft <= st {
+		t.Errorf("fleet at its final wall-clock point has %d buckets, solo has %d — want strictly more", ft, st)
+	}
+	if fleet.Points[last-1].Total != solo.Points[len(solo.Points)-1].Total {
+		t.Errorf("total budgets differ: fleet %d vs solo %d",
+			fleet.Points[last-1].Total, solo.Points[len(solo.Points)-1].Total)
+	}
+}
+
+// TestScalingCurveRejectsIndivisibleFleet: the equal-total-budget
+// contract requires the fleet size to divide the budget.
+func TestScalingCurveRejectsIndivisibleFleet(t *testing.T) {
+	spec := pokeholes.HuntSpec{
+		Family: compiler.GC, Version: "trunk", Levels: []string{"O2"},
+		Budget: 10, Seed0: 900,
+	}
+	var buf bytes.Buffer
+	if _, err := NewRunner(pokeholes.NewEngine()).ScalingCurve(context.Background(), spec, []int{3}, &buf); err == nil {
+		t.Error("fleet size 3 on budget 10 must be rejected")
+	}
+}

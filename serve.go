@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/corpus"
 	"repro/internal/minic"
 )
 
@@ -278,9 +279,22 @@ type HuntStatus struct {
 	Running    bool   `json:"running"`
 	Done       bool   `json:"done"`
 	Error      string `json:"error,omitempty"`
+	// Shard is the background hunt's seed-space slice as "index/count"
+	// (empty when no hunt is configured). A herd of replicas on disjoint
+	// shards reports disjoint values here, which is how the coordinator
+	// sanity-checks its fleet.
+	Shard string `json:"shard,omitempty"`
 	// Progress is the latest per-batch snapshot (absent before the first
 	// batch completes).
 	Progress *HuntProgress `json:"progress,omitempty"`
+}
+
+// MergeResponse is the body of POST /hunt/merge: what the pushed corpus
+// contributed to this server's global corpus, and its new size.
+type MergeResponse struct {
+	NewBuckets    int `json:"new_buckets"`
+	MergedBuckets int `json:"merged_buckets"`
+	GlobalBuckets int `json:"global_buckets"`
 }
 
 // ServerStats are the serving layer's own counters, surfaced next to the
@@ -298,6 +312,11 @@ type ServerStats struct {
 	ResponseHits    uint64 `json:"response_hits"`
 	ResponseMisses  uint64 `json:"response_misses"`
 	ResponseEntries int    `json:"response_entries"`
+	// Merges counts corpora unioned into the global corpus — the local
+	// hunt's snapshots and /hunt/merge pushes alike; GlobalBuckets is
+	// the global corpus's current unique-bug count.
+	Merges        int64 `json:"merges"`
+	GlobalBuckets int   `json:"global_buckets"`
 }
 
 // StatsResponse is the body of GET /stats.
@@ -344,6 +363,15 @@ type Server struct {
 
 	huntMu sync.Mutex
 	hunt   HuntStatus
+
+	// global is the server's merged bug set: the local background hunt's
+	// batch-boundary snapshots and every corpus POSTed to /hunt/merge,
+	// unioned via corpus.Merge. globalMu serializes merges against
+	// /hunt/export encodes, so an export is always a consistent
+	// (never torn) snapshot. merges counts unions performed.
+	globalMu sync.Mutex
+	global   *corpus.Corpus
+	merges   atomic.Int64
 }
 
 // NewServer returns the serving layer over the engine. The returned
@@ -352,21 +380,34 @@ type Server struct {
 func (e *Engine) NewServer(spec ServeSpec) *Server {
 	spec = spec.withDefaults(e)
 	s := &Server{
-		eng:  e,
-		spec: spec,
-		sem:  make(chan struct{}, spec.MaxInflight),
+		eng:    e,
+		spec:   spec,
+		sem:    make(chan struct{}, spec.MaxInflight),
+		global: corpus.New(),
 	}
 	if spec.ResponseCache > 0 {
 		s.resp = cache.New[string, []byte](spec.ResponseCache)
 	}
 	s.hunt.Configured = spec.Hunt != nil
+	if spec.Hunt != nil {
+		cnt := spec.Hunt.ShardCount
+		if cnt == 0 {
+			cnt = 1
+		}
+		s.hunt.Shard = fmt.Sprintf("%d/%d", spec.Hunt.ShardIndex, cnt)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /check", s.handleCheck)
 	mux.HandleFunc("POST /sweep", s.handleSweep)
 	mux.HandleFunc("POST /triage", s.handleTriage)
 	mux.HandleFunc("POST /minimize", s.handleMinimize)
 	mux.HandleFunc("POST /campaign", s.handleCampaign)
+	// The hunt/merge plane sits outside the admission gate, like
+	// /hunt/status: the coordinator's pulls and pushes are cheap,
+	// engine-free, and must not be starved behind queued work requests.
 	mux.HandleFunc("GET /hunt/status", s.handleHuntStatus)
+	mux.HandleFunc("GET /hunt/export", s.handleHuntExport)
+	mux.HandleFunc("POST /hunt/merge", s.handleHuntMerge)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux = mux
@@ -382,12 +423,27 @@ func (s *Server) Stats() ServerStats {
 		Requests: s.requests.Load(),
 		Rejected: s.rejected.Load(),
 		Deadline: s.deadlines.Load(),
+		Merges:   s.merges.Load(),
 	}
 	if s.resp != nil {
 		st.ResponseHits, st.ResponseMisses = s.resp.Stats()
 		st.ResponseEntries = s.resp.Len()
 	}
+	s.globalMu.Lock()
+	st.GlobalBuckets = s.global.Len()
+	s.globalMu.Unlock()
 	return st
+}
+
+// mergeGlobal unions a corpus into the server's global bug set.
+func (s *Server) mergeGlobal(c *corpus.Corpus) (MergeStats, error) {
+	s.globalMu.Lock()
+	defer s.globalMu.Unlock()
+	st, err := s.global.Merge(c)
+	if err == nil {
+		s.merges.Add(1)
+	}
+	return st, err
 }
 
 // retryAfterSeconds renders the Retry-After hint (at least 1 second).
@@ -863,6 +919,45 @@ func (s *Server) handleHuntStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
+// handleHuntExport serves the global corpus as a JSONL snapshot. The
+// body is encoded to completion under the merge mutex, so it is always
+// a consistent corpus — never torn by a concurrent merge — and, because
+// merged corpora serialize in canonical signature order, two replicas
+// holding the same merged state export byte-identical bodies.
+func (s *Server) handleHuntExport(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	s.globalMu.Lock()
+	err := s.global.Encode(&buf)
+	s.globalMu.Unlock()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Write(buf.Bytes())
+}
+
+// handleHuntMerge accepts a corpus JSONL body and unions it into the
+// global corpus. Decoding happens outside the mutex (bodies can be
+// large); the union itself is atomic with respect to /hunt/export.
+func (s *Server) handleHuntMerge(w http.ResponseWriter, r *http.Request) {
+	src, err := corpus.Decode(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		s.writeError(w, badRequest("decode corpus: %v", err))
+		return
+	}
+	st, err := s.mergeGlobal(src)
+	if err != nil {
+		s.writeError(w, badRequest("merge corpus: %v", err))
+		return
+	}
+	s.globalMu.Lock()
+	buckets := s.global.Len()
+	s.globalMu.Unlock()
+	writeJSON(w, http.StatusOK, MergeResponse{NewBuckets: st.NewBuckets,
+		MergedBuckets: st.MergedBuckets, GlobalBuckets: buckets})
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, StatsResponse{Engine: s.eng.Stats(), Server: s.Stats()})
 }
@@ -925,6 +1020,17 @@ func (e *Engine) Serve(ctx context.Context, spec ServeSpec) error {
 			s.huntProgress(p)
 			if user != nil {
 				user(p)
+			}
+		}
+		// Feed the hunt's batch-boundary snapshots into the global corpus:
+		// the callback runs on the hunt goroutine while the corpus is
+		// quiescent, and Merge copies what it keeps, so the hunt can
+		// mutate its corpus again as soon as the callback returns.
+		userSnap := hs.Snapshot
+		hs.Snapshot = func(c *Corpus) {
+			s.mergeGlobal(c)
+			if userSnap != nil {
+				userSnap(c)
 			}
 		}
 		s.huntStarted()

@@ -1,0 +1,264 @@
+package pokeholes_test
+
+// Tests for the distributed-hunting control plane: /hunt/export and
+// /hunt/merge semantics, the shard field of /hunt/status, and a -race
+// hammer that pulls snapshots concurrently with a live background hunt
+// (every export must decode cleanly — never a torn body).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/corpus"
+)
+
+// herdCorpus builds a tiny shard corpus with one bucket.
+func herdCorpus(t *testing.T, idx, cnt int, sig string, count int) string {
+	t.Helper()
+	c := corpus.New()
+	c.Seed0, c.ShardIndex, c.ShardCount = 1, idx, cnt
+	c.Programs = 10 * (idx + 1)
+	if err := c.Add(&corpus.Bucket{Sig: corpus.Signature(sig), Conjecture: 1,
+		Culprit: "lsr", Shape: "opaque-arg:optimized-out",
+		Seed: int64(idx + 1), Count: count, FoundAfter: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func exportCorpus(t *testing.T, client *http.Client, url string) *corpus.Corpus {
+	t.Helper()
+	resp, err := client.Get(url + "/hunt/export")
+	if err != nil {
+		t.Fatalf("GET /hunt/export: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /hunt/export: status %d", resp.StatusCode)
+	}
+	c, err := corpus.Decode(resp.Body)
+	if err != nil {
+		t.Fatalf("exported corpus does not decode: %v", err)
+	}
+	return c
+}
+
+// TestServeHuntMergeExport pins the coordinator contract: pushed corpora
+// union into the global corpus (per-origin counts summing across
+// distinct shards, idempotent on re-push), the export round-trips, and
+// malformed or future-versioned pushes are rejected with 400.
+func TestServeHuntMergeExport(t *testing.T) {
+	eng := pokeholes.NewEngine()
+	ts := httptest.NewServer(eng.NewServer(pokeholes.ServeSpec{}).Handler())
+	defer ts.Close()
+	client := ts.Client()
+	defer client.CloseIdleConnections()
+
+	const sig = "C1|lsr|opaque-arg:optimized-out"
+	shard0 := herdCorpus(t, 0, 2, sig, 3)
+	shard1 := herdCorpus(t, 1, 2, sig, 5)
+
+	status, body := servePost(t, client, ts.URL+"/hunt/merge", shard0)
+	if status != http.StatusOK {
+		t.Fatalf("/hunt/merge: status %d: %s", status, body)
+	}
+	var mr pokeholes.MergeResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.NewBuckets != 1 || mr.GlobalBuckets != 1 {
+		t.Errorf("first merge: %+v, want 1 new bucket", mr)
+	}
+
+	// Pushing the same snapshot again must not double-count.
+	servePost(t, client, ts.URL+"/hunt/merge", shard0)
+	// A different shard's count for the same signature sums.
+	servePost(t, client, ts.URL+"/hunt/merge", shard1)
+
+	got := exportCorpus(t, client, ts.URL)
+	if got.Len() != 1 {
+		t.Fatalf("global corpus has %d buckets, want 1", got.Len())
+	}
+	b, _ := got.Bucket(sig)
+	if b.Count != 8 {
+		t.Errorf("global bucket Count = %d, want 8 (3+5, idempotent re-push)", b.Count)
+	}
+	if b.Seed != 1 {
+		t.Errorf("global exemplar seed = %d, want the earliest (1)", b.Seed)
+	}
+	if got.TotalPrograms() != 30 {
+		t.Errorf("global TotalPrograms = %d, want 30", got.TotalPrograms())
+	}
+
+	// The export is itself mergeable: round-tripping it back is a no-op.
+	var rt bytes.Buffer
+	if err := got.Encode(&rt); err != nil {
+		t.Fatal(err)
+	}
+	status, body = servePost(t, client, ts.URL+"/hunt/merge", rt.String())
+	if status != http.StatusOK {
+		t.Fatalf("re-merge of export: status %d: %s", status, body)
+	}
+	if after := exportCorpus(t, client, ts.URL); after.Len() != 1 {
+		t.Errorf("re-merging the export changed the global corpus: %d buckets", after.Len())
+	} else if ab, _ := after.Bucket(sig); ab.Count != 8 {
+		t.Errorf("re-merging the export changed counts: %d", ab.Count)
+	}
+
+	// Rejections: garbage and future store versions are client errors.
+	if status, _ := servePost(t, client, ts.URL+"/hunt/merge", "not jsonl"); status != http.StatusBadRequest {
+		t.Errorf("garbage merge body: status %d, want 400", status)
+	}
+	future := `{"kind":"hunt-corpus","version":4}` + "\n"
+	if status, _ := servePost(t, client, ts.URL+"/hunt/merge", future); status != http.StatusBadRequest {
+		t.Errorf("future-version merge: status %d, want 400", status)
+	}
+
+	// /stats surfaces the merge counters.
+	resp, err := client.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var sr struct {
+		Server pokeholes.ServerStats `json:"server"`
+	}
+	if err := json.Unmarshal(stats, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Server.Merges != 4 || sr.Server.GlobalBuckets != 1 {
+		t.Errorf("stats: merges=%d global_buckets=%d, want 4 and 1",
+			sr.Server.Merges, sr.Server.GlobalBuckets)
+	}
+}
+
+// TestServeHuntStatusReportsShard: a server configured with a sharded
+// background hunt names its slice in /hunt/status.
+func TestServeHuntStatusReportsShard(t *testing.T) {
+	eng := pokeholes.NewEngine()
+	hunt := pokeholes.HuntSpec{Family: pokeholes.GC, Version: "trunk",
+		Levels: []string{"O2"}, Budget: 8, Seed0: 900,
+		ShardIndex: 1, ShardCount: 4}
+	ts := httptest.NewServer(eng.NewServer(pokeholes.ServeSpec{Hunt: &hunt}).Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/hunt/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var st pokeholes.HuntStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Configured || st.Shard != "1/4" {
+		t.Errorf("hunt status = %s, want configured shard 1/4", body)
+	}
+}
+
+// TestServeHuntExportNeverTorn is the -race hammer for the satellite
+// bugfix: while a background hunt merges snapshots into the global
+// corpus, concurrent /hunt/export, /hunt/merge and /hunt/status traffic
+// must always see consistent state — every export body decodes cleanly,
+// at any interleaving. Run under -race this also audits the hunt-status
+// synchronization.
+func TestServeHuntExportNeverTorn(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := pokeholes.NewEngine()
+	hunt := pokeholes.HuntSpec{Family: pokeholes.GC, Version: "trunk",
+		Levels: []string{"O2"}, Budget: 24, Seed0: 900, BatchSize: 4,
+		NoMinimize: true}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() {
+		serveDone <- eng.Serve(ctx, pokeholes.ServeSpec{Listener: ln, Hunt: &hunt})
+	}()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{}
+	defer client.CloseIdleConnections()
+	for i := 0; i < 100; i++ {
+		if resp, err := client.Get(base + "/healthz"); err == nil {
+			resp.Body.Close()
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	push := herdCorpus(t, 3, 7, "C1|gvn|opaque-arg:optimized-out", 2)
+	var wg sync.WaitGroup
+	huntDone := func() bool {
+		resp, err := client.Get(base + "/hunt/status")
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		var st pokeholes.HuntStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			return false
+		}
+		return st.Done
+	}
+	stop := make(chan struct{})
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				exportCorpus(t, client, base)
+				resp, err := client.Post(base+"/hunt/merge", "application/x-ndjson",
+					strings.NewReader(push))
+				if err == nil {
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for !huntDone() {
+		if time.Now().After(deadline) {
+			t.Error("background hunt did not finish in time")
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	// After the hunt drains, the global corpus holds the hunt's buckets
+	// plus the hammered push.
+	final := exportCorpus(t, client, base)
+	if _, ok := final.Bucket("C1|gvn|opaque-arg:optimized-out"); !ok {
+		t.Error("pushed bucket missing from final export")
+	}
+	if final.Len() < 2 {
+		t.Errorf("final export has %d buckets; expected the hunt to contribute some", final.Len())
+	}
+
+	cancel()
+	if err := <-serveDone; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+}

@@ -1,0 +1,246 @@
+package pokeholes_test
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/corpus"
+)
+
+// shardSpec returns shard idx of cnt of the shared determinism hunt,
+// with the total budget split evenly. Budgets stay under the adaptive-
+// weight warmup (32 recorded programs) so every replica generates the
+// same program per seed as one unsharded hunt would — the precondition
+// for the merged-equals-unsharded comparison below. NoMinimize keeps
+// the comparison on the raw discovery exemplars.
+func shardSpec(idx, cnt int) pokeholes.HuntSpec {
+	s := huntSpec()
+	s.Budget = 32 / cnt
+	s.NoMinimize = true
+	s.ShardIndex, s.ShardCount = idx, cnt
+	return s
+}
+
+// TestShardedHuntsMergeToUnshardedBucketSet is the distributed-hunting
+// acceptance test: 4 replicas hunting disjoint seed shards, merged,
+// produce exactly the bucket set of one unsharded hunt over the same
+// total budget — same signatures, same exemplars (earliest seed wins),
+// same per-bucket violation totals.
+func TestShardedHuntsMergeToUnshardedBucketSet(t *testing.T) {
+	ctx := context.Background()
+
+	solo := shardSpec(0, 1)
+	soloRep, err := pokeholes.NewEngine().Hunt(ctx, solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if soloRep.Corpus.Len() == 0 {
+		t.Fatal("unsharded hunt found no buckets; the comparison is vacuous")
+	}
+
+	const shards = 4
+	merged := corpus.New()
+	for i := 0; i < shards; i++ {
+		rep, err := pokeholes.NewEngine().Hunt(ctx, shardSpec(i, shards))
+		if err != nil {
+			t.Fatalf("shard %d/%d: %v", i, shards, err)
+		}
+		if _, err := merged.Merge(rep.Corpus); err != nil {
+			t.Fatalf("merging shard %d/%d: %v", i, shards, err)
+		}
+	}
+
+	if merged.Len() != soloRep.Corpus.Len() {
+		t.Errorf("merged corpus has %d buckets, unsharded hunt found %d",
+			merged.Len(), soloRep.Corpus.Len())
+	}
+	if got, want := merged.TotalPrograms(), soloRep.Corpus.Programs; got != want {
+		t.Errorf("merged TotalPrograms = %d, want %d", got, want)
+	}
+	for _, want := range soloRep.Corpus.Buckets() {
+		got, ok := merged.Bucket(want.Sig)
+		if !ok {
+			t.Errorf("merged corpus lost bucket %s", want.Sig)
+			continue
+		}
+		if got.Seed != want.Seed {
+			t.Errorf("bucket %s: merged exemplar from seed %d, unsharded opened at seed %d",
+				want.Sig, got.Seed, want.Seed)
+		}
+		if got.Exemplar != want.Exemplar {
+			t.Errorf("bucket %s: merged exemplar differs from unsharded exemplar", want.Sig)
+		}
+		if got.Count != want.Count {
+			t.Errorf("bucket %s: merged Count = %d, unsharded = %d", want.Sig, got.Count, want.Count)
+		}
+	}
+}
+
+// TestShardResumeMismatchFailsLoudly pins the seed-cursor bugfix: a
+// corpus hunted under one shard scheme must refuse to resume under
+// another (silently continuing would re-fuzz or skip seeds that belong
+// to a different replica), and a legacy identity-less corpus must
+// refuse any sharded resume at all.
+func TestShardResumeMismatchFailsLoudly(t *testing.T) {
+	ctx := context.Background()
+	spec := shardSpec(1, 4)
+	rep, err := pokeholes.NewEngine().Hunt(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, bad := range []struct {
+		name     string
+		idx, cnt int
+	}{
+		{"different count", 1, 2},
+		{"different index", 2, 4},
+		{"explicit unsharded", 0, 1},
+	} {
+		resume := spec
+		resume.Corpus = rep.Corpus
+		resume.ShardIndex, resume.ShardCount = bad.idx, bad.cnt
+		if _, err := pokeholes.NewEngine().Hunt(ctx, resume); err == nil {
+			t.Errorf("%s: resuming shard 1/4 corpus as %d/%d must fail loudly",
+				bad.name, bad.idx, bad.cnt)
+		} else if !strings.Contains(err.Error(), "shard") {
+			t.Errorf("%s: error does not name the shard mismatch: %v", bad.name, err)
+		}
+	}
+
+	// The zero-value spec adopts the corpus's recorded identity and
+	// continues on its stride.
+	resume := spec
+	resume.Corpus = rep.Corpus
+	resume.ShardIndex, resume.ShardCount = 0, 0
+	resume.Budget = 8
+	if _, err := pokeholes.NewEngine().Hunt(ctx, resume); err != nil {
+		t.Errorf("zero-value shard spec must adopt the corpus identity: %v", err)
+	}
+
+	// A legacy corpus (no recorded identity) cannot prove its cursor is
+	// on any shard's stride.
+	legacy := corpus.New()
+	legacy.NextSeed = 907
+	legacy.Programs = 7
+	legacyResume := shardSpec(1, 4)
+	legacyResume.Corpus = legacy
+	if _, err := pokeholes.NewEngine().Hunt(ctx, legacyResume); err == nil {
+		t.Error("sharded resume of an identity-less corpus must fail loudly")
+	}
+
+	// An off-stride cursor (wrong residue class for the recorded shard)
+	// is refused too.
+	skewed := corpus.New()
+	skewed.Seed0, skewed.ShardIndex, skewed.ShardCount = 900, 1, 4
+	skewed.NextSeed = 903 // residue 2, not 1
+	skewed.Programs = 1
+	skewedResume := shardSpec(1, 4)
+	skewedResume.Corpus = skewed
+	if _, err := pokeholes.NewEngine().Hunt(ctx, skewedResume); err == nil {
+		t.Error("off-stride cursor must fail loudly")
+	}
+}
+
+// TestShardCancelResumeStaysOnStride: a sharded hunt cancelled mid-run
+// checkpoints a cursor on its own stride; resuming it finishes the
+// budget and converges to the uninterrupted shard's corpus, and
+// resuming the same checkpoint under a different ShardCount fails.
+func TestShardCancelResumeStaysOnStride(t *testing.T) {
+	// Several small batches, so a batch-1 cancel leaves real budget to
+	// resume (the shard default is a single batch).
+	shardSpec24 := func() pokeholes.HuntSpec {
+		s := shardSpec(2, 4)
+		s.Budget, s.BatchSize = 16, 4
+		return s
+	}
+	full, err := pokeholes.NewEngine().Hunt(context.Background(), shardSpec24())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	path := filepath.Join(t.TempDir(), "corpus.jsonl")
+	spec := shardSpec24()
+	spec.CorpusPath = path
+	spec.Progress = func(p pokeholes.HuntProgress) {
+		if p.Batch == 1 {
+			cancel()
+		}
+	}
+	rep, err := pokeholes.NewEngine().Hunt(ctx, spec)
+	if err == nil {
+		t.Fatal("cancelled hunt returned no error")
+	}
+	if rep.Programs >= spec.Budget {
+		t.Skip("hunt finished before cancellation took effect")
+	}
+
+	loaded, err := corpus.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.ShardIndex != 2 || loaded.ShardCount != 4 || loaded.Seed0 != spec.Seed0 {
+		t.Fatalf("checkpoint lost the shard identity: seed0=%d shard=%d/%d",
+			loaded.Seed0, loaded.ShardIndex, loaded.ShardCount)
+	}
+	if rel := loaded.NextSeed - loaded.Seed0 - 2; rel < 0 || rel%4 != 0 {
+		t.Fatalf("checkpointed cursor %d is off shard 2/4's stride", loaded.NextSeed)
+	}
+
+	// Resuming under a different ShardCount must fail loudly even from
+	// a mid-run checkpoint.
+	bad := shardSpec(2, 8)
+	bad.Corpus = loaded
+	if _, err := pokeholes.NewEngine().Hunt(context.Background(), bad); err == nil {
+		t.Error("mid-run checkpoint resumed under a different ShardCount")
+	}
+
+	resume := shardSpec24()
+	resume.Budget = spec.Budget - loaded.Programs
+	resume.Corpus = loaded
+	resumed, err := pokeholes.NewEngine().Hunt(context.Background(), resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := encodeCorpus(t, resumed.Corpus), encodeCorpus(t, full.Corpus)
+	if string(got) != string(want) {
+		t.Errorf("shard corpus after cancel+resume differs from uninterrupted shard:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestHuntSnapshotPublishesQuiescentCorpus: the Snapshot hook fires at
+// batch boundaries with a corpus that is safe to Merge right there on
+// the hunt goroutine, and the merged union equals the final corpus.
+func TestHuntSnapshotPublishesQuiescentCorpus(t *testing.T) {
+	global := corpus.New()
+	snapshots := 0
+	spec := shardSpec(0, 2)
+	spec.Snapshot = func(c *corpus.Corpus) {
+		snapshots++
+		if _, err := global.Merge(c); err != nil {
+			t.Errorf("snapshot merge: %v", err)
+		}
+	}
+	rep, err := pokeholes.NewEngine().Hunt(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snapshots < spec.Budget/spec.BatchSize {
+		t.Errorf("Snapshot fired %d times, want at least one per batch (%d)",
+			snapshots, spec.Budget/spec.BatchSize)
+	}
+	if global.Len() != rep.Corpus.Len() {
+		t.Errorf("global corpus has %d buckets after snapshots, hunt found %d",
+			global.Len(), rep.Corpus.Len())
+	}
+	for _, b := range rep.Corpus.Buckets() {
+		g, ok := global.Bucket(b.Sig)
+		if !ok || g.Count != b.Count {
+			t.Errorf("bucket %s not faithfully merged via snapshots", b.Sig)
+		}
+	}
+}
