@@ -85,6 +85,26 @@ type Options struct {
 	// triage's schedule delta debugging. It applies even at O0, and
 	// Disabled/BisectLimit apply on top of it.
 	Schedule *opt.Schedule
+	// Snapshots, when non-nil, lets Optimize resume from cached
+	// schedule-prefix states and publish new ones (the engine's snapshot
+	// tier). It is purely an execution shortcut — results are
+	// byte-identical with or without it — and is ignored for
+	// stats-exporting builds (Stats != nil), whose per-pass counters must
+	// observe every execution.
+	Snapshots SnapshotStore
+}
+
+// normalizeBisectLimit maps Options.BisectLimit's zero value to "no limit"
+// exactly once, at the compiler boundary. The exported Options treats 0 as
+// unset — a plain, un-bisected build — while the raw opt layer reads 0
+// literally as "stop before the first pass". Every entry point (Compile,
+// via CompileFrom, and Optimize directly) funnels through this helper so
+// no call site re-implements the mapping.
+func normalizeBisectLimit(limit int) int {
+	if limit == 0 {
+		return -1
+	}
+	return limit
 }
 
 // Result is a completed compilation.
@@ -125,31 +145,42 @@ func Frontend(prog *minic.Program) (*ir.Module, error) {
 // configuration's active defects (adjusted by o) and returns the optimized
 // clone plus the pipeline statistics. The input module is not modified.
 // It fails only when an explicit schedule names an unregistered pass.
+//
+// With o.Snapshots set, the run may resume from a cached schedule-prefix
+// state instead of entry 0 (see snapshot.go); the returned module and
+// Result are byte-identical either way.
 func Optimize(m *ir.Module, cfg Config, o Options) (*ir.Module, *opt.Result, error) {
-	clone := m.Clone()
+	o.BisectLimit = normalizeBisectLimit(o.BisectLimit)
 	if cfg.Level == "O0" && o.Schedule == nil {
-		return clone, &opt.Result{}, nil
-	}
-	if o.BisectLimit == 0 {
-		// The zero value means "no limit", as in Compile; the raw pipeline
-		// knob would read 0 as "stop before the first pass".
-		o.BisectLimit = -1
+		return m.Clone(), &opt.Result{}, nil
 	}
 	sched := ScheduleFor(cfg)
+	canonical := true
 	if o.Schedule != nil {
+		canonical = o.Schedule.Equal(sched)
 		sched = *o.Schedule
 	}
-	pr, err := opt.RunSchedule(clone, sched, opt.Options{
+	oo := opt.Options{
 		Disabled:    o.Disabled,
 		BisectLimit: o.BisectLimit,
 		Defects:     activeDefects(cfg, o),
 		Level:       cfg.Level,
 		Stats:       o.Stats,
-	})
-	if err != nil {
-		return nil, nil, err
 	}
-	return clone, pr, nil
+	if o.Snapshots == nil || o.Stats != nil {
+		clone := m.Clone()
+		pr, err := opt.RunSchedule(clone, sched, oo)
+		if err != nil {
+			return nil, nil, err
+		}
+		return clone, pr, nil
+	}
+	if len(oo.Disabled) > 0 {
+		eff := filterDisabled(sched, oo.Disabled)
+		canonical = canonical && eff.Len() == sched.Len()
+		sched, oo.Disabled = eff, nil
+	}
+	return optimizeResumable(m, cfg, sched, canonical, o.Snapshots, oo)
 }
 
 // Codegen turns optimized IR into an executable under the configuration's
@@ -177,6 +208,7 @@ func activeDefects(cfg Config, o Options) map[string]bool {
 
 // Compile lowers, optimizes and code-generates prog under cfg.
 func Compile(prog *minic.Program, cfg Config, o Options) (*Result, error) {
+	o.BisectLimit = normalizeBisectLimit(o.BisectLimit)
 	m, err := Frontend(prog)
 	if err != nil {
 		return nil, err

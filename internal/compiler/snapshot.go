@@ -1,0 +1,176 @@
+package compiler
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/opt"
+)
+
+// Optimize-stage prefix snapshots: the state of a module after the first i
+// entries of a schedule ran is a pure function of (lowered module, those i
+// entries, active defect set, level salt). Sibling levels of one grid
+// share long schedule prefixes, bisection probes execute prefixes of one
+// schedule by construction, and ddmin probes share prefixes with each
+// other — so Optimize, handed a SnapshotStore, resumes from the longest
+// cached prefix state and runs only the suffix. Results are byte-identical
+// to from-scratch runs: the resumed module is a clone of the snapshot, and
+// Executions/Applied are stitched across the boundary.
+
+// Snapshot is one cached optimizer state: the module as it stood after a
+// schedule prefix ran, plus the Result fragment needed to stitch a resumed
+// run's statistics. Snapshots are immutable once published — Optimize
+// clones Mod before running a suffix on it and never appends to Applied in
+// place.
+type Snapshot struct {
+	Mod *ir.Module
+	// Executions and Applied mirror opt.Result for the prefix that
+	// produced Mod.
+	Executions int
+	Applied    []string
+}
+
+// SnapshotStore is the prefix-snapshot cache Optimize consults when
+// Options.Snapshots is set (the engine adapts its shared LRU to it). A nil
+// store simply optimizes from scratch.
+type SnapshotStore interface {
+	// Lookup returns the longest cached prefix among the digests
+	// (prefixDigests[i] keys the i-entry prefix) whose recorded executions
+	// fit within maxExec (-1 = unbounded) — a bisect-limited probe may only
+	// resume from a state that executed at most its own budget.
+	Lookup(prefixDigests []string, maxExec int) (prefixLen int, snap *Snapshot, ok bool)
+	// Save publishes the state reached after the digested prefix. The
+	// implementation owns eviction; Save may drop the value entirely.
+	Save(prefixDigest string, snap *Snapshot)
+}
+
+// SnapshotKeyBase returns the configuration-dependent portion of a
+// snapshot cache key: family, version, the active-defect-set digest and
+// the level salt. The defect digest is what keeps ExtraDefects/
+// SuppressDefects builds (triage's counterfactual probes) from ever
+// trading states with plain builds of the same version: pass behaviour is
+// a function of the active set, not of the version label alone. The level
+// component is opt.LevelSalt — empty unless an active defect actually
+// branches on the level, so sibling levels share freely whenever sharing
+// is provably sound.
+func SnapshotKeyBase(cfg Config, o Options) string {
+	defects := activeDefects(cfg, o)
+	names := make([]string, 0, len(defects))
+	for d := range defects {
+		names = append(names, d)
+	}
+	sort.Strings(names)
+	h := fnv.New64a()
+	for _, n := range names {
+		h.Write([]byte(n))
+		h.Write([]byte{0})
+	}
+	return fmt.Sprintf("%s|%s|%016x|%s", cfg.Family, cfg.Version, h.Sum64(), opt.LevelSalt(defects, cfg.Level))
+}
+
+// optimizeResumable is Optimize's snapshot path: resume from the longest
+// cached prefix of the effective schedule, run the suffix, publish
+// checkpoints. oo.Disabled has already been folded into eff (an explicitly
+// filtered schedule runs the exact executions RunSchedule-with-Disabled
+// would), so prefix digests of flag-disable probes line up with everyone
+// else's.
+func optimizeResumable(m *ir.Module, cfg Config, eff opt.Schedule, canonical bool, snaps SnapshotStore, oo opt.Options) (*ir.Module, *opt.Result, error) {
+	digests := eff.PrefixDigests()
+	start := 0
+	priorExec := 0
+	var priorApplied []string
+	var clone *ir.Module
+	if pl, snap, ok := snaps.Lookup(digests, oo.BisectLimit); ok {
+		start, priorExec, priorApplied = pl, snap.Executions, snap.Applied
+		clone = snap.Mod.Clone()
+	} else {
+		clone = m.Clone()
+	}
+	suffix := oo
+	if suffix.BisectLimit >= 0 {
+		// The budget is suffix-local inside RunScheduleFrom; the prefix
+		// already spent its share.
+		suffix.BisectLimit -= priorExec
+	}
+	// Checkpoint policy: a canonical run snapshots only the boundaries a
+	// sibling level of the same grid can resume from (plus the final state,
+	// which ascending bisection probes chain off); an explicit schedule — a
+	// ddmin probe — snapshots every boundary, because subsets and
+	// complements share arbitrary prefixes with later probes.
+	var keep map[int]bool
+	if canonical {
+		keep = checkpointLens(cfg, eff, oo.Defects)
+	}
+	cp := func(prefixLen int, res *opt.Result, final bool) {
+		if !final && keep != nil && !keep[prefixLen] {
+			return
+		}
+		snaps.Save(digests[prefixLen], &Snapshot{
+			Mod:        clone.Clone(),
+			Executions: priorExec + res.Executions,
+			Applied:    stitchApplied(priorApplied, res.Applied),
+		})
+	}
+	pr, err := opt.RunScheduleFrom(clone, eff, suffix, start, cp)
+	if err != nil {
+		return nil, nil, err
+	}
+	pr.Executions += priorExec
+	if priorExec > 0 || start > 0 {
+		pr.Applied = stitchApplied(priorApplied, pr.Applied)
+	}
+	return clone, pr, nil
+}
+
+// stitchApplied concatenates a snapshot's applied log with a suffix run's
+// into a fresh slice (both inputs stay immutable/live).
+func stitchApplied(prefix, suffix []string) []string {
+	out := make([]string, 0, len(prefix)+len(suffix))
+	return append(append(out, prefix...), suffix...)
+}
+
+// checkpointLens returns the boundaries worth snapshotting on a canonical
+// run of cfg: for each sibling level of the same family and version with
+// the same level salt, the length of the longest schedule prefix the two
+// share — exactly the state that sibling's compilation resumes from. The
+// map is small (grids have ≤ 7 levels), so canonical compiles pay a
+// handful of clones, not one per entry.
+func checkpointLens(cfg Config, eff opt.Schedule, defects map[string]bool) map[int]bool {
+	levels := GCLevels
+	if cfg.Family == CL {
+		levels = CLLevels
+	}
+	salt := opt.LevelSalt(defects, cfg.Level)
+	out := map[int]bool{}
+	for _, lvl := range levels {
+		if lvl == cfg.Level || opt.LevelSalt(defects, lvl) != salt {
+			continue
+		}
+		sib := ScheduleFor(Config{Family: cfg.Family, Version: cfg.Version, Level: lvl})
+		k := 0
+		for k < eff.Len() && k < sib.Len() && eff.Entries[k] == sib.Entries[k] {
+			k++
+		}
+		if k > 0 {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// filterDisabled drops the disabled entries from a schedule. Running the
+// filtered schedule is execution-for-execution identical to running the
+// original under Options.Disabled — RunPipeline skips disabled entries at
+// zero budget cost — which is what lets the snapshot path digest the
+// effective schedule instead of bypassing flag-disable probes.
+func filterDisabled(s opt.Schedule, disabled map[string]bool) opt.Schedule {
+	out := opt.Schedule{Entries: make([]opt.Entry, 0, len(s.Entries))}
+	for _, en := range s.Entries {
+		if !disabled[en.Name] {
+			out.Entries = append(out.Entries, en)
+		}
+	}
+	return out
+}

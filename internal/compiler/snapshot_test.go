@@ -1,0 +1,198 @@
+package compiler
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/minic"
+	"repro/internal/opt"
+)
+
+// mapSnapshots is the simplest possible SnapshotStore: an unbounded map
+// shared across compilations, namespaced by SnapshotKeyBase exactly like
+// the engine's LRU adapter, with counters for asserting that resumes
+// actually happened.
+type mapSnapshots struct {
+	m           map[string]*Snapshot
+	hits, saves int
+}
+
+func newMapSnapshots() *mapSnapshots {
+	return &mapSnapshots{m: map[string]*Snapshot{}}
+}
+
+// forConfig returns the store view Optimize should be handed for cfg: keys
+// are prefixed with SnapshotKeyBase so configurations with different
+// defect sets or level salts never trade states.
+func (s *mapSnapshots) forConfig(cfg Config, o Options) SnapshotStore {
+	return &keyedSnapshots{s: s, base: SnapshotKeyBase(cfg, o)}
+}
+
+type keyedSnapshots struct {
+	s    *mapSnapshots
+	base string
+}
+
+func (k *keyedSnapshots) Lookup(digests []string, maxExec int) (int, *Snapshot, bool) {
+	for i := len(digests) - 1; i >= 1; i-- {
+		snap, ok := k.s.m[k.base+"|"+digests[i]]
+		if !ok {
+			continue
+		}
+		if maxExec >= 0 && snap.Executions > maxExec {
+			continue
+		}
+		k.s.hits++
+		return i, snap, true
+	}
+	return 0, nil, false
+}
+
+func (k *keyedSnapshots) Save(digest string, snap *Snapshot) {
+	k.s.saves++
+	k.s.m[k.base+"|"+digest] = snap
+}
+
+// optimizeBoth runs Optimize cold and snapshot-assisted and fails the test
+// unless the module, execution count and applied log are identical.
+func optimizeBoth(t *testing.T, m *ir.Module, cfg Config, o Options, store *mapSnapshots, label string) {
+	t.Helper()
+	cold := o
+	cold.Snapshots = nil
+	wantMod, wantRes, err := Optimize(m, cfg, cold)
+	if err != nil {
+		t.Fatalf("%s %s: cold optimize: %v", label, cfg, err)
+	}
+	warm := o
+	warm.Snapshots = store.forConfig(cfg, o)
+	gotMod, gotRes, err := Optimize(m, cfg, warm)
+	if err != nil {
+		t.Fatalf("%s %s: snapshot optimize: %v", label, cfg, err)
+	}
+	if gotMod.String() != wantMod.String() {
+		t.Errorf("%s %s: snapshot-assisted module differs from cold run", label, cfg)
+	}
+	if gotRes.Executions != wantRes.Executions {
+		t.Errorf("%s %s: executions %d, want %d", label, cfg, gotRes.Executions, wantRes.Executions)
+	}
+	if !reflect.DeepEqual(gotRes.Applied, wantRes.Applied) {
+		t.Errorf("%s %s: applied mismatch:\ngot  %v\nwant %v", label, cfg, gotRes.Applied, wantRes.Applied)
+	}
+}
+
+// TestOptimizeSnapshotEquivalence is the compiler-layer half of the
+// byte-identity contract: with a shared snapshot store, every combination
+// of level, disabled passes, bisect budget and explicit schedule produces
+// the exact module and Result a cold run does — while the second sweep of
+// the same matrix resumes from cached prefixes.
+func TestOptimizeSnapshotEquivalence(t *testing.T) {
+	prog := minic.MustParse(testPrograms[0])
+	m, err := ir.Lower(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := newMapSnapshots()
+	for round := 0; round < 2; round++ {
+		for _, cfg := range allConfigs() {
+			optimizeBoth(t, m, cfg, Options{}, store, fmt.Sprintf("round%d/plain", round))
+			optimizeBoth(t, m, cfg, Options{Disabled: map[string]bool{"dce": true, "lsr": true}},
+				store, fmt.Sprintf("round%d/disabled", round))
+		}
+	}
+	if store.hits == 0 {
+		t.Fatal("two full sweeps of the matrix never resumed from a snapshot")
+	}
+
+	// Ascending bisect budgets over one config: every probe must stitch a
+	// mid-pipeline partial entry correctly, and later probes chain off the
+	// final-boundary snapshots earlier ones published.
+	cfg := Config{Family: CL, Version: "trunk", Level: "O2"}
+	n := opt.CountExecutions(m, Pipeline(cfg), nil)
+	for limit := 1; limit <= n; limit++ {
+		optimizeBoth(t, m, cfg, Options{BisectLimit: limit}, store, fmt.Sprintf("bisect%d", limit))
+	}
+
+	// Explicit (ddmin-probe-style) schedules: subsets of the canonical one
+	// share prefixes with the canonical runs above and with each other.
+	full := ScheduleFor(cfg)
+	for cut := 1; cut < full.Len(); cut += 3 {
+		sub := opt.Schedule{Entries: append([]opt.Entry{}, full.Entries[:cut]...)}
+		optimizeBoth(t, m, cfg, Options{Schedule: &sub}, store, fmt.Sprintf("explicit%d", cut))
+	}
+}
+
+// TestSnapshotKeyBaseSeparatesDefectSets: counterfactual probe builds
+// (ExtraDefects/SuppressDefects) and different versions must key distinct
+// snapshot namespaces even when their schedules agree.
+func TestSnapshotKeyBaseSeparatesDefectSets(t *testing.T) {
+	cfg := Config{Family: GC, Version: "trunk", Level: "O2"}
+	plain := SnapshotKeyBase(cfg, Options{})
+	if sup := SnapshotKeyBase(cfg, Options{SuppressDefects: map[string]bool{"gc-cleanupcfg-drop": true}}); sup == plain {
+		t.Error("suppressing a defect did not change the snapshot key base")
+	}
+	if ext := SnapshotKeyBase(cfg, Options{ExtraDefects: map[string]bool{"zz-test-defect": true}}); ext == plain {
+		t.Error("adding a defect did not change the snapshot key base")
+	}
+	if v4 := SnapshotKeyBase(Config{Family: GC, Version: "v4", Level: "O2"}, Options{}); v4 == plain {
+		t.Error("a different version did not change the snapshot key base")
+	}
+}
+
+// TestBisectLimitZeroCompilerTreatsAsUnlimited pins the normalization
+// satellite at the exported boundary: Options.BisectLimit 0 means "no
+// limit" for both Compile and Optimize — identical to an explicit -1 —
+// while the raw opt layer's literal reading of 0 is pinned in
+// internal/opt's TestBisectLimitZeroRawLayer.
+func TestBisectLimitZeroCompilerTreatsAsUnlimited(t *testing.T) {
+	prog := minic.MustParse(testPrograms[0])
+	cfg := Config{Family: CL, Version: "trunk", Level: "O2"}
+	want, err := Compile(prog, cfg, Options{BisectLimit: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Compile(prog, cfg, Options{BisectLimit: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PipelineExecutions != want.PipelineExecutions || got.PipelineExecutions == 0 {
+		t.Errorf("limit 0 executed %d passes, limit -1 executed %d; want equal and nonzero",
+			got.PipelineExecutions, want.PipelineExecutions)
+	}
+	if !reflect.DeepEqual(got.Applied, want.Applied) {
+		t.Errorf("limit 0 applied %v, limit -1 applied %v", got.Applied, want.Applied)
+	}
+	m, err := ir.Lower(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, res, err := Optimize(m, cfg, Options{BisectLimit: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executions != want.PipelineExecutions {
+		t.Errorf("Optimize with limit 0 ran %d executions, want %d", res.Executions, want.PipelineExecutions)
+	}
+}
+
+// TestPipelineCanonicalSchedulePanic pins the documented failure mode: the
+// canonical schedules may only name registered passes, and a registry
+// regression must surface as a panic at Pipeline, not as a silent
+// mis-compile downstream.
+func TestPipelineCanonicalSchedulePanic(t *testing.T) {
+	restore := opt.RemoveRegisteredPassForTest("mem2reg")
+	defer restore()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Pipeline materialized a canonical schedule naming an unregistered pass; want panic")
+		}
+		msg := fmt.Sprint(r)
+		if !strings.Contains(msg, "canonical schedule for") || !strings.Contains(msg, "does not materialize") {
+			t.Fatalf("panic message %q, want the documented \"canonical schedule for ... does not materialize\" form", msg)
+		}
+	}()
+	Pipeline(Config{Family: GC, Version: "trunk", Level: "O2"})
+}

@@ -1,0 +1,65 @@
+package opt
+
+import (
+	"strings"
+
+	"repro/internal/bugs"
+)
+
+// The optimizer's output is a function of (module, schedule, active
+// defects) — and, for exactly the defects listed below, of the
+// optimization level: those catalogued mechanisms branch on ctx.Level
+// inside a pass body. Everything else treats levels identically, which is
+// what lets the snapshot tier share optimizer states across the levels of
+// one version × level grid (their schedules share long prefixes).
+//
+// Contract: any pass code that consults ctx.Level MUST be gated on a
+// defect listed in levelKeyedDefects, and must compare only against the
+// level recorded for it. The optimizer snapshot cache (compiler.Optimize
+// with Options.Snapshots) relies on this table to decide when an IR state
+// may be shared across levels; an unlisted level branch would make
+// snapshot-resumed runs diverge from cold ones.
+var levelKeyedDefects = map[string]string{
+	// constprop.go: CCP folds eagerly except at -Og.
+	bugs.GCCCPNoConstValue: "Og",
+	// constprop.go: CCP shrinks location ranges only at -Og.
+	bugs.GCCCPRangeShrink: "Og",
+	// dce.go: copy-prop's range defect fires only at -Og.
+	bugs.GCCopyPropRange: "Og",
+	// loops.go: the residual LSR salvage gap fires only at -Os.
+	bugs.CLLSRNoSalvageSize: "Os",
+}
+
+// LevelSalt returns the level-dependent component of an optimizer-state
+// cache key: the empty string when no active defect consults the level —
+// the optimizer then behaves identically at every level running the same
+// schedule — otherwise one token per level comparison the active set can
+// reach ("og=0,os=1"-style). Two configurations with equal defect sets
+// and equal salts are interchangeable for snapshot reuse; with unequal
+// salts they never are.
+func LevelSalt(defects map[string]bool, level string) string {
+	needOg, needOs := false, false
+	for d := range defects {
+		switch levelKeyedDefects[d] {
+		case "Og":
+			needOg = true
+		case "Os":
+			needOs = true
+		}
+	}
+	var parts []string
+	if needOg {
+		parts = append(parts, "og="+saltBit(level == "Og"))
+	}
+	if needOs {
+		parts = append(parts, "os="+saltBit(level == "Os"))
+	}
+	return strings.Join(parts, ",")
+}
+
+func saltBit(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}

@@ -1,0 +1,268 @@
+package opt
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// prefixSrc has two functions and a loop, so schedules mix module- and
+// function-pass executions and the budgeted passes have work to do.
+const prefixSrc = `
+int helper(int x) { return x + 2; }
+int main(void) {
+  int i = 0;
+  int acc = 7;
+  while (i < 8) {
+    acc = acc + helper(i);
+    i = i + 1;
+  }
+  return acc;
+}
+`
+
+// TestPrefixDigestSanity pins the satellite contract: the full-length
+// prefix digest is the schedule digest, every rolling digest equals the
+// one computed from the truncated schedule, and index 0 is the empty
+// schedule's digest.
+func TestPrefixDigestSanity(t *testing.T) {
+	s := ScheduleOf(allPasses())
+	digests := s.PrefixDigests()
+	if len(digests) != s.Len()+1 {
+		t.Fatalf("PrefixDigests returned %d entries for a %d-entry schedule", len(digests), s.Len())
+	}
+	if digests[s.Len()] != s.Digest() {
+		t.Errorf("PrefixDigests[%d] = %s, want Digest() = %s", s.Len(), digests[s.Len()], s.Digest())
+	}
+	if got := s.PrefixDigest(s.Len()); got != s.Digest() {
+		t.Errorf("PrefixDigest(Len()) = %s, want Digest() = %s", got, s.Digest())
+	}
+	if digests[0] != (Schedule{}).Digest() {
+		t.Errorf("PrefixDigests[0] = %s, want the empty schedule's digest %s", digests[0], Schedule{}.Digest())
+	}
+	for i := 0; i <= s.Len(); i++ {
+		if digests[i] != s.PrefixDigest(i) {
+			t.Errorf("rolling digest %d = %s, want truncated-schedule digest %s", i, digests[i], s.PrefixDigest(i))
+		}
+	}
+}
+
+// TestPrefixDigestsAgreeUpToDivergence: two schedules sharing their first
+// k entries share exactly the first k+1 prefix digests and none after.
+func TestPrefixDigestsAgreeUpToDivergence(t *testing.T) {
+	a, err := ParseSchedule("mem2reg,inline:40,ccp,dce,simplifycfg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseSchedule("mem2reg,inline:40,ccp,vrp,simplifycfg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shared = 3 // entries 0..2 agree, entry 3 diverges
+	da, db := a.PrefixDigests(), b.PrefixDigests()
+	for i := 0; i <= shared; i++ {
+		if da[i] != db[i] {
+			t.Errorf("prefix %d: digests differ (%s vs %s) despite identical entries", i, da[i], db[i])
+		}
+	}
+	for i := shared + 1; i < len(da); i++ {
+		if da[i] == db[i] {
+			t.Errorf("prefix %d: digests collide (%s) past the divergence point", i, da[i])
+		}
+	}
+	// An argument change alone must also diverge (inline:40 vs inline:16).
+	c, err := ParseSchedule("mem2reg,inline:16,ccp,dce,simplifycfg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc := c.PrefixDigests(); dc[2] == da[2] || dc[1] != da[1] {
+		t.Errorf("budget-arg divergence mishandled: %s/%s at 2, %s/%s at 1", dc[2], da[2], dc[1], da[1])
+	}
+}
+
+// TestParseScheduleErrorPaths pins each distinct error with its message,
+// so callers can tell an unknown pass from a malformed entry.
+func TestParseScheduleErrorPaths(t *testing.T) {
+	cases := []struct {
+		in, wantSub string
+	}{
+		{"nosuchpass", `unknown pass "nosuchpass"`},
+		{"mem2reg,bogus:3", `unknown pass "bogus"`},
+		{"mem2reg,,dce", "empty pass name"},
+		{":4", "empty pass name"},
+		{"inline:forty", `bad argument "forty" for pass "inline"`},
+		{"dce:", `bad argument "" for pass "dce"`},
+	}
+	for _, c := range cases {
+		_, err := ParseSchedule(c.in)
+		if err == nil {
+			t.Errorf("ParseSchedule(%q) succeeded, want error containing %q", c.in, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("ParseSchedule(%q) error %q, want it to contain %q", c.in, err.Error(), c.wantSub)
+		}
+	}
+}
+
+// TestRunScheduleFromResumesExactly: for every split point and a spread of
+// bisect budgets, running the prefix, then RunScheduleFrom on the suffix,
+// stitches to a byte-identical module and Result as the single cold run —
+// the contract the compiler's snapshot cache is built on.
+func TestRunScheduleFromResumesExactly(t *testing.T) {
+	full := ScheduleOf(allPasses())
+	defects := map[string]bool{}
+	for _, limit := range []int{-1, 1, 5, 9} {
+		o := Options{BisectLimit: limit, Defects: defects}
+		cold := lowerSrc(t, prefixSrc)
+		want, err := RunSchedule(cold, full, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for start := 0; start <= full.Len(); start++ {
+			m := lowerSrc(t, prefixSrc)
+			prefix, err := RunSchedule(m, Schedule{Entries: full.Entries[:start]}, Options{BisectLimit: -1, Defects: defects})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if limit >= 0 && prefix.Executions > limit {
+				continue // a snapshot past the budget is not a legal resume point
+			}
+			so := o
+			if so.BisectLimit >= 0 {
+				so.BisectLimit -= prefix.Executions
+			}
+			suffix, err := RunScheduleFrom(m, full, so, start, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotApplied := append(append([]string{}, prefix.Applied...), suffix.Applied...)
+			if got := prefix.Executions + suffix.Executions; got != want.Executions {
+				t.Errorf("limit %d start %d: executions %d, want %d", limit, start, got, want.Executions)
+			}
+			if !reflect.DeepEqual(gotApplied, want.Applied) {
+				t.Errorf("limit %d start %d: applied mismatch:\ngot  %v\nwant %v", limit, start, gotApplied, want.Applied)
+			}
+			if m.String() != cold.String() {
+				t.Errorf("limit %d start %d: resumed module differs from cold run", limit, start)
+			}
+		}
+	}
+}
+
+// TestRunScheduleFromCheckpoints: the checkpoint callback fires once per
+// boundary past the offset, each boundary's module state matches a cold
+// run of exactly that prefix, and final marks the last boundary the
+// budget lets the run complete.
+func TestRunScheduleFromCheckpoints(t *testing.T) {
+	full := ScheduleOf(allPasses())
+	type seen struct {
+		prefixLen  int
+		executions int
+		final      bool
+		state      string
+	}
+	var got []seen
+	m := lowerSrc(t, prefixSrc)
+	if _, err := RunScheduleFrom(m, full, Options{BisectLimit: -1}, 0, func(pl int, res *Result, final bool) {
+		got = append(got, seen{pl, res.Executions, final, m.String()})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != full.Len() {
+		t.Fatalf("saw %d checkpoints, want one per boundary past 0 = %d", len(got), full.Len())
+	}
+	for i, s := range got {
+		if s.prefixLen != i+1 {
+			t.Fatalf("checkpoint %d at prefix %d, want %d", i, s.prefixLen, i+1)
+		}
+		if wantFinal := i == len(got)-1; s.final != wantFinal {
+			t.Errorf("checkpoint %d: final=%v, want %v", i, s.final, wantFinal)
+		}
+		ref := lowerSrc(t, prefixSrc)
+		refRes, err := RunSchedule(ref, Schedule{Entries: full.Entries[:s.prefixLen]}, Options{BisectLimit: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.state != ref.String() {
+			t.Errorf("checkpoint at prefix %d: module state differs from a cold prefix run", s.prefixLen)
+		}
+		if s.executions != refRes.Executions {
+			t.Errorf("checkpoint at prefix %d: %d executions, cold prefix ran %d", s.prefixLen, s.executions, refRes.Executions)
+		}
+	}
+
+	// Under a budget that dies inside an entry, boundaries fire once each up
+	// to the last completed entry, only the last is final, and its
+	// executions fit the budget — the partial entry's mid-state is never
+	// offered as a snapshot.
+	m2 := lowerSrc(t, prefixSrc)
+	limit := entryCost(m2, mustPass(t, full.Entries[0])) + 1
+	var budgeted []seen
+	if _, err := RunScheduleFrom(m2, full, Options{BisectLimit: limit}, 0, func(pl int, res *Result, final bool) {
+		budgeted = append(budgeted, seen{pl, res.Executions, final, ""})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(budgeted) == 0 {
+		t.Fatal("budgeted run emitted no checkpoints")
+	}
+	for i, s := range budgeted {
+		if s.prefixLen != i+1 {
+			t.Errorf("budgeted checkpoint %d at prefix %d, want %d", i, s.prefixLen, i+1)
+		}
+		if wantFinal := i == len(budgeted)-1; s.final != wantFinal {
+			t.Errorf("budgeted checkpoint at prefix %d: final=%v, want %v", s.prefixLen, s.final, wantFinal)
+		}
+	}
+	if last := budgeted[len(budgeted)-1]; last.executions > limit {
+		t.Errorf("final boundary recorded %d executions, over the budget %d", last.executions, limit)
+	} else if last.prefixLen == full.Len() {
+		t.Errorf("budget %d let the whole %d-entry schedule complete; the partial-entry path went untested", limit, full.Len())
+	}
+}
+
+// TestBisectLimitZeroRawLayer pins the documented asymmetry the compiler
+// helper normalizes away: at the raw opt layer an explicit limit of 0
+// means "stop before the first pass" — zero executions, empty Applied —
+// for RunPipeline, RunSchedule and RunScheduleFrom alike.
+func TestBisectLimitZeroRawLayer(t *testing.T) {
+	s := ScheduleOf(allPasses())
+	for _, run := range []struct {
+		name string
+		run  func(t *testing.T) *Result
+	}{
+		{"RunPipeline", func(t *testing.T) *Result {
+			return RunPipeline(lowerSrc(t, prefixSrc), allPasses(), Options{BisectLimit: 0})
+		}},
+		{"RunSchedule", func(t *testing.T) *Result {
+			res, err := RunSchedule(lowerSrc(t, prefixSrc), s, Options{BisectLimit: 0})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}},
+		{"RunScheduleFrom", func(t *testing.T) *Result {
+			res, err := RunScheduleFrom(lowerSrc(t, prefixSrc), s, Options{BisectLimit: 0}, 0, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}},
+	} {
+		res := run.run(t)
+		if res.Executions != 0 || len(res.Applied) != 0 {
+			t.Errorf("%s with limit 0 ran %d executions (%v), want none", run.name, res.Executions, res.Applied)
+		}
+	}
+}
+
+// mustPass materializes one schedule entry.
+func mustPass(t *testing.T, e Entry) Pass {
+	t.Helper()
+	ps, err := Schedule{Entries: []Entry{e}}.Passes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ps[0]
+}

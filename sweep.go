@@ -4,9 +4,13 @@ package pokeholes
 // one program across a whole version × level grid of a family while
 // sharing every configuration-invariant artifact — the lowered IR module
 // (frontend runs once per program), the static-analysis facts, and the
-// per-version O0 reference traces of the quantitative study. Configs fan
-// out over the engine's worker pool; results land at their config index,
-// so aggregation is deterministic at any parallelism.
+// per-version O0 reference traces of the quantitative study. Sibling
+// levels additionally share optimizer work through the engine's
+// schedule-prefix snapshot tier: a level whose canonical schedule extends
+// a prefix another level already ran resumes from that cached state and
+// executes only its suffix (see internal/compiler/snapshot.go). Configs
+// fan out over the engine's worker pool; results land at their config
+// index, so aggregation is deterministic at any parallelism.
 
 import (
 	"context"
